@@ -1,0 +1,160 @@
+// Command decloud-node runs a DeCloud miner node on a real TCP gossip
+// network. Nodes verify and vote on every block they receive; a node
+// started with -produce also acts as a block producer on that interval.
+//
+// Start a three-node network on one machine:
+//
+//	decloud-node -name m0 -listen 127.0.0.1:9000 -produce 5s -demo 20 &
+//	decloud-node -name m1 -listen 127.0.0.1:9001 -peers 127.0.0.1:9000 &
+//	decloud-node -name m2 -listen 127.0.0.1:9002 -peers 127.0.0.1:9000 &
+//
+// m0 generates a demo workload (20 requests per round via in-process
+// participant clients), mines blocks every 5 s, and m1/m2 verify them.
+// -chain FILE persists the replica across restarts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"decloud/internal/auction"
+	"decloud/internal/p2p"
+	"decloud/internal/workload"
+)
+
+func main() {
+	name := flag.String("name", "node", "node name")
+	listen := flag.String("listen", "127.0.0.1:0", "listen address")
+	peers := flag.String("peers", "", "comma-separated peer addresses to join")
+	difficulty := flag.Int("difficulty", 12, "PoW difficulty in leading zero bits")
+	produce := flag.Duration("produce", 0, "produce a block every interval (0 = verify only)")
+	quorum := flag.Int("quorum", 0, "OK votes required per produced block")
+	revealWindow := flag.Duration("reveal-window", 3*time.Second, "how long to wait for key reveals")
+	demo := flag.Int("demo", 0, "submit a demo workload of N requests before each production")
+	chainFile := flag.String("chain", "", "persist the chain to this file after each block")
+	flag.Parse()
+
+	node, err := p2p.NewMarketNode(*name, *listen, *difficulty, auction.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	defer node.Close()
+	fmt.Printf("%s listening on %s\n", *name, node.Addr())
+
+	for _, peer := range strings.Split(*peers, ",") {
+		peer = strings.TrimSpace(peer)
+		if peer == "" {
+			continue
+		}
+		if err := node.Connect(peer); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("connected to %s\n", peer)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *produce <= 0 {
+		fmt.Println("verify-only mode; ctrl-c to exit")
+		<-ctx.Done()
+		return
+	}
+
+	var demoClients []*p2p.ParticipantClient
+	defer func() {
+		for _, c := range demoClients {
+			c.Close()
+		}
+	}()
+
+	ticker := time.NewTicker(*produce)
+	defer ticker.Stop()
+	round := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		if *demo > 0 {
+			clients, err := submitDemoWorkload(node.Addr(), *demo, int64(round))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "demo workload: %v\n", err)
+				continue
+			}
+			demoClients = append(demoClients, clients...)
+			// Give the gossip a moment to spread the bids.
+			time.Sleep(200 * time.Millisecond)
+		}
+		if node.MempoolSize() == 0 {
+			fmt.Println("mempool empty; skipping round")
+			continue
+		}
+		roundCtx, cancel := context.WithTimeout(ctx, *produce+10*time.Second)
+		summary, err := node.ProduceBlock(roundCtx, *quorum, *revealWindow)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "round failed: %v\n", err)
+			continue
+		}
+		fmt.Printf("block %d: %d trades, %d ok votes, %d bad, %d unrevealed\n",
+			summary.Block.Preamble.Height, len(summary.Outcome.Matches),
+			summary.OKVotes, summary.BadVotes, summary.Unrevealed)
+		if *chainFile != "" {
+			if err := node.Chain().SaveFile(*chainFile); err != nil {
+				fmt.Fprintf(os.Stderr, "persist chain: %v\n", err)
+			}
+		}
+		round++
+	}
+}
+
+// submitDemoWorkload creates ephemeral participant clients that seal and
+// broadcast a generated market through the given node.
+func submitDemoWorkload(nodeAddr string, requests int, seed int64) ([]*p2p.ParticipantClient, error) {
+	market := workload.Generate(workload.Config{Seed: seed + 1, Requests: requests})
+	var clients []*p2p.ParticipantClient
+	newClient := func(tag string) (*p2p.ParticipantClient, error) {
+		pc, err := p2p.NewParticipantClient(tag, "127.0.0.1:0", nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := pc.Connect(nodeAddr); err != nil {
+			pc.Close()
+			return nil, err
+		}
+		clients = append(clients, pc)
+		return pc, nil
+	}
+	for i, r := range market.Requests {
+		pc, err := newClient(fmt.Sprintf("demo-c%d", i))
+		if err != nil {
+			return clients, err
+		}
+		if err := pc.SubmitRequest(r); err != nil {
+			return clients, err
+		}
+	}
+	for j, o := range market.Offers {
+		pc, err := newClient(fmt.Sprintf("demo-p%d", j))
+		if err != nil {
+			return clients, err
+		}
+		if err := pc.SubmitOffer(o); err != nil {
+			return clients, err
+		}
+	}
+	return clients, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "decloud-node: %v\n", err)
+	os.Exit(1)
+}

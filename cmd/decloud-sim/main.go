@@ -1,0 +1,94 @@
+// Command decloud-sim runs multi-round DeCloud market simulations, in
+// fast mode (mechanism only) or full ledger mode (sealed bids, mining,
+// key reveal, verification, contracts).
+//
+// Usage:
+//
+//	decloud-sim [-mode fast|ledger] [-rounds N] [-requests N]
+//	            [-providers N] [-miners N] [-difficulty BITS]
+//	            [-deny P] [-flex F] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"decloud/internal/auction"
+	"decloud/internal/sim"
+	"decloud/internal/workload"
+)
+
+func main() {
+	mode := flag.String("mode", "fast", "simulation mode: fast or ledger")
+	rounds := flag.Int("rounds", 5, "number of auction rounds (blocks)")
+	requests := flag.Int("requests", 100, "requests per round")
+	providers := flag.Int("providers", 0, "providers per round (0 = requests/3)")
+	miners := flag.Int("miners", 3, "miners in ledger mode")
+	difficulty := flag.Int("difficulty", 10, "PoW difficulty in leading zero bits")
+	deny := flag.Float64("deny", 0, "per-agreement client denial probability (ledger mode)")
+	flex := flag.Float64("flex", 0, "request flexibility in (0,1]; 0 = inflexible")
+	seed := flag.Int64("seed", 1, "random seed")
+	resubmit := flag.Bool("resubmit", false, "carry unmatched requests into later rounds")
+	exact := flag.Bool("exact", false, "exact interval scheduling instead of aggregate resource-time")
+	maxResubmits := flag.Int("max-resubmits", 3, "attempts before an unmatched request expires")
+	flag.Parse()
+
+	cfg := sim.Config{
+		Rounds: *rounds,
+		Workload: workload.Config{
+			Seed:        *seed,
+			Requests:    *requests,
+			Providers:   *providers,
+			Flexibility: *flex,
+		},
+		Miners:       *miners,
+		Difficulty:   *difficulty,
+		DenyProb:     *deny,
+		Resubmit:     *resubmit,
+		MaxResubmits: *maxResubmits,
+	}
+	if *exact {
+		cfg.Auction = auction.DefaultConfig()
+		cfg.Auction.ExactScheduling = true
+	}
+	switch *mode {
+	case "fast":
+		cfg.Mode = sim.Fast
+	case "ledger":
+		cfg.Mode = sim.Ledger
+	default:
+		fmt.Fprintf(os.Stderr, "decloud-sim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decloud-sim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-5s %-8s %-7s %-7s %-10s %-10s %-6s %-8s %-9s",
+		"round", "requests", "offers", "matches", "welfare", "benchmark", "ratio", "reduced%", "satisf.")
+	if cfg.Resubmit {
+		fmt.Printf(" %-7s %-7s %-7s", "carried", "pending", "expired")
+	}
+	if cfg.Mode == sim.Ledger {
+		fmt.Printf(" %-9s %-7s %-7s", "winner", "agreed", "denied")
+	}
+	fmt.Println()
+	for _, m := range res.Rounds {
+		fmt.Printf("%-5d %-8d %-7d %-7d %-10.4f %-10.4f %-6.3f %-8.2f %-9.3f",
+			m.Round, m.Requests, m.Offers, m.Matches, m.Welfare, m.BenchWelfare,
+			m.WelfareRatio, m.ReducedRate*100, m.Satisfaction)
+		if cfg.Resubmit {
+			fmt.Printf(" %-7d %-7d %-7d", m.CarriedIn, m.CarriedOut, m.Expired)
+		}
+		if cfg.Mode == sim.Ledger {
+			fmt.Printf(" %-9s %-7d %-7d", m.Winner, m.Agreed, m.Denied)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\ntotal welfare: %.4f   mean welfare ratio: %.3f\n",
+		res.TotalWelfare(), res.MeanWelfareRatio())
+}

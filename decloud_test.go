@@ -1,0 +1,163 @@
+package decloud
+
+import (
+	"context"
+	"testing"
+)
+
+// TestFacadeAuction exercises the public API end to end in fast mode.
+func TestFacadeAuction(t *testing.T) {
+	market := GenerateMarket(MarketConfig{Seed: 1, Requests: 60})
+	out := RunAuction(market.Requests, market.Offers, DefaultAuctionConfig())
+	if len(out.Matches) == 0 {
+		t.Fatal("no trades through the façade")
+	}
+	bench := RunGreedyBenchmark(market.Requests, market.Offers, DefaultAuctionConfig())
+	if out.Welfare() > bench.Welfare()*1.05 {
+		t.Fatalf("mechanism welfare %v exceeds benchmark %v", out.Welfare(), bench.Welfare())
+	}
+}
+
+// TestFacadeHandRolledOrders shows the bidding language directly.
+func TestFacadeHandRolledOrders(t *testing.T) {
+	requests := []*Request{
+		{
+			ID: "ar-app", Client: "alice",
+			Resources: Vector{CPU: 2, RAM: 4, SGX: 1},
+			Weights:   map[Kind]float64{SGX: 1, RAM: 0.4},
+			Start:     0, End: 3600, Duration: 1800,
+			Bid: 0.60, TrueValue: 0.60,
+		},
+		{ // a second SGX client so ar-app is not its cluster's margin
+			ID: "sgx-setter", Client: "zed",
+			Resources: Vector{CPU: 1, RAM: 2, SGX: 1},
+			Start:     0, End: 3600, Duration: 1800,
+			Bid: 0.02, TrueValue: 0.02,
+		},
+		{
+			ID: "batch-job", Client: "bob",
+			Resources: Vector{CPU: 4, RAM: 24},
+			Start:     0, End: 3600, Duration: 3600,
+			Bid: 0.30, TrueValue: 0.30,
+		},
+		{ // the overall marginal price setter
+			ID: "batch-setter", Client: "carl",
+			Resources: Vector{CPU: 4, RAM: 24},
+			Start:     0, End: 3600, Duration: 3600,
+			Bid: 0.08, TrueValue: 0.08,
+		},
+	}
+	offers := []*Offer{
+		{
+			ID: "edge-box", Provider: "carol",
+			Resources: Vector{CPU: 8, RAM: 16, SGX: 1},
+			Start:     0, End: 7200,
+			Bid: 0.10, TrueCost: 0.10,
+		},
+		{
+			ID: "garage-server", Provider: "dave",
+			Resources: Vector{CPU: 8, RAM: 32},
+			Start:     0, End: 7200,
+			Bid: 0.16, TrueCost: 0.16,
+		},
+	}
+	out := RunAuction(requests, offers, DefaultAuctionConfig())
+	m := out.MatchFor("ar-app")
+	if m == nil {
+		t.Fatal("SGX request should trade")
+	}
+	if m.Offer.ID != "edge-box" {
+		t.Fatalf("SGX request landed on %s", m.Offer.ID)
+	}
+	if m.Payment > 0.60 {
+		t.Fatal("IR violated through façade")
+	}
+	// No SGX-requiring order may ever land on a non-SGX machine.
+	for _, mm := range out.Matches {
+		if mm.Request.Resources[SGX] > 0 && mm.Offer.Resources[SGX] == 0 {
+			t.Fatalf("SGX request %s on non-SGX offer %s", mm.Request.ID, mm.Offer.ID)
+		}
+	}
+}
+
+// TestFacadeLedgerRound exercises the protocol path via the façade.
+func TestFacadeLedgerRound(t *testing.T) {
+	net := NewNetwork(2, 8, DefaultAuctionConfig())
+	var participants []*Participant
+	for i := 0; i < 3; i++ {
+		p, err := NewParticipant(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		participants = append(participants, p)
+	}
+	bids := 0
+	for i, p := range participants {
+		if i < 2 {
+			bid, err := p.SubmitRequest(&Request{
+				ID:        OrderID([]byte{'r', byte('0' + i)}),
+				Resources: Vector{CPU: 2, RAM: 4},
+				Start:     0, End: 100, Duration: 100,
+				Bid: float64(10 - i*8),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := net.SubmitBid(bid); err != nil {
+				t.Fatal(err)
+			}
+			bids++
+			continue
+		}
+		bid, err := p.SubmitOffer(&Offer{
+			ID:        "o0",
+			Resources: Vector{CPU: 8, RAM: 16},
+			Start:     0, End: 100,
+			Bid: 0.5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.SubmitBid(bid); err != nil {
+			t.Fatal(err)
+		}
+		bids++
+	}
+	if net.MempoolSize() != bids {
+		t.Fatalf("mempool = %d", net.MempoolSize())
+	}
+	res, err := RunRound(context.Background(), net, participants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Chain().Len() != 1 {
+		t.Fatal("block not on chain")
+	}
+	for _, id := range res.Agreements {
+		a, err := net.Contracts().Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Contracts().Accept(id, a.Client()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFacadeSimulate runs both simulation modes through the façade.
+func TestFacadeSimulate(t *testing.T) {
+	fast, err := Simulate(SimConfig{Mode: SimFast, Rounds: 2, Workload: MarketConfig{Seed: 3, Requests: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.TotalWelfare() <= 0 {
+		t.Fatal("fast simulation produced no welfare")
+	}
+	led, err := Simulate(SimConfig{Mode: SimLedger, Rounds: 1, Workload: MarketConfig{Seed: 3, Requests: 15}, Miners: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if led.Rounds[0].Winner == "" {
+		t.Fatal("ledger simulation has no winner")
+	}
+}

@@ -1,0 +1,112 @@
+// Edgecloud: the paper's motivating scenario — latency-sensitive AR and
+// IoT workloads matched to heterogeneous edge providers using the full
+// bidding language: SGX as a resource, significance weights, time
+// windows, and flexibility.
+//
+//	go run ./examples/edgecloud
+package main
+
+import (
+	"fmt"
+
+	"decloud"
+)
+
+func main() {
+	const hour = int64(3600)
+
+	requests := []*decloud.Request{
+		{
+			// An AR application: needs a trusted enclave (σ=1, strictly
+			// required), cares a lot about low latency, less about disk.
+			ID: "ar-headset", Client: "alice",
+			Resources: decloud.Vector{
+				decloud.CPU: 2, decloud.RAM: 4,
+				decloud.SGX: 1, decloud.Latency: 0.9,
+			},
+			Weights: map[decloud.Kind]float64{
+				decloud.Latency: 0.9,
+				decloud.RAM:     0.3,
+			},
+			Start: 0, End: 2 * hour, Duration: hour,
+			Bid: 0.80, TrueValue: 0.80,
+		},
+		{
+			// An IoT aggregation pipeline: modest resources, runs all day,
+			// flexible — accepts 70% of the requested capacity.
+			ID: "iot-aggregator", Client: "bob",
+			Resources: decloud.Vector{decloud.CPU: 4, decloud.RAM: 8, decloud.Disk: 50},
+			Start:     0, End: 8 * hour, Duration: 6 * hour,
+			Flexibility: 0.7,
+			Bid:         1.20, TrueValue: 1.20,
+		},
+		{
+			// A batch transcoder: big, cheap, time-flexible.
+			ID: "transcoder", Client: "carol",
+			Resources: decloud.Vector{decloud.CPU: 8, decloud.RAM: 16},
+			Start:     0, End: 8 * hour, Duration: 2 * hour,
+			Bid: 0.50, TrueValue: 0.50,
+		},
+		{
+			// The marginal job that will set the clearing price.
+			ID: "best-effort", Client: "dave",
+			Resources: decloud.Vector{decloud.CPU: 1, decloud.RAM: 2},
+			Start:     0, End: 8 * hour, Duration: hour,
+			Bid: 0.02, TrueValue: 0.02,
+		},
+	}
+
+	offers := []*decloud.Offer{
+		{
+			// A 5G base-station cabinet: SGX-capable, very low latency.
+			ID: "bs-cabinet", Provider: "metro-telco",
+			Resources: decloud.Vector{
+				decloud.CPU: 8, decloud.RAM: 16,
+				decloud.SGX: 1, decloud.Latency: 1.0, decloud.Disk: 100,
+			},
+			Start: 0, End: 8 * hour,
+			Bid: 0.90, TrueCost: 0.90,
+		},
+		{
+			// A crowdsourced garage server: big but no enclave, no
+			// latency guarantee.
+			ID: "garage-rig", Provider: "hobbyist",
+			Resources: decloud.Vector{decloud.CPU: 16, decloud.RAM: 64, decloud.Disk: 800},
+			Start:     0, End: 8 * hour,
+			Bid: 0.70, TrueCost: 0.70,
+		},
+		{
+			// A small shop NUC.
+			ID: "shop-nuc", Provider: "corner-store",
+			Resources: decloud.Vector{decloud.CPU: 4, decloud.RAM: 8, decloud.Disk: 120},
+			Start:     0, End: 8 * hour,
+			Bid: 0.25, TrueCost: 0.25,
+		},
+	}
+
+	out := decloud.RunAuction(requests, offers, decloud.DefaultAuctionConfig())
+
+	fmt.Println("edge market allocation:")
+	for _, m := range out.Matches {
+		fmt.Printf("  %-14s → %-11s granted %-34s pays %.4f\n",
+			m.Request.ID, m.Offer.ID, m.Granted.String(), m.Payment)
+	}
+	for _, id := range out.ReducedRequests {
+		fmt.Printf("  %-14s excluded by trade reduction (price setter)\n", id)
+	}
+
+	fmt.Println("\nprovider revenues:")
+	for _, o := range offers {
+		if rev := out.RevenueFor(o.ID); rev > 0 {
+			fmt.Printf("  %-11s %.4f (cost %.2f for the full box)\n", o.ID, rev, o.TrueCost)
+		}
+	}
+
+	// The SGX constraint is hard: verify where the AR app landed.
+	if m := out.MatchFor("ar-headset"); m != nil {
+		fmt.Printf("\nar-headset runs on %s (SGX present: %v)\n",
+			m.Offer.ID, m.Offer.Resources[decloud.SGX] > 0)
+	} else {
+		fmt.Println("\nar-headset not allocated this round — it can resubmit")
+	}
+}

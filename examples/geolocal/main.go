@@ -1,0 +1,38 @@
+// Geolocal: a geographic edge market. Participants are scattered over a
+// city; every request carries a locality constraint (the paper's ℓ_r) —
+// the service must run within a radius of its users. Tighter radii
+// fragment the market into neighborhoods and cost satisfaction.
+//
+//	go run ./examples/geolocal
+package main
+
+import (
+	"fmt"
+
+	"decloud"
+)
+
+func main() {
+	fmt.Println("locality radius vs market outcome (unit-square city)")
+	fmt.Printf("%-8s %-9s %-13s %-9s\n", "radius", "clusters", "satisfaction", "welfare")
+
+	for _, radius := range []float64{0, 0.5, 0.25, 0.1, 0.05} {
+		market := decloud.GenerateMarket(decloud.MarketConfig{
+			Seed:      31,
+			Requests:  150,
+			Providers: 50,
+			GeoRadius: radius,
+		})
+		out := decloud.RunAuction(market.Requests, market.Offers, decloud.DefaultAuctionConfig())
+		label := fmt.Sprintf("%.2f", radius)
+		if radius == 0 {
+			label = "∞ (any)"
+		}
+		fmt.Printf("%-8s %-9d %-13.3f %-9.2f\n",
+			label, out.Clusters, out.Satisfaction(len(market.Requests)), out.Welfare())
+	}
+
+	fmt.Println("\nevery match respects its request's radius; a tight radius")
+	fmt.Println("means fewer reachable machines, so satisfaction falls even")
+	fmt.Println("though the same total capacity exists city-wide.")
+}

@@ -1,0 +1,112 @@
+// Ledger: one full round of the two-phase bid exposure protocol
+// (Section III of the paper) — sealed bids, a proof-of-work mining race,
+// temporary-key reveal, deterministic allocation seeded by the block's
+// PoW, independent verification by the other miners, and the smart
+// contract accept/deny step with reputation consequences.
+//
+//	go run ./examples/ledger
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"decloud"
+)
+
+func main() {
+	net := decloud.NewNetwork(3 /* miners */, 12 /* difficulty bits */, decloud.DefaultAuctionConfig())
+
+	// Four participants: three clients (one will be the marginal price
+	// setter) and one provider.
+	names := []string{"alice", "bob", "zed", "provider"}
+	participants := make(map[string]*decloud.Participant, len(names))
+	var all []*decloud.Participant
+	for _, name := range names {
+		p, err := decloud.NewParticipant(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		participants[name] = p
+		all = append(all, p)
+		fmt.Printf("%-9s identity %s\n", name, p.ID())
+	}
+
+	// Clients seal requests; the provider seals an offer. Nothing about
+	// these orders is readable on the network until keys are revealed.
+	submit := func(name string, bid float64) {
+		r := &decloud.Request{
+			ID:        decloud.OrderID("job-" + name),
+			Resources: decloud.Vector{decloud.CPU: 2, decloud.RAM: 8},
+			Start:     0, End: 3600, Duration: 3600,
+			Bid: bid, TrueValue: bid,
+		}
+		sealedBid, err := participants[name].SubmitRequest(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := net.SubmitBid(sealedBid); err != nil {
+			log.Fatal(err)
+		}
+	}
+	submit("alice", 1.00)
+	submit("bob", 0.80)
+	submit("zed", 0.10) // marginal: will set the price and be excluded
+
+	offer := &decloud.Offer{
+		ID:        "edge-box",
+		Resources: decloud.Vector{decloud.CPU: 8, decloud.RAM: 32},
+		Start:     0, End: 3600,
+		Bid: 0.20, TrueCost: 0.20,
+	}
+	sealedOffer, err := participants["provider"].SubmitOffer(offer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := net.SubmitBid(sealedOffer); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmempool holds %d sealed bids (contents unreadable)\n", net.MempoolSize())
+
+	// One protocol round: mine → reveal → allocate → verify → append.
+	res, err := decloud.RunRound(context.Background(), net, all)
+	if err != nil {
+		log.Fatal(err)
+	}
+	block := res.Block
+	fmt.Printf("\nblock %d mined by %s (nonce %d, PoW evidence %x...)\n",
+		block.Preamble.Height, res.Winner, block.Preamble.Nonce, block.Evidence()[:8])
+	fmt.Printf("chain length: %d, verified by all other miners\n", net.Chain().Len())
+
+	fmt.Println("\nallocation on chain:")
+	for _, m := range res.Outcome.Matches {
+		fmt.Printf("  %-10s → %-9s pays %.4f at unit price %.6f\n",
+			m.Request.ID, m.Offer.ID, m.Payment, m.UnitPrice)
+	}
+
+	// Clients respond through the smart contract: alice accepts, bob
+	// denies (and pays for it in reputation).
+	reg := net.Contracts()
+	for _, id := range res.Agreements {
+		a, err := reg.Get(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch a.Record.RequestID {
+		case "job-bob":
+			provider, err := reg.Deny(id, a.Client())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nbob denies %s — provider %s must resubmit its offer\n", id, provider)
+			fmt.Printf("bob's reputation drops to %.2f\n", reg.Reputation().Score(a.Client()))
+		default:
+			if err := reg.Accept(id, a.Client()); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\n%s accepted by its client (reputation %.2f)\n",
+				id, reg.Reputation().Score(a.Client()))
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Quickstart: generate a small trace-driven market, run DeCloud's
+// truthful double auction on it, and inspect the outcome.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"decloud"
+)
+
+func main() {
+	// A market of 40 Google-trace-shaped requests against an EC2 M5
+	// provider fleet. All bids are truthful: under a DSIC auction that is
+	// every participant's dominant strategy.
+	market := decloud.GenerateMarket(decloud.MarketConfig{
+		Seed:     7,
+		Requests: 40,
+	})
+	fmt.Printf("market: %d requests, %d offers\n\n", len(market.Requests), len(market.Offers))
+
+	out := decloud.RunAuction(market.Requests, market.Offers, decloud.DefaultAuctionConfig())
+
+	fmt.Printf("%-8s %-8s %10s %12s %10s\n", "request", "offer", "payment", "unit price", "phi")
+	for _, m := range out.Matches {
+		fmt.Printf("%-8s %-8s %10.4f %12.6f %10.4f\n",
+			m.Request.ID, m.Offer.ID, m.Payment, m.UnitPrice, m.Fraction)
+	}
+
+	fmt.Printf("\nmatched %d/%d requests (satisfaction %.2f)\n",
+		out.MatchedRequests(), len(market.Requests), out.Satisfaction(len(market.Requests)))
+	fmt.Printf("welfare: %.4f\n", out.Welfare())
+	fmt.Printf("payments %.4f == revenues %.4f (strong budget balance)\n",
+		out.TotalPayments(), out.TotalRevenues())
+	if len(out.ReducedRequests) > 0 {
+		fmt.Printf("trade-reduced requests (DSIC cost): %v\n", out.ReducedRequests)
+	}
+
+	// Compare with the non-truthful greedy benchmark on the same orders.
+	bench := decloud.RunGreedyBenchmark(market.Requests, market.Offers, decloud.DefaultAuctionConfig())
+	fmt.Printf("\nnon-truthful benchmark welfare: %.4f (DeCloud achieves %.1f%%)\n",
+		bench.Welfare(), 100*out.Welfare()/bench.Welfare())
+}

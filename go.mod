@@ -1,0 +1,3 @@
+module decloud
+
+go 1.22

@@ -1,0 +1,199 @@
+package auction
+
+import (
+	"decloud/internal/bidding"
+	"decloud/internal/resource"
+)
+
+// Tracker accounts for the remaining capacity of every offer across all
+// clusters and mini-auctions of a block. Capacity follows the paper's
+// Const. 7 semantics: the commodity is resource·time — an offer provides
+// ρ_{o,k} · (t_o⁺ − t_o⁻) units of each kind k, a granted request
+// consumes granted_k · d_r, and the sum of allocated fractions per kind
+// never exceeds 1. Instantaneous grants are additionally capped at
+// ρ_{o,k} (Const. 8).
+type Tracker struct {
+	remaining map[bidding.OrderID]resource.Vector
+}
+
+// NewTracker returns an empty tracker; capacity is materialized lazily
+// per offer on first use.
+func NewTracker() *Tracker {
+	return &Tracker{remaining: make(map[bidding.OrderID]resource.Vector)}
+}
+
+// Clone deep-copies the tracker, letting callers trial-pack without
+// committing.
+func (t *Tracker) Clone() *Tracker {
+	c := NewTracker()
+	for id, v := range t.remaining {
+		c.remaining[id] = v.Clone()
+	}
+	return c
+}
+
+func (t *Tracker) capacity(o *bidding.Offer) resource.Vector {
+	if rem, ok := t.remaining[o.ID]; ok {
+		return rem
+	}
+	rem := o.Resources.Scale(float64(o.Window()))
+	t.remaining[o.ID] = rem
+	return rem
+}
+
+// Remaining returns a copy of the offer's remaining resource·time vector.
+func (t *Tracker) Remaining(o *bidding.Offer) resource.Vector {
+	return t.capacity(o).Clone()
+}
+
+// TryGrant computes the resource vector offer o can grant request r right
+// now: per requested kind, the minimum of the requested amount, the
+// offer's instantaneous capacity, and what the remaining resource·time
+// budget supports for d_r. It returns nil when the grant would fall below
+// the request's flexibility threshold on any kind, or the windows are
+// incompatible. TryGrant does not mutate the tracker.
+func (t *Tracker) TryGrant(r *bidding.Request, o *bidding.Offer) resource.Vector {
+	if !bidding.TimeCompatible(r, o) || !r.WithinReach(o) {
+		return nil
+	}
+	rem := t.capacity(o)
+	flex := r.Flex()
+	granted := make(resource.Vector, len(r.Resources))
+	dur := float64(r.Duration)
+	for k, need := range r.Resources {
+		if need <= 0 {
+			continue
+		}
+		g := need
+		if inst := o.Resources[k]; inst < g {
+			g = inst
+		}
+		if byTime := rem[k] / dur; byTime < g {
+			g = byTime
+		}
+		if g < need*flex-1e-9 {
+			return nil
+		}
+		granted[k] = g
+	}
+	if granted.IsZero() {
+		return nil
+	}
+	return granted
+}
+
+// Commit deducts a grant from the offer's remaining capacity.
+func (t *Tracker) Commit(o *bidding.Offer, granted resource.Vector, duration int64) {
+	rem := t.capacity(o)
+	t.remaining[o.ID] = rem.Sub(granted.Scale(float64(duration)))
+}
+
+// Assignment is one request placed on one offer with a concrete grant.
+type Assignment struct {
+	Req     EconRequest
+	Off     EconOffer
+	Granted resource.Vector
+	// Start is the scheduled start time (the request's window start
+	// under the aggregate model; a concrete slot under exact scheduling).
+	Start int64
+}
+
+// Pack greedily places the cluster's requests onto its offers.
+//
+//   - reqOrder lists indexes into ec.Requests in the order to try; nil
+//     means natural order (v̂ descending).
+//   - offOrder lists indexes into ec.Offers in the order to try; nil
+//     means natural order (ĉ ascending). The mechanism's final phase
+//     passes a bid-independent random permutation here — the paper's
+//     "exclude redundant offers randomly" (Section IV-D): if which offers
+//     get to serve depended on the reported cost, an idle provider could
+//     underbid its way into the allocation and profit at the clearing
+//     price.
+//   - reqOK / offOK filter eligibility (nil means all eligible).
+//   - pairOK filters request↔offer pairs (nil admits all); the mechanism
+//     uses it for the provider-side reputation gate of Section III-B.
+//   - taken marks requests already allocated elsewhere in the block; it
+//     is updated as requests are placed.
+//   - tr supplies shared capacity; successful grants are committed.
+//
+// A request is placed on the first eligible offer (in offOrder) that is
+// profitable for it (v̂_r ≥ ĉ_o) and can grant it within the request's
+// flexibility.
+func (ec *EconCluster) Pack(
+	tr Capacity,
+	taken map[bidding.OrderID]bool,
+	reqOK func(EconRequest) bool,
+	offOK func(EconOffer) bool,
+	pairOK func(EconRequest, EconOffer) bool,
+	reqOrder []int,
+	offOrder []int,
+) []Assignment {
+	if reqOrder == nil {
+		reqOrder = make([]int, len(ec.Requests))
+		for i := range reqOrder {
+			reqOrder[i] = i
+		}
+	}
+	if offOrder == nil {
+		offOrder = make([]int, len(ec.Offers))
+		for i := range offOrder {
+			offOrder[i] = i
+		}
+	}
+	var out []Assignment
+	for _, ri := range reqOrder {
+		er := ec.Requests[ri]
+		if taken[er.Request.ID] {
+			continue
+		}
+		if reqOK != nil && !reqOK(er) {
+			continue
+		}
+		for _, oi := range offOrder {
+			eo := ec.Offers[oi]
+			if offOK != nil && !offOK(eo) {
+				continue
+			}
+			if pairOK != nil && !pairOK(er, eo) {
+				continue
+			}
+			if er.VHat < eo.CHat {
+				// Unprofitable pairing; with a custom offer order later
+				// offers may still be cheaper, so keep scanning.
+				continue
+			}
+			granted, start, ok := tr.TryGrant(er.Request, eo.Offer)
+			if !ok {
+				continue
+			}
+			tr.Commit(er.Request, eo.Offer, granted, start)
+			taken[er.Request.ID] = true
+			out = append(out, Assignment{Req: er, Off: eo, Granted: granted, Start: start})
+			break
+		}
+	}
+	return out
+}
+
+// Fraction computes φ_{(r,o)} (Eq. 6) for a concrete grant: the time
+// share d_r/(t_o⁺−t_o⁻) times the mean granted share over the kinds the
+// offer actually provides.
+func Fraction(granted resource.Vector, r *bidding.Request, o *bidding.Offer) float64 {
+	if o.Window() <= 0 {
+		return 0
+	}
+	// Sorted iteration: φ feeds payments, which verifying miners must
+	// reproduce bit-for-bit.
+	var sum float64
+	var n int
+	for _, k := range granted.Kinds() {
+		if cap := o.Resources[k]; cap > 0 {
+			sum += granted[k] / cap
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Duration) / float64(o.Window()) * sum / float64(n)
+}

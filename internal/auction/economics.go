@@ -1,0 +1,157 @@
+// Package auction implements DeCloud's double auction mechanism A
+// (Section IV): the per-cluster economic normalization, the greedy
+// in-cluster allocation, the mini-auction grouping, the SBBA-style
+// pricing with trade reduction, and block-seeded randomized exclusion.
+// The mechanism is DSIC, strongly budget balanced, and individually
+// rational; the package also provides the paper's non-truthful greedy
+// benchmark (same pipeline without reduction or randomization).
+package auction
+
+import (
+	"math"
+	"sort"
+
+	"decloud/internal/bidding"
+	"decloud/internal/cluster"
+	"decloud/internal/resource"
+)
+
+// EconRequest is a request with its cluster-normalized economics:
+// ν_r (fraction of the cluster's virtual maximum it consumes) and
+// v̂_r = b_r / (ν_r · d_r) (reported valuation per unit resource·time).
+type EconRequest struct {
+	Request *bidding.Request
+	Nu      float64
+	VHat    float64
+}
+
+// EconOffer is an offer with its cluster-normalized economics:
+// ν_o = ‖ρ_o‖₂/‖M_CL‖₂ and ĉ_o = b_o / (ν_o · (t_o⁺ − t_o⁻)).
+type EconOffer struct {
+	Offer *bidding.Offer
+	Nu    float64
+	CHat  float64
+}
+
+// EconCluster carries a cluster's normalized requests and offers, sorted
+// for the McAfee-style ranking: requests by v̂ descending, offers by ĉ
+// ascending (ties by submission time, then ID — Section IV-D's tie rule,
+// which removes any incentive to delay submission).
+type EconCluster struct {
+	Cluster  *cluster.Cluster
+	Scale    *resource.Scale // the virtual maximum M_CL
+	Critical map[resource.Kind]bool
+	Requests []EconRequest
+	Offers   []EconOffer
+}
+
+// ComputeEconomics derives the cluster's common resource types K_CL, the
+// virtual maximum M_CL, the critical set K_CR, and the normalized
+// valuations and costs of Section IV-C. Orders whose normalization
+// degenerates (ν = 0: no common resource with the cluster) are dropped.
+func ComputeEconomics(cl *cluster.Cluster, critical map[resource.Kind]bool) *EconCluster {
+	// K_CL = (∪_r K_r) ∩ (∪_o K_o).
+	reqKinds := make(map[resource.Kind]bool)
+	for _, r := range cl.Requests {
+		for _, k := range r.Resources.Kinds() {
+			reqKinds[k] = true
+		}
+	}
+	offKinds := make(map[resource.Kind]bool)
+	for _, o := range cl.Offers {
+		for _, k := range o.Resources.Kinds() {
+			offKinds[k] = true
+		}
+	}
+	common := make(map[resource.Kind]bool)
+	for k := range reqKinds {
+		if offKinds[k] {
+			common[k] = true
+		}
+	}
+
+	// M_CL: componentwise maximum over the cluster's offers, restricted
+	// to K_CL.
+	maxVec := make(resource.Vector)
+	for _, o := range cl.Offers {
+		for k, q := range o.Resources {
+			if common[k] && q > maxVec[k] {
+				maxVec[k] = q
+			}
+		}
+	}
+	scale := resource.NewScale(maxVec)
+
+	// K_CR: the default critical kinds plus every kind demanded by ALL
+	// requests of the cluster.
+	crit := make(map[resource.Kind]bool)
+	if critical == nil {
+		critical = resource.DefaultCritical()
+	}
+	for k := range critical {
+		crit[k] = true
+	}
+	inAll := make(map[resource.Kind]int)
+	for _, r := range cl.Requests {
+		for _, k := range r.Resources.Kinds() {
+			inAll[k]++
+		}
+	}
+	for k, n := range inAll {
+		if n == len(cl.Requests) {
+			crit[k] = true
+		}
+	}
+
+	ec := &EconCluster{Cluster: cl, Scale: scale, Critical: crit}
+	for _, o := range cl.Offers {
+		nu := scale.Fraction(o.Resources)
+		if nu <= 0 || o.Window() <= 0 {
+			continue
+		}
+		ec.Offers = append(ec.Offers, EconOffer{
+			Offer: o,
+			Nu:    nu,
+			CHat:  o.Bid / (nu * float64(o.Window())),
+		})
+	}
+	for _, r := range cl.Requests {
+		nu := math.Max(scale.CriticalFraction(r.Resources, crit), scale.Fraction(r.Resources))
+		if nu <= 0 || r.Duration <= 0 {
+			continue
+		}
+		ec.Requests = append(ec.Requests, EconRequest{
+			Request: r,
+			Nu:      nu,
+			VHat:    r.Bid / (nu * float64(r.Duration)),
+		})
+	}
+	sort.Slice(ec.Requests, func(i, j int) bool {
+		a, b := ec.Requests[i], ec.Requests[j]
+		if a.VHat != b.VHat {
+			return a.VHat > b.VHat
+		}
+		if a.Request.Submitted != b.Request.Submitted {
+			return a.Request.Submitted < b.Request.Submitted
+		}
+		return a.Request.ID < b.Request.ID
+	})
+	sort.Slice(ec.Offers, func(i, j int) bool {
+		a, b := ec.Offers[i], ec.Offers[j]
+		if a.CHat != b.CHat {
+			return a.CHat < b.CHat
+		}
+		if a.Offer.Submitted != b.Offer.Submitted {
+			return a.Offer.Submitted < b.Offer.Submitted
+		}
+		return a.Offer.ID < b.Offer.ID
+	})
+	return ec
+}
+
+// NuOf recomputes ν for an arbitrary granted resource vector against this
+// cluster's scale and critical set — used to price partially granted
+// (flexible) matches by what the client actually receives.
+func (ec *EconCluster) NuOf(granted resource.Vector) float64 {
+	return math.Max(ec.Scale.CriticalFraction(granted, ec.Critical), ec.Scale.Fraction(granted))
+}

@@ -1,0 +1,96 @@
+package auction
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"decloud/internal/workload"
+)
+
+// goldenMatch is the pinned shape of one trade.
+type goldenMatch struct {
+	Request   string  `json:"request"`
+	Offer     string  `json:"offer"`
+	Payment   float64 `json:"payment"`
+	UnitPrice float64 `json:"unit_price"`
+}
+
+type goldenOutcome struct {
+	Matches      []goldenMatch `json:"matches"`
+	Clusters     int           `json:"clusters"`
+	MiniAuctions int           `json:"mini_auctions"`
+	Welfare      float64       `json:"welfare"`
+}
+
+// TestGoldenOutcome pins the byte-level behavior of the mechanism on a
+// fixed market. Any change to matching, pricing, normalization, or the
+// randomization seeds shows up here FIRST — if the change is intentional,
+// regenerate with:
+//
+//	GOLDEN_UPDATE=1 go test ./internal/auction -run TestGoldenOutcome
+//
+// This is the same determinism the verifying miners rely on: if this test
+// breaks across commits, old chain files stop verifying under the new
+// binary.
+func TestGoldenOutcome(t *testing.T) {
+	market := workload.Generate(workload.Config{Seed: 20260706, Requests: 80})
+	cfg := DefaultConfig()
+	cfg.Evidence = []byte("golden-block")
+	out := Run(market.Requests, market.Offers, cfg)
+
+	got := goldenOutcome{
+		Clusters:     out.Clusters,
+		MiniAuctions: out.MiniAuctions,
+		Welfare:      out.Welfare(),
+	}
+	for _, m := range out.Matches {
+		got.Matches = append(got.Matches, goldenMatch{
+			Request:   string(m.Request.ID),
+			Offer:     string(m.Offer.ID),
+			Payment:   m.Payment,
+			UnitPrice: m.UnitPrice,
+		})
+	}
+
+	path := filepath.Join("testdata", "golden_outcome.json")
+	if os.Getenv("GOLDEN_UPDATE") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated: %s (%d matches)", path, len(got.Matches))
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with GOLDEN_UPDATE=1 to create): %v", err)
+	}
+	var want goldenOutcome
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got.Clusters != want.Clusters || got.MiniAuctions != want.MiniAuctions {
+		t.Fatalf("structure drift: clusters %d→%d, auctions %d→%d",
+			want.Clusters, got.Clusters, want.MiniAuctions, got.MiniAuctions)
+	}
+	if got.Welfare != want.Welfare {
+		t.Fatalf("welfare drift: %v → %v", want.Welfare, got.Welfare)
+	}
+	if len(got.Matches) != len(want.Matches) {
+		t.Fatalf("match count drift: %d → %d", len(want.Matches), len(got.Matches))
+	}
+	for i := range want.Matches {
+		if got.Matches[i] != want.Matches[i] {
+			t.Fatalf("match %d drift:\n got %+v\nwant %+v", i, got.Matches[i], want.Matches[i])
+		}
+	}
+}

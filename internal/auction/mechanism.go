@@ -1,0 +1,492 @@
+package auction
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"decloud/internal/bidding"
+	"decloud/internal/cluster"
+	"decloud/internal/match"
+	"decloud/internal/miniauction"
+	"decloud/internal/resource"
+	"decloud/internal/stats"
+)
+
+// Config tunes the mechanism.
+type Config struct {
+	// Match configures the quality-of-match heuristic and best-offer set.
+	Match match.Config
+	// Critical overrides the base critical resource set K_CR
+	// (nil → resource.DefaultCritical()).
+	Critical map[resource.Kind]bool
+	// Evidence seeds the verifiable randomized exclusion. In ledger mode
+	// this is the block's proof-of-work; every verifier derives the same
+	// lottery from it. Nil falls back to a fixed label (still
+	// deterministic, but not block-bound).
+	Evidence []byte
+	// Reputation, when set, enforces the provider-side client-reputation
+	// thresholds of Section III-B: a request may only be placed on an
+	// offer if its client's reputation meets the offer's MinReputation.
+	// Reputation scores are public ledger state, independent of bids, so
+	// the gate does not affect strategyproofness.
+	Reputation ReputationSource
+	// ExactScheduling switches capacity accounting from the paper's
+	// aggregate resource·time model (Const. 7) to exact interval
+	// scheduling: every grant gets a concrete start time and concurrent
+	// grants never exceed the machine at any instant. Stricter than the
+	// paper; outcomes gain meaningful Match.Start values.
+	ExactScheduling bool
+	// StrictReduction applies trade reduction per CLUSTER instead of per
+	// mini-auction: every cluster's marginal client is excluded from
+	// that cluster, not just the auction-wide price setter. This is the
+	// conservative reading of the paper's Algorithm 4 and loses
+	// considerably more welfare (one client per cluster instead of one
+	// per mini-auction) — kept as an ablation of the mini-auction
+	// grouping's benefit (Section IV-C: "to minimize the adverse effect
+	// of trade reduction ... we group clusters in mini-auctions").
+	StrictReduction bool
+}
+
+// ReputationSource exposes participant reputations to the mechanism
+// (implemented by reputation.Store).
+type ReputationSource interface {
+	Score(id bidding.ParticipantID) float64
+}
+
+// DefaultConfig returns the tuning used in the evaluation.
+func DefaultConfig() Config {
+	return Config{Match: match.DefaultConfig()}
+}
+
+// pairGate builds the request↔offer admissibility filter from the
+// reputation source (nil when no gating applies).
+func pairGate(cfg Config) func(EconRequest, EconOffer) bool {
+	if cfg.Reputation == nil {
+		return nil
+	}
+	rep := cfg.Reputation
+	return func(er EconRequest, eo EconOffer) bool {
+		if eo.Offer.MinReputation <= 0 {
+			return true
+		}
+		return rep.Score(er.Request.Client) >= eo.Offer.MinReputation
+	}
+}
+
+// newCapacity picks the capacity model for a run.
+func newCapacity(cfg Config) Capacity {
+	if cfg.ExactScheduling {
+		return NewIntervalCapacity()
+	}
+	return NewAggregateCapacity()
+}
+
+const eps = 1e-9
+
+// clusterStats caches the per-cluster marginal economics computed by the
+// pre-pass, which stay fixed for the rest of the block (Algorithm 1
+// determines v̂_z and ĉ_{z'+1} before mini-auctions are formed).
+type clusterStats struct {
+	ec *EconCluster
+	// Marginal economics from the greedy pre-pass.
+	vHatZ float64 // v̂_z: lowest allocated normalized valuation
+	cHatZ float64 // ĉ_{z'}: highest allocated normalized cost
+	// zClient identifies the potential request-side price setter.
+	zClient bidding.ParticipantID
+	// used marks offers that received an allocation in this cluster's
+	// pre-pass; unused lists the rest in ĉ-ascending order. The ĉ_{z'+1}
+	// price setter is resolved at the mini-auction level: it must be an
+	// offer unused in EVERY member cluster (an offer trading in one
+	// cluster but idle in another is not a marginal seller).
+	used    map[bidding.OrderID]bool
+	unused  []EconOffer
+	welfare float64 // bid-based welfare of the pre-pass allocation
+	active  bool
+}
+
+// prePass greedily allocates the cluster in isolation (fresh capacity) to
+// locate the break-even indices z and z′ and estimate the cluster's
+// welfare, per Algorithm 1's "allocate r, o ∈ cluster greedily; determine
+// v̂_z, ĉ_{z'+1}".
+func prePass(ec *EconCluster, pairOK func(EconRequest, EconOffer) bool, fresh func() Capacity) clusterStats {
+	st := clusterStats{ec: ec, used: make(map[bidding.OrderID]bool)}
+	asg := ec.Pack(fresh(), make(map[bidding.OrderID]bool), nil, nil, pairOK, nil, nil)
+	if len(asg) == 0 {
+		return st
+	}
+	st.active = true
+	st.vHatZ = math.Inf(1)
+	for _, a := range asg {
+		if a.Req.VHat < st.vHatZ {
+			st.vHatZ = a.Req.VHat
+			st.zClient = a.Req.Request.Client
+		}
+		if a.Off.CHat > st.cHatZ {
+			st.cHatZ = a.Off.CHat
+		}
+		st.used[a.Off.Offer.ID] = true
+		st.welfare += a.Req.Request.Bid - Fraction(a.Granted, a.Req.Request, a.Off.Offer)*a.Off.Offer.Bid
+	}
+	for _, eo := range ec.Offers {
+		if !st.used[eo.Offer.ID] {
+			st.unused = append(st.unused, eo) // ec.Offers is ĉ-ascending
+		}
+	}
+	return st
+}
+
+// Run executes DeCloud's DSIC double auction over one block of orders.
+// Invalid orders are rejected (listed in the outcome), never fatal: a
+// miner must process whatever the block contains.
+func Run(requests []*bidding.Request, offers []*bidding.Offer, cfg Config) *Outcome {
+	out := &Outcome{
+		Payments: make(map[bidding.OrderID]float64),
+		Revenues: make(map[bidding.OrderID]float64),
+	}
+	reqs, offs := screen(requests, offers, out)
+
+	scale := match.BlockScale(reqs, offs)
+	clusters := cluster.Build(reqs, offs, scale, cfg.Match)
+	out.Clusters = len(clusters)
+
+	pairOK := pairGate(cfg)
+	all := make([]clusterStats, len(clusters))
+	var intervals []miniauction.Interval
+	for i, cl := range clusters {
+		all[i] = prePass(ComputeEconomics(cl, cfg.Critical), pairOK, func() Capacity { return newCapacity(cfg) })
+		if all[i].active {
+			intervals = append(intervals, miniauction.Interval{
+				ID: i, Lo: all[i].cHatZ, Hi: all[i].vHatZ, Weight: all[i].welfare,
+			})
+		}
+	}
+	auctions := miniauction.Form(intervals)
+	out.MiniAuctions = len(auctions)
+
+	evidence := cfg.Evidence
+	if evidence == nil {
+		evidence = []byte("decloud/no-evidence")
+	}
+
+	tracker := newCapacity(cfg)
+	taken := make(map[bidding.OrderID]bool)
+	reducedReq := make(map[bidding.OrderID]bool)
+	reducedOff := make(map[bidding.OrderID]bool)
+	lottery := make(map[bidding.OrderID]bool)
+
+	for ai, auc := range auctions {
+		// Price per Eq. 20 over the pooled mini-auction:
+		// p = min(v̂_z, ĉ_{z'+1}), where v̂_z is the lowest marginal
+		// valuation across member clusters and ĉ_{z'+1} is the cheapest
+		// unused offer ABOVE every trading offer of the pool. The
+		// "above" filter is SBBA's structure: the price-setting seller
+		// is the first one outside the trade. A cluster-local unused
+		// offer cheaper than other clusters' trading offers is an
+		// artifact of cluster-local capacity, not the marginal seller —
+		// letting it set the price would push p below trading sellers'
+		// costs and collapse the pool.
+		minVZ := math.Inf(1)
+		maxUsedCost := 0.0
+		usedAnywhere := make(map[bidding.OrderID]bool)
+		for _, ci := range auc.Clusters {
+			st := all[ci]
+			if st.vHatZ < minVZ {
+				minVZ = st.vHatZ
+			}
+			if st.cHatZ > maxUsedCost {
+				maxUsedCost = st.cHatZ
+			}
+			for id := range st.used {
+				usedAnywhere[id] = true
+			}
+		}
+		// The ĉ_{z'+1} candidate: the cheapest offer that trades in NO
+		// member cluster and sits at or above the pool's trading costs —
+		// the genuine marginal seller of the pooled auction.
+		nextCost := math.Inf(1)
+		for _, ci := range auc.Clusters {
+			for _, eo := range all[ci].unused {
+				if usedAnywhere[eo.Offer.ID] || eo.CHat < maxUsedCost-eps {
+					continue
+				}
+				if eo.CHat < nextCost {
+					nextCost = eo.CHat
+				}
+				break // unused is ĉ-ascending: later entries are pricier
+			}
+		}
+		p := math.Min(minVZ, nextCost)
+		if math.IsInf(p, 1) {
+			continue
+		}
+		// Every participant whose marginal order set the price is
+		// excluded — on ties, both sides (a price setter who kept
+		// trading could profitably distort the price). Only genuine
+		// price-setter candidates count.
+		exclClients := make(map[bidding.ParticipantID]bool)
+		exclProviders := make(map[bidding.ParticipantID]bool)
+		for _, ci := range auc.Clusters {
+			st := all[ci]
+			if st.active && st.vHatZ <= p+eps {
+				exclClients[st.zClient] = true
+			}
+			for _, eo := range st.unused {
+				if usedAnywhere[eo.Offer.ID] || eo.CHat < maxUsedCost-eps {
+					continue
+				}
+				if eo.CHat <= p+eps {
+					exclProviders[eo.Offer.Provider] = true
+				}
+			}
+		}
+
+		for _, ci := range auc.Clusters {
+			st := all[ci]
+			ec := st.ec
+			reqOK := func(er EconRequest) bool {
+				if er.VHat < p-eps || exclClients[er.Request.Client] {
+					return false
+				}
+				if cfg.StrictReduction && st.active && er.Request.Client == st.zClient {
+					return false
+				}
+				return true
+			}
+			offOK := func(eo EconOffer) bool {
+				return eo.CHat <= p+eps && !exclProviders[eo.Offer.Provider]
+			}
+
+			eligible := 0
+			for _, er := range ec.Requests {
+				if !taken[er.Request.ID] && reqOK(er) {
+					eligible++
+				}
+			}
+			if eligible == 0 {
+				continue
+			}
+			eligibleOffers := 0
+			for _, eo := range ec.Offers {
+				if offOK(eo) {
+					eligibleOffers++
+				}
+			}
+			if eligibleOffers == 0 {
+				continue
+			}
+
+			// Offers are tried in a BID-INDEPENDENT order — if which
+			// offers get to serve depended on reported costs, an idle
+			// provider could underbid its way into the allocation
+			// (Section IV-D). With no excess demand we order by machine
+			// size ascending (hardware is system-reported, not strategic)
+			// so small requests don't fragment the big machines.
+			label := fmt.Sprintf("auction:%d/cluster:%s", ai, ec.Cluster.Key())
+			offOrder := sizeOrder(evidence, label+"/offers", ec.Offers)
+
+			// Trial pack on cloned state: if every eligible request fits,
+			// the deterministic v̂-descending request order is fine.
+			// Otherwise Algorithm 4 applies: "randomize the allocation of
+			// cluster" — BOTH which requests trade and where they land
+			// are drawn from the evidence-keyed lottery, so no marginal
+			// participant can bid its way into the capacity-constrained
+			// allocation. This randomization is the welfare price of
+			// truthfulness the paper measures in Figures 5a–5b.
+			trialTaken := copyIDs(taken)
+			full := ec.Pack(tracker.Clone(), trialTaken, reqOK, offOK, pairOK, nil, offOrder)
+
+			var asg []Assignment
+			if len(full) == eligible {
+				asg = ec.Pack(tracker, taken, reqOK, offOK, pairOK, nil, offOrder)
+			} else {
+				reqIDs := make([]string, len(ec.Requests))
+				for i, er := range ec.Requests {
+					reqIDs[i] = string(er.Request.ID)
+				}
+				reqOrder := stats.KeyedOrder(evidence, label+"/requests", reqIDs)
+				offIDs := make([]string, len(ec.Offers))
+				for i, eo := range ec.Offers {
+					offIDs[i] = string(eo.Offer.ID)
+				}
+				randOff := stats.KeyedOrder(evidence, label+"/offers-lottery", offIDs)
+				asg = ec.Pack(tracker, taken, reqOK, offOK, pairOK, reqOrder, randOff)
+				for _, er := range ec.Requests {
+					if !taken[er.Request.ID] && reqOK(er) {
+						lottery[er.Request.ID] = true
+					}
+				}
+			}
+			for _, a := range asg {
+				recordMatch(out, ec, a, p)
+			}
+		}
+
+		// Bookkeeping of reduced trades: the price setters' competitive
+		// orders that were barred from this auction.
+		for _, ci := range auc.Clusters {
+			st := all[ci]
+			for _, er := range st.ec.Requests {
+				excluded := exclClients[er.Request.Client] ||
+					(cfg.StrictReduction && st.active && er.Request.Client == st.zClient)
+				if excluded && er.VHat >= p-eps && !taken[er.Request.ID] {
+					reducedReq[er.Request.ID] = true
+				}
+			}
+			for _, eo := range st.ec.Offers {
+				if exclProviders[eo.Offer.Provider] && eo.CHat <= p+eps {
+					reducedOff[eo.Offer.ID] = true
+				}
+			}
+		}
+	}
+
+	finalize(out, taken, reducedReq, reducedOff, lottery)
+	return out
+}
+
+// RunGreedy is the paper's non-truthful benchmark: the same clustering
+// and greedy allocation pipeline, but without trade reduction or
+// randomization — every profitable trade executes, yielding "the best
+// possible welfare under greedy allocation" (Section V). Payments are not
+// meaningful for the benchmark (it is not strategyproof) and are left 0.
+func RunGreedy(requests []*bidding.Request, offers []*bidding.Offer, cfg Config) *Outcome {
+	out := &Outcome{
+		Payments: make(map[bidding.OrderID]float64),
+		Revenues: make(map[bidding.OrderID]float64),
+	}
+	reqs, offs := screen(requests, offers, out)
+
+	scale := match.BlockScale(reqs, offs)
+	clusters := cluster.Build(reqs, offs, scale, cfg.Match)
+	out.Clusters = len(clusters)
+
+	type ranked struct {
+		ec      *EconCluster
+		welfare float64
+	}
+	pairOK := pairGate(cfg)
+	rankedClusters := make([]ranked, 0, len(clusters))
+	for _, cl := range clusters {
+		ec := ComputeEconomics(cl, cfg.Critical)
+		st := prePass(ec, pairOK, func() Capacity { return newCapacity(cfg) })
+		if !st.active {
+			continue
+		}
+		rankedClusters = append(rankedClusters, ranked{ec: ec, welfare: st.welfare})
+	}
+	sort.Slice(rankedClusters, func(i, j int) bool {
+		if rankedClusters[i].welfare != rankedClusters[j].welfare {
+			return rankedClusters[i].welfare > rankedClusters[j].welfare
+		}
+		return rankedClusters[i].ec.Cluster.Key() < rankedClusters[j].ec.Cluster.Key()
+	})
+
+	tracker := newCapacity(cfg)
+	taken := make(map[bidding.OrderID]bool)
+	for _, rc := range rankedClusters {
+		for _, a := range rc.ec.Pack(tracker, taken, nil, nil, pairOK, nil, nil) {
+			recordMatch(out, rc.ec, a, 0)
+		}
+	}
+	return out
+}
+
+// screen validates orders, returning the accepted ones and recording
+// rejections in the outcome.
+func screen(requests []*bidding.Request, offers []*bidding.Offer, out *Outcome) ([]*bidding.Request, []*bidding.Offer) {
+	reqs := make([]*bidding.Request, 0, len(requests))
+	for _, r := range requests {
+		if err := r.Validate(); err != nil {
+			out.RejectedRequests = append(out.RejectedRequests, r.ID)
+			continue
+		}
+		reqs = append(reqs, r)
+	}
+	offs := make([]*bidding.Offer, 0, len(offers))
+	for _, o := range offers {
+		if err := o.Validate(); err != nil {
+			out.RejectedOffers = append(out.RejectedOffers, o.ID)
+			continue
+		}
+		offs = append(offs, o)
+	}
+	return reqs, offs
+}
+
+func recordMatch(out *Outcome, ec *EconCluster, a Assignment, price float64) {
+	r, o := a.Req.Request, a.Off.Offer
+	nu := ec.NuOf(a.Granted)
+	pay := nu * price * float64(r.Duration)
+	m := Match{
+		Request:   r,
+		Offer:     o,
+		Granted:   a.Granted,
+		Fraction:  Fraction(a.Granted, r, o),
+		Nu:        nu,
+		UnitPrice: price,
+		Payment:   pay,
+		Start:     a.Start,
+	}
+	out.Matches = append(out.Matches, m)
+	out.Payments[r.ID] = pay
+	out.Revenues[o.ID] += pay
+}
+
+// sizeOrder returns offer indexes sorted by resource magnitude ascending,
+// with an evidence-keyed hash breaking ties — fully independent of
+// reported costs.
+func sizeOrder(evidence []byte, label string, offers []EconOffer) []int {
+	ids := make([]string, len(offers))
+	for i, eo := range offers {
+		ids[i] = string(eo.Offer.ID)
+	}
+	hashRank := make([]int, len(offers))
+	for rank, idx := range stats.KeyedOrder(evidence, label, ids) {
+		hashRank[idx] = rank
+	}
+	order := make([]int, len(offers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		na := offers[order[a]].Offer.Resources.Norm2()
+		nb := offers[order[b]].Offer.Resources.Norm2()
+		if na != nb {
+			return na < nb
+		}
+		return hashRank[order[a]] < hashRank[order[b]]
+	})
+	return order
+}
+
+func copyIDs(m map[bidding.OrderID]bool) map[bidding.OrderID]bool {
+	c := make(map[bidding.OrderID]bool, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// finalize drops reduction/lottery records for orders that did trade in
+// a later mini-auction, then emits them deterministically sorted.
+func finalize(out *Outcome, taken map[bidding.OrderID]bool, reducedReq, reducedOff, lottery map[bidding.OrderID]bool) {
+	usedOffers := make(map[bidding.OrderID]bool)
+	for _, m := range out.Matches {
+		usedOffers[m.Offer.ID] = true
+	}
+	out.ReducedRequests = sortedIDs(reducedReq, taken)
+	out.ReducedOffers = sortedIDs(reducedOff, usedOffers)
+	out.LotteryDropped = sortedIDs(lottery, taken)
+}
+
+func sortedIDs(set map[bidding.OrderID]bool, traded map[bidding.OrderID]bool) []bidding.OrderID {
+	var ids []bidding.OrderID
+	for id := range set {
+		if !traded[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

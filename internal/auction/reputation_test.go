@@ -1,0 +1,89 @@
+package auction
+
+import (
+	"testing"
+
+	"decloud/internal/bidding"
+	"decloud/internal/reputation"
+)
+
+// gatedMarket: alice (good reputation) and mallory (bad) both want the
+// picky provider's machine; a cheap setter request and a second
+// unrestricted offer complete the market.
+func gatedMarket() ([]*bidding.Request, []*bidding.Offer, *reputation.Store) {
+	reqs := []*bidding.Request{
+		mkReq("r-alice", "alice", 2, 8, 10),
+		mkReq("r-mallory", "mallory", 2, 8, 9),
+		mkReq("r-setter", "zed", 2, 8, 1),
+	}
+	picky := mkOff("o-picky", "p1", 8, 32, 2)
+	picky.MinReputation = 0.8
+	open := mkOff("o-open", "p2", 8, 32, 3)
+	rep := reputation.NewStore()
+	for i := 0; i < 6; i++ {
+		rep.RecordDeny("mallory") // tank mallory's reputation
+	}
+	return reqs, []*bidding.Offer{picky, open}, rep
+}
+
+func TestReputationGateBlocksLowRepClient(t *testing.T) {
+	reqs, offs, rep := gatedMarket()
+	cfg := DefaultConfig()
+	cfg.Evidence = []byte("rep")
+	cfg.Reputation = rep
+	out := Run(reqs, offs, cfg)
+
+	for _, m := range out.Matches {
+		if m.Request.Client == "mallory" && m.Offer.ID == "o-picky" {
+			t.Fatalf("low-reputation client placed on a gated offer")
+		}
+	}
+	// Alice meets the threshold and may use either machine.
+	if out.MatchFor("r-alice") == nil {
+		t.Fatal("high-reputation client should trade")
+	}
+	// Mallory can still trade on the open machine.
+	if m := out.MatchFor("r-mallory"); m != nil && m.Offer.ID != "o-open" {
+		t.Fatalf("mallory matched %s, want o-open or nothing", m.Offer.ID)
+	}
+}
+
+func TestReputationGateIgnoredWithoutSource(t *testing.T) {
+	reqs, offs, _ := gatedMarket()
+	cfg := DefaultConfig()
+	cfg.Evidence = []byte("rep")
+	// No reputation source configured: thresholds cannot be evaluated and
+	// are not enforced.
+	out := Run(reqs, offs, cfg)
+	if len(out.Matches) == 0 {
+		t.Fatal("market should trade without a reputation source")
+	}
+}
+
+func TestReputationThresholdValidation(t *testing.T) {
+	o := mkOff("o", "p", 8, 32, 1)
+	o.MinReputation = 1.5
+	if err := o.Validate(); err == nil {
+		t.Fatal("threshold above 1 accepted")
+	}
+	o.MinReputation = -0.1
+	if err := o.Validate(); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}
+
+func TestReputationRoundTripsOnWire(t *testing.T) {
+	o := mkOff("o", "p", 8, 32, 1)
+	o.MinReputation = 0.75
+	data, err := o.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bidding.Offer
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.MinReputation != 0.75 {
+		t.Fatalf("MinReputation lost on the wire: %v", got.MinReputation)
+	}
+}

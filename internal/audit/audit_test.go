@@ -1,0 +1,141 @@
+package audit
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"decloud/internal/auction"
+	"decloud/internal/bidding"
+	"decloud/internal/resource"
+	"decloud/internal/workload"
+)
+
+func market(seed int64, n int) ([]*bidding.Request, []*bidding.Offer) {
+	m := workload.Generate(workload.Config{Seed: seed, Requests: n})
+	return m.Requests, m.Offers
+}
+
+func TestCleanOutcomesPassAudit(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		reqs, offs := market(int64(trial), 20+rnd.Intn(80))
+		cfg := auction.DefaultConfig()
+		cfg.Evidence = []byte(fmt.Sprintf("audit-%d", trial))
+		if trial%2 == 0 {
+			cfg.StrictReduction = true
+		}
+		out := auction.Run(reqs, offs, cfg)
+		if vs := Outcome(reqs, offs, out); len(vs) != 0 {
+			t.Fatalf("trial %d: clean outcome flagged: %v", trial, vs)
+		}
+	}
+}
+
+func TestAuditCatchesDoubleMatch(t *testing.T) {
+	reqs, offs := market(1, 30)
+	out := auction.Run(reqs, offs, auction.DefaultConfig())
+	if len(out.Matches) == 0 {
+		t.Skip("no matches to duplicate")
+	}
+	out.Matches = append(out.Matches, out.Matches[0])
+	if !has(Outcome(reqs, offs, out), "const5") {
+		t.Fatal("duplicated match not caught")
+	}
+}
+
+func TestAuditCatchesInflatedPayment(t *testing.T) {
+	reqs, offs := market(2, 30)
+	out := auction.Run(reqs, offs, auction.DefaultConfig())
+	if len(out.Matches) == 0 {
+		t.Skip("no matches")
+	}
+	out.Matches[0].Payment = out.Matches[0].Request.Bid * 10
+	vs := Outcome(reqs, offs, out)
+	if !has(vs, "client-ir") {
+		t.Fatalf("inflated payment not caught: %v", vs)
+	}
+	if !has(vs, "books") {
+		t.Fatalf("books mismatch not caught: %v", vs)
+	}
+}
+
+func TestAuditCatchesGhostOrders(t *testing.T) {
+	reqs, offs := market(3, 30)
+	out := auction.Run(reqs, offs, auction.DefaultConfig())
+	if len(out.Matches) == 0 {
+		t.Skip("no matches")
+	}
+	ghost := *out.Matches[0].Request
+	ghost.ID = "ghost"
+	out.Matches[0].Request = &ghost
+	if !has(Outcome(reqs, offs, out), "ghost-request") {
+		t.Fatal("ghost request not caught")
+	}
+}
+
+func TestAuditCatchesMutatedBid(t *testing.T) {
+	reqs, offs := market(4, 30)
+	out := auction.Run(reqs, offs, auction.DefaultConfig())
+	if len(out.Matches) == 0 {
+		t.Skip("no matches")
+	}
+	mutated := *out.Matches[0].Request
+	mutated.Bid *= 2
+	out.Matches[0].Request = &mutated
+	if !has(Outcome(reqs, offs, out), "mutated-request") {
+		t.Fatal("mutated bid not caught")
+	}
+}
+
+func TestAuditCatchesOverGrant(t *testing.T) {
+	reqs, offs := market(5, 30)
+	out := auction.Run(reqs, offs, auction.DefaultConfig())
+	if len(out.Matches) == 0 {
+		t.Skip("no matches")
+	}
+	m := &out.Matches[0]
+	m.Granted = m.Granted.Clone()
+	m.Granted[resource.CPU] = m.Offer.Resources[resource.CPU] * 100
+	vs := Outcome(reqs, offs, out)
+	if !has(vs, "const8") {
+		t.Fatalf("capacity violation not caught: %v", vs)
+	}
+}
+
+func TestAuditCatchesTimeViolation(t *testing.T) {
+	reqs, offs := market(6, 30)
+	out := auction.Run(reqs, offs, auction.DefaultConfig())
+	if len(out.Matches) == 0 {
+		t.Skip("no matches")
+	}
+	forged := *out.Matches[0].Offer
+	forged.End = forged.Start + 1 // window no longer covers the request
+	// Also plant the forged offer in the submitted set so the order-identity
+	// check doesn't fire first.
+	for i, o := range offs {
+		if o.ID == forged.ID {
+			offs[i] = &forged
+		}
+	}
+	out.Matches[0].Offer = &forged
+	if !has(Outcome(reqs, offs, out), "const10-11") {
+		t.Fatal("time violation not caught")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Code: "x", Detail: "y"}
+	if v.String() != "x: y" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func has(vs []Violation, code string) bool {
+	for _, v := range vs {
+		if v.Code == code {
+			return true
+		}
+	}
+	return false
+}

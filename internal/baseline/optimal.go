@@ -1,0 +1,166 @@
+// Package baseline provides the exact welfare optimum for small blocks:
+// a branch-and-bound solver for the paper's welfare-maximization program
+// (Eqs. 4–14). The paper uses the non-truthful greedy benchmark
+// (auction.RunGreedy) for its evaluation because the exact optimum is
+// intractable at scale; this solver exists to validate the greedy
+// benchmark and the mechanism on small instances, where
+//
+//	mechanism welfare ≤ greedy benchmark welfare ≤ exact optimum.
+package baseline
+
+import (
+	"sort"
+
+	"decloud/internal/auction"
+	"decloud/internal/bidding"
+	"decloud/internal/match"
+	"decloud/internal/resource"
+)
+
+// Pair is one assignment in an optimal solution.
+type Pair struct {
+	Request *bidding.Request
+	Offer   *bidding.Offer
+	Granted resource.Vector
+	Welfare float64 // v_r − φ_{(r,o)}·c_o for this pair
+}
+
+// Solution is the result of the exact solver.
+type Solution struct {
+	Pairs   []Pair
+	Welfare float64
+	// Explored counts search nodes, as a tractability diagnostic.
+	Explored int
+}
+
+// MaxRequests bounds the instance size the solver accepts; beyond it the
+// search space (offers+1)^n is no longer exact-solvable in reasonable
+// time.
+const MaxRequests = 18
+
+// Solve computes the welfare-maximal feasible assignment of requests to
+// offers using TRUE valuations and costs. It respects the same capacity
+// semantics as the mechanism (resource·time plus instantaneous caps,
+// Const. 7–8), time windows (Const. 10–11), flexibility floors, and
+// non-negative pair welfare (a welfare maximizer never executes a
+// lossmaking trade; Const. 9). Instances larger than MaxRequests return
+// a greedy fallback solution (still feasible, possibly suboptimal, with
+// Explored = 0).
+func Solve(requests []*bidding.Request, offers []*bidding.Offer) Solution {
+	reqs := append([]*bidding.Request(nil), requests...)
+	// Branch on high-value requests first: tighter early bounds.
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].TrueValue != reqs[j].TrueValue {
+			return reqs[i].TrueValue > reqs[j].TrueValue
+		}
+		return reqs[i].ID < reqs[j].ID
+	})
+	offs := append([]*bidding.Offer(nil), offers...)
+	sort.Slice(offs, func(i, j int) bool { return offs[i].ID < offs[j].ID })
+
+	if len(reqs) > MaxRequests {
+		return greedyFallback(reqs, offs)
+	}
+
+	// Static per-request optimistic bound: the best pair welfare over all
+	// offers at full capacity.
+	best := make([]float64, len(reqs))
+	for i, r := range reqs {
+		for _, o := range offs {
+			if w, ok := pairWelfare(r, o, auction.NewTracker()); ok && w > best[i] {
+				best[i] = w
+			}
+		}
+	}
+	// Suffix sums of optimistic bounds for pruning.
+	suffix := make([]float64, len(reqs)+1)
+	for i := len(reqs) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + best[i]
+	}
+
+	s := &solver{reqs: reqs, offs: offs, suffix: suffix}
+	s.dfs(0, 0, auction.NewTracker(), nil)
+	return Solution{Pairs: s.bestPairs, Welfare: s.bestWelfare, Explored: s.explored}
+}
+
+type solver struct {
+	reqs        []*bidding.Request
+	offs        []*bidding.Offer
+	suffix      []float64
+	bestWelfare float64
+	bestPairs   []Pair
+	explored    int
+}
+
+func (s *solver) dfs(i int, welfare float64, tr *auction.Tracker, chosen []Pair) {
+	s.explored++
+	if welfare > s.bestWelfare {
+		s.bestWelfare = welfare
+		s.bestPairs = append([]Pair(nil), chosen...)
+	}
+	if i == len(s.reqs) {
+		return
+	}
+	if welfare+s.suffix[i] <= s.bestWelfare {
+		return // even the optimistic completion cannot beat the incumbent
+	}
+	r := s.reqs[i]
+	for _, o := range s.offs {
+		w, ok := pairWelfare(r, o, tr)
+		if !ok || w <= 0 {
+			continue
+		}
+		granted := tr.TryGrant(r, o)
+		branch := tr.Clone()
+		branch.Commit(o, granted, r.Duration)
+		s.dfs(i+1, welfare+w, branch, append(chosen, Pair{
+			Request: r, Offer: o, Granted: granted, Welfare: w,
+		}))
+	}
+	// Branch: leave request i unallocated.
+	s.dfs(i+1, welfare, tr, chosen)
+}
+
+// pairWelfare evaluates assigning r to o under the tracker's remaining
+// capacity: true-value welfare and feasibility.
+func pairWelfare(r *bidding.Request, o *bidding.Offer, tr *auction.Tracker) (float64, bool) {
+	if !match.Feasible(r, o) {
+		return 0, false
+	}
+	granted := tr.TryGrant(r, o)
+	if granted == nil {
+		return 0, false
+	}
+	phi := auction.Fraction(granted, r, o)
+	return r.TrueValue - phi*o.TrueCost, true
+}
+
+// greedyFallback assigns requests in value order to their cheapest
+// feasible positive-welfare offer — feasible but not necessarily optimal.
+func greedyFallback(reqs []*bidding.Request, offs []*bidding.Offer) Solution {
+	tr := auction.NewTracker()
+	var sol Solution
+	for _, r := range reqs {
+		bestW := 0.0
+		var bestOff *bidding.Offer
+		var bestGrant resource.Vector
+		for _, o := range offs {
+			w, ok := pairWelfare(r, o, tr)
+			if !ok || w <= bestW {
+				continue
+			}
+			g := tr.TryGrant(r, o)
+			if g == nil {
+				continue
+			}
+			bestW, bestOff, bestGrant = w, o, g
+		}
+		if bestOff == nil {
+			continue
+		}
+		tr.Commit(bestOff, bestGrant, r.Duration)
+		sol.Pairs = append(sol.Pairs, Pair{Request: r, Offer: bestOff, Granted: bestGrant, Welfare: bestW})
+		sol.Welfare += bestW
+	}
+	return sol
+}

@@ -1,0 +1,223 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"decloud/internal/auction"
+	"decloud/internal/bidding"
+	"decloud/internal/resource"
+)
+
+func req(id, client string, cpu, value float64) *bidding.Request {
+	return &bidding.Request{
+		ID: bidding.OrderID(id), Client: bidding.ParticipantID(client),
+		Resources: resource.Vector{resource.CPU: cpu, resource.RAM: cpu * 4},
+		Start:     0, End: 100, Duration: 100,
+		Bid: value, TrueValue: value,
+	}
+}
+
+func off(id, provider string, cpu, cost float64) *bidding.Offer {
+	return &bidding.Offer{
+		ID: bidding.OrderID(id), Provider: bidding.ParticipantID(provider),
+		Resources: resource.Vector{resource.CPU: cpu, resource.RAM: cpu * 4},
+		Start:     0, End: 100,
+		Bid: cost, TrueCost: cost,
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	sol := Solve(nil, nil)
+	if sol.Welfare != 0 || len(sol.Pairs) != 0 {
+		t.Fatalf("empty solve: %+v", sol)
+	}
+}
+
+func TestSolveSinglePair(t *testing.T) {
+	r := req("r1", "a", 4, 10)
+	o := off("o1", "p", 4, 2)
+	sol := Solve([]*bidding.Request{r}, []*bidding.Offer{o})
+	if len(sol.Pairs) != 1 {
+		t.Fatalf("pairs = %d", len(sol.Pairs))
+	}
+	// φ = 1 (full machine, full window), welfare = 10 − 2 = 8.
+	if math.Abs(sol.Welfare-8) > 1e-9 {
+		t.Fatalf("welfare = %v, want 8", sol.Welfare)
+	}
+}
+
+func TestSolveSkipsLossmakingTrade(t *testing.T) {
+	r := req("r1", "a", 4, 1)
+	o := off("o1", "p", 4, 100)
+	sol := Solve([]*bidding.Request{r}, []*bidding.Offer{o})
+	if len(sol.Pairs) != 0 || sol.Welfare != 0 {
+		t.Fatalf("lossmaking trade executed: %+v", sol)
+	}
+}
+
+func TestSolvePicksBestAssignmentUnderContention(t *testing.T) {
+	// One machine, two requests that both fill it: the optimum takes the
+	// higher-welfare one.
+	r1 := req("r1", "a", 4, 10)
+	r2 := req("r2", "b", 4, 7)
+	o := off("o1", "p", 4, 1)
+	sol := Solve([]*bidding.Request{r1, r2}, []*bidding.Offer{o})
+	if len(sol.Pairs) != 1 || sol.Pairs[0].Request.ID != "r1" {
+		t.Fatalf("wrong winner: %+v", sol.Pairs)
+	}
+	if math.Abs(sol.Welfare-9) > 1e-9 {
+		t.Fatalf("welfare = %v, want 9", sol.Welfare)
+	}
+}
+
+func TestSolveBeatsNaiveGreedyTrap(t *testing.T) {
+	// Greedy-by-value puts r1 (value 10) on the only machine able to host
+	// r2, losing r2's trade. The optimum hosts r1 on the big machine and
+	// r2 on the small one.
+	r1 := req("r1", "a", 2, 10) // fits both machines
+	r2 := req("r2", "b", 4, 9)  // fits only the big machine
+	small := off("small", "p1", 2, 1)
+	big := off("big", "p2", 4, 1)
+	sol := Solve([]*bidding.Request{r1, r2}, []*bidding.Offer{small, big})
+	if len(sol.Pairs) != 2 {
+		t.Fatalf("optimum should host both: %+v", sol.Pairs)
+	}
+	for _, p := range sol.Pairs {
+		if p.Request.ID == "r2" && p.Offer.ID != "big" {
+			t.Fatalf("r2 must land on the big machine: %+v", p)
+		}
+	}
+}
+
+func TestSolveDominatesGreedyBenchmarkAndMechanism(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	cfg := auction.DefaultConfig()
+	for trial := 0; trial < 15; trial++ {
+		reqs, offs := smallRandomMarket(rnd, 2+rnd.Intn(8), 2+rnd.Intn(4))
+		opt := Solve(reqs, offs)
+		bench := auction.RunGreedy(reqs, offs, cfg)
+		mech := auction.Run(reqs, offs, cfg)
+		if bench.Welfare() > opt.Welfare+1e-6 {
+			t.Fatalf("trial %d: greedy %v beats optimum %v", trial, bench.Welfare(), opt.Welfare)
+		}
+		if mech.Welfare() > opt.Welfare+1e-6 {
+			t.Fatalf("trial %d: mechanism %v beats optimum %v", trial, mech.Welfare(), opt.Welfare)
+		}
+	}
+}
+
+func TestSolveMatchesBruteForceTiny(t *testing.T) {
+	// Exhaustive check on tiny instances: every request→(offer|none) map.
+	rnd := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		reqs, offs := smallRandomMarket(rnd, 1+rnd.Intn(4), 1+rnd.Intn(3))
+		opt := Solve(reqs, offs)
+		brute := bruteForce(reqs, offs)
+		if math.Abs(opt.Welfare-brute) > 1e-9 {
+			t.Fatalf("trial %d: solver %v != brute force %v", trial, opt.Welfare, brute)
+		}
+	}
+}
+
+func TestSolveFallbackOnLargeInstance(t *testing.T) {
+	var reqs []*bidding.Request
+	for i := 0; i < MaxRequests+5; i++ {
+		reqs = append(reqs, req(fmt.Sprintf("r%02d", i), fmt.Sprintf("c%02d", i), 2, 5))
+	}
+	offs := []*bidding.Offer{off("o1", "p", 16, 1)}
+	sol := Solve(reqs, offs)
+	if sol.Explored != 0 {
+		t.Fatal("large instance should use the greedy fallback")
+	}
+	if len(sol.Pairs) == 0 {
+		t.Fatal("fallback should still allocate")
+	}
+}
+
+func TestSolutionFeasible(t *testing.T) {
+	rnd := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 10; trial++ {
+		reqs, offs := smallRandomMarket(rnd, 2+rnd.Intn(8), 2+rnd.Intn(4))
+		sol := Solve(reqs, offs)
+		used := make(map[bidding.OrderID]resource.Vector)
+		seen := make(map[bidding.OrderID]bool)
+		for _, p := range sol.Pairs {
+			if seen[p.Request.ID] {
+				t.Fatal("request assigned twice")
+			}
+			seen[p.Request.ID] = true
+			if !bidding.TimeCompatible(p.Request, p.Offer) {
+				t.Fatal("time window violated")
+			}
+			prev := used[p.Offer.ID]
+			if prev == nil {
+				prev = make(resource.Vector)
+			}
+			used[p.Offer.ID] = prev.Add(p.Granted.Scale(float64(p.Request.Duration)))
+		}
+		for _, o := range offs {
+			cap := o.Resources.Scale(float64(o.Window()))
+			for k, u := range used[o.ID] {
+				if u > cap[k]+1e-6 {
+					t.Fatalf("capacity violated on %s/%s", o.ID, k)
+				}
+			}
+		}
+	}
+}
+
+// bruteForce enumerates every assignment for tiny instances.
+func bruteForce(reqs []*bidding.Request, offs []*bidding.Offer) float64 {
+	n := len(reqs)
+	m := len(offs)
+	bestW := 0.0
+	choice := make([]int, n) // m means unassigned
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			tr := auction.NewTracker()
+			var w float64
+			for j, c := range choice {
+				if c == m {
+					continue
+				}
+				pw, ok := pairWelfare(reqs[j], offs[c], tr)
+				if !ok || pw <= 0 {
+					return // infeasible or lossmaking assignment: skip combo
+				}
+				g := tr.TryGrant(reqs[j], offs[c])
+				tr.Commit(offs[c], g, reqs[j].Duration)
+				w += pw
+			}
+			if w > bestW {
+				bestW = w
+			}
+			return
+		}
+		for c := 0; c <= m; c++ {
+			choice[i] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return bestW
+}
+
+func smallRandomMarket(rnd *rand.Rand, n, m int) ([]*bidding.Request, []*bidding.Offer) {
+	offs := make([]*bidding.Offer, m)
+	for j := 0; j < m; j++ {
+		cores := float64(int(2) << rnd.Intn(3))
+		offs[j] = off(fmt.Sprintf("o%02d", j), fmt.Sprintf("p%02d", j), cores, cores*(0.3+rnd.Float64()*0.5))
+	}
+	reqs := make([]*bidding.Request, n)
+	for i := 0; i < n; i++ {
+		cores := float64(1 + rnd.Intn(4))
+		r := req(fmt.Sprintf("r%02d", i), fmt.Sprintf("c%02d", i), cores, cores*(0.2+rnd.Float64()*1.5))
+		r.Duration = int64(20 + rnd.Intn(80))
+		reqs[i] = r
+	}
+	return reqs, offs
+}

@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"decloud/internal/auction"
+	"decloud/internal/bidding"
+)
+
+func TestVCGSimpleMarket(t *testing.T) {
+	reqs := []*bidding.Request{
+		req("r1", "alice", 4, 10),
+		req("r2", "bob", 4, 7),
+	}
+	offs := []*bidding.Offer{
+		off("o1", "p1", 4, 2),
+		off("o2", "p2", 4, 3),
+	}
+	out := RunVCG(reqs, offs)
+	if len(out.Pairs) != 2 {
+		t.Fatalf("optimal allocation should serve both: %d", len(out.Pairs))
+	}
+	// W* = (10−2)+(7−3) = 12 (alice on the cheap machine).
+	if math.Abs(out.Welfare-12) > 1e-9 {
+		t.Fatalf("welfare = %v, want 12", out.Welfare)
+	}
+	// Alice's pivot: without her, bob takes o1: W_{-alice} = 7−2 = 5.
+	// p_alice = 5 − (12 − 10) = 3.
+	if got := out.Payments["alice"]; math.Abs(got-3) > 1e-9 {
+		t.Fatalf("alice pays %v, want 3", got)
+	}
+	// Bob's pivot: without him W = 8; p_bob = 8 − (12 − 7) = 3.
+	if got := out.Payments["bob"]; math.Abs(got-3) > 1e-9 {
+		t.Fatalf("bob pays %v, want 3", got)
+	}
+	// p1's pivot: without o1, both run on... only o2 (4 cores) hosts one.
+	// W_{-p1} = 10−3 = 7. revenue = (12+2) − 7 = 7.
+	if got := out.Revenues["p1"]; math.Abs(got-7) > 1e-9 {
+		t.Fatalf("p1 receives %v, want 7", got)
+	}
+	// p2: W_{-p2} = 10−2 = 8. revenue = (12+3) − 8 = 7.
+	if got := out.Revenues["p2"]; math.Abs(got-7) > 1e-9 {
+		t.Fatalf("p2 receives %v, want 7", got)
+	}
+	// Deficit: sellers receive 14, buyers pay 6 → auctioneer injects 8.
+	if math.Abs(out.Deficit-8) > 1e-9 {
+		t.Fatalf("deficit = %v, want 8", out.Deficit)
+	}
+}
+
+// The Myerson–Satterthwaite corner: VCG welfare dominates DeCloud, but
+// DeCloud never runs a deficit while VCG usually does.
+func TestVCGVersusDeCloudTradeoff(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	imbalanced := 0
+	deficits := 0
+	for trial := 0; trial < 12; trial++ {
+		reqs, offs := smallRandomMarket(rnd, 3+rnd.Intn(6), 2+rnd.Intn(3))
+		vcg := RunVCG(reqs, offs)
+		mech := auction.Run(reqs, offs, auction.DefaultConfig())
+
+		if mech.Welfare() > vcg.Welfare+1e-6 {
+			t.Fatalf("trial %d: DeCloud welfare %v beats the optimum %v",
+				trial, mech.Welfare(), vcg.Welfare)
+		}
+		if math.Abs(mech.TotalPayments()-mech.TotalRevenues()) > 1e-9 {
+			t.Fatalf("trial %d: DeCloud budget imbalance", trial)
+		}
+		if math.Abs(vcg.Deficit) > 1e-9 {
+			imbalanced++
+		}
+		if vcg.Deficit > 1e-9 {
+			deficits++
+		}
+	}
+	// VCG is generally NOT budget balanced (deficit in thin markets,
+	// sometimes surplus in thick ones); DeCloud is exactly balanced above.
+	if imbalanced == 0 {
+		t.Fatal("VCG was budget balanced on every market — implausible")
+	}
+	if deficits == 0 {
+		t.Fatal("VCG never ran a deficit across 12 markets — implausible")
+	}
+}
+
+// VCG is DSIC: no unilateral bid deviation improves utility (utility
+// computed against true values; payments from the mechanism run on
+// reported bids).
+func TestVCGTruthful(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		reqs, offs := smallRandomMarket(rnd, 2+rnd.Intn(4), 2)
+		base := RunVCG(reqs, offs)
+		baseU := make(map[bidding.ParticipantID]float64)
+		for _, p := range base.Pairs {
+			baseU[p.Request.Client] += p.Request.TrueValue
+		}
+		for c, pay := range base.Payments {
+			baseU[c] -= pay
+		}
+		for i := range reqs {
+			truth := reqs[i].Bid
+			for _, dev := range []float64{0.5, 1.5} {
+				mod := make([]*bidding.Request, len(reqs))
+				for j, r := range reqs {
+					c := *r
+					mod[j] = &c
+				}
+				mod[i].Bid = truth * dev
+				out := RunVCG(mod, offs)
+				var u float64
+				for _, p := range out.Pairs {
+					if p.Request.Client == reqs[i].Client {
+						u += reqs[i].TrueValue // true value, not the distorted bid
+					}
+				}
+				u -= out.Payments[reqs[i].Client]
+				if u > baseU[reqs[i].Client]+1e-9 {
+					t.Fatalf("trial %d: client %s gains %v > %v by bidding ×%v",
+						trial, reqs[i].Client, u, baseU[reqs[i].Client], dev)
+				}
+			}
+		}
+	}
+}
+
+func TestVCGEmptyMarket(t *testing.T) {
+	out := RunVCG(nil, nil)
+	if out.Welfare != 0 || out.Deficit != 0 || len(out.Pairs) != 0 {
+		t.Fatalf("empty VCG: %+v", out)
+	}
+}

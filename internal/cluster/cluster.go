@@ -1,0 +1,229 @@
+// Package cluster implements Algorithm 2 of the DeCloud paper: grouping
+// requests with their best-offer sets into clusters. A cluster is
+// identified by its offer set; its request set accumulates every request
+// whose best offers contain (or intersect) that offer set. Within a
+// cluster, any offer is an acceptable match for any member request.
+package cluster
+
+import (
+	"sort"
+	"strings"
+
+	"decloud/internal/bidding"
+	"decloud/internal/match"
+	"decloud/internal/resource"
+)
+
+// Cluster is a set of offers together with the requests that consider
+// those offers (near-)best matches.
+type Cluster struct {
+	// Offers is the cluster's identity, ordered deterministically
+	// (by submission time, then ID).
+	Offers []*bidding.Offer
+	// Requests are the member requests, deduplicated and ordered
+	// deterministically.
+	Requests []*bidding.Request
+
+	offerIDs map[bidding.OrderID]bool
+	reqIDs   map[bidding.OrderID]bool
+}
+
+// newCluster builds a cluster from an offer set.
+func newCluster(offers []*bidding.Offer) *Cluster {
+	c := &Cluster{
+		Offers:   append([]*bidding.Offer(nil), offers...),
+		offerIDs: make(map[bidding.OrderID]bool, len(offers)),
+		reqIDs:   make(map[bidding.OrderID]bool),
+	}
+	sortOffers(c.Offers)
+	for _, o := range offers {
+		c.offerIDs[o.ID] = true
+	}
+	return c
+}
+
+func (c *Cluster) addRequest(r *bidding.Request) {
+	if c.reqIDs[r.ID] {
+		return
+	}
+	c.reqIDs[r.ID] = true
+	c.Requests = append(c.Requests, r)
+}
+
+func (c *Cluster) addRequests(rs []*bidding.Request) {
+	for _, r := range rs {
+		c.addRequest(r)
+	}
+}
+
+// HasOffer reports whether the offer belongs to the cluster's offer set.
+func (c *Cluster) HasOffer(id bidding.OrderID) bool { return c.offerIDs[id] }
+
+// HasRequest reports whether the request belongs to the cluster.
+func (c *Cluster) HasRequest(id bidding.OrderID) bool { return c.reqIDs[id] }
+
+// Key returns the canonical identity of the cluster's offer set.
+func (c *Cluster) Key() string { return offerSetKey(c.Offers) }
+
+func offerSetKey(offers []*bidding.Offer) string {
+	ids := make([]string, len(offers))
+	for i, o := range offers {
+		ids[i] = string(o.ID)
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, "\x00")
+}
+
+func sortOffers(offers []*bidding.Offer) {
+	sort.Slice(offers, func(i, j int) bool {
+		if offers[i].Submitted != offers[j].Submitted {
+			return offers[i].Submitted < offers[j].Submitted
+		}
+		return offers[i].ID < offers[j].ID
+	})
+}
+
+// subsetOf reports a ⊆ b for offer ID sets.
+func subsetOf(a []*bidding.Offer, b map[bidding.OrderID]bool) bool {
+	for _, o := range a {
+		if !b[o.ID] {
+			return false
+		}
+	}
+	return true
+}
+
+func intersect(a []*bidding.Offer, b map[bidding.OrderID]bool) []*bidding.Offer {
+	var out []*bidding.Offer
+	for _, o := range a {
+		if b[o.ID] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Builder incrementally applies Algorithm 2's UPDATECLUSTERS procedure.
+type Builder struct {
+	clusters map[string]*Cluster
+	order    []string // insertion order of cluster keys, for determinism
+}
+
+// NewBuilder returns an empty cluster builder.
+func NewBuilder() *Builder {
+	return &Builder{clusters: make(map[string]*Cluster)}
+}
+
+func (b *Builder) get(key string) *Cluster { return b.clusters[key] }
+
+func (b *Builder) put(c *Cluster) {
+	key := c.Key()
+	if _, exists := b.clusters[key]; !exists {
+		b.order = append(b.order, key)
+	}
+	b.clusters[key] = c
+}
+
+// Update inserts request r with its best-offer set bestR, following
+// Algorithm 2:
+//
+//  1. If no cluster has exactly the offer set bestR, create one.
+//  2. Add r to every cluster whose offer set is a subset of bestR; such
+//     subsets also inherit the requests of every superset of bestR
+//     (their offers serve those requests too).
+//  3. For every other cluster whose offer set overlaps bestR in more
+//     than one offer, materialize (or extend) the intersection cluster.
+func (b *Builder) Update(r *bidding.Request, bestR []*bidding.Offer) {
+	if len(bestR) == 0 {
+		return
+	}
+	bestKey := offerSetKey(bestR)
+	bestIDs := make(map[bidding.OrderID]bool, len(bestR))
+	for _, o := range bestR {
+		bestIDs[o.ID] = true
+	}
+
+	if b.get(bestKey) == nil {
+		b.put(newCluster(bestR))
+	}
+
+	// Snapshot the keys now: intersection clusters created below must not
+	// themselves be revisited within this update.
+	keys := append([]string(nil), b.order...)
+
+	var subsets, supersets []*Cluster
+	for _, key := range keys {
+		c := b.get(key)
+		if subsetOf(c.Offers, bestIDs) {
+			subsets = append(subsets, c)
+		}
+		if subsetOf(bestR, c.offerIDs) {
+			supersets = append(supersets, c)
+		}
+	}
+	for _, subset := range subsets {
+		subset.addRequest(r)
+		for _, superset := range supersets {
+			subset.addRequests(superset.Requests)
+		}
+	}
+
+	for _, key := range keys {
+		c := b.get(key)
+		if c.Key() == bestKey {
+			continue
+		}
+		inter := intersect(c.Offers, bestIDs)
+		if len(inter) <= 1 {
+			continue
+		}
+		interKey := offerSetKey(inter)
+		if x := b.get(interKey); x != nil {
+			x.addRequest(r)
+		} else {
+			nc := newCluster(inter)
+			nc.addRequest(r)
+			nc.addRequests(c.Requests)
+			b.put(nc)
+		}
+	}
+}
+
+// Clusters returns the built clusters in deterministic creation order,
+// dropping clusters that never attracted any request.
+func (b *Builder) Clusters() []*Cluster {
+	out := make([]*Cluster, 0, len(b.order))
+	for _, key := range b.order {
+		c := b.clusters[key]
+		if len(c.Requests) == 0 {
+			continue
+		}
+		sortRequests(c.Requests)
+		out = append(out, c)
+	}
+	return out
+}
+
+func sortRequests(rs []*bidding.Request) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Submitted != rs[j].Submitted {
+			return rs[i].Submitted < rs[j].Submitted
+		}
+		return rs[i].ID < rs[j].ID
+	})
+}
+
+// Build runs the full clustering pass of Algorithm 1's first loop: for
+// every request (in deterministic order) compute the feasible offers,
+// rank them by quality of match, take the best-offer set, and update the
+// clusters. The scale must be the block-wide normalization scale.
+func Build(requests []*bidding.Request, offers []*bidding.Offer, scale *resource.Scale, cfg match.Config) []*Cluster {
+	ordered := append([]*bidding.Request(nil), requests...)
+	sortRequests(ordered)
+	b := NewBuilder()
+	for _, r := range ordered {
+		best := match.BestOffers(r, offers, scale, cfg)
+		b.Update(r, best)
+	}
+	return b.Clusters()
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReductionAblation(t *testing.T) {
+	points := RunReductionAblation([]int{50, 200}, 3, 42)
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	byKey := make(map[string]AblationPoint)
+	for _, p := range points {
+		byKey[p.Variant+string(rune(p.Requests))] = p
+		if p.Ratio <= 0 || p.Ratio > 1.05 {
+			t.Fatalf("ratio out of range: %+v", p)
+		}
+		if p.LostPct < 0 || p.LostPct > 100 {
+			t.Fatalf("lost%% out of range: %+v", p)
+		}
+	}
+	// Strict reduction must lose at least as many trades as pooled.
+	for _, n := range []int{50, 200} {
+		pooled := byKey["pooled"+string(rune(n))]
+		strict := byKey["strict"+string(rune(n))]
+		if strict.LostPct < pooled.LostPct-0.5 {
+			t.Fatalf("n=%d: strict (%v%%) should lose ≥ pooled (%v%%)", n, strict.LostPct, pooled.LostPct)
+		}
+	}
+	tbl := ReductionAblationTable(points)
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty ablation table")
+	}
+}
+
+func TestBandAblation(t *testing.T) {
+	points := RunBandAblation([]float64{0.95, 0.5}, 80, 70, 2, 42)
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	tight, wide := points[0], points[1]
+	// The wide band must not hurt flexible clients' satisfaction; it is
+	// the knob that lets flexibility see lower-class machines at all.
+	if wide.Ratio < tight.Ratio-0.02 {
+		t.Fatalf("wide band satisfaction %v < tight band %v", wide.Ratio, tight.Ratio)
+	}
+	tbl := BandAblationTable(points)
+	if len(tbl.Rows) != 2 {
+		t.Fatal("band table rows")
+	}
+}
+
+func TestMechanismComparison(t *testing.T) {
+	rows := RunMechanismComparison(10, 4, 4, 42)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]ComparisonRow{}
+	for _, r := range rows {
+		byName[r.Mechanism] = r
+	}
+	if byName["vcg"].WelfareFrac.Mean < 0.999 {
+		t.Fatalf("VCG should be welfare-optimal: %v", byName["vcg"].WelfareFrac.Mean)
+	}
+	if byName["greedy-benchmark"].WelfareFrac.Mean > 1.0001 {
+		t.Fatal("benchmark above the optimum")
+	}
+	dec := byName["decloud"]
+	if dec.WelfareFrac.Mean > 1.0001 || dec.WelfareFrac.Mean <= 0 {
+		t.Fatalf("DeCloud welfare fraction out of range: %v", dec.WelfareFrac.Mean)
+	}
+	// The design point: DeCloud's imbalance is EXACTLY zero.
+	if dec.Imbalance.Mean != 0 || dec.Imbalance.Min != 0 || dec.Imbalance.Max != 0 {
+		t.Fatalf("DeCloud imbalance nonzero: %+v", dec.Imbalance)
+	}
+	tbl := ComparisonTable(rows)
+	if len(tbl.Rows) != 4 {
+		t.Fatal("comparison table rows")
+	}
+}
+
+func TestMarketDynamicsStabilize(t *testing.T) {
+	points := RunMarketDynamics(DefaultDynamicsConfig())
+	if len(points) != 20 {
+		t.Fatalf("rounds = %d", len(points))
+	}
+	first, last := points[0], points[len(points)-1]
+	// Supply must contract: the idle tail leaves the market.
+	if last.Active >= first.Active {
+		t.Fatalf("supply did not contract: %d → %d providers", first.Active, last.Active)
+	}
+	// ... while satisfaction holds (efficiency, not starvation).
+	if last.Satisfaction < first.Satisfaction-0.15 {
+		t.Fatalf("satisfaction collapsed: %v → %v", first.Satisfaction, last.Satisfaction)
+	}
+	// Participation stabilizes: the late-trajectory provider counts stay
+	// within a tight band rather than oscillating to extremes.
+	lo, hi := 1<<30, 0
+	for _, p := range points[10:] {
+		if p.Active < lo {
+			lo = p.Active
+		}
+		if p.Active > hi {
+			hi = p.Active
+		}
+		if p.Matches == 0 {
+			t.Fatalf("round %d: market died", p.Round)
+		}
+	}
+	if hi-lo > 15 {
+		t.Fatalf("late-stage participation unstable: [%d, %d]", lo, hi)
+	}
+	tbl := DynamicsTable(points)
+	if len(tbl.Rows) != len(points) {
+		t.Fatal("dynamics table rows")
+	}
+}

@@ -1,0 +1,94 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section V, Figures 5a–5f): the welfare and trade-reduction study
+// against the non-truthful greedy benchmark over growing market sizes,
+// and the flexibility study over supply/demand divergence. Each runner
+// returns a Table that prints as ASCII or CSV — the same rows/series the
+// paper plots.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// Title names the figure, e.g. "Figure 5a".
+	Title string
+	// Note explains axes and series.
+	Note string
+	// Header names the columns.
+	Header []string
+	// Rows hold formatted cells.
+	Rows [][]string
+}
+
+// AddRow appends a formatted row; values are rendered with %.6g.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.6g", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteCSV emits the table as CSV (header first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return fmt.Errorf("experiments: write csv header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fprint renders the table as aligned ASCII.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}

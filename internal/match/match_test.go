@@ -1,0 +1,266 @@
+package match
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"decloud/internal/bidding"
+	"decloud/internal/resource"
+)
+
+func req(id string, res resource.Vector) *bidding.Request {
+	return &bidding.Request{
+		ID: bidding.OrderID(id), Client: "c-" + bidding.ParticipantID(id),
+		Resources: res, Start: 0, End: 100, Duration: 50, Bid: 1, TrueValue: 1,
+	}
+}
+
+func off(id string, res resource.Vector) *bidding.Offer {
+	return &bidding.Offer{
+		ID: bidding.OrderID(id), Provider: "p-" + bidding.ParticipantID(id),
+		Resources: res, Start: 0, End: 200, Bid: 1, TrueCost: 1,
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	r := req("r", resource.Vector{resource.CPU: 4, resource.RAM: 8})
+	tests := []struct {
+		name   string
+		mutate func(*bidding.Offer)
+		want   bool
+	}{
+		{"fits", func(o *bidding.Offer) {}, true},
+		{"too small", func(o *bidding.Offer) { o.Resources[resource.CPU] = 2 }, false},
+		{"time mismatch", func(o *bidding.Offer) { o.Start = 50 }, false},
+		{"no common kinds", func(o *bidding.Offer) { o.Resources = resource.Vector{resource.GPU: 4} }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			o := off("o", resource.Vector{resource.CPU: 8, resource.RAM: 32})
+			tt.mutate(o)
+			if got := Feasible(r, o); got != tt.want {
+				t.Fatalf("Feasible = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFeasibleFlexibility(t *testing.T) {
+	r := req("r", resource.Vector{resource.CPU: 8})
+	o := off("o", resource.Vector{resource.CPU: 7})
+	if Feasible(r, o) {
+		t.Fatal("inflexible request should not fit a smaller offer")
+	}
+	r.Flexibility = 0.8 // accepts ≥ 6.4 cores
+	if !Feasible(r, o) {
+		t.Fatal("flexible request (f=0.8) should fit a 7-core offer")
+	}
+	r.Flexibility = 0.9 // needs ≥ 7.2 cores
+	if Feasible(r, o) {
+		t.Fatal("flexible request (f=0.9) should not fit a 7-core offer")
+	}
+}
+
+func TestQualityWeightsSteerBetweenNonDominatedOffers(t *testing.T) {
+	// Neither offer dominates the other: cpuBox is CPU-heavy, ramBox is
+	// RAM-heavy. The request's σ weights decide which one matches better —
+	// this is exactly the prioritization the paper says ClassAds lacks.
+	r := req("r", resource.Vector{resource.CPU: 8, resource.RAM: 8})
+	cpuBox := off("cpu-box", resource.Vector{resource.CPU: 16, resource.RAM: 8})
+	ramBox := off("ram-box", resource.Vector{resource.CPU: 8, resource.RAM: 32})
+	scale := BlockScale([]*bidding.Request{r}, []*bidding.Offer{cpuBox, ramBox})
+
+	r.Weights = map[resource.Kind]float64{resource.RAM: 0.05}
+	if Quality(r, cpuBox, scale) <= Quality(r, ramBox, scale) {
+		t.Fatal("CPU-weighted request should prefer the CPU-heavy offer")
+	}
+	r.Weights = map[resource.Kind]float64{resource.CPU: 0.05}
+	if Quality(r, ramBox, scale) <= Quality(r, cpuBox, scale) {
+		t.Fatal("RAM-weighted request should prefer the RAM-heavy offer")
+	}
+}
+
+func TestQualityMonotoneInOfferSize(t *testing.T) {
+	// Within [0,1] normalized space each Eq. 18 term is increasing in the
+	// offered quantity (the "gravity" of larger providers), so a
+	// componentwise-larger offer never scores worse.
+	r := req("r", resource.Vector{resource.CPU: 4})
+	near := off("near", resource.Vector{resource.CPU: 4})
+	far := off("far", resource.Vector{resource.CPU: 16})
+	scale := BlockScale([]*bidding.Request{r}, []*bidding.Offer{near, far})
+	if Quality(r, far, scale) < Quality(r, near, scale) {
+		t.Fatal("componentwise-larger offer should not score worse")
+	}
+}
+
+func TestQualityGravityBreaksTiesTowardLargerOffer(t *testing.T) {
+	// Two offers equidistant from the request in normalized space: the
+	// larger one exerts more "gravity" (the ρ'_{o,k} numerator).
+	r := req("r", resource.Vector{resource.CPU: 8})
+	small := off("small", resource.Vector{resource.CPU: 8})
+	big := off("big", resource.Vector{resource.CPU: 16})
+	scale := BlockScale([]*bidding.Request{r}, []*bidding.Offer{small, big})
+	// d_small = 0, d_big = 0.5 → small: 0.5/1 = 0.5, big: 1/1.25 = 0.8.
+	qs := Quality(r, small, scale)
+	qb := Quality(r, big, scale)
+	if math.Abs(qs-0.5) > 1e-12 || math.Abs(qb-0.8) > 1e-12 {
+		t.Fatalf("quality values: small=%v big=%v, want 0.5 and 0.8", qs, qb)
+	}
+}
+
+func TestQualityRespectsWeights(t *testing.T) {
+	r := req("r", resource.Vector{resource.CPU: 4, resource.RAM: 16})
+	r.Weights = map[resource.Kind]float64{resource.RAM: 0.1}
+	o := off("o", resource.Vector{resource.CPU: 4, resource.RAM: 16})
+	scale := BlockScale([]*bidding.Request{r}, []*bidding.Offer{o})
+	q := Quality(r, o, scale)
+	// cpu term: 1·1/(0+1) = 1; ram term: 0.1·1/(0+1) = 0.1.
+	if math.Abs(q-1.1) > 1e-12 {
+		t.Fatalf("weighted quality = %v, want 1.1", q)
+	}
+}
+
+func TestQualityIgnoresUncommonKinds(t *testing.T) {
+	r := req("r", resource.Vector{resource.CPU: 4, resource.GPU: 2})
+	o := off("o", resource.Vector{resource.CPU: 4})
+	scale := BlockScale([]*bidding.Request{r}, []*bidding.Offer{o})
+	q := Quality(r, o, scale)
+	if math.Abs(q-1.0) > 1e-12 {
+		t.Fatalf("quality = %v, want 1.0 (GPU term absent)", q)
+	}
+}
+
+func TestRankOffersDeterministicTieBreak(t *testing.T) {
+	r := req("r", resource.Vector{resource.CPU: 4})
+	a := off("a", resource.Vector{resource.CPU: 4})
+	b := off("b", resource.Vector{resource.CPU: 4})
+	a.Submitted, b.Submitted = 10, 5
+	scale := BlockScale([]*bidding.Request{r}, []*bidding.Offer{a, b})
+
+	for _, offers := range [][]*bidding.Offer{{a, b}, {b, a}} {
+		ranked := RankOffers(r, offers, scale)
+		if len(ranked) != 2 {
+			t.Fatalf("ranked %d offers", len(ranked))
+		}
+		if ranked[0].Offer.ID != "b" {
+			t.Fatalf("earlier submission should rank first, got %s", ranked[0].Offer.ID)
+		}
+	}
+}
+
+func TestRankOffersFiltersInfeasible(t *testing.T) {
+	r := req("r", resource.Vector{resource.CPU: 8})
+	good := off("good", resource.Vector{resource.CPU: 8})
+	small := off("small", resource.Vector{resource.CPU: 2})
+	scale := BlockScale([]*bidding.Request{r}, []*bidding.Offer{good, small})
+	ranked := RankOffers(r, []*bidding.Offer{good, small}, scale)
+	if len(ranked) != 1 || ranked[0].Offer.ID != "good" {
+		t.Fatalf("ranked = %+v", ranked)
+	}
+}
+
+func TestBestOffersBandAndCap(t *testing.T) {
+	r := req("r", resource.Vector{resource.CPU: 8})
+	var offers []*bidding.Offer
+	// One exact match and a spread of increasingly oversized machines.
+	for i := 0; i < 12; i++ {
+		offers = append(offers, off(fmt.Sprintf("o%02d", i), resource.Vector{resource.CPU: float64(8 + 8*i)}))
+	}
+	scale := BlockScale([]*bidding.Request{r}, offers)
+
+	tight := BestOffers(r, offers, scale, Config{QualityBand: 1.0, MaxBestOffers: 8})
+	if len(tight) != 1 {
+		t.Fatalf("band=1.0 should keep only the best offer, got %d", len(tight))
+	}
+	loose := BestOffers(r, offers, scale, Config{QualityBand: 0.5, MaxBestOffers: 4})
+	if len(loose) > 4 {
+		t.Fatalf("cap violated: %d", len(loose))
+	}
+	if len(loose) < 2 {
+		t.Fatalf("band=0.5 should admit several offers, got %d", len(loose))
+	}
+	if BestOffers(req("r2", resource.Vector{resource.GPU: 1}), offers, scale, DefaultConfig()) != nil {
+		t.Fatal("unservable request should get nil best-offer set")
+	}
+}
+
+func TestBestOffersZeroConfigUsesDefaults(t *testing.T) {
+	r := req("r", resource.Vector{resource.CPU: 8})
+	o := off("o", resource.Vector{resource.CPU: 8})
+	scale := BlockScale([]*bidding.Request{r}, []*bidding.Offer{o})
+	best := BestOffers(r, []*bidding.Offer{o}, scale, Config{})
+	if len(best) != 1 {
+		t.Fatalf("zero config should fall back to defaults, got %d offers", len(best))
+	}
+}
+
+func TestBlockScaleCoversRequestsAndOffers(t *testing.T) {
+	r := req("r", resource.Vector{resource.CPU: 32}) // request larger than any offer
+	o := off("o", resource.Vector{resource.CPU: 8, resource.RAM: 64})
+	scale := BlockScale([]*bidding.Request{r}, []*bidding.Offer{o})
+	if scale.Max(resource.CPU) != 32 || scale.Max(resource.RAM) != 64 {
+		t.Fatalf("scale maxima: cpu=%v ram=%v", scale.Max(resource.CPU), scale.Max(resource.RAM))
+	}
+}
+
+// Property: quality is non-negative and bounded by the number of common
+// kinds (each term is at most σ ≤ 1 times ρ'_o/(d²+1) ≤ 1).
+func TestQualityBoundsProperty(t *testing.T) {
+	f := func(rc, oc uint8) bool {
+		r := req("r", resource.Vector{resource.CPU: float64(rc%16) + 1})
+		o := off("o", resource.Vector{resource.CPU: float64(oc%16) + 1})
+		if !Feasible(r, o) {
+			return true
+		}
+		scale := BlockScale([]*bidding.Request{r}, []*bidding.Offer{o})
+		q := Quality(r, o, scale)
+		return q >= 0 && q <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: increasing a request's flexibility never shrinks its feasible set.
+func TestFlexibilityMonotoneProperty(t *testing.T) {
+	f := func(need, have uint8, f1, f2 uint8) bool {
+		lo := 0.5 + float64(f1%50)/100 // [0.5, 1.0)
+		hi := lo + float64(f2%25)/100  // lo..lo+0.25
+		if hi > 1 {
+			hi = 1
+		}
+		r := req("r", resource.Vector{resource.CPU: float64(need%16) + 1})
+		o := off("o", resource.Vector{resource.CPU: float64(have%16) + 1})
+		r.Flexibility = hi
+		feasHi := Feasible(r, o)
+		r.Flexibility = lo
+		feasLo := Feasible(r, o)
+		// lower flexibility value = more flexible = weakly larger feasible set
+		return !feasHi || feasLo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeasibleLocality(t *testing.T) {
+	r := req("r", resource.Vector{resource.CPU: 4})
+	r.Location = bidding.Location{X: 0, Y: 0}
+	r.MaxDistance = 10
+	near := off("near", resource.Vector{resource.CPU: 8})
+	near.Location = bidding.Location{X: 3, Y: 4} // distance 5
+	far := off("far", resource.Vector{resource.CPU: 8})
+	far.Location = bidding.Location{X: 30, Y: 40} // distance 50
+	if !Feasible(r, near) {
+		t.Fatal("offer within reach rejected")
+	}
+	if Feasible(r, far) {
+		t.Fatal("offer out of reach accepted")
+	}
+	r.MaxDistance = 0 // no constraint
+	if !Feasible(r, far) {
+		t.Fatal("unconstrained request should reach any offer")
+	}
+}

@@ -1,0 +1,197 @@
+// Package mcafee implements the two classical dominant-strategy
+// incentive-compatible (DSIC) double auctions DeCloud builds on:
+//
+//   - McAfee's 1992 mechanism [18]: single-good, budget balanced (the
+//     auctioneer may keep a surplus), with trade reduction (Fig. 3 of the
+//     paper).
+//   - SBBA (Segal-Halevi et al. 2016 [30]): the strongly budget-balanced
+//     variant whose payment rule DeCloud adopts — buyers pay exactly what
+//     sellers receive, with a random seller lottery when the price is set
+//     by the marginal buyer.
+//
+// DeCloud's clustered mechanism generalizes these to heterogeneous
+// divisible goods; this package keeps the originals both as baselines and
+// as oracles for the property tests of the full mechanism.
+package mcafee
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Bid is a single-unit order: a buyer's valuation or a seller's cost.
+type Bid struct {
+	ID    string
+	Price float64
+}
+
+// Result describes a double-auction outcome for single-unit traders.
+type Result struct {
+	// Trades is the number of executed buyer–seller trades.
+	Trades int
+	// BuyerPrice is what every trading buyer pays.
+	BuyerPrice float64
+	// SellerPrice is what every trading seller receives.
+	SellerPrice float64
+	// Buyers and Sellers list the IDs that trade.
+	Buyers  []string
+	Sellers []string
+	// Reduced reports whether trade reduction excluded the break-even pair
+	// (McAfee) or the price-setting buyer (SBBA).
+	Reduced bool
+	// Surplus is Σ buyer payments − Σ seller revenues. Zero for SBBA
+	// (strong budget balance); non-negative for McAfee.
+	Surplus float64
+}
+
+// sortOrders sorts buyers by price descending and sellers ascending,
+// breaking ties by ID so the outcome never depends on input order.
+func sortOrders(buyers, sellers []Bid) ([]Bid, []Bid) {
+	b := append([]Bid(nil), buyers...)
+	s := append([]Bid(nil), sellers...)
+	sort.Slice(b, func(i, j int) bool {
+		if b[i].Price != b[j].Price {
+			return b[i].Price > b[j].Price
+		}
+		return b[i].ID < b[j].ID
+	})
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Price != s[j].Price {
+			return s[i].Price < s[j].Price
+		}
+		return s[i].ID < s[j].ID
+	})
+	return b, s
+}
+
+// breakEven returns z: the number of profitable pairs, i.e. the largest k
+// with v_k ≥ c_k after sorting (1-based; 0 means no trade is possible).
+func breakEven(b, s []Bid) int {
+	z := 0
+	n := len(b)
+	if len(s) < n {
+		n = len(s)
+	}
+	for i := 0; i < n; i++ {
+		if b[i].Price >= s[i].Price {
+			z = i + 1
+		} else {
+			break
+		}
+	}
+	return z
+}
+
+func ids(bids []Bid) []string {
+	out := make([]string, len(bids))
+	for i, b := range bids {
+		out[i] = b.ID
+	}
+	return out
+}
+
+// McAfee runs McAfee's 1992 dominant-strategy double auction.
+//
+// After sorting, let z be the break-even index. If the (z+1)-th pair
+// exists and p = (v_{z+1}+c_{z+1})/2 lies in [c_z, v_z], all z pairs
+// trade at the single price p (Fig. 3a). Otherwise the z-th pair is
+// excluded and the remaining z−1 pairs trade with buyers paying v_z and
+// sellers receiving c_z (Fig. 3b); the auctioneer keeps the difference.
+func McAfee(buyers, sellers []Bid) Result {
+	b, s := sortOrders(buyers, sellers)
+	z := breakEven(b, s)
+	if z == 0 {
+		return Result{}
+	}
+	if z < len(b) && z < len(s) {
+		p := (b[z].Price + s[z].Price) / 2
+		if p >= s[z-1].Price && p <= b[z-1].Price {
+			return Result{
+				Trades:      z,
+				BuyerPrice:  p,
+				SellerPrice: p,
+				Buyers:      ids(b[:z]),
+				Sellers:     ids(s[:z]),
+			}
+		}
+	}
+	// Trade reduction: pair z is dropped, prices are v_z and c_z.
+	if z == 1 {
+		return Result{Reduced: true}
+	}
+	k := z - 1
+	return Result{
+		Trades:      k,
+		BuyerPrice:  b[z-1].Price,
+		SellerPrice: s[z-1].Price,
+		Buyers:      ids(b[:k]),
+		Sellers:     ids(s[:k]),
+		Reduced:     true,
+		Surplus:     float64(k) * (b[z-1].Price - s[z-1].Price),
+	}
+}
+
+// SBBA runs the strongly budget-balanced double auction of Segal-Halevi
+// et al. The price is p = min(v_z, c_{z+1}) with c_{z+1} = +∞ when there
+// is no (z+1)-th seller:
+//
+//   - p = c_{z+1}: the price is set by a non-trading seller, so all z
+//     pairs trade at p with no reduction.
+//   - p = v_z: buyer z sets the price and must be excluded. The z−1
+//     remaining buyers trade, and a uniform lottery (rnd) picks which
+//     z−1 of the z cheapest sellers trade — the "random exclusion" that
+//     DeCloud also applies (Section IV-D).
+//
+// Buyers pay exactly what sellers receive: Surplus is always 0.
+func SBBA(buyers, sellers []Bid, rnd *rand.Rand) Result {
+	b, s := sortOrders(buyers, sellers)
+	z := breakEven(b, s)
+	if z == 0 {
+		return Result{}
+	}
+	next := math.Inf(1)
+	if z < len(s) {
+		next = s[z].Price
+	}
+	if next <= b[z-1].Price {
+		// Price set by seller z+1 (outside the trade): no reduction.
+		return Result{
+			Trades:      z,
+			BuyerPrice:  next,
+			SellerPrice: next,
+			Buyers:      ids(b[:z]),
+			Sellers:     ids(s[:z]),
+		}
+	}
+	// Price set by buyer z, who is excluded.
+	p := b[z-1].Price
+	if z == 1 {
+		return Result{Reduced: true}
+	}
+	k := z - 1
+	pool := append([]Bid(nil), s[:z]...)
+	rnd.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	chosen := pool[:k]
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i].ID < chosen[j].ID })
+	return Result{
+		Trades:      k,
+		BuyerPrice:  p,
+		SellerPrice: p,
+		Buyers:      ids(b[:k]),
+		Sellers:     ids(chosen),
+		Reduced:     true,
+	}
+}
+
+// OptimalWelfare returns the maximum attainable welfare Σ(v_i − c_i) over
+// profitable pairs — the non-strategic benchmark for both mechanisms.
+func OptimalWelfare(buyers, sellers []Bid) float64 {
+	b, s := sortOrders(buyers, sellers)
+	z := breakEven(b, s)
+	var w float64
+	for i := 0; i < z; i++ {
+		w += b[i].Price - s[i].Price
+	}
+	return w
+}

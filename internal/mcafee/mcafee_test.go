@@ -1,0 +1,310 @@
+package mcafee
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func bids(prices ...float64) []Bid {
+	out := make([]Bid, len(prices))
+	for i, p := range prices {
+		out[i] = Bid{ID: fmt.Sprintf("x%02d", i), Price: p}
+	}
+	return out
+}
+
+// Fig. 3a of the paper: the (z+1)-th pair's midpoint lies inside
+// [c_z, v_z], so everyone trades at that midpoint with no reduction.
+func TestMcAfeeInteriorPrice(t *testing.T) {
+	buyers := bids(10, 8, 6, 3)
+	sellers := bids(2, 4, 5, 9)
+	// Pairs: (10,2) (8,4) (6,5) profitable → z=3. p = (3+9)/2 = 6 ∈ [5,6].
+	res := McAfee(buyers, sellers)
+	if res.Reduced {
+		t.Fatal("no reduction expected")
+	}
+	if res.Trades != 3 {
+		t.Fatalf("Trades = %d, want 3", res.Trades)
+	}
+	if res.BuyerPrice != 6 || res.SellerPrice != 6 {
+		t.Fatalf("prices = %v/%v, want 6/6", res.BuyerPrice, res.SellerPrice)
+	}
+	if res.Surplus != 0 {
+		t.Fatalf("interior price should be budget balanced, surplus = %v", res.Surplus)
+	}
+}
+
+// Fig. 3b of the paper: the midpoint falls outside [c_z, v_z], so pair z
+// is excluded; buyers pay v_z, sellers receive c_z, auctioneer keeps the gap.
+func TestMcAfeeTradeReduction(t *testing.T) {
+	buyers := bids(10, 9, 8)
+	sellers := bids(1, 2, 3)
+	// z = 3, no (z+1)-th pair → reduction. Buyers pay v_3 = 8, sellers get c_3 = 3.
+	res := McAfee(buyers, sellers)
+	if !res.Reduced {
+		t.Fatal("expected trade reduction")
+	}
+	if res.Trades != 2 {
+		t.Fatalf("Trades = %d, want 2", res.Trades)
+	}
+	if res.BuyerPrice != 8 || res.SellerPrice != 3 {
+		t.Fatalf("prices = %v/%v, want 8/3", res.BuyerPrice, res.SellerPrice)
+	}
+	if want := 2.0 * (8 - 3); res.Surplus != want {
+		t.Fatalf("Surplus = %v, want %v", res.Surplus, want)
+	}
+}
+
+func TestMcAfeeNoTrade(t *testing.T) {
+	res := McAfee(bids(1, 2), bids(5, 6))
+	if res.Trades != 0 || res.Reduced {
+		t.Fatalf("no profitable pair: %+v", res)
+	}
+	if r := McAfee(nil, nil); r.Trades != 0 {
+		t.Fatalf("empty market: %+v", r)
+	}
+}
+
+func TestMcAfeeSinglePairReducesToNothing(t *testing.T) {
+	res := McAfee(bids(10), bids(1))
+	if res.Trades != 0 || !res.Reduced {
+		t.Fatalf("single pair must be reduced away: %+v", res)
+	}
+}
+
+func TestMcAfeeDeterministicUnderPermutation(t *testing.T) {
+	buyers := bids(10, 8, 6, 3)
+	sellers := bids(2, 4, 5, 9)
+	a := McAfee(buyers, sellers)
+	b := McAfee([]Bid{buyers[3], buyers[1], buyers[0], buyers[2]},
+		[]Bid{sellers[2], sellers[0], sellers[3], sellers[1]})
+	if a.Trades != b.Trades || a.BuyerPrice != b.BuyerPrice || a.SellerPrice != b.SellerPrice {
+		t.Fatalf("order dependence: %+v vs %+v", a, b)
+	}
+}
+
+func TestSBBANoReductionCase(t *testing.T) {
+	buyers := bids(10, 8, 6, 3)
+	sellers := bids(2, 4, 5, 9)
+	// z = 3, c_{z+1} = 9 > v_z = 6 → reduction case... check: next=9, v_z=6,
+	// 9 > 6 so buyer z sets price p = 6 and is excluded.
+	res := SBBA(buyers, sellers, rand.New(rand.NewSource(1)))
+	if !res.Reduced {
+		t.Fatal("expected buyer-side reduction")
+	}
+	if res.Trades != 2 || res.BuyerPrice != 6 || res.SellerPrice != 6 {
+		t.Fatalf("res = %+v", res)
+	}
+	if len(res.Sellers) != 2 {
+		t.Fatalf("seller lottery should pick 2 of 3, got %v", res.Sellers)
+	}
+}
+
+func TestSBBASellerSetsPrice(t *testing.T) {
+	buyers := bids(10, 9, 8)
+	sellers := bids(1, 2, 3, 7)
+	// z = 3, c_{z+1} = 7 ≤ v_z = 8 → all 3 pairs trade at 7, no reduction.
+	res := SBBA(buyers, sellers, rand.New(rand.NewSource(1)))
+	if res.Reduced {
+		t.Fatal("no reduction expected when an outside seller sets the price")
+	}
+	if res.Trades != 3 || res.BuyerPrice != 7 || res.SellerPrice != 7 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSBBAStrongBudgetBalance(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nb, ns := 1+rnd.Intn(6), 1+rnd.Intn(6)
+		buyers := make([]Bid, nb)
+		sellers := make([]Bid, ns)
+		for i := range buyers {
+			buyers[i] = Bid{ID: fmt.Sprintf("b%d", i), Price: float64(rnd.Intn(20))}
+		}
+		for i := range sellers {
+			sellers[i] = Bid{ID: fmt.Sprintf("s%d", i), Price: float64(rnd.Intn(20))}
+		}
+		res := SBBA(buyers, sellers, rnd)
+		if res.Surplus != 0 {
+			t.Fatalf("SBBA surplus = %v on %v/%v", res.Surplus, buyers, sellers)
+		}
+		if len(res.Buyers) != res.Trades || len(res.Sellers) != res.Trades {
+			t.Fatalf("trade count mismatch: %+v", res)
+		}
+		paid := float64(len(res.Buyers)) * res.BuyerPrice
+		recv := float64(len(res.Sellers)) * res.SellerPrice
+		if math.Abs(paid-recv) > 1e-9 {
+			t.Fatalf("payments %v != revenues %v", paid, recv)
+		}
+	}
+}
+
+// utilityOf computes a trader's utility given the mechanism outcome.
+func utilityOf(res Result, id string, truth float64, buyer bool) float64 {
+	if buyer {
+		for _, b := range res.Buyers {
+			if b == id {
+				return truth - res.BuyerPrice
+			}
+		}
+		return 0
+	}
+	for _, s := range res.Sellers {
+		if s == id {
+			return res.SellerPrice - truth
+		}
+	}
+	return 0
+}
+
+// DSIC property: no unilateral misreport by any buyer or seller improves
+// utility under McAfee. Prices are drawn from a small grid so break-even
+// boundaries are exercised often.
+func TestMcAfeeDSICProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 400; trial++ {
+		nb, ns := 1+rnd.Intn(5), 1+rnd.Intn(5)
+		buyers := make([]Bid, nb)
+		sellers := make([]Bid, ns)
+		for i := range buyers {
+			buyers[i] = Bid{ID: fmt.Sprintf("b%d", i), Price: float64(rnd.Intn(12))}
+		}
+		for i := range sellers {
+			sellers[i] = Bid{ID: fmt.Sprintf("s%d", i), Price: float64(rnd.Intn(12))}
+		}
+		truthful := McAfee(buyers, sellers)
+
+		// Every buyer tries a deviation.
+		for i := range buyers {
+			truth := buyers[i].Price
+			baseline := utilityOf(truthful, buyers[i].ID, truth, true)
+			for _, dev := range []float64{truth - 3, truth - 1, truth + 1, truth + 3} {
+				if dev < 0 {
+					continue
+				}
+				mod := append([]Bid(nil), buyers...)
+				mod[i] = Bid{ID: buyers[i].ID, Price: dev}
+				res := McAfee(mod, sellers)
+				if u := utilityOf(res, buyers[i].ID, truth, true); u > baseline+1e-9 {
+					t.Fatalf("buyer %s gains by deviating %v→%v: %v > %v\nbuyers=%v sellers=%v",
+						buyers[i].ID, truth, dev, u, baseline, buyers, sellers)
+				}
+			}
+		}
+		// Every seller tries a deviation.
+		for i := range sellers {
+			truth := sellers[i].Price
+			baseline := utilityOf(truthful, sellers[i].ID, truth, false)
+			for _, dev := range []float64{truth - 3, truth - 1, truth + 1, truth + 3} {
+				if dev < 0 {
+					continue
+				}
+				mod := append([]Bid(nil), sellers...)
+				mod[i] = Bid{ID: sellers[i].ID, Price: dev}
+				res := McAfee(buyers, mod)
+				if u := utilityOf(res, sellers[i].ID, truth, false); u > baseline+1e-9 {
+					t.Fatalf("seller %s gains by deviating %v→%v: %v > %v\nbuyers=%v sellers=%v",
+						sellers[i].ID, truth, dev, u, baseline, buyers, sellers)
+				}
+			}
+		}
+	}
+}
+
+// Individual rationality: no trading buyer pays above its bid; no trading
+// seller receives below its ask — for both mechanisms.
+func TestIndividualRationalityProperty(t *testing.T) {
+	f := func(bseed, sseed uint8, seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		nb, ns := int(bseed%5)+1, int(sseed%5)+1
+		buyers := make([]Bid, nb)
+		sellers := make([]Bid, ns)
+		for i := range buyers {
+			buyers[i] = Bid{ID: fmt.Sprintf("b%d", i), Price: rnd.Float64() * 10}
+		}
+		for i := range sellers {
+			sellers[i] = Bid{ID: fmt.Sprintf("s%d", i), Price: rnd.Float64() * 10}
+		}
+		check := func(res Result) bool {
+			for _, id := range res.Buyers {
+				for _, b := range buyers {
+					if b.ID == id && b.Price < res.BuyerPrice-1e-9 {
+						return false
+					}
+				}
+			}
+			for _, id := range res.Sellers {
+				for _, s := range sellers {
+					if s.ID == id && s.Price > res.SellerPrice+1e-9 {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		return check(McAfee(buyers, sellers)) && check(SBBA(buyers, sellers, rnd))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// McAfee's welfare is within one trade of optimal: it loses at most the
+// z-th (least profitable) pair.
+func TestMcAfeeNearOptimalWelfare(t *testing.T) {
+	rnd := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rnd.Intn(8)
+		buyers := make([]Bid, n)
+		sellers := make([]Bid, n)
+		for i := 0; i < n; i++ {
+			buyers[i] = Bid{ID: fmt.Sprintf("b%d", i), Price: rnd.Float64() * 10}
+			sellers[i] = Bid{ID: fmt.Sprintf("s%d", i), Price: rnd.Float64() * 10}
+		}
+		opt := OptimalWelfare(buyers, sellers)
+		res := McAfee(buyers, sellers)
+		// Recompute achieved welfare from matched IDs.
+		var got float64
+		for _, id := range res.Buyers {
+			for _, b := range buyers {
+				if b.ID == id {
+					got += b.Price
+				}
+			}
+		}
+		for _, id := range res.Sellers {
+			for _, s := range sellers {
+				if s.ID == id {
+					got -= s.Price
+				}
+			}
+		}
+		if got > opt+1e-9 {
+			t.Fatalf("achieved welfare %v exceeds optimum %v", got, opt)
+		}
+		// Losing more than one pair's worth of welfare is impossible.
+		if res.Trades > 0 && res.Reduced {
+			if res.Trades < breakEvenPairs(buyers, sellers)-1 {
+				t.Fatalf("reduced more than one pair: trades=%d", res.Trades)
+			}
+		}
+	}
+}
+
+func breakEvenPairs(buyers, sellers []Bid) int {
+	b, s := sortOrders(buyers, sellers)
+	return breakEven(b, s)
+}
+
+func TestOptimalWelfare(t *testing.T) {
+	if got := OptimalWelfare(bids(10, 8), bids(2, 4)); got != 12 {
+		t.Fatalf("OptimalWelfare = %v, want 12", got)
+	}
+	if got := OptimalWelfare(bids(1), bids(5)); got != 0 {
+		t.Fatalf("OptimalWelfare = %v, want 0", got)
+	}
+}

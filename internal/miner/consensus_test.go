@@ -1,0 +1,195 @@
+package miner
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"decloud/internal/auction"
+	"decloud/internal/ledger"
+)
+
+func TestSelectLeaderDeterministicAndWeighted(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	prev := [32]byte{1, 2, 3}
+	i1 := SelectLeader(prev, 5, names, nil)
+	i2 := SelectLeader(prev, 5, names, nil)
+	if i1 != i2 {
+		t.Fatal("leader election not deterministic")
+	}
+	if i1 < 0 || i1 >= len(names) {
+		t.Fatalf("leader index out of range: %d", i1)
+	}
+	// Different height → (usually) different leader over many heights.
+	counts := map[int]int{}
+	for h := int64(0); h < 300; h++ {
+		counts[SelectLeader(prev, h, names, nil)]++
+	}
+	for i := range names {
+		if counts[i] == 0 {
+			t.Fatalf("miner %d never elected over 300 heights: %v", i, counts)
+		}
+	}
+	// Heavy stake dominates.
+	heavy := map[string]float64{"a": 100, "b": 1, "c": 1}
+	wins := 0
+	for h := int64(0); h < 300; h++ {
+		if names[SelectLeader(prev, h, names, heavy)] == "a" {
+			wins++
+		}
+	}
+	if wins < 250 {
+		t.Fatalf("heavy staker won only %d/300 elections", wins)
+	}
+	if SelectLeader(prev, 0, nil, nil) != -1 {
+		t.Fatal("no miners should yield -1")
+	}
+}
+
+func TestSelectLeaderOrderInvariant(t *testing.T) {
+	prev := [32]byte{9}
+	a := SelectLeader(prev, 7, []string{"x", "y", "z"}, nil)
+	b := SelectLeader(prev, 7, []string{"z", "x", "y"}, nil)
+	// The same logical leader must win regardless of slice order.
+	namesA := []string{"x", "y", "z"}
+	namesB := []string{"z", "x", "y"}
+	if namesA[a] != namesB[b] {
+		t.Fatalf("leader depends on input order: %s vs %s", namesA[a], namesB[b])
+	}
+}
+
+func TestProofOfStakeRound(t *testing.T) {
+	net := NewNetwork(3, 30 /* difficulty irrelevant under PoS */, auction.DefaultConfig())
+	net.Consensus = ProofOfStake
+	net.Stakes = map[string]float64{"miner-00": 5, "miner-01": 1, "miner-02": 1}
+	participants := marketRound(t, net)
+	res, err := net.RunRound(context.Background(), participants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Block.Preamble.Difficulty != 0 {
+		t.Fatalf("PoS block has difficulty %d", res.Block.Preamble.Difficulty)
+	}
+	if net.Chain().Len() != 1 {
+		t.Fatal("PoS block not appended")
+	}
+	if len(res.Outcome.Matches) == 0 {
+		t.Fatal("PoS round produced no trades")
+	}
+}
+
+func TestProofOfStakeCheaterStillCaught(t *testing.T) {
+	net := NewNetwork(3, 30, auction.DefaultConfig())
+	net.Consensus = ProofOfStake
+	net.TamperBody = func(b *ledger.Body) {
+		records, err := ledger.DecodeAllocation(b.Allocation)
+		if err != nil || len(records) == 0 {
+			return
+		}
+		records[0].Payment *= 2
+		forged, _ := encodeRecords(records)
+		*b = *ledger.NewBody(b.Reveals, forged)
+	}
+	participants := marketRound(t, net)
+	if _, err := net.RunRound(context.Background(), participants); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("tampered PoS block accepted: %v", err)
+	}
+}
+
+func TestSampledVerificationCatchesCheater(t *testing.T) {
+	net := NewNetwork(4, testDifficulty, auction.DefaultConfig())
+	net.Policy = VerifySampled
+	net.SampleProb = 1.0 // every miner samples: challenge guaranteed
+	net.TamperBody = func(b *ledger.Body) {
+		records, err := ledger.DecodeAllocation(b.Allocation)
+		if err != nil || len(records) == 0 {
+			return
+		}
+		records[0].Payment *= 3
+		forged, _ := encodeRecords(records)
+		*b = *ledger.NewBody(b.Reveals, forged)
+	}
+	participants := marketRound(t, net)
+	_, err := net.RunRound(context.Background(), participants)
+	if !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("challenged block accepted: %v", err)
+	}
+	if len(net.Challenges) == 0 {
+		t.Fatal("no challenge recorded")
+	}
+	slashedTotal := 0
+	for _, c := range net.Slashed {
+		slashedTotal += c
+	}
+	if slashedTotal == 0 {
+		t.Fatal("producer not slashed")
+	}
+	if net.Challenges[0].String() == "" {
+		t.Fatal("challenge stringer empty")
+	}
+}
+
+func TestVerifierDilemmaWithZeroSampling(t *testing.T) {
+	// SampleProb 0 realizes the verifier's dilemma the paper discusses
+	// (Section VI): nobody checks, so a cheating producer's block lands
+	// on the chain unchallenged.
+	net := NewNetwork(3, testDifficulty, auction.DefaultConfig())
+	net.Policy = VerifySampled
+	net.SampleProb = 0
+	net.TamperBody = func(b *ledger.Body) {
+		records, err := ledger.DecodeAllocation(b.Allocation)
+		if err != nil || len(records) == 0 {
+			return
+		}
+		records[0].Payment *= 3
+		forged, _ := encodeRecords(records)
+		*b = *ledger.NewBody(b.Reveals, forged)
+	}
+	participants := marketRound(t, net)
+	if _, err := net.RunRound(context.Background(), participants); err != nil {
+		t.Fatalf("unsampled block should pass structurally: %v", err)
+	}
+	if net.Chain().Len() != 1 {
+		t.Fatal("block missing")
+	}
+	if len(net.Challenges) != 0 {
+		t.Fatal("challenge raised despite zero sampling")
+	}
+}
+
+func TestSampledVerificationHonestProducer(t *testing.T) {
+	net := NewNetwork(4, testDifficulty, auction.DefaultConfig())
+	net.Policy = VerifySampled
+	net.SampleProb = 0.5
+	participants := marketRound(t, net)
+	if _, err := net.RunRound(context.Background(), participants); err != nil {
+		t.Fatalf("honest block rejected: %v", err)
+	}
+	if len(net.Challenges) != 0 {
+		t.Fatalf("spurious challenges: %v", net.Challenges)
+	}
+	if len(net.Slashed) != 0 {
+		t.Fatalf("spurious slashing: %v", net.Slashed)
+	}
+}
+
+func TestBlockRewardEmission(t *testing.T) {
+	net := NewNetwork(2, testDifficulty, auction.DefaultConfig())
+	for round := 0; round < 3; round++ {
+		participants := marketRound(t, net)
+		res, err := net.RunRound(context.Background(), participants)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if net.Balances[res.Winner] <= 0 {
+			t.Fatalf("winner %s earned no emission", res.Winner)
+		}
+	}
+	var total float64
+	for _, b := range net.Balances {
+		total += b
+	}
+	if total != 3*DefaultBlockReward {
+		t.Fatalf("total emission = %v, want %v", total, 3*DefaultBlockReward)
+	}
+}

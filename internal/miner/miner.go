@@ -1,0 +1,182 @@
+package miner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"decloud/internal/auction"
+	"decloud/internal/audit"
+	"decloud/internal/bidding"
+	"decloud/internal/ledger"
+	"decloud/internal/sealed"
+)
+
+// Errors surfaced by miner operations.
+var (
+	ErrAllocationMismatch = errors.New("miner: recomputed allocation differs from block body")
+	ErrMiningFailed       = errors.New("miner: proof-of-work search exhausted")
+)
+
+// Miner executes the protocol's mining-side duties: assembling and
+// mining preambles, decrypting revealed bids, computing allocations, and
+// independently verifying other miners' blocks.
+type Miner struct {
+	// Name identifies the miner (diagnostics only).
+	Name string
+	// Difficulty is the PoW difficulty in leading zero bits.
+	Difficulty int
+	// AuctionCfg configures the allocation mechanism. The Evidence field
+	// is overwritten per block with the preamble hash.
+	AuctionCfg auction.Config
+}
+
+// AssembleBlock fixes the sealed-bid order (sorted by digest — a
+// canonical order no miner can game) and builds the unmined preamble
+// referencing the current chain head.
+func (m *Miner) AssembleBlock(chain *ledger.Chain, bids []*sealed.Bid, timestamp int64) *ledger.Block {
+	ordered := append([]*sealed.Bid(nil), bids...)
+	sort.Slice(ordered, func(i, j int) bool {
+		di, dj := ordered[i].Digest(), ordered[j].Digest()
+		return bytes.Compare(di[:], dj[:]) < 0
+	})
+	var height int64
+	if head := chain.Head(); head != nil {
+		height = head.Preamble.Height + 1
+	}
+	return &ledger.Block{
+		Preamble: ledger.Preamble{
+			Height:     height,
+			PrevHash:   chain.HeadHash(),
+			Timestamp:  timestamp,
+			Difficulty: m.Difficulty,
+			BidsHash:   ledger.HashBids(ordered),
+		},
+		Bids: ordered,
+	}
+}
+
+// Mine searches the preamble nonce space, honoring ctx cancellation (the
+// network cancels losers once one miner wins the race).
+func (m *Miner) Mine(ctx context.Context, b *ledger.Block, startNonce uint64) error {
+	b.Preamble.Nonce = startNonce
+	if !ledger.Mine(ctx, &b.Preamble, 0) {
+		return ErrMiningFailed
+	}
+	return nil
+}
+
+// DecryptResult is the outcome of opening a block's sealed bids with the
+// revealed keys.
+type DecryptResult struct {
+	Requests []*bidding.Request
+	Offers   []*bidding.Offer
+	// Unrevealed counts bids whose temporary key never arrived — they are
+	// excluded from the round (their senders can resubmit).
+	Unrevealed int
+	// Rejected counts bids dropped for integrity reasons: bad reveal
+	// signatures, undecryptable envelopes, malformed orders, or orders
+	// whose owner does not match the signing key.
+	Rejected int
+}
+
+// DecryptOrders opens the block's bids using the key reveals. Every rule
+// the paper's verification step implies is enforced here:
+//
+//   - the reveal must be signed by the bid's sender over (digest ‖ key);
+//   - the envelope must authenticate under the revealed key;
+//   - the decoded order's owner must equal the sender's fingerprint, so
+//     nobody can submit orders on someone else's behalf.
+func DecryptOrders(bids []*sealed.Bid, reveals []*sealed.KeyReveal) DecryptResult {
+	byDigest := make(map[[32]byte]*sealed.KeyReveal, len(reveals))
+	for _, kr := range reveals {
+		byDigest[kr.BidDigest] = kr
+	}
+	var res DecryptResult
+	for _, b := range bids {
+		if !b.VerifySignature() {
+			res.Rejected++
+			continue
+		}
+		kr, ok := byDigest[b.Digest()]
+		if !ok {
+			res.Unrevealed++
+			continue
+		}
+		if err := kr.Verify(b); err != nil {
+			res.Rejected++
+			continue
+		}
+		plain, err := b.Envelope.Open(kr.Key)
+		if err != nil {
+			res.Rejected++
+			continue
+		}
+		req, off, err := bidding.DecodeOrder(plain)
+		if err != nil {
+			res.Rejected++
+			continue
+		}
+		switch {
+		case req != nil:
+			if req.Client != b.SenderID() {
+				res.Rejected++
+				continue
+			}
+			res.Requests = append(res.Requests, req)
+		case off != nil:
+			if off.Provider != b.SenderID() {
+				res.Rejected++
+				continue
+			}
+			res.Offers = append(res.Offers, off)
+		}
+	}
+	return res
+}
+
+// ComputeBody decrypts the block's bids, runs the allocation mechanism
+// seeded with the block's PoW evidence, and attaches the resulting body.
+// It returns the outcome so the caller can propose agreements.
+func (m *Miner) ComputeBody(b *ledger.Block, reveals []*sealed.KeyReveal) (*auction.Outcome, error) {
+	res := DecryptOrders(b.Bids, reveals)
+	cfg := m.AuctionCfg
+	cfg.Evidence = b.Evidence()
+	out := auction.Run(res.Requests, res.Offers, cfg)
+	alloc, err := ledger.EncodeAllocation(out)
+	if err != nil {
+		return nil, err
+	}
+	b.Body = ledger.NewBody(reveals, alloc)
+	return out, nil
+}
+
+// VerifyBlock is the independent re-execution every other miner performs
+// before accepting a block (Section III-B): decrypt the same bids with
+// the body's reveals, re-run the deterministic allocation with the same
+// evidence, and compare allocations byte for byte. It also re-checks the
+// block's structural validity and audits the recomputed outcome against
+// the market-model constraints (defense in depth: a bug that corrupted
+// every replica identically would still be caught here).
+func (m *Miner) VerifyBlock(b *ledger.Block) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	res := DecryptOrders(b.Bids, b.Body.Reveals)
+	cfg := m.AuctionCfg
+	cfg.Evidence = b.Evidence()
+	out := auction.Run(res.Requests, res.Offers, cfg)
+	alloc, err := ledger.EncodeAllocation(out)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(alloc, b.Body.Allocation) {
+		return fmt.Errorf("%w (miner %s)", ErrAllocationMismatch, m.Name)
+	}
+	if violations := audit.Outcome(res.Requests, res.Offers, out); len(violations) > 0 {
+		return fmt.Errorf("miner %s: allocation violates the market model: %v", m.Name, violations[0])
+	}
+	return nil
+}

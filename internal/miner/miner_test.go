@@ -1,0 +1,337 @@
+package miner
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"decloud/internal/auction"
+	"decloud/internal/bidding"
+	"decloud/internal/contract"
+	"decloud/internal/ledger"
+	"decloud/internal/resource"
+	"decloud/internal/sealed"
+)
+
+const testDifficulty = 8
+
+// detReader yields a deterministic byte stream for reproducible identities.
+type detReader struct{ state [32]byte }
+
+func newDetReader(seed string) *detReader {
+	r := &detReader{}
+	r.state = sha256.Sum256([]byte(seed))
+	return r
+}
+
+func (r *detReader) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		r.state = sha256.Sum256(r.state[:])
+		n += copy(p[n:], r.state[:])
+	}
+	return n, nil
+}
+
+func testParticipant(t *testing.T, seed string) *Participant {
+	t.Helper()
+	p, err := NewParticipant(newDetReader(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func request(id string, cpu, value float64) *bidding.Request {
+	return &bidding.Request{
+		ID:        bidding.OrderID(id),
+		Resources: resource.Vector{resource.CPU: cpu, resource.RAM: cpu * 4},
+		Start:     0, End: 100, Duration: 100,
+		Bid: value, TrueValue: value,
+	}
+}
+
+func offer(id string, cpu, cost float64) *bidding.Offer {
+	return &bidding.Offer{
+		ID:        bidding.OrderID(id),
+		Resources: resource.Vector{resource.CPU: cpu, resource.RAM: cpu * 4},
+		Start:     0, End: 100,
+		Bid: cost, TrueCost: cost,
+	}
+}
+
+// marketRound seeds a network with a standard tradable market: three
+// clients (one will be the price setter), one provider.
+func marketRound(t *testing.T, net *Network) []*Participant {
+	t.Helper()
+	alice := testParticipant(t, "alice")
+	bob := testParticipant(t, "bob")
+	zed := testParticipant(t, "zed")
+	prov := testParticipant(t, "prov")
+
+	submissions := []struct {
+		p   *Participant
+		req *bidding.Request
+		off *bidding.Offer
+	}{
+		{p: alice, req: request("r-alice", 2, 10)},
+		{p: bob, req: request("r-bob", 2, 8)},
+		{p: zed, req: request("r-zed", 2, 2)}, // the marginal price setter
+		{p: prov, off: offer("o-prov", 8, 1)},
+	}
+	for _, s := range submissions {
+		var bid *sealed.Bid
+		var err error
+		if s.req != nil {
+			bid, err = s.p.SubmitRequest(s.req)
+		} else {
+			bid, err = s.p.SubmitOffer(s.off)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.SubmitBid(bid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return []*Participant{alice, bob, zed, prov}
+}
+
+func TestFullProtocolRound(t *testing.T) {
+	net := NewNetwork(3, testDifficulty, auction.DefaultConfig())
+	participants := marketRound(t, net)
+
+	res, err := net.RunRound(context.Background(), participants)
+	if err != nil {
+		t.Fatalf("round failed: %v", err)
+	}
+	if res.Winner == "" {
+		t.Fatal("no winning miner")
+	}
+	if net.Chain().Len() != 1 {
+		t.Fatalf("chain length = %d", net.Chain().Len())
+	}
+	if len(res.Outcome.Matches) == 0 {
+		t.Fatal("no trades on chain")
+	}
+	if res.Unrevealed != 0 || res.RejectedBids != 0 {
+		t.Fatalf("unexpected drops: unrevealed=%d rejected=%d", res.Unrevealed, res.RejectedBids)
+	}
+	// The block is fully valid and carries the allocation.
+	block := net.Chain().Head()
+	if err := block.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	records, err := ledger.DecodeAllocation(block.Body.Allocation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(res.Outcome.Matches) {
+		t.Fatal("allocation records do not match outcome")
+	}
+	// Agreements proposed for every match.
+	if len(res.Agreements) != len(res.Outcome.Matches) {
+		t.Fatalf("agreements = %d, matches = %d", len(res.Agreements), len(res.Outcome.Matches))
+	}
+}
+
+func TestClientsAcceptAgreements(t *testing.T) {
+	net := NewNetwork(2, testDifficulty, auction.DefaultConfig())
+	participants := marketRound(t, net)
+	res, err := net.RunRound(context.Background(), participants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := net.Contracts()
+	for _, id := range res.Agreements {
+		a, err := reg.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Accept(id, a.Client()); err != nil {
+			t.Fatalf("accept %s: %v", id, err)
+		}
+	}
+	counts := reg.CountByStatus()
+	if counts[contract.Agreed] != len(res.Agreements) {
+		t.Fatalf("agreed = %d", counts[contract.Agreed])
+	}
+}
+
+func TestClientDenyTriggersPenalty(t *testing.T) {
+	net := NewNetwork(2, testDifficulty, auction.DefaultConfig())
+	participants := marketRound(t, net)
+	res, err := net.RunRound(context.Background(), participants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := net.Contracts()
+	a, err := reg.Get(res.Agreements[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider, err := reg.Deny(a.ID, a.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if provider == "" {
+		t.Fatal("deny must name the provider to notify")
+	}
+	if reg.Reputation().Score(a.Client()) >= 1 {
+		t.Fatal("denial should cost reputation")
+	}
+}
+
+func TestCheatingMinerRejected(t *testing.T) {
+	net := NewNetwork(3, testDifficulty, auction.DefaultConfig())
+	participants := marketRound(t, net)
+	// The winning miner inflates the first payment before broadcast.
+	net.TamperBody = func(b *ledger.Body) {
+		records, err := ledger.DecodeAllocation(b.Allocation)
+		if err != nil || len(records) == 0 {
+			return
+		}
+		records[0].Payment *= 10
+		forged, _ := encodeRecords(records)
+		*b = *ledger.NewBody(b.Reveals, forged)
+	}
+	_, err := net.RunRound(context.Background(), participants)
+	if !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("tampered block should be rejected by verifiers, got %v", err)
+	}
+	if net.Chain().Len() != 0 {
+		t.Fatal("tampered block reached the chain")
+	}
+}
+
+func TestTamperedAllocationHashRejected(t *testing.T) {
+	net := NewNetwork(2, testDifficulty, auction.DefaultConfig())
+	participants := marketRound(t, net)
+	// Tamper with allocation bytes but not the hash: structural check fails.
+	net.TamperBody = func(b *ledger.Body) {
+		b.Allocation = append(b.Allocation, ' ')
+	}
+	_, err := net.RunRound(context.Background(), participants)
+	if err == nil {
+		t.Fatal("hash-inconsistent body accepted")
+	}
+	if net.Chain().Len() != 0 {
+		t.Fatal("invalid block on chain")
+	}
+}
+
+func TestUnrevealedBidExcluded(t *testing.T) {
+	net := NewNetwork(2, testDifficulty, auction.DefaultConfig())
+	participants := marketRound(t, net)
+	// A fifth participant submits but never reveals (not passed to RunRound).
+	ghost := testParticipant(t, "ghost")
+	bid, err := ghost.SubmitRequest(request("r-ghost", 2, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SubmitBid(bid); err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.RunRound(context.Background(), participants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unrevealed != 1 {
+		t.Fatalf("unrevealed = %d, want 1", res.Unrevealed)
+	}
+	// The ghost's request must not appear in the allocation.
+	records, _ := ledger.DecodeAllocation(net.Chain().Head().Body.Allocation)
+	for _, rec := range records {
+		if rec.RequestID == "r-ghost" {
+			t.Fatal("unrevealed bid traded")
+		}
+	}
+}
+
+func TestForgedBidRejectedAtSubmission(t *testing.T) {
+	net := NewNetwork(1, testDifficulty, auction.DefaultConfig())
+	p := testParticipant(t, "p")
+	bid, err := p.SubmitRequest(request("r", 2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid.Envelope[0] ^= 1 // break the signature binding
+	if err := net.SubmitBid(bid); !errors.Is(err, ErrBadBid) {
+		t.Fatalf("forged bid accepted: %v", err)
+	}
+}
+
+func TestImpersonatedOrderDropped(t *testing.T) {
+	// An order claiming another participant's identity decrypts fine but
+	// must be rejected because the owner field does not match the signer.
+	mallory := testParticipant(t, "mallory")
+	victim := testParticipant(t, "victim")
+
+	r := request("r-fake", 2, 5)
+	r.Client = victim.ID() // forged owner
+	data, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := sealed.NewTempKeyFrom(newDetReader("k"))
+	bid, err := sealed.SealBid(mallory.identity, data, key, newDetReader("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reveal := sealed.NewKeyReveal(mallory.identity, bid, key)
+	res := DecryptOrders([]*sealed.Bid{bid}, []*sealed.KeyReveal{reveal})
+	if res.Rejected != 1 || len(res.Requests) != 0 {
+		t.Fatalf("impersonated order not dropped: %+v", res)
+	}
+}
+
+func TestEmptyMempoolRound(t *testing.T) {
+	net := NewNetwork(1, testDifficulty, auction.DefaultConfig())
+	if _, err := net.RunRound(context.Background(), nil); !errors.Is(err, ErrEmptyMempool) {
+		t.Fatalf("empty round: %v", err)
+	}
+}
+
+func TestMultipleRoundsChainGrowth(t *testing.T) {
+	net := NewNetwork(2, testDifficulty, auction.DefaultConfig())
+	for round := 0; round < 3; round++ {
+		participants := marketRound(t, net)
+		res, err := net.RunRound(context.Background(), participants)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if res.Block.Preamble.Height != int64(round) {
+			t.Fatalf("height = %d, want %d", res.Block.Preamble.Height, round)
+		}
+	}
+	if net.Chain().Len() != 3 {
+		t.Fatalf("chain length = %d", net.Chain().Len())
+	}
+	// Linkage is intact.
+	for i := 1; i < 3; i++ {
+		prev := net.Chain().BlockAt(i - 1).Preamble.Hash()
+		if net.Chain().BlockAt(i).Preamble.PrevHash != prev {
+			t.Fatalf("linkage broken at %d", i)
+		}
+	}
+}
+
+func TestVerifierIndependentRecompute(t *testing.T) {
+	// A fresh miner that saw none of the round can verify the block from
+	// its contents alone.
+	net := NewNetwork(2, testDifficulty, auction.DefaultConfig())
+	participants := marketRound(t, net)
+	if _, err := net.RunRound(context.Background(), participants); err != nil {
+		t.Fatal(err)
+	}
+	outsider := &Miner{Name: "outsider", Difficulty: testDifficulty, AuctionCfg: auction.DefaultConfig()}
+	if err := outsider.VerifyBlock(net.Chain().Head()); err != nil {
+		t.Fatalf("outsider verification failed: %v", err)
+	}
+}
+
+func encodeRecords(records []ledger.AllocationRecord) ([]byte, error) {
+	return json.Marshal(records)
+}

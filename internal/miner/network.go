@@ -1,0 +1,336 @@
+package miner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"decloud/internal/auction"
+	"decloud/internal/contract"
+	"decloud/internal/ledger"
+	"decloud/internal/sealed"
+)
+
+// Errors surfaced by the network.
+var (
+	ErrNoMiners     = errors.New("miner: network has no miners")
+	ErrEmptyMempool = errors.New("miner: no sealed bids to include")
+	ErrBadBid       = errors.New("miner: sealed bid failed signature verification")
+	ErrNoQuorum     = errors.New("miner: verifier quorum rejected the block")
+)
+
+// Network is the in-process miner overlay: a shared mempool of sealed
+// bids, a set of racing miners, the canonical chain, and the contract
+// registry where accepted allocations become agreements.
+type Network struct {
+	miners   []*Miner
+	chain    *ledger.Chain
+	registry *contract.Registry
+
+	mu      sync.Mutex
+	mempool []*sealed.Bid
+
+	// Consensus selects the block producer: ProofOfWork (default) races
+	// on the puzzle; ProofOfStake elects a stake-weighted leader.
+	Consensus Consensus
+	// Stakes weights proof-of-stake leader election by miner name
+	// (missing or non-positive entries count as weight 1).
+	Stakes map[string]float64
+
+	// Policy selects block verification: VerifyAll (default) or
+	// VerifySampled with SampleProb (TrueBit-style challengers).
+	Policy     VerifyPolicy
+	SampleProb float64
+	// Challenges accumulates disputes raised by sampled verifiers.
+	Challenges []Challenge
+	// Slashed counts upheld challenges per producing miner — the penalty
+	// hook a staking deployment would burn deposits through.
+	Slashed map[string]int
+
+	// BlockReward is the cryptotoken emission credited to the producer of
+	// every accepted block — the paper's miner incentive ("miners
+	// responsible for the algorithm execution are rewarded by cryptotokens
+	// emission", Section IV-C), which is why the auction itself can be
+	// strongly budget balanced. Defaults to DefaultBlockReward.
+	BlockReward float64
+	// Balances accumulates each miner's earned emission.
+	Balances map[string]float64
+
+	// TamperBody, when set, mutates the winning block's body before it is
+	// broadcast — a test hook simulating a cheating miner.
+	TamperBody func(*ledger.Body)
+
+	clock int64
+}
+
+// NewNetwork creates a network of n miners at the given PoW difficulty.
+// Every miner shares the network's contract registry as its reputation
+// source, so provider-side reputation thresholds (Section III-B) are
+// enforced consistently: reputation is ledger state, identical on every
+// verifying node.
+func NewNetwork(n int, difficulty int, cfg auction.Config) *Network {
+	net := &Network{
+		chain:       ledger.NewChain(),
+		registry:    contract.NewRegistry(nil),
+		Slashed:     make(map[string]int),
+		BlockReward: DefaultBlockReward,
+		Balances:    make(map[string]float64),
+	}
+	cfg.Reputation = net.registry.Reputation()
+	for i := 0; i < n; i++ {
+		net.miners = append(net.miners, &Miner{
+			Name:       fmt.Sprintf("miner-%02d", i),
+			Difficulty: difficulty,
+			AuctionCfg: cfg,
+		})
+	}
+	return net
+}
+
+// Chain exposes the canonical chain.
+func (n *Network) Chain() *ledger.Chain { return n.chain }
+
+// Contracts exposes the agreement registry.
+func (n *Network) Contracts() *contract.Registry { return n.registry }
+
+// SubmitBid gossips a sealed bid into the mempool. Bids with invalid
+// signatures are rejected at the door, as any real node would.
+func (n *Network) SubmitBid(b *sealed.Bid) error {
+	if !b.VerifySignature() {
+		return ErrBadBid
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mempool = append(n.mempool, b)
+	return nil
+}
+
+// MempoolSize reports the number of pending sealed bids.
+func (n *Network) MempoolSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.mempool)
+}
+
+// RoundResult summarizes one completed protocol round.
+type RoundResult struct {
+	Block      *ledger.Block
+	Outcome    *auction.Outcome
+	Winner     string
+	Agreements []contract.AgreementID
+	// Unrevealed and RejectedBids count bids dropped during decryption.
+	Unrevealed   int
+	RejectedBids int
+}
+
+// RunRound executes one full two-phase round (Fig. 2 of the paper):
+//
+//  1. Bidding phase: the mempool is drained into a block; miners race on
+//     proof-of-work; the winner's preamble is broadcast.
+//  2. Participants see their bids committed and broadcast key reveals.
+//  3. Execution phase: the winner decrypts, computes the allocation
+//     (seeded by the PoW evidence), and broadcasts the body.
+//  4. Every other miner independently re-executes and must agree before
+//     the block is appended; the matches become proposed agreements.
+//
+// The participants argument lists the endpoints to ask for key reveals —
+// in a real deployment this is a broadcast, here it is a direct call.
+func (n *Network) RunRound(ctx context.Context, participants []*Participant) (*RoundResult, error) {
+	if len(n.miners) == 0 {
+		return nil, ErrNoMiners
+	}
+	n.mu.Lock()
+	bids := n.mempool
+	n.mempool = nil
+	n.clock++
+	timestamp := n.clock
+	n.mu.Unlock()
+	if len(bids) == 0 {
+		return nil, ErrEmptyMempool
+	}
+
+	// Phase 1: block production. Under proof-of-work every miner
+	// assembles the same canonical block and searches a disjoint nonce
+	// region; first valid PoW wins and cancels the rest. Under
+	// proof-of-stake the stake-weighted leader for this height produces
+	// the block directly.
+	var winnerIdx int
+	var block *ledger.Block
+	var err error
+	switch n.Consensus {
+	case ProofOfStake:
+		winnerIdx, block = n.electLeader(bids, timestamp)
+	default:
+		winnerIdx, block, err = n.race(ctx, bids, timestamp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	winner := n.miners[winnerIdx]
+
+	// Phase 1→2 boundary: participants validate the preamble and reveal
+	// keys for their committed bids.
+	var reveals []*sealed.KeyReveal
+	if block.Preamble.ValidPoW() {
+		for _, p := range participants {
+			reveals = append(reveals, p.RevealsFor(block.Bids)...)
+		}
+	}
+
+	// Phase 2: the winner decrypts and computes the allocation.
+	outcome, err := winner.ComputeBody(block, reveals)
+	if err != nil {
+		return nil, fmt.Errorf("miner: compute body: %w", err)
+	}
+	dec := DecryptOrders(block.Bids, reveals)
+
+	if n.TamperBody != nil {
+		n.TamperBody(block.Body)
+	}
+
+	// Phase 2: other miners verify the block before acceptance. Under
+	// VerifyAll everyone re-executes; under VerifySampled each miner
+	// checks with probability SampleProb and any detected mismatch
+	// becomes a challenge that triggers full verification and slashes
+	// the producer (TrueBit's escape from the verifier's dilemma).
+	err = n.chain.Append(block, func(b *ledger.Block) error {
+		return n.verifyByPolicy(b, winnerIdx, winner.Name)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	n.Balances[winner.Name] += n.BlockReward
+
+	ids := n.registry.ProposeFromBlock(block.Preamble.Height, mustDecode(block.Body.Allocation))
+	return &RoundResult{
+		Block:        block,
+		Outcome:      outcome,
+		Winner:       winner.Name,
+		Agreements:   ids,
+		Unrevealed:   dec.Unrevealed,
+		RejectedBids: dec.Rejected,
+	}, nil
+}
+
+func mustDecode(alloc []byte) []ledger.AllocationRecord {
+	records, err := ledger.DecodeAllocation(alloc)
+	if err != nil {
+		// The body was just encoded by this process; failure here is a
+		// programming error, not an input error.
+		panic(fmt.Sprintf("miner: decode own allocation: %v", err))
+	}
+	return records
+}
+
+// electLeader produces a block under proof-of-stake: the stake-weighted
+// leader assembles it with difficulty 0 (no puzzle to solve).
+func (n *Network) electLeader(bids []*sealed.Bid, timestamp int64) (int, *ledger.Block) {
+	names := make([]string, len(n.miners))
+	for i, m := range n.miners {
+		names[i] = m.Name
+	}
+	var height int64
+	if head := n.chain.Head(); head != nil {
+		height = head.Preamble.Height + 1
+	}
+	idx := SelectLeader(n.chain.HeadHash(), height, names, n.Stakes)
+	block := n.miners[idx].AssembleBlock(n.chain, bids, timestamp)
+	block.Preamble.Difficulty = 0
+	return idx, block
+}
+
+// verifyByPolicy applies the network's verification policy to a block.
+func (n *Network) verifyByPolicy(b *ledger.Block, producerIdx int, producer string) error {
+	switch n.Policy {
+	case VerifySampled:
+		challenged := false
+		for i, m := range n.miners {
+			if i == producerIdx {
+				continue
+			}
+			if !shouldSample(b.Evidence(), m.Name, n.SampleProb) {
+				continue
+			}
+			if err := m.VerifyBlock(b); err != nil {
+				n.Challenges = append(n.Challenges, Challenge{
+					Height: b.Preamble.Height, Challenger: m.Name, Err: err.Error(),
+				})
+				challenged = true
+			}
+		}
+		if !challenged {
+			// Nobody sampled a problem: the block stands. With
+			// SampleProb 0 this IS the verifier's dilemma — a cheating
+			// producer goes unchecked.
+			return nil
+		}
+		// A challenge escalates to full verification; an upheld challenge
+		// slashes the producer.
+		for i, m := range n.miners {
+			if i == producerIdx {
+				continue
+			}
+			if err := m.VerifyBlock(b); err != nil {
+				n.Slashed[producer]++
+				return fmt.Errorf("%w: %v", ErrNoQuorum, err)
+			}
+		}
+		return nil
+	default: // VerifyAll
+		for i, m := range n.miners {
+			if i == producerIdx {
+				continue
+			}
+			if err := m.VerifyBlock(b); err != nil {
+				return fmt.Errorf("%w: %v", ErrNoQuorum, err)
+			}
+		}
+		return nil
+	}
+}
+
+// race runs the PoW competition and returns the winning miner's index
+// and its mined block.
+func (n *Network) race(ctx context.Context, bids []*sealed.Bid, timestamp int64) (int, *ledger.Block, error) {
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type win struct {
+		idx   int
+		block *ledger.Block
+	}
+	results := make(chan win, len(n.miners))
+	var wg sync.WaitGroup
+	for i, m := range n.miners {
+		wg.Add(1)
+		go func(idx int, m *Miner) {
+			defer wg.Done()
+			b := m.AssembleBlock(n.chain, bids, timestamp)
+			// Disjoint nonce regions keep the race fair and deterministic
+			// enough for tests while still genuinely concurrent.
+			start := uint64(idx) << 48
+			if err := m.Mine(raceCtx, b, start); err == nil {
+				select {
+				case results <- win{idx: idx, block: b}:
+				default:
+				}
+			}
+		}(i, m)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	first, ok := <-results
+	if !ok {
+		return 0, nil, ErrMiningFailed
+	}
+	cancel()
+	// Drain the channel so no goroutine blocks (buffered, but be tidy).
+	for range results {
+	}
+	return first.idx, first.block, nil
+}

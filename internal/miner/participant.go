@@ -1,0 +1,120 @@
+// Package miner implements the actors of the two-phase bid exposure
+// protocol (Section III): participants who seal and later reveal their
+// bids, miners who race on proof-of-work, compute the allocation, and
+// verify each other's blocks, and the Network that orchestrates one
+// protocol round end to end.
+package miner
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"sync"
+
+	"decloud/internal/bidding"
+	"decloud/internal/sealed"
+)
+
+// Participant is a client or provider endpoint: it owns an identity,
+// seals orders under fresh temporary keys, and reveals those keys once it
+// sees its bids committed in a valid preamble.
+type Participant struct {
+	identity *sealed.Identity
+	entropy  io.Reader
+
+	mu      sync.Mutex
+	pending map[[32]byte]pendingBid // bid digest → retained key
+}
+
+type pendingBid struct {
+	bid *sealed.Bid
+	key []byte
+}
+
+// NewParticipant creates a participant with a fresh identity. A nil
+// entropy reader defaults to crypto/rand; tests pass a deterministic one.
+func NewParticipant(entropy io.Reader) (*Participant, error) {
+	if entropy == nil {
+		entropy = rand.Reader
+	}
+	id, err := sealed.NewIdentityFrom(entropy)
+	if err != nil {
+		return nil, err
+	}
+	return &Participant{
+		identity: id,
+		entropy:  entropy,
+		pending:  make(map[[32]byte]pendingBid),
+	}, nil
+}
+
+// ID returns the participant's on-ledger fingerprint.
+func (p *Participant) ID() bidding.ParticipantID { return p.identity.ParticipantID() }
+
+// SubmitRequest seals a request under a fresh temporary key. The
+// request's Client field is overwritten with the participant's
+// fingerprint — orders are bound to the signing key, and miners enforce
+// this binding after decryption.
+func (p *Participant) SubmitRequest(r *bidding.Request) (*sealed.Bid, error) {
+	r.Client = p.ID()
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("miner: refusing to seal invalid request: %w", err)
+	}
+	data, err := r.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return p.seal(data)
+}
+
+// SubmitOffer seals an offer under a fresh temporary key, binding its
+// Provider field to the participant's fingerprint.
+func (p *Participant) SubmitOffer(o *bidding.Offer) (*sealed.Bid, error) {
+	o.Provider = p.ID()
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("miner: refusing to seal invalid offer: %w", err)
+	}
+	data, err := o.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return p.seal(data)
+}
+
+func (p *Participant) seal(orderBytes []byte) (*sealed.Bid, error) {
+	key, err := sealed.NewTempKeyFrom(p.entropy)
+	if err != nil {
+		return nil, err
+	}
+	bid, err := sealed.SealBid(p.identity, orderBytes, key, p.entropy)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.pending[bid.Digest()] = pendingBid{bid: bid, key: key}
+	p.mu.Unlock()
+	return bid, nil
+}
+
+// RevealsFor inspects a preamble's committed bids and broadcasts signed
+// key reveals for every pending bid of this participant found there.
+// Revealed bids leave the pending set.
+func (p *Participant) RevealsFor(committed []*sealed.Bid) []*sealed.KeyReveal {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var reveals []*sealed.KeyReveal
+	for _, b := range committed {
+		if pb, ok := p.pending[b.Digest()]; ok {
+			reveals = append(reveals, sealed.NewKeyReveal(p.identity, pb.bid, pb.key))
+			delete(p.pending, b.Digest())
+		}
+	}
+	return reveals
+}
+
+// PendingCount reports how many sealed bids await a preamble.
+func (p *Participant) PendingCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}

@@ -1,0 +1,86 @@
+package p2p
+
+import (
+	"encoding/json"
+	"io"
+
+	"decloud/internal/bidding"
+	"decloud/internal/ledger"
+	"decloud/internal/miner"
+	"decloud/internal/sealed"
+)
+
+// ParticipantClient is a client or provider endpoint on the gossip
+// network: it seals orders, broadcasts them as bids, and automatically
+// answers preambles that commit its bids with signed key reveals.
+type ParticipantClient struct {
+	net  *Node
+	part *miner.Participant
+}
+
+// NewParticipantClient starts a participant node on addr. A nil entropy
+// reader uses crypto/rand.
+func NewParticipantClient(name, addr string, entropy io.Reader) (*ParticipantClient, error) {
+	part, err := miner.NewParticipant(entropy)
+	if err != nil {
+		return nil, err
+	}
+	n, err := Listen(name, addr)
+	if err != nil {
+		return nil, err
+	}
+	pc := &ParticipantClient{net: n, part: part}
+	n.Handle(msgPreamble, pc.onPreamble)
+	return pc, nil
+}
+
+// ID returns the participant's on-ledger fingerprint.
+func (pc *ParticipantClient) ID() bidding.ParticipantID { return pc.part.ID() }
+
+// Addr returns the client's listen address.
+func (pc *ParticipantClient) Addr() string { return pc.net.Addr() }
+
+// Connect joins a peer's gossip.
+func (pc *ParticipantClient) Connect(addr string) error { return pc.net.Connect(addr) }
+
+// Close shuts the client down.
+func (pc *ParticipantClient) Close() error { return pc.net.Close() }
+
+// SubmitRequest seals and broadcasts a request.
+func (pc *ParticipantClient) SubmitRequest(r *bidding.Request) error {
+	bid, err := pc.part.SubmitRequest(r)
+	if err != nil {
+		return err
+	}
+	return pc.net.Broadcast(msgBid, bid)
+}
+
+// SubmitOffer seals and broadcasts an offer.
+func (pc *ParticipantClient) SubmitOffer(o *bidding.Offer) error {
+	bid, err := pc.part.SubmitOffer(o)
+	if err != nil {
+		return err
+	}
+	return pc.net.Broadcast(msgBid, bid)
+}
+
+// onPreamble validates a preamble and reveals keys for any of this
+// participant's bids committed in it — the phase boundary of the
+// protocol: keys go out only once the proof-of-work is fixed.
+func (pc *ParticipantClient) onPreamble(msg Message) {
+	var block ledger.Block
+	if err := json.Unmarshal(msg.Payload, &block); err != nil {
+		return
+	}
+	if !block.Preamble.ValidPoW() {
+		return // refuse to reveal against an invalid preamble
+	}
+	if ledger.HashBids(block.Bids) != block.Preamble.BidsHash {
+		return // preamble does not commit to these bids
+	}
+	for _, kr := range pc.part.RevealsFor(block.Bids) {
+		_ = pc.net.Broadcast(msgReveal, kr)
+	}
+}
+
+var _ = sealed.KeySize // keep the sealed import explicit for godoc links

@@ -1,0 +1,257 @@
+package p2p
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"decloud/internal/auction"
+	"decloud/internal/ledger"
+	"decloud/internal/miner"
+	"decloud/internal/sealed"
+)
+
+// Wire message types of the two-phase protocol.
+const (
+	msgBid      = "bid"      // sealed.Bid
+	msgPreamble = "preamble" // ledger.Block without body
+	msgReveal   = "reveal"   // sealed.KeyReveal
+	msgBlock    = "block"    // full ledger.Block
+	msgVote     = "vote"     // vote
+)
+
+// vote is a verifier's verdict on a broadcast block.
+type vote struct {
+	Voter  string `json:"voter"`
+	Height int64  `json:"height"`
+	OK     bool   `json:"ok"`
+	Err    string `json:"err,omitempty"`
+}
+
+// MarketNode is a miner running the protocol over TCP gossip: it
+// maintains a mempool and a chain replica, can produce blocks
+// (mine → collect reveals → allocate → broadcast), and verifies and
+// votes on blocks produced by others.
+type MarketNode struct {
+	net   *Node
+	miner *miner.Miner
+	chain *ledger.Chain
+
+	mu       sync.Mutex
+	mempool  []*sealed.Bid
+	havePool map[[32]byte]bool
+
+	revealCh chan *sealed.KeyReveal
+	voteCh   chan vote
+}
+
+// NewMarketNode starts a miner node listening on addr.
+func NewMarketNode(name, addr string, difficulty int, cfg auction.Config) (*MarketNode, error) {
+	n, err := Listen(name, addr)
+	if err != nil {
+		return nil, err
+	}
+	mn := &MarketNode{
+		net:      n,
+		miner:    &miner.Miner{Name: name, Difficulty: difficulty, AuctionCfg: cfg},
+		chain:    ledger.NewChain(),
+		havePool: make(map[[32]byte]bool),
+		revealCh: make(chan *sealed.KeyReveal, 4096),
+		voteCh:   make(chan vote, 1024),
+	}
+	n.Handle(msgBid, mn.onBid)
+	n.Handle(msgReveal, mn.onReveal)
+	n.Handle(msgBlock, mn.onBlock)
+	n.Handle(msgVote, mn.onVote)
+	return mn, nil
+}
+
+// Addr returns the node's listen address.
+func (mn *MarketNode) Addr() string { return mn.net.Addr() }
+
+// Name returns the node's name.
+func (mn *MarketNode) Name() string { return mn.net.Name() }
+
+// Chain returns the node's chain replica.
+func (mn *MarketNode) Chain() *ledger.Chain { return mn.chain }
+
+// Connect joins a peer's gossip.
+func (mn *MarketNode) Connect(addr string) error { return mn.net.Connect(addr) }
+
+// Close shuts the node down.
+func (mn *MarketNode) Close() error { return mn.net.Close() }
+
+// SubmitBid accepts a sealed bid locally and gossips it.
+func (mn *MarketNode) SubmitBid(b *sealed.Bid) error {
+	if !b.VerifySignature() {
+		return miner.ErrBadBid
+	}
+	mn.addToPool(b)
+	return mn.net.Broadcast(msgBid, b)
+}
+
+func (mn *MarketNode) addToPool(b *sealed.Bid) {
+	mn.mu.Lock()
+	defer mn.mu.Unlock()
+	d := b.Digest()
+	if mn.havePool[d] {
+		return
+	}
+	mn.havePool[d] = true
+	mn.mempool = append(mn.mempool, b)
+}
+
+// MempoolSize reports the number of pending sealed bids.
+func (mn *MarketNode) MempoolSize() int {
+	mn.mu.Lock()
+	defer mn.mu.Unlock()
+	return len(mn.mempool)
+}
+
+func (mn *MarketNode) onBid(msg Message) {
+	var b sealed.Bid
+	if err := json.Unmarshal(msg.Payload, &b); err != nil || !b.VerifySignature() {
+		return
+	}
+	mn.addToPool(&b)
+}
+
+func (mn *MarketNode) onReveal(msg Message) {
+	var kr sealed.KeyReveal
+	if err := json.Unmarshal(msg.Payload, &kr); err != nil {
+		return
+	}
+	select {
+	case mn.revealCh <- &kr:
+	default: // producer not draining; drop rather than block the reader
+	}
+}
+
+// onBlock verifies a block produced elsewhere, appends it to the local
+// replica, and votes.
+func (mn *MarketNode) onBlock(msg Message) {
+	var b ledger.Block
+	if err := json.Unmarshal(msg.Payload, &b); err != nil {
+		return
+	}
+	v := vote{Voter: mn.Name(), Height: b.Preamble.Height, OK: true}
+	if err := mn.chain.Append(&b, mn.miner.VerifyBlock); err != nil {
+		v.OK = false
+		v.Err = err.Error()
+	}
+	_ = mn.net.Broadcast(msgVote, v)
+}
+
+func (mn *MarketNode) onVote(msg Message) {
+	var v vote
+	if err := json.Unmarshal(msg.Payload, &v); err != nil {
+		return
+	}
+	select {
+	case mn.voteCh <- v:
+	default:
+	}
+}
+
+// RoundSummary reports a produced block's fate.
+type RoundSummary struct {
+	Block      *ledger.Block
+	Outcome    *auction.Outcome
+	OKVotes    int
+	BadVotes   int
+	Unrevealed int
+}
+
+// ProduceBlock runs one round as the producing miner: drain the mempool,
+// mine the preamble, broadcast it, collect key reveals until every
+// committed bid is revealed or the reveal window lapses, compute and
+// broadcast the block, then collect verifier votes until quorum OK votes
+// arrive or ctx expires. The producer appends to its own replica before
+// broadcasting.
+func (mn *MarketNode) ProduceBlock(ctx context.Context, quorum int, revealWindow time.Duration) (*RoundSummary, error) {
+	mn.mu.Lock()
+	bids := mn.mempool
+	mn.mempool = nil
+	mn.havePool = make(map[[32]byte]bool)
+	mn.mu.Unlock()
+	if len(bids) == 0 {
+		return nil, miner.ErrEmptyMempool
+	}
+
+	block := mn.miner.AssembleBlock(mn.chain, bids, time.Now().Unix())
+	if err := mn.miner.Mine(ctx, block, 0); err != nil {
+		return nil, err
+	}
+
+	// Drain stale reveals from a previous round before asking for new ones.
+	for {
+		select {
+		case <-mn.revealCh:
+			continue
+		default:
+		}
+		break
+	}
+	if err := mn.net.Broadcast(msgPreamble, block); err != nil {
+		return nil, fmt.Errorf("p2p: broadcast preamble: %w", err)
+	}
+
+	// Collect reveals for the committed bids.
+	want := make(map[[32]byte]bool, len(block.Bids))
+	for _, b := range block.Bids {
+		want[b.Digest()] = true
+	}
+	reveals := make([]*sealed.KeyReveal, 0, len(want))
+	timer := time.NewTimer(revealWindow)
+	defer timer.Stop()
+collect:
+	for len(want) > 0 {
+		select {
+		case kr := <-mn.revealCh:
+			if want[kr.BidDigest] {
+				delete(want, kr.BidDigest)
+				reveals = append(reveals, kr)
+			}
+		case <-timer.C:
+			break collect
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	outcome, err := mn.miner.ComputeBody(block, reveals)
+	if err != nil {
+		return nil, err
+	}
+	if err := mn.chain.Append(block, nil); err != nil {
+		return nil, fmt.Errorf("p2p: self-append: %w", err)
+	}
+	if err := mn.net.Broadcast(msgBlock, block); err != nil {
+		return nil, fmt.Errorf("p2p: broadcast block: %w", err)
+	}
+
+	summary := &RoundSummary{
+		Block:      block,
+		Outcome:    outcome,
+		Unrevealed: len(want),
+	}
+	for summary.OKVotes < quorum {
+		select {
+		case v := <-mn.voteCh:
+			if v.Height != block.Preamble.Height {
+				continue
+			}
+			if v.OK {
+				summary.OKVotes++
+			} else {
+				summary.BadVotes++
+			}
+		case <-ctx.Done():
+			return summary, fmt.Errorf("p2p: quorum not reached: %d/%d ok, %d bad: %w",
+				summary.OKVotes, quorum, summary.BadVotes, ctx.Err())
+		}
+	}
+	return summary, nil
+}

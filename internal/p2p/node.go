@@ -1,0 +1,238 @@
+// Package p2p provides the networked deployment of the two-phase bid
+// exposure protocol: a small TCP gossip transport (JSON-line framing,
+// flood routing with deduplication) and a MarketNode that runs the miner
+// role over it. The in-process miner.Network is the reference
+// implementation; this package carries the same message flow across real
+// sockets so that miners and participants can run as separate processes
+// (see cmd/decloud-node).
+package p2p
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Message is the wire envelope. ID makes flooding idempotent: every node
+// relays a message at most once.
+type Message struct {
+	ID      uint64          `json:"id"`
+	From    string          `json:"from"`
+	Type    string          `json:"type"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+func (m *Message) key() [32]byte {
+	h := sha256.New()
+	var id [8]byte
+	binary.BigEndian.PutUint64(id[:], m.ID)
+	h.Write(id[:])
+	h.Write([]byte(m.From))
+	h.Write([]byte{0})
+	h.Write([]byte(m.Type))
+	h.Write([]byte{0})
+	h.Write(m.Payload)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Handler consumes a delivered message.
+type Handler func(Message)
+
+// ErrClosed is returned by operations on a closed node.
+var ErrClosed = errors.New("p2p: node closed")
+
+// Node is one gossip endpoint: it accepts inbound peers, dials outbound
+// peers, and floods messages to all of them, delivering each unique
+// message to the local handlers exactly once.
+type Node struct {
+	name string
+	ln   net.Listener
+
+	mu       sync.Mutex
+	conns    map[net.Conn]*bufio.Writer
+	seen     map[[32]byte]bool
+	handlers map[string][]Handler
+	closed   bool
+
+	seq uint64
+	wg  sync.WaitGroup
+}
+
+// Listen starts a node named name on addr (use "127.0.0.1:0" for an
+// ephemeral port).
+func Listen(name, addr string) (*Node, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("p2p: listen: %w", err)
+	}
+	n := &Node{
+		name:     name,
+		ln:       ln,
+		conns:    make(map[net.Conn]*bufio.Writer),
+		seen:     make(map[[32]byte]bool),
+		handlers: make(map[string][]Handler),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Addr returns the listening address (host:port).
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Connect dials a peer and joins its gossip.
+func (n *Node) Connect(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("p2p: connect %s: %w", addr, err)
+	}
+	n.addConn(conn)
+	return nil
+}
+
+// Handle registers a handler for a message type. Handlers run on reader
+// goroutines; they must not block indefinitely.
+func (n *Node) Handle(msgType string, fn Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[msgType] = append(n.handlers[msgType], fn)
+}
+
+// Broadcast floods a message to every peer. The local node's handlers do
+// NOT receive their own broadcasts.
+func (n *Node) Broadcast(msgType string, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("p2p: marshal %s: %w", msgType, err)
+	}
+	msg := Message{
+		ID:      atomic.AddUint64(&n.seq, 1),
+		From:    n.name,
+		Type:    msgType,
+		Payload: data,
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	n.seen[msg.key()] = true // never re-deliver our own message
+	err = n.relayLocked(msg, nil)
+	n.mu.Unlock()
+	return err
+}
+
+// relayLocked writes the message to every connection except skip.
+// Callers hold n.mu.
+func (n *Node) relayLocked(msg Message, skip net.Conn) error {
+	line, err := json.Marshal(&msg)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	var firstErr error
+	for conn, w := range n.conns {
+		if conn == skip {
+			continue
+		}
+		if _, err := w.Write(line); err == nil {
+			err = w.Flush()
+			if err == nil {
+				continue
+			}
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close shuts the node down, closing every connection.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	for conn := range n.conns {
+		conn.Close()
+	}
+	n.conns = map[net.Conn]*bufio.Writer{}
+	n.mu.Unlock()
+	err := n.ln.Close()
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.addConn(conn)
+	}
+}
+
+func (n *Node) addConn(conn net.Conn) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	n.conns[conn] = bufio.NewWriter(conn)
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.readLoop(conn)
+}
+
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		n.mu.Lock()
+		delete(n.conns, conn)
+		n.mu.Unlock()
+		conn.Close()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for scanner.Scan() {
+		var msg Message
+		if err := json.Unmarshal(scanner.Bytes(), &msg); err != nil {
+			continue // drop malformed lines, keep the connection
+		}
+		n.deliver(msg, conn)
+	}
+}
+
+// deliver dispatches an inbound message once and relays it onward.
+func (n *Node) deliver(msg Message, from net.Conn) {
+	key := msg.key()
+	n.mu.Lock()
+	if n.closed || n.seen[key] {
+		n.mu.Unlock()
+		return
+	}
+	n.seen[key] = true
+	handlers := append([]Handler(nil), n.handlers[msg.Type]...)
+	_ = n.relayLocked(msg, from)
+	n.mu.Unlock()
+	for _, fn := range handlers {
+		fn(msg)
+	}
+}

@@ -1,0 +1,211 @@
+// Package sealed implements the cryptography of the two-phase bid
+// exposure protocol (Section III): participant identities (ed25519),
+// sealed-bid envelopes (AES-256-GCM under single-use temporary keys), and
+// the signed wrapper that goes into a block's preamble. Bids stay
+// unreadable until their temporary keys are broadcast after the
+// proof-of-work is fixed.
+package sealed
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+
+	"decloud/internal/bidding"
+)
+
+// KeySize is the AES-256 temporary key length.
+const KeySize = 32
+
+// Errors surfaced by the package.
+var (
+	ErrBadKey       = errors.New("sealed: temporary key must be 32 bytes")
+	ErrOpenFailed   = errors.New("sealed: envelope authentication failed")
+	ErrBadSignature = errors.New("sealed: signature verification failed")
+	ErrShortData    = errors.New("sealed: envelope data too short")
+)
+
+// Identity is a participant's signing keypair. Its fingerprint doubles as
+// the ParticipantID used in orders, binding bids to keys.
+type Identity struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewIdentity generates an identity from crypto/rand.
+func NewIdentity() (*Identity, error) {
+	return NewIdentityFrom(rand.Reader)
+}
+
+// NewIdentityFrom generates an identity from the given entropy source
+// (tests pass a deterministic reader).
+func NewIdentityFrom(r io.Reader) (*Identity, error) {
+	pub, priv, err := ed25519.GenerateKey(r)
+	if err != nil {
+		return nil, fmt.Errorf("sealed: generate identity: %w", err)
+	}
+	return &Identity{pub: pub, priv: priv}, nil
+}
+
+// Public returns the public key.
+func (id *Identity) Public() ed25519.PublicKey { return id.pub }
+
+// ParticipantID returns the hex fingerprint (SHA-256 of the public key,
+// truncated to 16 bytes) used as the on-ledger participant identity.
+func (id *Identity) ParticipantID() bidding.ParticipantID {
+	return FingerprintOf(id.pub)
+}
+
+// FingerprintOf computes the participant fingerprint of a public key.
+func FingerprintOf(pub ed25519.PublicKey) bidding.ParticipantID {
+	sum := sha256.Sum256(pub)
+	return bidding.ParticipantID(hex.EncodeToString(sum[:16]))
+}
+
+// Sign signs a message with the identity's private key.
+func (id *Identity) Sign(msg []byte) []byte { return ed25519.Sign(id.priv, msg) }
+
+// Verify checks an ed25519 signature.
+func Verify(pub ed25519.PublicKey, msg, sig []byte) bool {
+	return len(pub) == ed25519.PublicKeySize && ed25519.Verify(pub, msg, sig)
+}
+
+// NewTempKey draws a fresh 32-byte temporary key.
+func NewTempKey() ([]byte, error) {
+	return NewTempKeyFrom(rand.Reader)
+}
+
+// NewTempKeyFrom draws a temporary key from the given entropy source.
+func NewTempKeyFrom(r io.Reader) ([]byte, error) {
+	key := make([]byte, KeySize)
+	if _, err := io.ReadFull(r, key); err != nil {
+		return nil, fmt.Errorf("sealed: temp key: %w", err)
+	}
+	return key, nil
+}
+
+// Envelope is an AES-256-GCM sealed payload: nonce ‖ ciphertext.
+type Envelope []byte
+
+// Seal encrypts payload under a 32-byte temporary key.
+func Seal(payload, key []byte, entropy io.Reader) (Envelope, error) {
+	if len(key) != KeySize {
+		return nil, ErrBadKey
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("sealed: cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("sealed: gcm: %w", err)
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := io.ReadFull(entropy, nonce); err != nil {
+		return nil, fmt.Errorf("sealed: nonce: %w", err)
+	}
+	return Envelope(append(nonce, gcm.Seal(nil, nonce, payload, nil)...)), nil
+}
+
+// Open decrypts the envelope with the temporary key.
+func (e Envelope) Open(key []byte) ([]byte, error) {
+	if len(key) != KeySize {
+		return nil, ErrBadKey
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("sealed: cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("sealed: gcm: %w", err)
+	}
+	if len(e) < gcm.NonceSize() {
+		return nil, ErrShortData
+	}
+	plain, err := gcm.Open(nil, e[:gcm.NonceSize()], e[gcm.NonceSize():], nil)
+	if err != nil {
+		return nil, ErrOpenFailed
+	}
+	return plain, nil
+}
+
+// Bid is a sealed, signed order as it appears in a block preamble: the
+// sender's public key, the encrypted order, and a signature over the
+// envelope. The plaintext order inside must name the sender's
+// fingerprint as its owner, which miners enforce after decryption.
+type Bid struct {
+	Sender    []byte   `json:"sender"` // ed25519 public key
+	Envelope  Envelope `json:"envelope"`
+	Signature []byte   `json:"signature"`
+}
+
+// SealBid encrypts and signs canonical order bytes.
+func SealBid(id *Identity, orderBytes, tempKey []byte, entropy io.Reader) (*Bid, error) {
+	env, err := Seal(orderBytes, tempKey, entropy)
+	if err != nil {
+		return nil, err
+	}
+	return &Bid{
+		Sender:    append([]byte(nil), id.Public()...),
+		Envelope:  env,
+		Signature: id.Sign(env),
+	}, nil
+}
+
+// VerifySignature checks the bid's signature over its envelope.
+func (b *Bid) VerifySignature() bool {
+	return Verify(ed25519.PublicKey(b.Sender), b.Envelope, b.Signature)
+}
+
+// SenderID returns the sender's participant fingerprint.
+func (b *Bid) SenderID() bidding.ParticipantID {
+	return FingerprintOf(ed25519.PublicKey(b.Sender))
+}
+
+// Digest identifies the bid (hash of the envelope); participants use it
+// to find their bids in a preamble and to address key reveals.
+func (b *Bid) Digest() [32]byte { return sha256.Sum256(b.Envelope) }
+
+// KeyReveal is a participant's broadcast of its temporary key after the
+// preamble is public, signed so only the bid's owner can reveal it.
+type KeyReveal struct {
+	BidDigest [32]byte `json:"bid_digest"`
+	Key       []byte   `json:"key"`
+	Sender    []byte   `json:"sender"`
+	Signature []byte   `json:"signature"`
+}
+
+// NewKeyReveal builds a signed reveal for a bid.
+func NewKeyReveal(id *Identity, bid *Bid, tempKey []byte) *KeyReveal {
+	d := bid.Digest()
+	msg := append(append([]byte{}, d[:]...), tempKey...)
+	return &KeyReveal{
+		BidDigest: d,
+		Key:       append([]byte(nil), tempKey...),
+		Sender:    append([]byte(nil), id.Public()...),
+		Signature: id.Sign(msg),
+	}
+}
+
+// Verify checks the reveal's signature and that the revealer is the bid's
+// sender.
+func (kr *KeyReveal) Verify(bid *Bid) error {
+	if kr.BidDigest != bid.Digest() {
+		return fmt.Errorf("sealed: reveal digest mismatch")
+	}
+	if FingerprintOf(ed25519.PublicKey(kr.Sender)) != bid.SenderID() {
+		return fmt.Errorf("sealed: reveal from non-owner")
+	}
+	msg := append(append([]byte{}, kr.BidDigest[:]...), kr.Key...)
+	if !Verify(ed25519.PublicKey(kr.Sender), msg, kr.Signature) {
+		return ErrBadSignature
+	}
+	return nil
+}

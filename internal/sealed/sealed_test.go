@@ -1,0 +1,249 @@
+package sealed
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"decloud/internal/bidding"
+	"decloud/internal/resource"
+)
+
+// detRand is a deterministic entropy source for tests.
+type detRand struct{ state [32]byte }
+
+func newDetRand(seed string) *detRand {
+	d := &detRand{}
+	d.state = sha256.Sum256([]byte(seed))
+	return d
+}
+
+func (d *detRand) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		d.state = sha256.Sum256(d.state[:])
+		c := copy(p[n:], d.state[:])
+		n += c
+	}
+	return n, nil
+}
+
+var _ io.Reader = (*detRand)(nil)
+
+func testIdentity(t *testing.T, seed string) *Identity {
+	t.Helper()
+	id, err := NewIdentityFrom(newDetRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestIdentityFingerprint(t *testing.T) {
+	a := testIdentity(t, "alice")
+	b := testIdentity(t, "bob")
+	if a.ParticipantID() == b.ParticipantID() {
+		t.Fatal("distinct identities share a fingerprint")
+	}
+	if len(a.ParticipantID()) != 32 { // 16 bytes hex
+		t.Fatalf("fingerprint length = %d", len(a.ParticipantID()))
+	}
+	if a.ParticipantID() != FingerprintOf(a.Public()) {
+		t.Fatal("FingerprintOf mismatch")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	id := testIdentity(t, "signer")
+	msg := []byte("hello decloud")
+	sig := id.Sign(msg)
+	if !Verify(id.Public(), msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if Verify(id.Public(), []byte("tampered"), sig) {
+		t.Fatal("tampered message accepted")
+	}
+	if Verify(nil, msg, sig) {
+		t.Fatal("nil key accepted")
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	key, err := NewTempKeyFrom(newDetRand("key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("sealed order bytes")
+	env, err := Seal(payload, key, newDetRand("nonce"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := env.Open(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+}
+
+func TestOpenWrongKeyFails(t *testing.T) {
+	k1, _ := NewTempKeyFrom(newDetRand("k1"))
+	k2, _ := NewTempKeyFrom(newDetRand("k2"))
+	env, err := Seal([]byte("secret"), k1, newDetRand("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.Open(k2); !errors.Is(err, ErrOpenFailed) {
+		t.Fatalf("wrong key: %v", err)
+	}
+}
+
+func TestSealRejectsBadKey(t *testing.T) {
+	if _, err := Seal([]byte("x"), []byte("short"), newDetRand("n")); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("short key accepted: %v", err)
+	}
+	var env Envelope = []byte("tiny")
+	if _, err := env.Open(make([]byte, KeySize)); !errors.Is(err, ErrShortData) {
+		t.Fatalf("short envelope: %v", err)
+	}
+}
+
+func TestEnvelopeTamperDetected(t *testing.T) {
+	key, _ := NewTempKeyFrom(newDetRand("k"))
+	env, err := Seal([]byte("payload"), key, newDetRand("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env[len(env)-1] ^= 0xff
+	if _, err := env.Open(key); !errors.Is(err, ErrOpenFailed) {
+		t.Fatalf("tampered envelope accepted: %v", err)
+	}
+}
+
+func testOrderBytes(t *testing.T, owner bidding.ParticipantID) []byte {
+	t.Helper()
+	r := &bidding.Request{
+		ID: "r1", Client: owner,
+		Resources: resource.Vector{resource.CPU: 2},
+		Start:     0, End: 100, Duration: 50, Bid: 3,
+	}
+	data, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestSealBidAndVerify(t *testing.T) {
+	id := testIdentity(t, "alice")
+	key, _ := NewTempKeyFrom(newDetRand("k"))
+	orderBytes := testOrderBytes(t, id.ParticipantID())
+	bid, err := SealBid(id, orderBytes, key, newDetRand("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bid.VerifySignature() {
+		t.Fatal("valid bid signature rejected")
+	}
+	if bid.SenderID() != id.ParticipantID() {
+		t.Fatal("sender fingerprint mismatch")
+	}
+	// Decrypt and confirm the order survived.
+	plain, err := bid.Envelope.Open(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _, err := bidding.DecodeOrder(plain)
+	if err != nil || req == nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if req.Client != id.ParticipantID() {
+		t.Fatal("owner mismatch after round trip")
+	}
+	// Tamper with the envelope: signature must break.
+	bid.Envelope[0] ^= 1
+	if bid.VerifySignature() {
+		t.Fatal("tampered bid passes signature check")
+	}
+}
+
+func TestKeyReveal(t *testing.T) {
+	alice := testIdentity(t, "alice")
+	mallory := testIdentity(t, "mallory")
+	key, _ := NewTempKeyFrom(newDetRand("k"))
+	bid, err := SealBid(alice, testOrderBytes(t, alice.ParticipantID()), key, newDetRand("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reveal := NewKeyReveal(alice, bid, key)
+	if err := reveal.Verify(bid); err != nil {
+		t.Fatalf("valid reveal rejected: %v", err)
+	}
+	// A non-owner cannot reveal.
+	fake := NewKeyReveal(mallory, bid, key)
+	if err := fake.Verify(bid); err == nil {
+		t.Fatal("non-owner reveal accepted")
+	}
+	// Tampered key breaks the signature.
+	reveal.Key[0] ^= 1
+	if err := reveal.Verify(bid); err == nil {
+		t.Fatal("tampered reveal accepted")
+	}
+}
+
+func TestNewIdentityAndKeyFromSystemRand(t *testing.T) {
+	if _, err := NewIdentity(); err != nil {
+		t.Fatal(err)
+	}
+	key, err := NewTempKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(key) != KeySize {
+		t.Fatalf("key size = %d", len(key))
+	}
+}
+
+// TestOpenNeverPanicsOnGarbage: adversarial envelope bytes must fail
+// cleanly, never panic.
+func TestOpenNeverPanicsOnGarbage(t *testing.T) {
+	key := make([]byte, KeySize)
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Open panicked: %v", r)
+			}
+		}()
+		_, _ = Envelope(data).Open(key)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSealOpenProperty: arbitrary payloads round-trip under arbitrary keys.
+func TestSealOpenProperty(t *testing.T) {
+	f := func(payload []byte, keySeed string) bool {
+		key, err := NewTempKeyFrom(newDetRand("k" + keySeed))
+		if err != nil {
+			return false
+		}
+		env, err := Seal(payload, key, newDetRand("n"+keySeed))
+		if err != nil {
+			return false
+		}
+		got, err := env.Open(key)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,382 @@
+// Package sim drives end-to-end market simulations in two modes: Fast
+// (the mechanism runs directly on generated orders, as in the paper's
+// evaluation) and Ledger (every order travels through the full two-phase
+// bid exposure protocol: sealing, mining, key reveal, allocation,
+// independent verification, and contract agreement).
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"decloud/internal/auction"
+	"decloud/internal/bidding"
+	"decloud/internal/miner"
+	"decloud/internal/workload"
+)
+
+// Mode selects the simulation depth.
+type Mode int
+
+// Simulation modes.
+const (
+	// Fast runs the mechanism in-process per round.
+	Fast Mode = iota
+	// Ledger runs the full two-phase protocol with a miner network.
+	Ledger
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	Mode   Mode
+	Rounds int
+	// Workload is the per-round market shape; its Seed advances each
+	// round so rounds differ but the whole simulation is reproducible.
+	Workload workload.Config
+	// Miners and Difficulty configure ledger mode (defaults 3 and 8).
+	Miners     int
+	Difficulty int
+	// DenyProb is the per-agreement probability that a client denies the
+	// allocation in ledger mode, exercising the reputation system.
+	DenyProb float64
+	// Resubmit carries unmatched requests over to the next round
+	// (Section III-B: "Participants, whose bids were refused, can
+	// resubmit their bids"). Carried requests keep their valuations; a
+	// request is dropped after MaxResubmits unsuccessful rounds.
+	Resubmit     bool
+	MaxResubmits int
+	// Auction tunes the mechanism (zero value → auction.DefaultConfig()).
+	Auction auction.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds == 0 {
+		c.Rounds = 1
+	}
+	if c.Miners == 0 {
+		c.Miners = 3
+	}
+	if c.Difficulty == 0 {
+		c.Difficulty = 8
+	}
+	if c.Auction.Match.QualityBand == 0 {
+		c.Auction = auction.DefaultConfig()
+	}
+	return c
+}
+
+// RoundMetrics captures one round's market performance.
+type RoundMetrics struct {
+	Round        int
+	Requests     int
+	Offers       int
+	Matches      int
+	Welfare      float64 // DeCloud's realized welfare (true values)
+	BenchWelfare float64 // non-truthful greedy benchmark on the same orders
+	WelfareRatio float64 // Welfare / BenchWelfare (0 when benchmark is 0)
+	// ReducedRate is the fraction of trades lost to the truthful design
+	// relative to the benchmark: (bench matches − matches)/bench matches,
+	// clamped at 0.
+	ReducedRate  float64
+	Satisfaction float64 // fraction of requests allocated
+	Payments     float64 // total client payments (= provider revenues)
+	// Resubmission dynamics (when Config.Resubmit is on).
+	CarriedIn  int // requests resubmitted from earlier rounds
+	CarriedOut int // unmatched requests carried to the next round
+	Expired    int // requests dropped after MaxResubmits attempts
+	// Ledger-mode extras.
+	BlockHeight int64
+	Winner      string
+	Agreed      int
+	Denied      int
+
+	// matchedIDs feeds the resubmission bookkeeping.
+	matchedIDs []bidding.OrderID
+}
+
+// Result aggregates a full simulation.
+type Result struct {
+	Rounds []RoundMetrics
+}
+
+// TotalWelfare sums realized welfare over all rounds (Eq. 15).
+func (r *Result) TotalWelfare() float64 {
+	var w float64
+	for _, m := range r.Rounds {
+		w += m.Welfare
+	}
+	return w
+}
+
+// MeanWelfareRatio averages the per-round DeCloud/benchmark ratio over
+// rounds where the benchmark traded.
+func (r *Result) MeanWelfareRatio() float64 {
+	var sum float64
+	var n int
+	for _, m := range r.Rounds {
+		if m.BenchWelfare > 0 {
+			sum += m.WelfareRatio
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{}
+	// Ledger mode keeps ONE network and participant set across rounds:
+	// the chain grows block by block and reputation persists, as it would
+	// in a deployment.
+	var net *miner.Network
+	var roster map[bidding.ParticipantID]*miner.Participant
+	if cfg.Mode == Ledger {
+		net = NewLedgerNetwork(cfg)
+		roster = make(map[bidding.ParticipantID]*miner.Participant)
+	}
+	// carried holds unmatched requests awaiting resubmission, with their
+	// remaining attempt budget.
+	type carriedReq struct {
+		r    *bidding.Request
+		left int
+	}
+	var carried []carriedReq
+	maxResubmits := cfg.MaxResubmits
+	if maxResubmits <= 0 {
+		maxResubmits = 3
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		wcfg := cfg.Workload
+		wcfg.Seed = cfg.Workload.Seed + int64(round)*1009
+		market := workload.Generate(wcfg)
+
+		carriedIn := 0
+		if cfg.Resubmit && round > 0 {
+			for _, c := range carried {
+				// Shift the carried request's window into this round's
+				// horizon: a resubmitted bid asks for the same service
+				// later.
+				fresh := *c.r
+				fresh.Resources = c.r.Resources.Clone()
+				span := fresh.End - fresh.Start
+				fresh.Start = 0
+				fresh.End = span
+				market.Requests = append(market.Requests, &fresh)
+				carriedIn++
+			}
+		}
+
+		var metrics RoundMetrics
+		var err error
+		switch cfg.Mode {
+		case Fast:
+			metrics = fastRound(market, cfg)
+		case Ledger:
+			metrics, err = ledgerRound(net, roster, market, cfg, round)
+			if err != nil {
+				return nil, fmt.Errorf("sim: round %d: %w", round, err)
+			}
+		default:
+			return nil, fmt.Errorf("sim: unknown mode %d", cfg.Mode)
+		}
+		metrics.Round = round
+		metrics.Requests = len(market.Requests)
+		metrics.Offers = len(market.Offers)
+		metrics.CarriedIn = carriedIn
+
+		if cfg.Resubmit {
+			matched := make(map[bidding.OrderID]bool, metrics.Matches)
+			// fastRound/ledgerRound don't return the outcome; re-derive
+			// the matched set from the payments the round recorded. To
+			// keep this simple and mode-agnostic we rerun matching state
+			// via the metrics-free path: requests without a carried
+			// marker are regenerated next round anyway, so only track
+			// carried/unmatched of THIS round's market.
+			for _, id := range metrics.matchedIDs {
+				matched[id] = true
+			}
+			budget := make(map[bidding.OrderID]int, len(carried))
+			for _, c := range carried {
+				budget[c.r.ID] = c.left
+			}
+			carried = carried[:0]
+			for _, r := range market.Requests {
+				if matched[r.ID] {
+					continue
+				}
+				left, wasCarried := budget[r.ID]
+				if !wasCarried {
+					left = maxResubmits
+				}
+				if left <= 0 {
+					metrics.Expired++
+					continue
+				}
+				carried = append(carried, carriedReq{r: r, left: left - 1})
+			}
+			metrics.CarriedOut = len(carried)
+		}
+		res.Rounds = append(res.Rounds, metrics)
+	}
+	return res, nil
+}
+
+func fastRound(market *workload.Market, cfg Config) RoundMetrics {
+	acfg := cfg.Auction
+	acfg.Evidence = []byte(fmt.Sprintf("sim-fast-%d", cfg.Workload.Seed))
+	out := auction.Run(market.Requests, market.Offers, acfg)
+	bench := auction.RunGreedy(market.Requests, market.Offers, cfg.Auction)
+	return metricsFrom(out, bench, len(market.Requests))
+}
+
+func metricsFrom(out, bench *auction.Outcome, totalRequests int) RoundMetrics {
+	m := RoundMetrics{
+		Matches:      len(out.Matches),
+		Welfare:      out.Welfare(),
+		BenchWelfare: bench.Welfare(),
+		Satisfaction: out.Satisfaction(totalRequests),
+		Payments:     out.TotalPayments(),
+	}
+	if m.BenchWelfare > 0 {
+		m.WelfareRatio = m.Welfare / m.BenchWelfare
+	}
+	if nb := len(bench.Matches); nb > len(out.Matches) {
+		m.ReducedRate = float64(nb-len(out.Matches)) / float64(nb)
+	}
+	for _, match := range out.Matches {
+		m.matchedIDs = append(m.matchedIDs, match.Request.ID)
+	}
+	return m
+}
+
+// ledgerRound pushes every order through the two-phase protocol on the
+// simulation's persistent network.
+func ledgerRound(net *miner.Network, roster map[bidding.ParticipantID]*miner.Participant, market *workload.Market, cfg Config, round int) (RoundMetrics, error) {
+	participants, err := SubmitMarket(net, roster, market)
+	if err != nil {
+		return RoundMetrics{}, err
+	}
+	res, err := net.RunRound(context.Background(), participants)
+	if err != nil {
+		return RoundMetrics{}, err
+	}
+	// Private valuations and costs never travel on the wire, so the
+	// decrypted orders inside the outcome carry zero TrueValue/TrueCost.
+	// Re-join them from the generator's ground truth so welfare metrics
+	// mean the same thing in both modes.
+	restoreGroundTruth(res.Outcome, market)
+	bench := auction.RunGreedy(market.Requests, market.Offers, cfg.Auction)
+	metrics := metricsFrom(res.Outcome, bench, len(market.Requests))
+	metrics.BlockHeight = res.Block.Preamble.Height
+	metrics.Winner = res.Winner
+
+	// Clients decide on their agreements.
+	rnd := rand.New(rand.NewSource(cfg.Workload.Seed + int64(round)))
+	reg := net.Contracts()
+	for _, id := range res.Agreements {
+		a, err := reg.Get(id)
+		if err != nil {
+			return metrics, err
+		}
+		if rnd.Float64() < cfg.DenyProb {
+			if _, err := reg.Deny(id, a.Client()); err != nil {
+				return metrics, err
+			}
+			metrics.Denied++
+		} else {
+			if err := reg.Accept(id, a.Client()); err != nil {
+				return metrics, err
+			}
+			metrics.Agreed++
+		}
+	}
+	return metrics, nil
+}
+
+// restoreGroundTruth copies TrueValue/TrueCost from the generated market
+// onto the decrypted orders referenced by the outcome (joined by order
+// ID). Only the simulator can do this — on a real ledger the private
+// values stay private.
+func restoreGroundTruth(out *auction.Outcome, market *workload.Market) {
+	values := make(map[bidding.OrderID]float64, len(market.Requests))
+	for _, r := range market.Requests {
+		values[r.ID] = r.TrueValue
+	}
+	costs := make(map[bidding.OrderID]float64, len(market.Offers))
+	for _, o := range market.Offers {
+		costs[o.ID] = o.TrueCost
+	}
+	for i := range out.Matches {
+		m := &out.Matches[i]
+		m.Request.TrueValue = values[m.Request.ID]
+		m.Offer.TrueCost = costs[m.Offer.ID]
+	}
+}
+
+// NewLedgerNetwork builds the miner network for ledger-mode rounds.
+func NewLedgerNetwork(cfg Config) *miner.Network {
+	cfg = cfg.withDefaults()
+	return miner.NewNetwork(cfg.Miners, cfg.Difficulty, cfg.Auction)
+}
+
+// SubmitMarket seals every order through the roster's participants
+// (creating identities on first sight of a logical actor — the roster
+// persists across rounds so reputations attach to stable identities) and
+// submits the sealed bids to the network. The orders' owner fields are
+// rewritten to the participants' key fingerprints.
+func SubmitMarket(net *miner.Network, roster map[bidding.ParticipantID]*miner.Participant, market *workload.Market) ([]*miner.Participant, error) {
+	if roster == nil {
+		roster = make(map[bidding.ParticipantID]*miner.Participant)
+	}
+	var order []*miner.Participant
+	seen := make(map[bidding.ParticipantID]bool)
+	get := func(logical bidding.ParticipantID) (*miner.Participant, error) {
+		if p, ok := roster[logical]; ok {
+			if !seen[logical] {
+				seen[logical] = true
+				order = append(order, p)
+			}
+			return p, nil
+		}
+		p, err := miner.NewParticipant(nil)
+		if err != nil {
+			return nil, err
+		}
+		roster[logical] = p
+		seen[logical] = true
+		order = append(order, p)
+		return p, nil
+	}
+	for _, r := range market.Requests {
+		p, err := get(r.Client)
+		if err != nil {
+			return nil, err
+		}
+		bid, err := p.SubmitRequest(r)
+		if err != nil {
+			return nil, err
+		}
+		if err := net.SubmitBid(bid); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range market.Offers {
+		p, err := get(o.Provider)
+		if err != nil {
+			return nil, err
+		}
+		bid, err := p.SubmitOffer(o)
+		if err != nil {
+			return nil, err
+		}
+		if err := net.SubmitBid(bid); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

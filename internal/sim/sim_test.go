@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"testing"
+
+	"decloud/internal/workload"
+)
+
+func TestFastSimulation(t *testing.T) {
+	res, err := Run(Config{
+		Mode:     Fast,
+		Rounds:   3,
+		Workload: workload.Config{Seed: 7, Requests: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 3 {
+		t.Fatalf("rounds = %d", len(res.Rounds))
+	}
+	for _, m := range res.Rounds {
+		if m.Requests != 60 {
+			t.Fatalf("requests = %d", m.Requests)
+		}
+		if m.Matches == 0 {
+			t.Fatal("round produced no trades")
+		}
+		if m.Welfare <= 0 || m.BenchWelfare <= 0 {
+			t.Fatalf("welfare: %v / %v", m.Welfare, m.BenchWelfare)
+		}
+		if m.WelfareRatio <= 0 || m.WelfareRatio > 1.2 {
+			t.Fatalf("welfare ratio out of band: %v", m.WelfareRatio)
+		}
+		if m.Satisfaction <= 0 || m.Satisfaction > 1 {
+			t.Fatalf("satisfaction = %v", m.Satisfaction)
+		}
+	}
+	if res.TotalWelfare() <= 0 {
+		t.Fatal("total welfare should be positive")
+	}
+	if r := res.MeanWelfareRatio(); r <= 0 || r > 1.2 {
+		t.Fatalf("mean ratio = %v", r)
+	}
+}
+
+func TestFastSimulationDeterministic(t *testing.T) {
+	cfg := Config{Mode: Fast, Rounds: 2, Workload: workload.Config{Seed: 11, Requests: 40}}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rounds {
+		if a.Rounds[i].Welfare != b.Rounds[i].Welfare || a.Rounds[i].Matches != b.Rounds[i].Matches {
+			t.Fatalf("round %d differs", i)
+		}
+	}
+}
+
+func TestLedgerSimulation(t *testing.T) {
+	res, err := Run(Config{
+		Mode:       Ledger,
+		Rounds:     1,
+		Workload:   workload.Config{Seed: 13, Requests: 25},
+		Miners:     2,
+		Difficulty: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Rounds[0]
+	if m.Winner == "" {
+		t.Fatal("no winning miner recorded")
+	}
+	if m.Matches == 0 {
+		t.Fatal("ledger round produced no trades")
+	}
+	if m.Agreed != m.Matches {
+		t.Fatalf("agreed = %d, matches = %d", m.Agreed, m.Matches)
+	}
+	if m.Denied != 0 {
+		t.Fatalf("unexpected denials: %d", m.Denied)
+	}
+}
+
+func TestLedgerSimulationWithDenials(t *testing.T) {
+	res, err := Run(Config{
+		Mode:       Ledger,
+		Rounds:     1,
+		Workload:   workload.Config{Seed: 17, Requests: 30},
+		Miners:     2,
+		Difficulty: 8,
+		DenyProb:   1.0, // everyone denies
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Rounds[0]
+	if m.Denied != m.Matches || m.Agreed != 0 {
+		t.Fatalf("denied = %d, agreed = %d, matches = %d", m.Denied, m.Agreed, m.Matches)
+	}
+}
+
+func TestLedgerMatchesFastEconomics(t *testing.T) {
+	// The protocol must not change the economics: with identical orders,
+	// ledger-mode welfare equals fast-mode welfare up to the evidence
+	// seed (different lotteries may pick different winners, but both
+	// modes clear at mechanism prices). We check the structural
+	// invariants rather than exact equality.
+	wcfg := workload.Config{Seed: 23, Requests: 30}
+	fast, err := Run(Config{Mode: Fast, Rounds: 1, Workload: wcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	led, err := Run(Config{Mode: Ledger, Rounds: 1, Workload: wcfg, Miners: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, l := fast.Rounds[0], led.Rounds[0]
+	if l.Matches == 0 || f.Matches == 0 {
+		t.Fatal("both modes should trade")
+	}
+	// Same benchmark on both sides (deterministic, evidence-free).
+	if f.BenchWelfare != l.BenchWelfare {
+		t.Fatalf("benchmark differs: %v vs %v", f.BenchWelfare, l.BenchWelfare)
+	}
+	// Welfare within a loose band of each other (lottery differences).
+	lo, hi := f.Welfare*0.5, f.Welfare*1.5
+	if l.Welfare < lo || l.Welfare > hi {
+		t.Fatalf("ledger welfare %v far from fast welfare %v", l.Welfare, f.Welfare)
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	if _, err := Run(Config{Mode: Mode(99), Rounds: 1, Workload: workload.Config{Seed: 1, Requests: 5}}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestResubmissionCarriesUnmatchedRequests(t *testing.T) {
+	res, err := Run(Config{
+		Mode:         Fast,
+		Rounds:       4,
+		Workload:     workload.Config{Seed: 9, Requests: 60, Providers: 4}, // tight supply
+		Resubmit:     true,
+		MaxResubmits: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds[0].CarriedIn != 0 {
+		t.Fatal("round 0 cannot carry requests in")
+	}
+	if res.Rounds[0].CarriedOut == 0 {
+		t.Fatal("tight market should leave unmatched requests to carry")
+	}
+	carriedInTotal := 0
+	for _, m := range res.Rounds[1:] {
+		carriedInTotal += m.CarriedIn
+	}
+	if carriedInTotal == 0 {
+		t.Fatal("no requests were ever resubmitted")
+	}
+	// Conservation per round: carried in equals the previous round's
+	// carried out.
+	for i := 1; i < len(res.Rounds); i++ {
+		if res.Rounds[i].CarriedIn != res.Rounds[i-1].CarriedOut {
+			t.Fatalf("round %d: carried in %d != previous carried out %d",
+				i, res.Rounds[i].CarriedIn, res.Rounds[i-1].CarriedOut)
+		}
+	}
+	// With MaxResubmits=2 and persistent scarcity, some requests expire.
+	expired := 0
+	for _, m := range res.Rounds {
+		expired += m.Expired
+	}
+	if expired == 0 {
+		t.Fatal("no requests expired despite persistent scarcity")
+	}
+}
+
+func TestResubmissionOffByDefault(t *testing.T) {
+	res, err := Run(Config{
+		Mode:     Fast,
+		Rounds:   2,
+		Workload: workload.Config{Seed: 9, Requests: 40, Providers: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Rounds {
+		if m.CarriedIn != 0 || m.CarriedOut != 0 || m.Expired != 0 {
+			t.Fatalf("resubmission bookkeeping active without Resubmit: %+v", m)
+		}
+	}
+}
+
+func TestLedgerChainGrowsAcrossRounds(t *testing.T) {
+	// The persistent network accumulates one block per round; identities
+	// and reputation survive between rounds.
+	res, err := Run(Config{
+		Mode:       Ledger,
+		Rounds:     3,
+		Workload:   workload.Config{Seed: 41, Requests: 15},
+		Miners:     2,
+		Difficulty: 8,
+		DenyProb:   0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range res.Rounds {
+		if m.BlockHeight != int64(i) {
+			t.Fatalf("round %d produced block height %d, want %d", i, m.BlockHeight, i)
+		}
+	}
+	denies := 0
+	for _, m := range res.Rounds {
+		denies += m.Denied
+	}
+	if denies == 0 {
+		t.Fatal("DenyProb=0.5 over 3 rounds should produce denials")
+	}
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Values outside the
+// range clamp into the first/last bin, so mass is never silently lost.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []float64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [lo, hi). It panics on a non-positive bin count or an empty range —
+// both are programming errors, not data errors.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic(fmt.Sprintf("stats: non-positive bin count %d", bins))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: empty histogram range [%g, %g)", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]float64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) { h.AddWeighted(x, 1) }
+
+// AddWeighted records an observation with the given weight.
+func (h *Histogram) AddWeighted(x, w float64) {
+	h.Counts[h.bin(x)] += w
+}
+
+func (h *Histogram) bin(x float64) int {
+	n := len(h.Counts)
+	idx := int(math.Floor((x - h.Lo) / (h.Hi - h.Lo) * float64(n)))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= n {
+		return n - 1
+	}
+	return idx
+}
+
+// Total returns the summed mass of all bins.
+func (h *Histogram) Total() float64 {
+	var t float64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Probabilities returns the histogram normalized to a probability
+// distribution. An empty histogram yields the uniform distribution so
+// that divergence computations stay well-defined.
+func (h *Histogram) Probabilities() []float64 {
+	n := len(h.Counts)
+	p := make([]float64, n)
+	total := h.Total()
+	if total <= 0 {
+		for i := range p {
+			p[i] = 1 / float64(n)
+		}
+		return p
+	}
+	for i, c := range h.Counts {
+		p[i] = c / total
+	}
+	return p
+}
+
+// klSmoothing is the additive (Laplace) smoothing mass applied per bin
+// before computing KL divergence, keeping it finite when a bin of q is
+// empty where p has mass.
+const klSmoothing = 1e-6
+
+// KLDivergence computes D_KL(P‖Q) in nats between two probability vectors
+// of equal length, applying additive smoothing to both. It panics on
+// length mismatch (a programming error).
+func KLDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("stats: KL divergence over mismatched lengths %d and %d", len(p), len(q)))
+	}
+	n := float64(len(p))
+	var pt, qt float64
+	for i := range p {
+		pt += p[i] + klSmoothing
+		qt += q[i] + klSmoothing
+	}
+	_ = n
+	var d float64
+	for i := range p {
+		pi := (p[i] + klSmoothing) / pt
+		qi := (q[i] + klSmoothing) / qt
+		if pi > 0 {
+			d += pi * math.Log(pi/qi)
+		}
+	}
+	if d < 0 {
+		// Smoothing can introduce a tiny negative residue.
+		d = 0
+	}
+	return d
+}
+
+// HistogramKLD builds equal-bin histograms of two samples over their
+// common range and returns D_KL(sampleP‖sampleQ). This is the quantity
+// behind the paper's similarity axis: similarity = 1 − KLD(R, O)
+// "regarding resources" (Section V).
+func HistogramKLD(sampleP, sampleQ []float64, bins int) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range sampleP {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	for _, x := range sampleQ {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	if !(hi > lo) { // empty or degenerate samples: identical distributions
+		return 0
+	}
+	hp := NewHistogram(lo, hi+1e-12, bins)
+	hq := NewHistogram(lo, hi+1e-12, bins)
+	for _, x := range sampleP {
+		hp.Add(x)
+	}
+	for _, x := range sampleQ {
+		hq.Add(x)
+	}
+	return KLDivergence(hp.Probabilities(), hq.Probabilities())
+}

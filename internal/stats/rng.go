@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"math/rand"
+	"sort"
+)
+
+// The mechanism's randomized exclusion (Algorithm 4) must be verifiable:
+// every miner has to reproduce it exactly from public data. The paper
+// uses "evidence of a block as a random seed so that randomization is
+// also verifiable" (Section IV-F). These helpers derive a deterministic
+// PRNG from arbitrary evidence bytes.
+
+// SeedFromBytes hashes arbitrary evidence (e.g. a block's proof-of-work)
+// into a 64-bit PRNG seed.
+func SeedFromBytes(evidence []byte) int64 {
+	sum := sha256.Sum256(evidence)
+	return int64(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// NewRand returns a deterministic *rand.Rand derived from evidence bytes.
+// Two verifiers with the same evidence obtain identical streams.
+func NewRand(evidence []byte) *rand.Rand {
+	return rand.New(rand.NewSource(SeedFromBytes(evidence)))
+}
+
+// SubRand derives an independent deterministic generator for a named
+// sub-purpose (e.g. one per mini-auction) so that consuming randomness in
+// one place does not perturb another.
+func SubRand(evidence []byte, label string) *rand.Rand {
+	h := sha256.New()
+	h.Write(evidence)
+	h.Write([]byte{0})
+	h.Write([]byte(label))
+	return NewRand(h.Sum(nil))
+}
+
+// KeyedOrder returns a permutation of [0, len(ids)) where index i sorts
+// by SHA-256(evidence ‖ label ‖ ids[i]). The ordering depends only on the
+// evidence and the element *identities* — never on their positions in the
+// input — so a participant cannot influence its draw by changing a bid
+// that reorders the input slice. This is what makes the mechanism's
+// randomized exclusion strategyproof.
+func KeyedOrder(evidence []byte, label string, ids []string) []int {
+	type keyed struct {
+		idx int
+		key [32]byte
+	}
+	ks := make([]keyed, len(ids))
+	for i, id := range ids {
+		h := sha256.New()
+		h.Write(evidence)
+		h.Write([]byte{0})
+		h.Write([]byte(label))
+		h.Write([]byte{0})
+		h.Write([]byte(id))
+		copy(ks[i].key[:], h.Sum(nil))
+		ks[i].idx = i
+	}
+	sort.Slice(ks, func(a, b int) bool {
+		return bytes.Compare(ks[a].key[:], ks[b].key[:]) < 0
+	})
+	out := make([]int, len(ks))
+	for i, k := range ks {
+		out[i] = k.idx
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"several", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-1, 1}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); !almostEqual(got, tt.want, 1e-12) {
+				t.Fatalf("Mean = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEqual(got, 2.13808993, 1e-6) {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Fatal("StdDev of single value should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	tests := []struct {
+		p    float64
+		want float64
+	}{{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {-5, 1}, {110, 5}}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !almostEqual(got, tt.want, 1e-12) {
+			t.Fatalf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || !almostEqual(s.Mean, 2, 1e-12) {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Min != 0 || empty.Max != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99} {
+		h.Add(x)
+	}
+	want := []float64{2, 1, 1, 0, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("Counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if h.Total() != 5 {
+		t.Fatalf("Total = %v", h.Total())
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(99)
+	if h.Counts[0] != 1 || h.Counts[3] != 1 {
+		t.Fatalf("out-of-range values should clamp: %v", h.Counts)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestProbabilities(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.7)
+	p := h.Probabilities()
+	if !almostEqual(p[0], 1.0/3, 1e-12) || !almostEqual(p[1], 2.0/3, 1e-12) {
+		t.Fatalf("Probabilities = %v", p)
+	}
+	var sum float64
+	for _, x := range p {
+		sum += x
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	// Empty histogram: uniform.
+	u := NewHistogram(0, 1, 4).Probabilities()
+	for _, x := range u {
+		if !almostEqual(x, 0.25, 1e-12) {
+			t.Fatalf("uniform fallback = %v", u)
+		}
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	if d := KLDivergence(p, p); !almostEqual(d, 0, 1e-6) {
+		t.Fatalf("KL(p‖p) = %v, want 0", d)
+	}
+	q := []float64{0.9, 0.1}
+	d := KLDivergence(p, q)
+	if d <= 0 {
+		t.Fatalf("KL(p‖q) = %v, want > 0", d)
+	}
+	// Asymmetry in general.
+	d2 := KLDivergence(q, p)
+	if almostEqual(d, d2, 1e-9) {
+		t.Fatal("KL divergence should be asymmetric here")
+	}
+	// Empty q bin stays finite thanks to smoothing.
+	d3 := KLDivergence([]float64{1, 0}, []float64{0, 1})
+	if math.IsInf(d3, 0) || math.IsNaN(d3) {
+		t.Fatalf("smoothed KL should be finite, got %v", d3)
+	}
+}
+
+func TestKLDivergencePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	KLDivergence([]float64{1}, []float64{0.5, 0.5})
+}
+
+func TestHistogramKLD(t *testing.T) {
+	same := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if d := HistogramKLD(same, same, 8); !almostEqual(d, 0, 1e-6) {
+		t.Fatalf("identical samples KLD = %v", d)
+	}
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	for i := range a {
+		a[i] = float64(i % 4)     // mass at 0..3
+		b[i] = float64(i%4) + 4.0 // mass at 4..7
+	}
+	d := HistogramKLD(a, b, 8)
+	if d < 1 {
+		t.Fatalf("disjoint samples should have large KLD, got %v", d)
+	}
+	if HistogramKLD(nil, nil, 4) != 0 {
+		t.Fatal("empty samples should give KLD 0")
+	}
+}
+
+// Property: KL divergence is non-negative (Gibbs' inequality survives smoothing).
+func TestKLNonNegativeProperty(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		p := []float64{float64(a) + 1, float64(b) + 1}
+		q := []float64{float64(c) + 1, float64(d) + 1}
+		pt := p[0] + p[1]
+		qt := q[0] + q[1]
+		p[0], p[1] = p[0]/pt, p[1]/pt
+		q[0], q[1] = q[0]/qt, q[1]/qt
+		return KLDivergence(p, q) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoessRecoversLine(t *testing.T) {
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2*float64(i) + 1
+	}
+	l, err := NewLoess(xs, ys, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 10, 25.5, 49} {
+		if got := l.Predict(x); !almostEqual(got, 2*x+1, 1e-6) {
+			t.Fatalf("Predict(%v) = %v, want %v", x, got, 2*x+1)
+		}
+	}
+}
+
+func TestLoessSmoothsNoise(t *testing.T) {
+	// A noisy parabola: the smoother should land near the true curve.
+	r := NewRand([]byte("loess-test"))
+	n := 200
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	truth := func(x float64) float64 { return 0.05*x*x - x + 3 }
+	for i := range xs {
+		x := float64(i) / float64(n) * 20
+		xs[i] = x
+		ys[i] = truth(x) + r.NormFloat64()*0.3
+	}
+	l, err := NewLoess(xs, ys, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{2, 8, 14, 18} {
+		got := l.Predict(x)
+		if math.Abs(got-truth(x)) > 0.5 {
+			t.Fatalf("Predict(%v) = %v, truth %v: too far", x, got, truth(x))
+		}
+	}
+}
+
+func TestLoessErrors(t *testing.T) {
+	if _, err := NewLoess([]float64{1}, []float64{1, 2}, 0.5); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewLoess(nil, nil, 0.5); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := NewLoess([]float64{1}, []float64{1}, 0); err == nil {
+		t.Fatal("zero span accepted")
+	}
+	if _, err := NewLoess([]float64{1}, []float64{1}, 1.5); err == nil {
+		t.Fatal("span > 1 accepted")
+	}
+}
+
+func TestLoessDegenerateX(t *testing.T) {
+	// All x identical: prediction falls back to the mean.
+	l, err := NewLoess([]float64{5, 5, 5}, []float64{1, 2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Predict(5); !almostEqual(got, 2, 1e-9) {
+		t.Fatalf("degenerate Predict = %v, want 2", got)
+	}
+}
+
+func TestLoessCurve(t *testing.T) {
+	l, err := NewLoess([]float64{0, 1, 2, 3}, []float64{0, 1, 2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := l.Curve([]float64{0.5, 1.5})
+	if len(out) != 2 {
+		t.Fatalf("Curve length = %d", len(out))
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRand([]byte("block-evidence"))
+	b := NewRand([]byte("block-evidence"))
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same evidence must give identical streams")
+		}
+	}
+	c := NewRand([]byte("different"))
+	same := true
+	a2 := NewRand([]byte("block-evidence"))
+	for i := 0; i < 10; i++ {
+		if a2.Int63() != c.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different evidence should give different streams")
+	}
+}
+
+func TestSubRandIndependence(t *testing.T) {
+	evidence := []byte("block-7")
+	a := SubRand(evidence, "mini-auction-1")
+	b := SubRand(evidence, "mini-auction-2")
+	a2 := SubRand(evidence, "mini-auction-1")
+	if a.Int63() != a2.Int63() {
+		t.Fatal("same label must reproduce")
+	}
+	diff := false
+	a3 := SubRand(evidence, "mini-auction-1")
+	for i := 0; i < 10; i++ {
+		if a3.Int63() != b.Int63() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different labels should diverge")
+	}
+}

@@ -1,0 +1,44 @@
+// Package trace supplies the two data sources of the paper's evaluation
+// (Section V): task shapes modeled on the Google cluster-usage trace
+// (with a loader for the real task_events CSV when available) and the
+// Amazon EC2 M5 instance catalog used for provider capacities and
+// pricing.
+package trace
+
+import "decloud/internal/resource"
+
+// InstanceType describes one EC2 instance shape with its 2019-era
+// on-demand price (us-east-1), matching the paper's provider range of
+// 2–16 vCPUs and 8–64 GB RAM.
+type InstanceType struct {
+	Name         string
+	VCPU         float64
+	MemGiB       float64
+	StorageGiB   float64 // EBS-backed; modeled as a generous default
+	PricePerHour float64 // USD
+}
+
+// M5Catalog returns the M5 instance types the paper draws providers from.
+func M5Catalog() []InstanceType {
+	return []InstanceType{
+		{Name: "m5.large", VCPU: 2, MemGiB: 8, StorageGiB: 100, PricePerHour: 0.096},
+		{Name: "m5.xlarge", VCPU: 4, MemGiB: 16, StorageGiB: 200, PricePerHour: 0.192},
+		{Name: "m5.2xlarge", VCPU: 8, MemGiB: 32, StorageGiB: 400, PricePerHour: 0.384},
+		{Name: "m5.4xlarge", VCPU: 16, MemGiB: 64, StorageGiB: 800, PricePerHour: 0.768},
+	}
+}
+
+// Resources converts the instance shape into a resource vector.
+func (it InstanceType) Resources() resource.Vector {
+	return resource.Vector{
+		resource.CPU:  it.VCPU,
+		resource.RAM:  it.MemGiB,
+		resource.Disk: it.StorageGiB,
+	}
+}
+
+// CostFor returns the on-demand cost of running the instance for the
+// given number of hours.
+func (it InstanceType) CostFor(hours float64) float64 {
+	return it.PricePerHour * hours
+}

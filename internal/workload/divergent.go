@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"decloud/internal/bidding"
+	"decloud/internal/resource"
+	"decloud/internal/stats"
+	"decloud/internal/trace"
+)
+
+// DivergentConfig generates the markets of the flexibility experiments
+// (Figures 5d–5f): supply and demand concentrate on different machine
+// classes, with Skew controlling how far apart the distributions are —
+// "e.g., when clients want mostly 8 cores CPUs, the majority of offered
+// CPUs have only 2 cores" (Section V).
+type DivergentConfig struct {
+	Config
+	// Skew ∈ [0, 1]: 0 makes demand mirror the supply's class
+	// distribution (similarity ≈ 1); 1 concentrates demand on the class
+	// the supply has least of (high divergence).
+	Skew float64
+}
+
+// supplyClassDist is the probability of each M5 class among offers:
+// plenty of small machines, few big ones (the typical edge fleet).
+var supplyClassDist = []float64{0.4, 0.3, 0.2, 0.1}
+
+// GenerateDivergent builds a market with controlled supply/demand
+// divergence. It returns the market and the realized similarity
+// 1 − KLD(demand ‖ supply) over machine-class histograms — the x-axis of
+// Figures 5d–5f.
+func GenerateDivergent(cfg DivergentConfig) (*Market, float64) {
+	base := cfg.Config.withDefaults()
+	rnd := rand.New(rand.NewSource(base.Seed))
+	catalog := trace.M5Catalog()
+	horizonHours := float64(base.HorizonSec) / 3600
+
+	// Demand distribution: interpolate between the supply distribution
+	// and a demand profile concentrated on the classes the supply has
+	// least of. The target keeps some mass everywhere so the divergence
+	// stays in a realistic range (similarity ∈ ~[0.25, 1]).
+	divergedDemand := []float64{0.05, 0.15, 0.3, 0.5}
+	demandDist := make([]float64, len(supplyClassDist))
+	for i, p := range supplyClassDist {
+		demandDist[i] = (1-cfg.Skew)*p + cfg.Skew*divergedDemand[i]
+	}
+
+	m := &Market{}
+	offerClasses := make([]float64, 0, base.Providers)
+	for j := 0; j < base.Providers; j++ {
+		ci := sampleClass(rnd, supplyClassDist)
+		it := catalog[ci]
+		offerClasses = append(offerClasses, float64(ci))
+		cost := it.CostFor(horizonHours) * (0.7 + 0.6*rnd.Float64())
+		start := rnd.Int63n(base.HorizonSec/8 + 1)
+		end := base.HorizonSec - rnd.Int63n(base.HorizonSec/8+1)
+		m.Offers = append(m.Offers, &bidding.Offer{
+			ID:        bidding.OrderID(fmt.Sprintf("o%04d", j)),
+			Provider:  bidding.ParticipantID(fmt.Sprintf("provider-%04d", j)),
+			Submitted: int64(j),
+			Resources: it.Resources(),
+			Start:     start,
+			End:       end,
+			Bid:       cost * float64(end-start) / float64(base.HorizonSec),
+			TrueCost:  cost * float64(end-start) / float64(base.HorizonSec),
+		})
+	}
+
+	reqClasses := make([]float64, 0, base.Requests)
+	for i := 0; i < base.Requests; i++ {
+		ci := sampleClass(rnd, demandDist)
+		it := catalog[ci]
+		reqClasses = append(reqClasses, float64(ci))
+		// The client wants a machine of roughly its class. The wide
+		// utilization jitter makes sizes continuous across class
+		// boundaries, so partial flexibility genuinely unlocks the next
+		// machine class down (classes are 2× apart).
+		util := 0.5 + 0.3*rnd.Float64()
+		dur := base.HorizonSec/4 + rnd.Int63n(base.HorizonSec/4)
+		window := dur + rnd.Int63n(base.HorizonSec/4)
+		start := rnd.Int63n(base.HorizonSec - window + 1)
+		m.Requests = append(m.Requests, &bidding.Request{
+			ID:        bidding.OrderID(fmt.Sprintf("r%04d", i)),
+			Client:    bidding.ParticipantID(fmt.Sprintf("client-%04d", i)),
+			Submitted: int64(base.Providers + i),
+			Resources: resource.Vector{
+				resource.CPU:  it.VCPU * util,
+				resource.RAM:  it.MemGiB * util,
+				resource.Disk: it.StorageGiB * util * 0.2,
+			},
+			Start:       start,
+			End:         start + window,
+			Duration:    dur,
+			Flexibility: cfg.Flexibility,
+		})
+	}
+	assignValuations(m, base, rnd)
+
+	similarity := 1 - stats.HistogramKLD(reqClasses, offerClasses, len(catalog))
+	return m, similarity
+}
+
+func sampleClass(rnd *rand.Rand, dist []float64) int {
+	u := rnd.Float64()
+	var acc float64
+	for i, p := range dist {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(dist) - 1
+}

@@ -2,6 +2,7 @@ package decloud
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"decloud/internal/auction"
@@ -152,6 +153,38 @@ func benchmarkMechanism(b *testing.B, n int) {
 func BenchmarkMechanism100(b *testing.B)  { benchmarkMechanism(b, 100) }
 func BenchmarkMechanism400(b *testing.B)  { benchmarkMechanism(b, 400) }
 func BenchmarkMechanism1000(b *testing.B) { benchmarkMechanism(b, 1000) }
+
+// benchmarkMechanismWorkers pins the worker count explicitly so the
+// sequential/parallel pairs below are comparable regardless of what
+// DefaultConfig resolves GOMAXPROCS to on the benchmark host.
+func benchmarkMechanismWorkers(b *testing.B, n, workers int) {
+	market := workload.Generate(workload.Config{Seed: 1, Requests: n})
+	cfg := auction.DefaultConfig()
+	cfg.Evidence = []byte("bench")
+	cfg.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := auction.Run(market.Requests, market.Offers, cfg)
+		if len(out.Matches) == 0 {
+			b.Fatal("no trades")
+		}
+	}
+}
+
+// Sequential vs parallel mechanism pairs: same markets, worker count as
+// the only variable. Compare with
+//
+//	go test -bench 'BenchmarkMechanism(Sequential|Parallel)' -run ^$ .
+func BenchmarkMechanismSequential400(b *testing.B) { benchmarkMechanismWorkers(b, 400, 1) }
+func BenchmarkMechanismSequential1000(b *testing.B) {
+	benchmarkMechanismWorkers(b, 1000, 1)
+}
+func BenchmarkMechanismParallel400(b *testing.B) {
+	benchmarkMechanismWorkers(b, 400, runtime.GOMAXPROCS(0))
+}
+func BenchmarkMechanismParallel1000(b *testing.B) {
+	benchmarkMechanismWorkers(b, 1000, runtime.GOMAXPROCS(0))
+}
 
 // BenchmarkGreedyBenchmark400 measures the non-truthful baseline.
 func BenchmarkGreedyBenchmark400(b *testing.B) {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	decloud-bench [-fig 5a|5b|5c|5d|5e|5f|all] [-out DIR] [-quick]
-//	              [-reps N] [-seed N]
+//	              [-reps N] [-seed N] [-workers N]
 //
 // Figures 5a–5c share one market-size sweep; 5d–5f share one
 // flexibility/divergence sweep, so asking for several figures of a group
@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"decloud/internal/experiments"
@@ -31,7 +32,17 @@ func main() {
 	ablation := flag.Bool("ablation", false, "also run the design-choice ablations")
 	compare := flag.Bool("compare", false, "also run the DeCloud/VCG/greedy/optimum comparison")
 	dynamics := flag.Bool("dynamics", false, "also run the multi-round elastic-supply trajectory")
+	workers := flag.Int("workers", 0, "auction worker-pool size (0 = all cores); results are identical at any value")
 	flag.Parse()
+
+	// The sweeps build auction.DefaultConfig() internally, which sizes
+	// its worker pool from GOMAXPROCS — so capping GOMAXPROCS caps every
+	// pool in the process. Outcomes are worker-count-invariant by
+	// construction (see internal/auction/paralleltest); the flag only
+	// trades wall-clock against CPU.
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	want := map[string]bool{}
 	if *fig == "all" {

@@ -79,11 +79,16 @@ type (
 )
 
 // DefaultAuctionConfig returns the tuning used in the paper evaluation.
+// Its Workers field sizes the mechanism's worker pool to GOMAXPROCS;
+// any value yields byte-identical outcomes (set 1 to force sequential
+// execution — see DESIGN.md §7).
 func DefaultAuctionConfig() AuctionConfig { return auction.DefaultConfig() }
 
 // RunAuction executes DeCloud's DSIC double auction over one block of
 // orders. Under truthful bidding (Bid == TrueValue / TrueCost) the
-// outcome maximizes each participant's utility (Section IV-D).
+// outcome maximizes each participant's utility (Section IV-D). The
+// outcome does not depend on cfg.Workers, so differently provisioned
+// nodes verify each other's blocks bit-for-bit.
 func RunAuction(requests []*Request, offers []*Offer, cfg AuctionConfig) *Outcome {
 	return auction.Run(requests, offers, cfg)
 }

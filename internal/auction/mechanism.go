@@ -9,6 +9,7 @@ import (
 	"decloud/internal/cluster"
 	"decloud/internal/match"
 	"decloud/internal/miniauction"
+	"decloud/internal/par"
 	"decloud/internal/resource"
 	"decloud/internal/stats"
 )
@@ -46,6 +47,16 @@ type Config struct {
 	// grouping's benefit (Section IV-C: "to minimize the adverse effect
 	// of trade reduction ... we group clusters in mini-auctions").
 	StrictReduction bool
+	// Workers bounds the worker pool that parallelizes the mechanism's
+	// independent stages: per-request best-offer scoring, per-cluster
+	// pre-passes, and the execution of mini-auctions whose member
+	// clusters share no orders (see parallel.go). 0 or 1 runs fully
+	// sequentially; DefaultConfig sets runtime.GOMAXPROCS(0). Every
+	// worker count produces a byte-identical Outcome — the blockchain
+	// verification protocol re-executes allocations on machines with
+	// arbitrary core counts, so this invariant is load-bearing and is
+	// enforced by the internal/auction/paralleltest harness.
+	Workers int
 }
 
 // ReputationSource exposes participant reputations to the mechanism
@@ -54,9 +65,20 @@ type ReputationSource interface {
 	Score(id bidding.ParticipantID) float64
 }
 
-// DefaultConfig returns the tuning used in the evaluation.
+// DefaultConfig returns the tuning used in the evaluation. Workers
+// defaults to the machine's core count; the outcome does not depend on
+// it (paralleltest enforces byte-equality across worker counts).
 func DefaultConfig() Config {
-	return Config{Match: match.DefaultConfig()}
+	return Config{Match: match.DefaultConfig(), Workers: par.Default()}
+}
+
+// effectiveWorkers normalizes Config.Workers: anything below 2 means
+// sequential execution.
+func effectiveWorkers(cfg Config) int {
+	if cfg.Workers < 1 {
+		return 1
+	}
+	return cfg.Workers
 }
 
 // pairGate builds the request↔offer admissibility filter from the
@@ -139,22 +161,35 @@ func prePass(ec *EconCluster, pairOK func(EconRequest, EconOffer) bool, fresh fu
 // Run executes DeCloud's DSIC double auction over one block of orders.
 // Invalid orders are rejected (listed in the outcome), never fatal: a
 // miner must process whatever the block contains.
+//
+// With cfg.Workers > 1 the three embarrassingly parallel stages —
+// best-offer scoring, cluster pre-passes, and order-disjoint
+// mini-auctions — fan out across a bounded worker pool; results are
+// merged in canonical order so the Outcome is byte-identical to the
+// sequential execution (see parallel.go for the argument).
 func Run(requests []*bidding.Request, offers []*bidding.Offer, cfg Config) *Outcome {
 	out := &Outcome{
 		Payments: make(map[bidding.OrderID]float64),
 		Revenues: make(map[bidding.OrderID]float64),
 	}
 	reqs, offs := screen(requests, offers, out)
+	workers := effectiveWorkers(cfg)
 
 	scale := match.BlockScale(reqs, offs)
-	clusters := cluster.Build(reqs, offs, scale, cfg.Match)
+	clusters := cluster.BuildWorkers(reqs, offs, scale, cfg.Match, workers)
 	out.Clusters = len(clusters)
 
+	// Pre-pass every cluster. Each pre-pass allocates the cluster in
+	// isolation against fresh capacity and writes only its own slot, so
+	// the fan-out is exact; the interval list is then assembled in
+	// cluster-index order, as the sequential loop would.
 	pairOK := pairGate(cfg)
 	all := make([]clusterStats, len(clusters))
+	par.ForEach(workers, len(clusters), func(i int) {
+		all[i] = prePass(ComputeEconomics(clusters[i], cfg.Critical), pairOK, func() Capacity { return newCapacity(cfg) })
+	})
 	var intervals []miniauction.Interval
-	for i, cl := range clusters {
-		all[i] = prePass(ComputeEconomics(cl, cfg.Critical), pairOK, func() Capacity { return newCapacity(cfg) })
+	for i := range all {
 		if all[i].active {
 			intervals = append(intervals, miniauction.Interval{
 				ID: i, Lo: all[i].cHatZ, Hi: all[i].vHatZ, Weight: all[i].welfare,
@@ -169,180 +204,229 @@ func Run(requests []*bidding.Request, offers []*bidding.Offer, cfg Config) *Outc
 		evidence = []byte("decloud/no-evidence")
 	}
 
-	tracker := newCapacity(cfg)
-	taken := make(map[bidding.OrderID]bool)
-	reducedReq := make(map[bidding.OrderID]bool)
-	reducedOff := make(map[bidding.OrderID]bool)
-	lottery := make(map[bidding.OrderID]bool)
+	if workers > 1 {
+		runAuctionsParallel(out, auctions, all, cfg, pairOK, evidence, workers)
+		return out
+	}
+	st := newBlockState(cfg)
+	for ai := range auctions {
+		for _, tr := range runMiniAuction(ai, auctions[ai], all, cfg, pairOK, evidence, st) {
+			recordMatch(out, tr.ec, tr.a, tr.price)
+		}
+	}
+	finalize(out, st.taken, st.reducedReq, st.reducedOff, st.lottery)
+	return out
+}
 
-	for ai, auc := range auctions {
-		// Price per Eq. 20 over the pooled mini-auction:
-		// p = min(v̂_z, ĉ_{z'+1}), where v̂_z is the lowest marginal
-		// valuation across member clusters and ĉ_{z'+1} is the cheapest
-		// unused offer ABOVE every trading offer of the pool. The
-		// "above" filter is SBBA's structure: the price-setting seller
-		// is the first one outside the trade. A cluster-local unused
-		// offer cheaper than other clusters' trading offers is an
-		// artifact of cluster-local capacity, not the marginal seller —
-		// letting it set the price would push p below trading sellers'
-		// costs and collapse the pool.
-		minVZ := math.Inf(1)
-		maxUsedCost := 0.0
-		usedAnywhere := make(map[bidding.OrderID]bool)
-		for _, ci := range auc.Clusters {
-			st := all[ci]
-			if st.vHatZ < minVZ {
-				minVZ = st.vHatZ
-			}
-			if st.cHatZ > maxUsedCost {
-				maxUsedCost = st.cHatZ
-			}
-			for id := range st.used {
-				usedAnywhere[id] = true
-			}
-		}
-		// The ĉ_{z'+1} candidate: the cheapest offer that trades in NO
-		// member cluster and sits at or above the pool's trading costs —
-		// the genuine marginal seller of the pooled auction.
-		nextCost := math.Inf(1)
-		for _, ci := range auc.Clusters {
-			for _, eo := range all[ci].unused {
-				if usedAnywhere[eo.Offer.ID] || eo.CHat < maxUsedCost-eps {
-					continue
-				}
-				if eo.CHat < nextCost {
-					nextCost = eo.CHat
-				}
-				break // unused is ĉ-ascending: later entries are pricier
-			}
-		}
-		p := math.Min(minVZ, nextCost)
-		if math.IsInf(p, 1) {
-			continue
-		}
-		// Every participant whose marginal order set the price is
-		// excluded — on ties, both sides (a price setter who kept
-		// trading could profitably distort the price). Only genuine
-		// price-setter candidates count.
-		exclClients := make(map[bidding.ParticipantID]bool)
-		exclProviders := make(map[bidding.ParticipantID]bool)
-		for _, ci := range auc.Clusters {
-			st := all[ci]
-			if st.active && st.vHatZ <= p+eps {
-				exclClients[st.zClient] = true
-			}
-			for _, eo := range st.unused {
-				if usedAnywhere[eo.Offer.ID] || eo.CHat < maxUsedCost-eps {
-					continue
-				}
-				if eo.CHat <= p+eps {
-					exclProviders[eo.Offer.Provider] = true
-				}
-			}
-		}
+// blockState is the mutable allocation state threaded through the
+// mini-auction execution loop: shared offer capacity plus the taken /
+// reduction / lottery bookkeeping. Sequential mode threads ONE state
+// through every mini-auction; parallel mode gives each order-disjoint
+// component of mini-auctions its own state and merges afterwards —
+// equivalent because every map is keyed by order ID and components
+// share no orders.
+type blockState struct {
+	tracker    Capacity
+	taken      map[bidding.OrderID]bool
+	reducedReq map[bidding.OrderID]bool
+	reducedOff map[bidding.OrderID]bool
+	lottery    map[bidding.OrderID]bool
+}
 
-		for _, ci := range auc.Clusters {
-			st := all[ci]
-			ec := st.ec
-			reqOK := func(er EconRequest) bool {
-				if er.VHat < p-eps || exclClients[er.Request.Client] {
-					return false
-				}
-				if cfg.StrictReduction && st.active && er.Request.Client == st.zClient {
-					return false
-				}
-				return true
-			}
-			offOK := func(eo EconOffer) bool {
-				return eo.CHat <= p+eps && !exclProviders[eo.Offer.Provider]
-			}
+func newBlockState(cfg Config) *blockState {
+	return &blockState{
+		tracker:    newCapacity(cfg),
+		taken:      make(map[bidding.OrderID]bool),
+		reducedReq: make(map[bidding.OrderID]bool),
+		reducedOff: make(map[bidding.OrderID]bool),
+		lottery:    make(map[bidding.OrderID]bool),
+	}
+}
 
-			eligible := 0
-			for _, er := range ec.Requests {
-				if !taken[er.Request.ID] && reqOK(er) {
-					eligible++
-				}
-			}
-			if eligible == 0 {
+// trade is one assignment recorded by a mini-auction, awaiting emission
+// into the Outcome in canonical (auction-index) order.
+type trade struct {
+	ec    *EconCluster
+	a     Assignment
+	price float64
+}
+
+// auctionPrice resolves the pooled mini-auction's clearing price per
+// Eq. 20: p = min(v̂_z, ĉ_{z'+1}), where v̂_z is the lowest marginal
+// valuation across member clusters and ĉ_{z'+1} is the cheapest unused
+// offer ABOVE every trading offer of the pool. The "above" filter is
+// SBBA's structure: the price-setting seller is the first one outside
+// the trade. A cluster-local unused offer cheaper than other clusters'
+// trading offers is an artifact of cluster-local capacity, not the
+// marginal seller — letting it set the price would push p below trading
+// sellers' costs and collapse the pool. ok is false when the pool has
+// no finite price (nothing trades).
+func auctionPrice(auc miniauction.Auction, all []clusterStats) (p, maxUsedCost float64, usedAnywhere map[bidding.OrderID]bool, ok bool) {
+	minVZ := math.Inf(1)
+	usedAnywhere = make(map[bidding.OrderID]bool)
+	for _, ci := range auc.Clusters {
+		st := all[ci]
+		if st.vHatZ < minVZ {
+			minVZ = st.vHatZ
+		}
+		if st.cHatZ > maxUsedCost {
+			maxUsedCost = st.cHatZ
+		}
+		for id := range st.used {
+			usedAnywhere[id] = true
+		}
+	}
+	// The ĉ_{z'+1} candidate: the cheapest offer that trades in NO
+	// member cluster and sits at or above the pool's trading costs —
+	// the genuine marginal seller of the pooled auction.
+	nextCost := math.Inf(1)
+	for _, ci := range auc.Clusters {
+		for _, eo := range all[ci].unused {
+			if usedAnywhere[eo.Offer.ID] || eo.CHat < maxUsedCost-eps {
 				continue
 			}
-			eligibleOffers := 0
-			for _, eo := range ec.Offers {
-				if offOK(eo) {
-					eligibleOffers++
-				}
+			if eo.CHat < nextCost {
+				nextCost = eo.CHat
 			}
-			if eligibleOffers == 0 {
+			break // unused is ĉ-ascending: later entries are pricier
+		}
+	}
+	p = math.Min(minVZ, nextCost)
+	return p, maxUsedCost, usedAnywhere, !math.IsInf(p, 1)
+}
+
+// runMiniAuction executes one mini-auction — pricing, trade reduction,
+// randomized exclusion, and capacity allocation — against the given
+// block state, returning the recorded trades in deterministic order.
+// ai must be the auction's index in the block-wide auction list: it
+// keys the evidence-derived lotteries, so it must not depend on how
+// auctions are scheduled across workers.
+func runMiniAuction(ai int, auc miniauction.Auction, all []clusterStats, cfg Config, pairOK func(EconRequest, EconOffer) bool, evidence []byte, st *blockState) []trade {
+	p, maxUsedCost, usedAnywhere, ok := auctionPrice(auc, all)
+	if !ok {
+		return nil
+	}
+	// Every participant whose marginal order set the price is
+	// excluded — on ties, both sides (a price setter who kept
+	// trading could profitably distort the price). Only genuine
+	// price-setter candidates count.
+	exclClients := make(map[bidding.ParticipantID]bool)
+	exclProviders := make(map[bidding.ParticipantID]bool)
+	for _, ci := range auc.Clusters {
+		cs := all[ci]
+		if cs.active && cs.vHatZ <= p+eps {
+			exclClients[cs.zClient] = true
+		}
+		for _, eo := range cs.unused {
+			if usedAnywhere[eo.Offer.ID] || eo.CHat < maxUsedCost-eps {
 				continue
 			}
-
-			// Offers are tried in a BID-INDEPENDENT order — if which
-			// offers get to serve depended on reported costs, an idle
-			// provider could underbid its way into the allocation
-			// (Section IV-D). With no excess demand we order by machine
-			// size ascending (hardware is system-reported, not strategic)
-			// so small requests don't fragment the big machines.
-			label := fmt.Sprintf("auction:%d/cluster:%s", ai, ec.Cluster.Key())
-			offOrder := sizeOrder(evidence, label+"/offers", ec.Offers)
-
-			// Trial pack on cloned state: if every eligible request fits,
-			// the deterministic v̂-descending request order is fine.
-			// Otherwise Algorithm 4 applies: "randomize the allocation of
-			// cluster" — BOTH which requests trade and where they land
-			// are drawn from the evidence-keyed lottery, so no marginal
-			// participant can bid its way into the capacity-constrained
-			// allocation. This randomization is the welfare price of
-			// truthfulness the paper measures in Figures 5a–5b.
-			trialTaken := copyIDs(taken)
-			full := ec.Pack(tracker.Clone(), trialTaken, reqOK, offOK, pairOK, nil, offOrder)
-
-			var asg []Assignment
-			if len(full) == eligible {
-				asg = ec.Pack(tracker, taken, reqOK, offOK, pairOK, nil, offOrder)
-			} else {
-				reqIDs := make([]string, len(ec.Requests))
-				for i, er := range ec.Requests {
-					reqIDs[i] = string(er.Request.ID)
-				}
-				reqOrder := stats.KeyedOrder(evidence, label+"/requests", reqIDs)
-				offIDs := make([]string, len(ec.Offers))
-				for i, eo := range ec.Offers {
-					offIDs[i] = string(eo.Offer.ID)
-				}
-				randOff := stats.KeyedOrder(evidence, label+"/offers-lottery", offIDs)
-				asg = ec.Pack(tracker, taken, reqOK, offOK, pairOK, reqOrder, randOff)
-				for _, er := range ec.Requests {
-					if !taken[er.Request.ID] && reqOK(er) {
-						lottery[er.Request.ID] = true
-					}
-				}
-			}
-			for _, a := range asg {
-				recordMatch(out, ec, a, p)
-			}
-		}
-
-		// Bookkeeping of reduced trades: the price setters' competitive
-		// orders that were barred from this auction.
-		for _, ci := range auc.Clusters {
-			st := all[ci]
-			for _, er := range st.ec.Requests {
-				excluded := exclClients[er.Request.Client] ||
-					(cfg.StrictReduction && st.active && er.Request.Client == st.zClient)
-				if excluded && er.VHat >= p-eps && !taken[er.Request.ID] {
-					reducedReq[er.Request.ID] = true
-				}
-			}
-			for _, eo := range st.ec.Offers {
-				if exclProviders[eo.Offer.Provider] && eo.CHat <= p+eps {
-					reducedOff[eo.Offer.ID] = true
-				}
+			if eo.CHat <= p+eps {
+				exclProviders[eo.Offer.Provider] = true
 			}
 		}
 	}
 
-	finalize(out, taken, reducedReq, reducedOff, lottery)
-	return out
+	var trades []trade
+	for _, ci := range auc.Clusters {
+		cs := all[ci]
+		ec := cs.ec
+		reqOK := func(er EconRequest) bool {
+			if er.VHat < p-eps || exclClients[er.Request.Client] {
+				return false
+			}
+			if cfg.StrictReduction && cs.active && er.Request.Client == cs.zClient {
+				return false
+			}
+			return true
+		}
+		offOK := func(eo EconOffer) bool {
+			return eo.CHat <= p+eps && !exclProviders[eo.Offer.Provider]
+		}
+
+		eligible := 0
+		for _, er := range ec.Requests {
+			if !st.taken[er.Request.ID] && reqOK(er) {
+				eligible++
+			}
+		}
+		if eligible == 0 {
+			continue
+		}
+		eligibleOffers := 0
+		for _, eo := range ec.Offers {
+			if offOK(eo) {
+				eligibleOffers++
+			}
+		}
+		if eligibleOffers == 0 {
+			continue
+		}
+
+		// Offers are tried in a BID-INDEPENDENT order — if which
+		// offers get to serve depended on reported costs, an idle
+		// provider could underbid its way into the allocation
+		// (Section IV-D). With no excess demand we order by machine
+		// size ascending (hardware is system-reported, not strategic)
+		// so small requests don't fragment the big machines.
+		label := fmt.Sprintf("auction:%d/cluster:%s", ai, ec.Cluster.Key())
+		offOrder := sizeOrder(evidence, label+"/offers", ec.Offers)
+
+		// Trial pack on cloned state: if every eligible request fits,
+		// the deterministic v̂-descending request order is fine.
+		// Otherwise Algorithm 4 applies: "randomize the allocation of
+		// cluster" — BOTH which requests trade and where they land
+		// are drawn from the evidence-keyed lottery, so no marginal
+		// participant can bid its way into the capacity-constrained
+		// allocation. This randomization is the welfare price of
+		// truthfulness the paper measures in Figures 5a–5b.
+		trialTaken := copyIDs(st.taken)
+		full := ec.Pack(st.tracker.Clone(), trialTaken, reqOK, offOK, pairOK, nil, offOrder)
+
+		var asg []Assignment
+		if len(full) == eligible {
+			asg = ec.Pack(st.tracker, st.taken, reqOK, offOK, pairOK, nil, offOrder)
+		} else {
+			reqIDs := make([]string, len(ec.Requests))
+			for i, er := range ec.Requests {
+				reqIDs[i] = string(er.Request.ID)
+			}
+			reqOrder := stats.KeyedOrder(evidence, label+"/requests", reqIDs)
+			offIDs := make([]string, len(ec.Offers))
+			for i, eo := range ec.Offers {
+				offIDs[i] = string(eo.Offer.ID)
+			}
+			randOff := stats.KeyedOrder(evidence, label+"/offers-lottery", offIDs)
+			asg = ec.Pack(st.tracker, st.taken, reqOK, offOK, pairOK, reqOrder, randOff)
+			for _, er := range ec.Requests {
+				if !st.taken[er.Request.ID] && reqOK(er) {
+					st.lottery[er.Request.ID] = true
+				}
+			}
+		}
+		for _, a := range asg {
+			trades = append(trades, trade{ec: ec, a: a, price: p})
+		}
+	}
+
+	// Bookkeeping of reduced trades: the price setters' competitive
+	// orders that were barred from this auction.
+	for _, ci := range auc.Clusters {
+		cs := all[ci]
+		for _, er := range cs.ec.Requests {
+			excluded := exclClients[er.Request.Client] ||
+				(cfg.StrictReduction && cs.active && er.Request.Client == cs.zClient)
+			if excluded && er.VHat >= p-eps && !st.taken[er.Request.ID] {
+				st.reducedReq[er.Request.ID] = true
+			}
+		}
+		for _, eo := range cs.ec.Offers {
+			if exclProviders[eo.Offer.Provider] && eo.CHat <= p+eps {
+				st.reducedOff[eo.Offer.ID] = true
+			}
+		}
+	}
+	return trades
 }
 
 // RunGreedy is the paper's non-truthful benchmark: the same clustering
@@ -356,24 +440,29 @@ func RunGreedy(requests []*bidding.Request, offers []*bidding.Offer, cfg Config)
 		Revenues: make(map[bidding.OrderID]float64),
 	}
 	reqs, offs := screen(requests, offers, out)
+	workers := effectiveWorkers(cfg)
 
 	scale := match.BlockScale(reqs, offs)
-	clusters := cluster.Build(reqs, offs, scale, cfg.Match)
+	clusters := cluster.BuildWorkers(reqs, offs, scale, cfg.Match, workers)
 	out.Clusters = len(clusters)
 
 	type ranked struct {
 		ec      *EconCluster
 		welfare float64
+		active  bool
 	}
 	pairOK := pairGate(cfg)
-	rankedClusters := make([]ranked, 0, len(clusters))
-	for _, cl := range clusters {
-		ec := ComputeEconomics(cl, cfg.Critical)
+	prePassed := make([]ranked, len(clusters))
+	par.ForEach(workers, len(clusters), func(i int) {
+		ec := ComputeEconomics(clusters[i], cfg.Critical)
 		st := prePass(ec, pairOK, func() Capacity { return newCapacity(cfg) })
-		if !st.active {
-			continue
+		prePassed[i] = ranked{ec: ec, welfare: st.welfare, active: st.active}
+	})
+	rankedClusters := make([]ranked, 0, len(clusters))
+	for _, rc := range prePassed {
+		if rc.active {
+			rankedClusters = append(rankedClusters, rc)
 		}
-		rankedClusters = append(rankedClusters, ranked{ec: ec, welfare: st.welfare})
 	}
 	sort.Slice(rankedClusters, func(i, j int) bool {
 		if rankedClusters[i].welfare != rankedClusters[j].welfare {

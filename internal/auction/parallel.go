@@ -1,0 +1,90 @@
+package auction
+
+import (
+	"decloud/internal/bidding"
+	"decloud/internal/miniauction"
+	"decloud/internal/par"
+)
+
+// Parallel mini-auction execution.
+//
+// Mini-auctions are NOT automatically independent: Algorithm 2's
+// intersection clusters let one order appear in several clusters, and a
+// cluster on a shared tree prefix appears on several root-to-leaf
+// paths. All cross-auction coupling, however, flows through state keyed
+// by order ID — the capacity tracker (offer IDs), the taken set
+// (request IDs), and the reduction/lottery bookkeeping — so auctions
+// whose member clusters share no order can neither observe nor affect
+// each other. We therefore partition the auctions into order-disjoint
+// components (union-find over order footprints), execute each component
+// sequentially in auction-index order against its own blockState, and
+// merge: trades are emitted in global auction-index order and the
+// bookkeeping maps are unioned (their key sets are disjoint across
+// components). Interleaving auctions of disjoint components commutes,
+// so this reproduces the sequential execution byte for byte — the
+// property internal/auction/paralleltest enforces.
+
+// clusterFootprint lists every order ID a cluster's execution can read
+// or write, as strings for miniauction.IndependentGroups. It uses the
+// raw cluster membership (a superset of the economics-filtered orders),
+// which can only over-merge components, never under-merge.
+func clusterFootprint(cs clusterStats) []string {
+	cl := cs.ec.Cluster
+	ids := make([]string, 0, len(cl.Requests)+len(cl.Offers))
+	for _, r := range cl.Requests {
+		ids = append(ids, string(r.ID))
+	}
+	for _, o := range cl.Offers {
+		ids = append(ids, string(o.ID))
+	}
+	return ids
+}
+
+// runAuctionsParallel executes the mini-auctions across the worker pool
+// and fills in the outcome exactly as the sequential loop would.
+func runAuctionsParallel(out *Outcome, auctions []miniauction.Auction, all []clusterStats, cfg Config, pairOK func(EconRequest, EconOffer) bool, evidence []byte, workers int) {
+	groups := miniauction.IndependentGroups(auctions, func(ci int) []string {
+		return clusterFootprint(all[ci])
+	})
+
+	states := make([]*blockState, len(groups))
+	tradesByAuction := make([][]trade, len(auctions))
+	par.ForEach(workers, len(groups), func(gi int) {
+		st := newBlockState(cfg)
+		for _, ai := range groups[gi] {
+			// Each auction keeps its global index: the evidence-keyed
+			// lotteries are labeled by it, so scheduling must not
+			// change which lottery an auction draws.
+			tradesByAuction[ai] = runMiniAuction(ai, auctions[ai], all, cfg, pairOK, evidence, st)
+		}
+		states[gi] = st
+	})
+
+	// Canonical merge: trades in auction-index order (what the
+	// sequential loop emits), bookkeeping maps unioned — key sets are
+	// disjoint across components, so union order is immaterial.
+	for _, trs := range tradesByAuction {
+		for _, tr := range trs {
+			recordMatch(out, tr.ec, tr.a, tr.price)
+		}
+	}
+	taken := make(map[bidding.OrderID]bool)
+	reducedReq := make(map[bidding.OrderID]bool)
+	reducedOff := make(map[bidding.OrderID]bool)
+	lottery := make(map[bidding.OrderID]bool)
+	for _, st := range states {
+		mergeIDs(taken, st.taken)
+		mergeIDs(reducedReq, st.reducedReq)
+		mergeIDs(reducedOff, st.reducedOff)
+		mergeIDs(lottery, st.lottery)
+	}
+	finalize(out, taken, reducedReq, reducedOff, lottery)
+}
+
+func mergeIDs(dst, src map[bidding.OrderID]bool) {
+	for id, v := range src {
+		if v {
+			dst[id] = true
+		}
+	}
+}

@@ -7,6 +7,9 @@ import (
 	"testing"
 
 	"decloud/internal/bidding"
+	"decloud/internal/cluster"
+	"decloud/internal/match"
+	"decloud/internal/miniauction"
 	"decloud/internal/resource"
 )
 
@@ -365,6 +368,160 @@ func cloneOffers(offs []*bidding.Offer) []*bidding.Offer {
 		out[i] = &c
 	}
 	return out
+}
+
+// TestDSICHomogeneousParallel re-runs the exact DSIC grid through the
+// PARALLEL execution path (Workers = 4). The equivalence harness proves
+// parallel outcomes are byte-identical to sequential ones, but this test
+// asserts the economic property directly on the parallel path: if the
+// component partitioning ever broke in a way that slipped past the
+// marshal comparison, truthfulness would be the casualty — so it gets
+// its own tripwire.
+func TestDSICHomogeneousParallel(t *testing.T) {
+	values := []float64{10, 8, 6, 5, 3}
+	costs := []float64{1, 2, 3, 4}
+	reqs, offs := homogeneousMarket(values, costs)
+	tv, tc := truthMaps(reqs, offs)
+	cfg := DefaultConfig()
+	cfg.Evidence = []byte("dsic-parallel")
+	cfg.Workers = 4
+
+	base := Run(reqs, offs, cfg)
+	for i := range reqs {
+		truthful := clientUtility(base, reqs[i].Client, tv)
+		for _, dev := range []float64{0.1, 0.5, 0.9, 1.1, 1.5, 3, 10} {
+			mod := cloneRequests(reqs)
+			mod[i].Bid = reqs[i].TrueValue * dev
+			out := Run(mod, offs, cfg)
+			if u := clientUtility(out, reqs[i].Client, tv); u > truthful+1e-9 {
+				t.Fatalf("parallel mode: client %s gains by bidding %v instead of %v: %v > %v",
+					reqs[i].Client, mod[i].Bid, reqs[i].TrueValue, u, truthful)
+			}
+		}
+	}
+	for j := range offs {
+		truthful := providerUtility(base, offs[j].Provider, tc)
+		for _, dev := range []float64{0.1, 0.5, 0.9, 1.1, 1.5, 3, 10} {
+			mod := cloneOffers(offs)
+			mod[j].Bid = offs[j].TrueCost * dev
+			out := Run(reqs, mod, cfg)
+			if u := providerUtility(out, offs[j].Provider, tc); u > truthful+1e-9 {
+				t.Fatalf("parallel mode: provider %s gains by asking %v instead of %v: %v > %v",
+					offs[j].Provider, mod[j].Bid, offs[j].TrueCost, u, truthful)
+			}
+		}
+	}
+}
+
+// TestInvariantsParallelRandomMarkets asserts the mechanism's hard
+// invariants directly on parallel-path outcomes across random markets:
+// individual rationality on both sides, the per-match payment identity
+// (Payment = ν·p·duration on BOTH the client and provider ledger — the
+// strong budget balance of each mini-auction: the auctioneer keeps
+// nothing), and structural feasibility.
+func TestInvariantsParallelRandomMarkets(t *testing.T) {
+	rnd := rand.New(rand.NewSource(93))
+	cfg := DefaultConfig()
+	cfg.Evidence = []byte("par-invariants")
+	cfg.Workers = 4
+	for trial := 0; trial < 40; trial++ {
+		reqs, offs := randomMarket(rnd, 10+rnd.Intn(40), 3+rnd.Intn(10))
+		out := Run(reqs, offs, cfg)
+		revCheck := make(map[bidding.OrderID]float64)
+		for _, m := range out.Matches {
+			if m.Payment > m.Request.Bid+1e-9 {
+				t.Fatalf("trial %d: client IR violated in parallel mode: pays %v > bid %v",
+					trial, m.Payment, m.Request.Bid)
+			}
+			if m.Payment < m.Fraction*m.Offer.Bid-1e-9 {
+				t.Fatalf("trial %d: provider IR violated in parallel mode: %v < cost share %v",
+					trial, m.Payment, m.Fraction*m.Offer.Bid)
+			}
+			if want := m.Nu * m.UnitPrice * float64(m.Request.Duration); m.Payment != want {
+				t.Fatalf("trial %d: payment identity broken: %v != ν·p·d = %v", trial, m.Payment, want)
+			}
+			if out.Payments[m.Request.ID] != m.Payment {
+				t.Fatalf("trial %d: Payments ledger disagrees with match", trial)
+			}
+			revCheck[m.Offer.ID] += m.Payment
+		}
+		for id, want := range revCheck {
+			if out.Revenues[id] != want {
+				t.Fatalf("trial %d: Revenues ledger drift for %s: %v != %v (mini-auction budget imbalance)",
+					trial, id, out.Revenues[id], want)
+			}
+		}
+		if math.Abs(out.TotalPayments()-out.TotalRevenues()) > 1e-9 {
+			t.Fatalf("trial %d: block budget imbalance in parallel mode", trial)
+		}
+		assertFeasible(t, out, offs)
+	}
+}
+
+// TestSBBAPriceRuleParallel independently replays the pricing stage —
+// clustering, pre-passes, interval-tree auction formation, and Eq. 20's
+// p = min(v̂_z, ĉ_{z'+1}) — sequentially, then checks that every match
+// produced by the PARALLEL path clears at a replayed auction price of
+// an auction whose member clusters contain the matched request. This
+// pins the price rule itself, not just sequential/parallel agreement:
+// a bug that shifted both paths identically would pass the equivalence
+// harness but fail here.
+func TestSBBAPriceRuleParallel(t *testing.T) {
+	rnd := rand.New(rand.NewSource(57))
+	for trial := 0; trial < 20; trial++ {
+		reqs, offs := randomMarket(rnd, 12+rnd.Intn(30), 4+rnd.Intn(8))
+		cfg := DefaultConfig()
+		cfg.Evidence = []byte(fmt.Sprintf("sbba-%d", trial))
+		cfg.Workers = 4
+
+		// Sequential replay of the pricing pipeline (mirrors Run up to
+		// the point prices are fixed; prices do not depend on the
+		// allocation loop).
+		scratch := &Outcome{Payments: map[bidding.OrderID]float64{}, Revenues: map[bidding.OrderID]float64{}}
+		sreqs, soffs := screen(reqs, offs, scratch)
+		scale := match.BlockScale(sreqs, soffs)
+		clusters := cluster.Build(sreqs, soffs, scale, cfg.Match)
+		pairOK := pairGate(cfg)
+		all := make([]clusterStats, len(clusters))
+		for i := range clusters {
+			all[i] = prePass(ComputeEconomics(clusters[i], cfg.Critical), pairOK, func() Capacity { return newCapacity(cfg) })
+		}
+		var intervals []miniauction.Interval
+		for i := range all {
+			if all[i].active {
+				intervals = append(intervals, miniauction.Interval{
+					ID: i, Lo: all[i].cHatZ, Hi: all[i].vHatZ, Weight: all[i].welfare,
+				})
+			}
+		}
+		auctions := miniauction.Form(intervals)
+
+		// Valid clearing prices per request: each auction's Eq. 20 price,
+		// attributed to every request of its member clusters.
+		valid := make(map[bidding.OrderID]map[float64]bool)
+		for _, auc := range auctions {
+			p, _, _, ok := auctionPrice(auc, all)
+			if !ok {
+				continue
+			}
+			for _, ci := range auc.Clusters {
+				for _, er := range all[ci].ec.Requests {
+					if valid[er.Request.ID] == nil {
+						valid[er.Request.ID] = make(map[float64]bool)
+					}
+					valid[er.Request.ID][p] = true
+				}
+			}
+		}
+
+		out := Run(reqs, offs, cfg)
+		for _, m := range out.Matches {
+			if !valid[m.Request.ID][m.UnitPrice] {
+				t.Fatalf("trial %d: match %s→%s clears at %v, not an Eq. 20 price of any auction containing it (valid: %v)",
+					trial, m.Request.ID, m.Offer.ID, m.UnitPrice, valid[m.Request.ID])
+			}
+		}
+	}
 }
 
 // TestDSICHomogeneousExactScheduling completes the config matrix: the

@@ -120,6 +120,13 @@ func (d *decoder) vector() (resource.Vector, error) {
 	if n == 0 {
 		return nil, nil
 	}
+	// Every entry costs at least 12 wire bytes (4-byte kind length +
+	// 8-byte quantity), so a count larger than the remaining input is a
+	// forged header — reject it before sizing the map, or a 20-byte
+	// message could demand a multi-gigabyte allocation.
+	if n > uint64(d.r.Len())/12 {
+		return nil, ErrTruncated
+	}
 	v := make(resource.Vector, n)
 	for i := uint64(0); i < n; i++ {
 		k, err := d.str()

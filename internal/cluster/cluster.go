@@ -218,12 +218,23 @@ func sortRequests(rs []*bidding.Request) {
 // rank them by quality of match, take the best-offer set, and update the
 // clusters. The scale must be the block-wide normalization scale.
 func Build(requests []*bidding.Request, offers []*bidding.Offer, scale *resource.Scale, cfg match.Config) []*Cluster {
+	return BuildWorkers(requests, offers, scale, cfg, 1)
+}
+
+// BuildWorkers is Build with the per-request best-offer scoring fanned
+// out across at most workers goroutines. Only the scoring is parallel:
+// the UPDATECLUSTERS pass consumes the precomputed best-offer sets in
+// the same deterministic request order as Build, because cluster
+// formation is inherently order-dependent (intersection clusters depend
+// on which clusters already exist). The result is therefore identical
+// to Build for any worker count.
+func BuildWorkers(requests []*bidding.Request, offers []*bidding.Offer, scale *resource.Scale, cfg match.Config, workers int) []*Cluster {
 	ordered := append([]*bidding.Request(nil), requests...)
 	sortRequests(ordered)
+	best := match.BestOffersAll(ordered, offers, scale, cfg, workers)
 	b := NewBuilder()
-	for _, r := range ordered {
-		best := match.BestOffers(r, offers, scale, cfg)
-		b.Update(r, best)
+	for i, r := range ordered {
+		b.Update(r, best[i])
 	}
 	return b.Clusters()
 }

@@ -208,7 +208,14 @@ func (b *Block) Validate() error {
 
 // Chain is an append-only sequence of validated blocks. The zero-height
 // genesis block is implicit: the first appended block must reference the
-// all-zero hash. Chain is safe for concurrent use.
+// all-zero hash. Chain is safe for concurrent use: every accessor takes
+// the RWMutex, and Append holds the write lock across validation and
+// the verify callback so linkage is checked against a stable head (this
+// deliberately serializes appends — re-executing an allocation under
+// the lock is the price of a consistent replica). Head and BlockAt
+// return pointers into the chain without copying, so appended blocks
+// are shared: callers must treat a *Block as immutable once it has been
+// appended anywhere.
 type Chain struct {
 	mu     sync.RWMutex
 	blocks []*Block

@@ -1,0 +1,21 @@
+package match
+
+import (
+	"decloud/internal/bidding"
+	"decloud/internal/par"
+	"decloud/internal/resource"
+)
+
+// BestOffersAll computes every request's best-offer set, fanning the
+// per-request feasibility filtering and quality scoring across at most
+// workers goroutines. Each request's ranking is a pure function of the
+// request, the offers, and the block scale — no shared mutable state —
+// and every goroutine writes only its own result slot, so the output is
+// exactly what a sequential loop over BestOffers would produce.
+func BestOffersAll(requests []*bidding.Request, offers []*bidding.Offer, scale *resource.Scale, cfg Config, workers int) [][]*bidding.Offer {
+	out := make([][]*bidding.Offer, len(requests))
+	par.ForEach(workers, len(requests), func(i int) {
+		out[i] = BestOffers(requests[i], offers, scale, cfg)
+	})
+	return out
+}

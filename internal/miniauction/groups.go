@@ -1,0 +1,86 @@
+package miniauction
+
+// IndependentGroups partitions mini-auctions into groups that share no
+// footprint key, for parallel execution. footprint(clusterID) must
+// return the keys (e.g. order IDs) a member cluster can read or write
+// during execution; two auctions whose footprints intersect — including
+// via a cluster that appears on both root-to-leaf paths — are placed in
+// the same group and must be executed sequentially in auction-index
+// order. Auctions in different groups touch disjoint state by
+// construction, so executing groups concurrently (each against its own
+// capacity and bookkeeping state) and merging results in auction-index
+// order reproduces the sequential execution exactly.
+//
+// The returned groups list auction indexes ascending within each group,
+// and groups are ordered by their smallest member index, so the
+// partition itself is deterministic.
+func IndependentGroups(auctions []Auction, footprint func(clusterID int) []string) [][]int {
+	if len(auctions) == 0 {
+		return nil
+	}
+	uf := newUnionFind(len(auctions))
+	owner := make(map[string]int)
+	seen := make(map[int][]string) // cluster ID → footprint, computed once
+	for ai, auc := range auctions {
+		for _, ci := range auc.Clusters {
+			keys, ok := seen[ci]
+			if !ok {
+				keys = footprint(ci)
+				seen[ci] = keys
+			}
+			for _, key := range keys {
+				if prev, claimed := owner[key]; claimed {
+					uf.union(prev, ai)
+				} else {
+					owner[key] = ai
+				}
+			}
+		}
+	}
+	byRoot := make(map[int][]int)
+	var order []int
+	for ai := range auctions {
+		root := uf.find(ai)
+		if _, ok := byRoot[root]; !ok {
+			order = append(order, root)
+		}
+		byRoot[root] = append(byRoot[root], ai)
+	}
+	groups := make([][]int, 0, len(order))
+	for _, root := range order {
+		groups = append(groups, byRoot[root])
+	}
+	return groups
+}
+
+// unionFind is a minimal disjoint-set forest with path compression.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b, keeping the smaller root so that
+// group ordering by smallest member index stays stable.
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if ra > rb {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+}

@@ -1,0 +1,112 @@
+package miniauction
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestIndependentGroups(t *testing.T) {
+	// Cluster footprints: 0 and 1 share order "b" transitively through
+	// auction membership below; 2 and 3 are isolated; 4 shares "x" with 2.
+	foot := map[int][]string{
+		0: {"a", "b"},
+		1: {"b", "c"},
+		2: {"x"},
+		3: {"y"},
+		4: {"x", "z"},
+	}
+	lookup := func(ci int) []string { return foot[ci] }
+
+	tests := []struct {
+		name     string
+		auctions []Auction
+		want     [][]int
+	}{
+		{
+			name: "disjoint auctions stay separate",
+			auctions: []Auction{
+				{Clusters: []int{0}},
+				{Clusters: []int{3}},
+			},
+			want: [][]int{{0}, {1}},
+		},
+		{
+			name: "shared order id merges",
+			auctions: []Auction{
+				{Clusters: []int{0}},
+				{Clusters: []int{1}}, // shares "b" with auction 0
+				{Clusters: []int{3}},
+			},
+			want: [][]int{{0, 1}, {2}},
+		},
+		{
+			name: "shared cluster on two paths merges",
+			auctions: []Auction{
+				{Clusters: []int{2}},
+				{Clusters: []int{2, 3}}, // cluster 2 on both paths
+			},
+			want: [][]int{{0, 1}},
+		},
+		{
+			name: "transitive merge through third auction",
+			auctions: []Auction{
+				{Clusters: []int{2}},
+				{Clusters: []int{3}},
+				{Clusters: []int{4}}, // "x" links it to auction 0
+			},
+			want: [][]int{{0, 2}, {1}},
+		},
+		{
+			name:     "empty",
+			auctions: nil,
+			want:     nil,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := IndependentGroups(tc.auctions, lookup)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("groups = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestIndependentGroupsPartition: on any input the result must be a
+// partition of the auction indexes with ascending members and groups
+// ordered by smallest member — the canonical order the parallel merge
+// depends on.
+func TestIndependentGroupsPartition(t *testing.T) {
+	auctions := []Auction{
+		{Clusters: []int{0, 1}},
+		{Clusters: []int{2}},
+		{Clusters: []int{3}},
+		{Clusters: []int{4}},
+		{Clusters: []int{1, 3}},
+	}
+	foot := func(ci int) []string { return []string{string(rune('a' + ci))} }
+	groups := IndependentGroups(auctions, foot)
+	seen := make(map[int]bool)
+	lastFirst := -1
+	for _, g := range groups {
+		if len(g) == 0 {
+			t.Fatal("empty group")
+		}
+		if g[0] <= lastFirst {
+			t.Fatalf("groups not ordered by smallest member: %v", groups)
+		}
+		lastFirst = g[0]
+		for i, ai := range g {
+			if i > 0 && ai <= g[i-1] {
+				t.Fatalf("group members not ascending: %v", g)
+			}
+			if seen[ai] {
+				t.Fatalf("auction %d in two groups: %v", ai, groups)
+			}
+			seen[ai] = true
+		}
+	}
+	if len(seen) != len(auctions) {
+		t.Fatalf("partition covers %d of %d auctions", len(seen), len(auctions))
+	}
+}

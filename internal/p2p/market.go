@@ -34,6 +34,19 @@ type vote struct {
 // maintains a mempool and a chain replica, can produce blocks
 // (mine → collect reveals → allocate → broadcast), and verifies and
 // votes on blocks produced by others.
+// Concurrency: network handlers (onBid/onReveal/onBlock/onVote) run on
+// the gossip reader goroutines while ProduceBlock runs on the caller's.
+// The discipline is:
+//   - mu guards mempool and havePool — the only state both sides write.
+//   - miner is written once in NewMarketNode and only read afterwards;
+//     its methods copy AuctionCfg by value per block, so concurrent
+//     VerifyBlock (verifier path) and ComputeBody (producer path) are
+//     safe. Do not mutate miner fields after the node starts.
+//   - chain is internally RWMutex-guarded; appended blocks are treated
+//     as immutable (see ledger.Chain).
+//   - revealCh/voteCh decouple handlers from the producer loop; sends
+//     are non-blocking so a slow producer drops rather than wedges the
+//     gossip reader.
 type MarketNode struct {
 	net   *Node
 	miner *miner.Miner

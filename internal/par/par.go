@@ -1,0 +1,53 @@
+// Package par provides the bounded worker pool behind the mechanism's
+// parallel execution mode. The pool is deliberately minimal: callers fan
+// independent index-addressed work items across at most Workers
+// goroutines, each item writing only its own result slot, so the merged
+// result is identical to a sequential loop. Anything order-dependent
+// stays outside the pool.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Default returns the default worker count: runtime.GOMAXPROCS(0).
+func Default() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines. With workers <= 1 (or n <= 1) it degenerates to an inline
+// sequential loop in index order. Work is handed out by an atomic
+// counter, so items are load-balanced regardless of per-item cost; fn
+// must be safe to call concurrently for distinct indexes.
+func ForEach(workers, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,43 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16, 100} {
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			visits := make([]int32, n)
+			ForEach(workers, n, func(i int) {
+				atomic.AddInt32(&visits[i], 1)
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachInlineWhenSequential(t *testing.T) {
+	// workers ≤ 1 must run fn on the calling goroutine in index order —
+	// callers rely on this for the exact sequential code path.
+	var got []int
+	ForEach(1, 5, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("sequential order broken: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("expected 5 calls, got %d", len(got))
+	}
+}
+
+func TestDefaultPositive(t *testing.T) {
+	if Default() < 1 {
+		t.Fatalf("Default() = %d", Default())
+	}
+}

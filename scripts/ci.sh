@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate: vet, build, race-enabled tests, and a fuzz smoke pass.
+#
+# The race-enabled test run doubles as the determinism-equivalence gate:
+# internal/auction/paralleltest replays randomized blocks sequentially
+# and at workers ∈ {2, 4, GOMAXPROCS} and fails on any byte divergence,
+# so a scheduling leak into the allocation cannot land green.
+#
+# Usage: scripts/ci.sh [fuzztime]   (default fuzz smoke: 10s per target)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${1:-10s}"
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "==> fuzz smoke (${FUZZTIME} per target)"
+go test -run='^$' -fuzz=FuzzDecodeBid -fuzztime="${FUZZTIME}" ./internal/bidding
+go test -run='^$' -fuzz=FuzzSealedRoundTrip -fuzztime="${FUZZTIME}" ./internal/sealed
+
+echo "==> ci.sh: all green"

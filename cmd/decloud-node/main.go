@@ -36,6 +36,7 @@ func main() {
 	produce := flag.Duration("produce", 0, "produce a block every interval (0 = verify only)")
 	quorum := flag.Int("quorum", 0, "OK votes required per produced block")
 	revealWindow := flag.Duration("reveal-window", 3*time.Second, "how long to wait for key reveals")
+	revealRetries := flag.Int("reveal-retries", 2, "preamble re-broadcasts when reveals are missing at the deadline")
 	demo := flag.Int("demo", 0, "submit a demo workload of N requests before each production")
 	chainFile := flag.String("chain", "", "persist the chain to this file after each block")
 	flag.Parse()
@@ -98,7 +99,11 @@ func main() {
 			continue
 		}
 		roundCtx, cancel := context.WithTimeout(ctx, *produce+10*time.Second)
-		summary, err := node.ProduceBlock(roundCtx, *quorum, *revealWindow)
+		summary, err := node.ProduceBlockOpts(roundCtx, p2p.RoundConfig{
+			Quorum:        *quorum,
+			RevealWindow:  *revealWindow,
+			RevealRetries: *revealRetries,
+		})
 		cancel()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "round failed: %v\n", err)

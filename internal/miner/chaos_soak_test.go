@@ -1,0 +1,212 @@
+package miner
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"decloud/internal/auction"
+	"decloud/internal/chaos"
+)
+
+// soakMinerNames matches NewNetwork's naming for a 3-miner network.
+var soakMinerNames = []string{"miner-00", "miner-01", "miner-02"}
+
+// soakSchedules reads the sweep width from DECLOUD_CHAOS_SCHEDULES,
+// defaulting to def (or short in -short mode).
+func soakSchedules(t *testing.T, def, short int) int {
+	t.Helper()
+	if s := os.Getenv("DECLOUD_CHAOS_SCHEDULES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad DECLOUD_CHAOS_SCHEDULES=%q", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return short
+	}
+	return def
+}
+
+// soakMarket seeds a network with a seed-specific tradable market — four
+// clients at descending valuations and one provider — and returns the
+// participants. Identities and sealing keys come from deterministic
+// entropy, so the same seed always submits byte-identical sealed bids.
+func soakMarket(t *testing.T, net *Network, seed int64) []*Participant {
+	t.Helper()
+	var parts []*Participant
+	for i := 0; i < 4; i++ {
+		p := testParticipant(t, fmt.Sprintf("soak-client-%d-%d", seed, i))
+		bid, err := p.SubmitRequest(request(fmt.Sprintf("r-%d-%d", seed, i), 2, float64(10-2*i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.SubmitBid(bid); err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p)
+	}
+	prov := testParticipant(t, fmt.Sprintf("soak-prov-%d", seed))
+	bid, err := prov.SubmitOffer(offer(fmt.Sprintf("o-%d", seed), 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SubmitBid(bid); err != nil {
+		t.Fatal(err)
+	}
+	return append(parts, prov)
+}
+
+// runSoakRound runs one proof-of-stake round of the seed's market under
+// the given fault plan and returns the result plus the hash of the full
+// head-block bytes (preamble, bids, reveals, allocation).
+func runSoakRound(t *testing.T, seed int64, plan *chaos.Plan) (*RoundResult, [32]byte) {
+	t.Helper()
+	net := NewNetwork(3, testDifficulty, auction.DefaultConfig())
+	net.Consensus = ProofOfStake
+	net.Faults = plan
+	parts := soakMarket(t, net, seed)
+	res, err := net.RunRound(context.Background(), parts)
+	if err != nil {
+		t.Fatalf("seed %d: round failed: %v", seed, err)
+	}
+	data, err := json.Marshal(net.Chain().Head())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sha256.Sum256(data)
+}
+
+func equalDigests(a, b [][32]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkGoroutineLeaks fails the test if the goroutine count has not
+// settled back near its starting point (allowing slack for the runtime's
+// own background goroutines).
+func checkGoroutineLeaks(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+3 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+}
+
+// TestChaosSoakDeterministicConvergence sweeps seeded fault schedules —
+// reveal drops, delays, duplicates, crash windows — through full
+// proof-of-stake rounds and asserts the protocol's two central chaos
+// properties:
+//
+//  1. Determinism: the same seed produces byte-identical chains and
+//     identical excluded-bid sets on every run.
+//  2. Exclusion equivalence: a chaotic round equals a fault-free round in
+//     which exactly the excluded reveals are withheld — faults change
+//     *which* bids trade, never *how* the survivors trade.
+func TestChaosSoakDeterministicConvergence(t *testing.T) {
+	schedules := soakSchedules(t, 50, 12)
+	before := runtime.NumGoroutine()
+	sawExclusion, sawRetryRecovery := false, false
+	for seed := int64(0); seed < int64(schedules); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%02d", seed), func(t *testing.T) {
+			plan := func() *chaos.Plan { return chaos.SoakPlan(seed, soakMinerNames) }
+			resA, hashA := runSoakRound(t, seed, plan())
+			resB, hashB := runSoakRound(t, seed, plan())
+			if hashA != hashB {
+				t.Fatal("same seed produced different chain bytes")
+			}
+			if !equalDigests(resA.ExcludedDigests, resB.ExcludedDigests) {
+				t.Fatalf("same seed excluded different bids: %x vs %x", resA.ExcludedDigests, resB.ExcludedDigests)
+			}
+			if resA.RevealAttempts != resB.RevealAttempts {
+				t.Fatalf("same seed used %d vs %d reveal attempts", resA.RevealAttempts, resB.RevealAttempts)
+			}
+			if len(resA.ExcludedDigests) > 0 {
+				sawExclusion = true
+			}
+			if resA.RevealAttempts > 1 && len(resA.ExcludedDigests) == 0 {
+				sawRetryRecovery = true
+			}
+
+			// Replay fault-free, blocking exactly the excluded reveals: the
+			// chain must come out byte-identical to the chaotic run.
+			blocked := make(map[[32]byte]bool, len(resA.ExcludedDigests))
+			for _, d := range resA.ExcludedDigests {
+				blocked[d] = true
+			}
+			_, hashC := runSoakRound(t, seed, &chaos.Plan{BlockedReveals: blocked})
+			if hashC != hashA {
+				t.Fatal("chaotic round differs from fault-free round modulo excluded reveals")
+			}
+		})
+	}
+	if schedules >= 10 {
+		if !sawExclusion {
+			t.Error("soak sweep never exercised the exclusion path — widen the fault bands")
+		}
+		if !sawRetryRecovery {
+			t.Error("soak sweep never recovered a lost reveal via retry — widen the fault bands")
+		}
+	}
+	checkGoroutineLeaks(t, before)
+}
+
+// TestChaosSoakProofOfWorkConverges runs a smaller sweep under real
+// proof-of-work. Block bytes are not reproducible there (the race winner
+// and nonce vary), so the assertions are the ones PoW can honor: the
+// round converges despite the faults, an outsider miner accepts the
+// block by independent re-execution, and the excluded-bid set — which is
+// producer-independent by construction — is stable across runs.
+func TestChaosSoakProofOfWorkConverges(t *testing.T) {
+	schedules := soakSchedules(t, 8, 3)
+	before := runtime.NumGoroutine()
+	for seed := int64(0); seed < int64(schedules); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%02d", seed), func(t *testing.T) {
+			run := func() (*Network, *RoundResult) {
+				net := NewNetwork(3, testDifficulty, auction.DefaultConfig())
+				net.Faults = chaos.SoakPlan(seed, soakMinerNames)
+				parts := soakMarket(t, net, seed)
+				res, err := net.RunRound(context.Background(), parts)
+				if err != nil {
+					t.Fatalf("seed %d: PoW round failed: %v", seed, err)
+				}
+				return net, res
+			}
+			netA, resA := run()
+			_, resB := run()
+			if !equalDigests(resA.ExcludedDigests, resB.ExcludedDigests) {
+				t.Fatalf("excluded set depends on the PoW race: %x vs %x",
+					resA.ExcludedDigests, resB.ExcludedDigests)
+			}
+			cfg := auction.DefaultConfig()
+			cfg.Reputation = netA.Contracts().Reputation()
+			outsider := &Miner{Name: "outsider", Difficulty: testDifficulty, AuctionCfg: cfg}
+			if err := outsider.VerifyBlock(netA.Chain().Head()); err != nil {
+				t.Fatalf("outsider rejects the converged block: %v", err)
+			}
+		})
+	}
+	checkGoroutineLeaks(t, before)
+}

@@ -81,7 +81,7 @@ func TestProofOfStakeRound(t *testing.T) {
 func TestProofOfStakeCheaterStillCaught(t *testing.T) {
 	net := NewNetwork(3, 30, auction.DefaultConfig())
 	net.Consensus = ProofOfStake
-	net.TamperBody = func(b *ledger.Body) {
+	net.TamperBody = func(_ string, b *ledger.Body) {
 		records, err := ledger.DecodeAllocation(b.Allocation)
 		if err != nil || len(records) == 0 {
 			return
@@ -100,7 +100,7 @@ func TestSampledVerificationCatchesCheater(t *testing.T) {
 	net := NewNetwork(4, testDifficulty, auction.DefaultConfig())
 	net.Policy = VerifySampled
 	net.SampleProb = 1.0 // every miner samples: challenge guaranteed
-	net.TamperBody = func(b *ledger.Body) {
+	net.TamperBody = func(_ string, b *ledger.Body) {
 		records, err := ledger.DecodeAllocation(b.Allocation)
 		if err != nil || len(records) == 0 {
 			return
@@ -136,7 +136,7 @@ func TestVerifierDilemmaWithZeroSampling(t *testing.T) {
 	net := NewNetwork(3, testDifficulty, auction.DefaultConfig())
 	net.Policy = VerifySampled
 	net.SampleProb = 0
-	net.TamperBody = func(b *ledger.Body) {
+	net.TamperBody = func(_ string, b *ledger.Body) {
 		records, err := ledger.DecodeAllocation(b.Allocation)
 		if err != nil || len(records) == 0 {
 			return

@@ -188,7 +188,7 @@ func TestCheatingMinerRejected(t *testing.T) {
 	net := NewNetwork(3, testDifficulty, auction.DefaultConfig())
 	participants := marketRound(t, net)
 	// The winning miner inflates the first payment before broadcast.
-	net.TamperBody = func(b *ledger.Body) {
+	net.TamperBody = func(_ string, b *ledger.Body) {
 		records, err := ledger.DecodeAllocation(b.Allocation)
 		if err != nil || len(records) == 0 {
 			return
@@ -210,7 +210,7 @@ func TestTamperedAllocationHashRejected(t *testing.T) {
 	net := NewNetwork(2, testDifficulty, auction.DefaultConfig())
 	participants := marketRound(t, net)
 	// Tamper with allocation bytes but not the hash: structural check fails.
-	net.TamperBody = func(b *ledger.Body) {
+	net.TamperBody = func(_ string, b *ledger.Body) {
 		b.Allocation = append(b.Allocation, ' ')
 	}
 	_, err := net.RunRound(context.Background(), participants)

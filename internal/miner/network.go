@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"decloud/internal/auction"
+	"decloud/internal/chaos"
 	"decloud/internal/contract"
 	"decloud/internal/ledger"
 	"decloud/internal/sealed"
@@ -18,7 +19,13 @@ var (
 	ErrEmptyMempool = errors.New("miner: no sealed bids to include")
 	ErrBadBid       = errors.New("miner: sealed bid failed signature verification")
 	ErrNoQuorum     = errors.New("miner: verifier quorum rejected the block")
+	ErrAllCrashed   = errors.New("miner: every miner is crashed this round")
 )
+
+// DefaultRevealRetries is how many extra delivery attempts the reveal
+// phase makes for missing key reveals before the round deterministically
+// excludes the still-unrevealed bids and moves on.
+const DefaultRevealRetries = 3
 
 // Network is the in-process miner overlay: a shared mempool of sealed
 // bids, a set of racing miners, the canonical chain, and the contract
@@ -44,8 +51,10 @@ type Network struct {
 	SampleProb float64
 	// Challenges accumulates disputes raised by sampled verifiers.
 	Challenges []Challenge
-	// Slashed counts upheld challenges per producing miner — the penalty
-	// hook a staking deployment would burn deposits through.
+	// Slashed counts rejected blocks per producing miner — the penalty
+	// hook a staking deployment would burn deposits through. Under every
+	// policy a producer whose block the verifiers reject is slashed once
+	// per rejected block, and the round re-elects without it.
 	Slashed map[string]int
 
 	// BlockReward is the cryptotoken emission credited to the producer of
@@ -57,9 +66,22 @@ type Network struct {
 	// Balances accumulates each miner's earned emission.
 	Balances map[string]float64
 
-	// TamperBody, when set, mutates the winning block's body before it is
-	// broadcast — a test hook simulating a cheating miner.
-	TamperBody func(*ledger.Body)
+	// Faults, when set, injects deterministic transport faults into the
+	// round: lost/delayed key reveals (retried up to RevealRetries times,
+	// then excluded — identically on every honest miner, because the
+	// verdicts depend only on the plan seed and the bid digest) and
+	// crash-restart windows that take miners out of production and
+	// verification for the rounds they cover.
+	Faults *chaos.Plan
+	// RevealRetries caps the reveal phase's delivery attempts (0 means
+	// DefaultRevealRetries; negative means no retries). The in-process
+	// transport retries instantly; the TCP layer (p2p.MarketNode) backs
+	// off exponentially between attempts.
+	RevealRetries int
+
+	// TamperBody, when set, mutates the named producer's body before it
+	// is broadcast — a test hook simulating a Byzantine miner.
+	TamperBody func(producer string, b *ledger.Body)
 
 	clock int64
 }
@@ -122,6 +144,17 @@ type RoundResult struct {
 	// Unrevealed and RejectedBids count bids dropped during decryption.
 	Unrevealed   int
 	RejectedBids int
+	// ExcludedDigests lists the sealed bids whose key reveals never
+	// arrived within the retry budget, in digest order. The list is a
+	// pure function of the fault plan and the committed bids, so every
+	// honest miner excludes exactly this set.
+	ExcludedDigests [][32]byte
+	// RevealAttempts is how many delivery attempts the reveal phase used
+	// (1 when everything arrived first try).
+	RevealAttempts int
+	// Offenders lists producers whose blocks were rejected and slashed
+	// before the round converged, in re-election order.
+	Offenders []string
 }
 
 // RunRound executes one full two-phase round (Fig. 2 of the paper):
@@ -129,10 +162,17 @@ type RoundResult struct {
 //  1. Bidding phase: the mempool is drained into a block; miners race on
 //     proof-of-work; the winner's preamble is broadcast.
 //  2. Participants see their bids committed and broadcast key reveals.
+//     Reveals lost in transit are re-requested up to RevealRetries
+//     times; bids still unrevealed at the deadline are excluded — the
+//     same exclusion on every honest miner — instead of stalling the
+//     round.
 //  3. Execution phase: the winner decrypts, computes the allocation
 //     (seeded by the PoW evidence), and broadcasts the body.
-//  4. Every other miner independently re-executes and must agree before
-//     the block is appended; the matches become proposed agreements.
+//  4. Every other live miner independently re-executes and must agree
+//     before the block is appended; the matches become proposed
+//     agreements. A producer whose body fails verification is slashed
+//     and barred, and the round re-elects among the remaining miners
+//     until an honest block converges (graceful Byzantine degradation).
 //
 // The participants argument lists the endpoints to ask for key reveals —
 // in a real deployment this is a broadcast, here it is a direct call.
@@ -150,68 +190,172 @@ func (n *Network) RunRound(ctx context.Context, participants []*Participant) (*R
 		return nil, ErrEmptyMempool
 	}
 
-	// Phase 1: block production. Under proof-of-work every miner
-	// assembles the same canonical block and searches a disjoint nonce
-	// region; first valid PoW wins and cancels the rest. Under
-	// proof-of-stake the stake-weighted leader for this height produces
-	// the block directly.
-	var winnerIdx int
-	var block *ledger.Block
-	var err error
-	switch n.Consensus {
-	case ProofOfStake:
-		winnerIdx, block = n.electLeader(bids, timestamp)
-	default:
-		winnerIdx, block, err = n.race(ctx, bids, timestamp)
+	// crashed miners sit the whole round out; miners slashed during this
+	// round's re-elections are barred from producing but keep verifying —
+	// a Byzantine producer must not escape scrutiny just because its
+	// accusers were themselves rejected earlier.
+	crashed := make(map[int]bool)
+	for i, m := range n.miners {
+		if n.Faults.Crashed(timestamp, m.Name) {
+			crashed[i] = true
+		}
+	}
+	barred := make(map[int]bool)
+
+	var offenders []string
+	var lastErr error
+	for {
+		var eligible, verifiers []int
+		for i := range n.miners {
+			if crashed[i] {
+				continue
+			}
+			verifiers = append(verifiers, i)
+			if !barred[i] {
+				eligible = append(eligible, i)
+			}
+		}
+		if len(eligible) == 0 {
+			if lastErr != nil {
+				return nil, fmt.Errorf("miner: no producer converged after %d rejection(s): %w", len(offenders), lastErr)
+			}
+			return nil, ErrAllCrashed
+		}
+
+		// Phase 1: block production among the eligible miners. Under
+		// proof-of-work every one assembles the same canonical block and
+		// searches a disjoint nonce region; first valid PoW wins and
+		// cancels the rest. Under proof-of-stake the stake-weighted
+		// leader for this height produces the block directly.
+		var winnerIdx int
+		var block *ledger.Block
+		var err error
+		switch n.Consensus {
+		case ProofOfStake:
+			winnerIdx, block = n.electLeader(eligible, bids, timestamp)
+		default:
+			winnerIdx, block, err = n.race(ctx, eligible, bids, timestamp)
+			if err != nil {
+				return nil, err
+			}
+		}
+		winner := n.miners[winnerIdx]
+
+		// Phase 1→2 boundary: participants validate the preamble and
+		// reveal keys for their committed bids; lost reveals are retried,
+		// then excluded.
+		reveals, excluded, attempts := n.collectReveals(block, participants, timestamp, winner.Name)
+
+		// Phase 2: the winner decrypts and computes the allocation.
+		outcome, err := winner.ComputeBody(block, reveals)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("miner: compute body: %w", err)
+		}
+		dec := DecryptOrders(block.Bids, reveals)
+
+		if n.TamperBody != nil {
+			n.TamperBody(winner.Name, block.Body)
+		}
+
+		// Phase 2: the other live miners verify the block before
+		// acceptance. Under VerifyAll everyone re-executes; under
+		// VerifySampled each miner checks with probability SampleProb and
+		// any detected mismatch becomes a challenge that triggers full
+		// verification (TrueBit's escape from the verifier's dilemma).
+		err = n.chain.Append(block, func(b *ledger.Block) error {
+			return n.verifyByPolicy(b, winnerIdx, verifiers)
+		})
+		if err != nil {
+			// The verifiers rejected the producer's block: slash it, bar
+			// it, and re-elect among the remaining miners. The bids are
+			// untouched — the next producer re-runs the same round.
+			n.Slashed[winner.Name]++
+			offenders = append(offenders, winner.Name)
+			barred[winnerIdx] = true
+			lastErr = err
+			continue
+		}
+
+		n.Balances[winner.Name] += n.BlockReward
+
+		ids := n.registry.ProposeFromBlock(block.Preamble.Height, mustDecode(block.Body.Allocation))
+		return &RoundResult{
+			Block:           block,
+			Outcome:         outcome,
+			Winner:          winner.Name,
+			Agreements:      ids,
+			Unrevealed:      dec.Unrevealed,
+			RejectedBids:    dec.Rejected,
+			ExcludedDigests: excluded,
+			RevealAttempts:  attempts,
+			Offenders:       offenders,
+		}, nil
+	}
+}
+
+// collectReveals runs the reveal phase with a retry budget: participants
+// produce reveals for the committed bids, the fault plan decides which
+// deliveries are lost per attempt, and lost reveals are re-requested
+// until they arrive or the budget is spent. Bids whose reveals never
+// arrive are excluded; the verdicts depend only on (plan seed, round,
+// attempt, bid digest), so the excluded set is identical on every honest
+// miner regardless of which one produces the block. Returned reveals
+// follow the block's canonical bid order, keeping the body bytes
+// deterministic.
+func (n *Network) collectReveals(block *ledger.Block, participants []*Participant, round int64, producer string) ([]*sealed.KeyReveal, [][32]byte, int) {
+	if !block.Preamble.ValidPoW() {
+		return nil, nil, 0
+	}
+	produced := make(map[[32]byte]*sealed.KeyReveal)
+	for _, p := range participants {
+		for _, kr := range p.RevealsFor(block.Bids) {
+			produced[kr.BidDigest] = kr
 		}
 	}
-	winner := n.miners[winnerIdx]
 
-	// Phase 1→2 boundary: participants validate the preamble and reveal
-	// keys for their committed bids.
+	retries := n.RevealRetries
+	if retries == 0 {
+		retries = DefaultRevealRetries
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	delivered := make(map[[32]byte]bool, len(produced))
+	attempts := 0
+	for attempt := 0; attempt <= retries; attempt++ {
+		attempts++
+		missing := false
+		for _, b := range block.Bids {
+			d := b.Digest()
+			if delivered[d] {
+				continue
+			}
+			if _, ok := produced[d]; !ok {
+				missing = true // never produced; retries cannot help, but the
+				continue       // silent sender may still be partitioned, not gone
+			}
+			if n.Faults.RevealLost(round, attempt, producer, string(b.SenderID()), d) {
+				missing = true
+				continue
+			}
+			delivered[d] = true
+		}
+		if !missing {
+			break
+		}
+	}
+
 	var reveals []*sealed.KeyReveal
-	if block.Preamble.ValidPoW() {
-		for _, p := range participants {
-			reveals = append(reveals, p.RevealsFor(block.Bids)...)
+	var excluded [][32]byte
+	for _, b := range block.Bids { // block bids are digest-sorted: canonical order
+		d := b.Digest()
+		if delivered[d] {
+			reveals = append(reveals, produced[d])
+		} else {
+			excluded = append(excluded, d)
 		}
 	}
-
-	// Phase 2: the winner decrypts and computes the allocation.
-	outcome, err := winner.ComputeBody(block, reveals)
-	if err != nil {
-		return nil, fmt.Errorf("miner: compute body: %w", err)
-	}
-	dec := DecryptOrders(block.Bids, reveals)
-
-	if n.TamperBody != nil {
-		n.TamperBody(block.Body)
-	}
-
-	// Phase 2: other miners verify the block before acceptance. Under
-	// VerifyAll everyone re-executes; under VerifySampled each miner
-	// checks with probability SampleProb and any detected mismatch
-	// becomes a challenge that triggers full verification and slashes
-	// the producer (TrueBit's escape from the verifier's dilemma).
-	err = n.chain.Append(block, func(b *ledger.Block) error {
-		return n.verifyByPolicy(b, winnerIdx, winner.Name)
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	n.Balances[winner.Name] += n.BlockReward
-
-	ids := n.registry.ProposeFromBlock(block.Preamble.Height, mustDecode(block.Body.Allocation))
-	return &RoundResult{
-		Block:        block,
-		Outcome:      outcome,
-		Winner:       winner.Name,
-		Agreements:   ids,
-		Unrevealed:   dec.Unrevealed,
-		RejectedBids: dec.Rejected,
-	}, nil
+	return reveals, excluded, attempts
 }
 
 func mustDecode(alloc []byte) []ledger.AllocationRecord {
@@ -225,31 +369,38 @@ func mustDecode(alloc []byte) []ledger.AllocationRecord {
 }
 
 // electLeader produces a block under proof-of-stake: the stake-weighted
-// leader assembles it with difficulty 0 (no puzzle to solve).
-func (n *Network) electLeader(bids []*sealed.Bid, timestamp int64) (int, *ledger.Block) {
-	names := make([]string, len(n.miners))
-	for i, m := range n.miners {
-		names[i] = m.Name
+// leader among the eligible miners assembles it with difficulty 0 (no
+// puzzle to solve).
+func (n *Network) electLeader(eligible []int, bids []*sealed.Bid, timestamp int64) (int, *ledger.Block) {
+	names := make([]string, len(eligible))
+	for i, idx := range eligible {
+		names[i] = n.miners[idx].Name
 	}
 	var height int64
 	if head := n.chain.Head(); head != nil {
 		height = head.Preamble.Height + 1
 	}
-	idx := SelectLeader(n.chain.HeadHash(), height, names, n.Stakes)
+	idx := eligible[SelectLeader(n.chain.HeadHash(), height, names, n.Stakes)]
 	block := n.miners[idx].AssembleBlock(n.chain, bids, timestamp)
 	block.Preamble.Difficulty = 0
 	return idx, block
 }
 
 // verifyByPolicy applies the network's verification policy to a block.
-func (n *Network) verifyByPolicy(b *ledger.Block, producerIdx int, producer string) error {
+// verifiers lists the live (non-crashed) miners; everyone but the
+// producer checks, including miners barred from producing. Slashing on
+// rejection is the caller's job, so a rejected block costs its producer
+// exactly one slash under any policy.
+func (n *Network) verifyByPolicy(b *ledger.Block, producerIdx int, verifiers []int) error {
+	producer := n.miners[producerIdx].Name
 	switch n.Policy {
 	case VerifySampled:
 		challenged := false
-		for i, m := range n.miners {
+		for _, i := range verifiers {
 			if i == producerIdx {
 				continue
 			}
+			m := n.miners[i]
 			if !shouldSample(b.Evidence(), m.Name, n.SampleProb) {
 				continue
 			}
@@ -266,34 +417,32 @@ func (n *Network) verifyByPolicy(b *ledger.Block, producerIdx int, producer stri
 			// producer goes unchecked.
 			return nil
 		}
-		// A challenge escalates to full verification; an upheld challenge
-		// slashes the producer.
-		for i, m := range n.miners {
+		// A challenge escalates to full verification.
+		for _, i := range verifiers {
 			if i == producerIdx {
 				continue
 			}
-			if err := m.VerifyBlock(b); err != nil {
-				n.Slashed[producer]++
-				return fmt.Errorf("%w: %v", ErrNoQuorum, err)
+			if err := n.miners[i].VerifyBlock(b); err != nil {
+				return fmt.Errorf("%w (producer %s): %v", ErrNoQuorum, producer, err)
 			}
 		}
 		return nil
 	default: // VerifyAll
-		for i, m := range n.miners {
+		for _, i := range verifiers {
 			if i == producerIdx {
 				continue
 			}
-			if err := m.VerifyBlock(b); err != nil {
-				return fmt.Errorf("%w: %v", ErrNoQuorum, err)
+			if err := n.miners[i].VerifyBlock(b); err != nil {
+				return fmt.Errorf("%w (producer %s): %v", ErrNoQuorum, producer, err)
 			}
 		}
 		return nil
 	}
 }
 
-// race runs the PoW competition and returns the winning miner's index
-// and its mined block.
-func (n *Network) race(ctx context.Context, bids []*sealed.Bid, timestamp int64) (int, *ledger.Block, error) {
+// race runs the PoW competition among the eligible miners and returns the
+// winning miner's index and its mined block.
+func (n *Network) race(ctx context.Context, eligible []int, bids []*sealed.Bid, timestamp int64) (int, *ledger.Block, error) {
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -301,9 +450,9 @@ func (n *Network) race(ctx context.Context, bids []*sealed.Bid, timestamp int64)
 		idx   int
 		block *ledger.Block
 	}
-	results := make(chan win, len(n.miners))
+	results := make(chan win, len(eligible))
 	var wg sync.WaitGroup
-	for i, m := range n.miners {
+	for _, idx := range eligible {
 		wg.Add(1)
 		go func(idx int, m *Miner) {
 			defer wg.Done()
@@ -317,7 +466,7 @@ func (n *Network) race(ctx context.Context, bids []*sealed.Bid, timestamp int64)
 				default:
 				}
 			}
-		}(i, m)
+		}(idx, n.miners[idx])
 	}
 	go func() {
 		wg.Wait()

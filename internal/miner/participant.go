@@ -27,8 +27,9 @@ type Participant struct {
 }
 
 type pendingBid struct {
-	bid *sealed.Bid
-	key []byte
+	bid      *sealed.Bid
+	key      []byte
+	revealed bool
 }
 
 // NewParticipant creates a participant with a fresh identity. A nil
@@ -96,9 +97,14 @@ func (p *Participant) seal(orderBytes []byte) (*sealed.Bid, error) {
 	return bid, nil
 }
 
-// RevealsFor inspects a preamble's committed bids and broadcasts signed
-// key reveals for every pending bid of this participant found there.
-// Revealed bids leave the pending set.
+// RevealsFor inspects a preamble's committed bids and returns signed key
+// reveals for every retained bid of this participant found there. The
+// call is idempotent: re-asking for the same committed bid yields a fresh
+// (byte-identical, ed25519 signing is deterministic) reveal rather than
+// nothing, because reveal messages can be lost in transit and the retry
+// path — re-broadcast preambles, re-requested reveals — depends on
+// participants answering again. Keys therefore stay retained until the
+// caller Forgets them, typically once the block is final on-chain.
 func (p *Participant) RevealsFor(committed []*sealed.Bid) []*sealed.KeyReveal {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -106,15 +112,34 @@ func (p *Participant) RevealsFor(committed []*sealed.Bid) []*sealed.KeyReveal {
 	for _, b := range committed {
 		if pb, ok := p.pending[b.Digest()]; ok {
 			reveals = append(reveals, sealed.NewKeyReveal(p.identity, pb.bid, pb.key))
-			delete(p.pending, b.Digest())
+			pb.revealed = true
+			p.pending[b.Digest()] = pb
 		}
 	}
 	return reveals
 }
 
-// PendingCount reports how many sealed bids await a preamble.
+// Forget drops the retained keys for the given bid digests — called once
+// the bids' block is final and no further reveal can be requested.
+func (p *Participant) Forget(digests [][32]byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, d := range digests {
+		delete(p.pending, d)
+	}
+}
+
+// PendingCount reports how many sealed bids still await a first preamble
+// (bids already revealed at least once are not counted, even though their
+// keys stay retained for retries).
 func (p *Participant) PendingCount() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.pending)
+	n := 0
+	for _, pb := range p.pending {
+		if !pb.revealed {
+			n++
+		}
+	}
+	return n
 }

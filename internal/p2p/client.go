@@ -43,6 +43,12 @@ func (pc *ParticipantClient) Addr() string { return pc.net.Addr() }
 // Connect joins a peer's gossip.
 func (pc *ParticipantClient) Connect(addr string) error { return pc.net.Connect(addr) }
 
+// SetFaults installs a transport fault plan on the underlying node.
+func (pc *ParticipantClient) SetFaults(f FaultPlan) { pc.net.SetFaults(f) }
+
+// SetLogf routes the underlying node's diagnostics.
+func (pc *ParticipantClient) SetLogf(logf func(format string, args ...any)) { pc.net.SetLogf(logf) }
+
 // Close shuts the client down.
 func (pc *ParticipantClient) Close() error { return pc.net.Close() }
 

@@ -3,6 +3,7 @@ package p2p
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -20,6 +21,8 @@ const (
 	msgReveal   = "reveal"   // sealed.KeyReveal
 	msgBlock    = "block"    // full ledger.Block
 	msgVote     = "vote"     // vote
+	msgSyncReq  = "syncreq"  // syncRequest — a lagging replica asks for blocks
+	msgChain    = "chain"    // chainTransfer — catch-up blocks for one node
 )
 
 // vote is a verifier's verdict on a broadcast block.
@@ -28,6 +31,20 @@ type vote struct {
 	Height int64  `json:"height"`
 	OK     bool   `json:"ok"`
 	Err    string `json:"err,omitempty"`
+}
+
+// syncRequest asks peers for every block from Height (the requester's
+// current chain length) upward — sent by a replica that received a block
+// it cannot link, e.g. after a crash-restart.
+type syncRequest struct {
+	From   string `json:"from"`
+	Height int64  `json:"height"`
+}
+
+// chainTransfer answers a syncRequest with catch-up blocks for one node.
+type chainTransfer struct {
+	For    string          `json:"for"`
+	Blocks []*ledger.Block `json:"blocks"`
 }
 
 // MarketNode is a miner running the protocol over TCP gossip: it
@@ -78,6 +95,8 @@ func NewMarketNode(name, addr string, difficulty int, cfg auction.Config) (*Mark
 	n.Handle(msgReveal, mn.onReveal)
 	n.Handle(msgBlock, mn.onBlock)
 	n.Handle(msgVote, mn.onVote)
+	n.Handle(msgSyncReq, mn.onSyncReq)
+	n.Handle(msgChain, mn.onChain)
 	return mn, nil
 }
 
@@ -92,6 +111,12 @@ func (mn *MarketNode) Chain() *ledger.Chain { return mn.chain }
 
 // Connect joins a peer's gossip.
 func (mn *MarketNode) Connect(addr string) error { return mn.net.Connect(addr) }
+
+// SetFaults installs a transport fault plan on the underlying node.
+func (mn *MarketNode) SetFaults(f FaultPlan) { mn.net.SetFaults(f) }
+
+// SetLogf routes the underlying node's diagnostics.
+func (mn *MarketNode) SetLogf(logf func(format string, args ...any)) { mn.net.SetLogf(logf) }
 
 // Close shuts the node down.
 func (mn *MarketNode) Close() error { return mn.net.Close() }
@@ -143,7 +168,9 @@ func (mn *MarketNode) onReveal(msg Message) {
 }
 
 // onBlock verifies a block produced elsewhere, appends it to the local
-// replica, and votes.
+// replica, and votes. A linkage failure on a block from the future means
+// this replica is behind (e.g. it crash-restarted and missed rounds), so
+// it asks its peers for the gap before it can vote.
 func (mn *MarketNode) onBlock(msg Message) {
 	var b ledger.Block
 	if err := json.Unmarshal(msg.Payload, &b); err != nil {
@@ -153,8 +180,48 @@ func (mn *MarketNode) onBlock(msg Message) {
 	if err := mn.chain.Append(&b, mn.miner.VerifyBlock); err != nil {
 		v.OK = false
 		v.Err = err.Error()
+		if errors.Is(err, ledger.ErrBadLinkage) && b.Preamble.Height > int64(mn.chain.Len()) {
+			_ = mn.net.Broadcast(msgSyncReq, syncRequest{From: mn.Name(), Height: int64(mn.chain.Len())})
+		}
 	}
 	_ = mn.net.Broadcast(msgVote, v)
+}
+
+// onSyncReq answers a lagging peer with the blocks it is missing.
+func (mn *MarketNode) onSyncReq(msg Message) {
+	var req syncRequest
+	if err := json.Unmarshal(msg.Payload, &req); err != nil || req.From == mn.Name() {
+		return
+	}
+	n := int64(mn.chain.Len())
+	if n <= req.Height || req.Height < 0 {
+		return
+	}
+	var blocks []*ledger.Block
+	for h := req.Height; h < n; h++ {
+		b := mn.chain.BlockAt(int(h))
+		if b == nil {
+			return
+		}
+		blocks = append(blocks, b)
+	}
+	_ = mn.net.Broadcast(msgChain, chainTransfer{For: req.From, Blocks: blocks})
+}
+
+// onChain applies catch-up blocks addressed to this node, verifying each
+// one before appending, and votes OK for every height it accepts — so a
+// producer still waiting on quorum hears from a replica that synced late.
+func (mn *MarketNode) onChain(msg Message) {
+	var tr chainTransfer
+	if err := json.Unmarshal(msg.Payload, &tr); err != nil || tr.For != mn.Name() {
+		return
+	}
+	for _, b := range tr.Blocks {
+		if err := mn.chain.Append(b, mn.miner.VerifyBlock); err != nil {
+			continue // already have it, or it does not verify
+		}
+		_ = mn.net.Broadcast(msgVote, vote{Voter: mn.Name(), Height: b.Preamble.Height, OK: true})
+	}
 }
 
 func (mn *MarketNode) onVote(msg Message) {
@@ -175,15 +242,40 @@ type RoundSummary struct {
 	OKVotes    int
 	BadVotes   int
 	Unrevealed int
+	// RevealAttempts counts preamble broadcasts: 1 for a round where the
+	// first reveal window sufficed, more when retries were needed.
+	RevealAttempts int
 }
 
-// ProduceBlock runs one round as the producing miner: drain the mempool,
-// mine the preamble, broadcast it, collect key reveals until every
-// committed bid is revealed or the reveal window lapses, compute and
-// broadcast the block, then collect verifier votes until quorum OK votes
-// arrive or ctx expires. The producer appends to its own replica before
-// broadcasting.
+// RoundConfig parameterizes one produced round.
+type RoundConfig struct {
+	// Quorum is the number of OK verifier votes to wait for.
+	Quorum int
+	// RevealWindow is the first reveal-collection deadline.
+	RevealWindow time.Duration
+	// RevealRetries is how many times the preamble is re-broadcast when
+	// reveals are still missing at the deadline. Participants answer
+	// re-broadcasts idempotently, so a lost reveal gets another chance;
+	// bids still unrevealed after the last window are excluded from the
+	// allocation (DecryptOrders counts them as Unrevealed).
+	RevealRetries int
+	// Backoff multiplies the reveal window on each retry (default 2).
+	Backoff float64
+}
+
+// ProduceBlock runs one round with a single reveal window — see
+// ProduceBlockOpts for the retrying variant.
 func (mn *MarketNode) ProduceBlock(ctx context.Context, quorum int, revealWindow time.Duration) (*RoundSummary, error) {
+	return mn.ProduceBlockOpts(ctx, RoundConfig{Quorum: quorum, RevealWindow: revealWindow})
+}
+
+// ProduceBlockOpts runs one round as the producing miner: drain the
+// mempool, mine the preamble, broadcast it, collect key reveals until
+// every committed bid is revealed or the reveal window lapses (retrying
+// with exponential backoff per cfg), compute and broadcast the block,
+// then collect verifier votes until cfg.Quorum OK votes arrive or ctx
+// expires. The producer appends to its own replica before broadcasting.
+func (mn *MarketNode) ProduceBlockOpts(ctx context.Context, cfg RoundConfig) (*RoundSummary, error) {
 	mn.mu.Lock()
 	bids := mn.mempool
 	mn.mempool = nil
@@ -207,31 +299,46 @@ func (mn *MarketNode) ProduceBlock(ctx context.Context, quorum int, revealWindow
 		}
 		break
 	}
-	if err := mn.net.Broadcast(msgPreamble, block); err != nil {
-		return nil, fmt.Errorf("p2p: broadcast preamble: %w", err)
-	}
 
-	// Collect reveals for the committed bids.
+	// Collect reveals for the committed bids, re-broadcasting the preamble
+	// with a growing window while any are missing and retries remain.
 	want := make(map[[32]byte]bool, len(block.Bids))
 	for _, b := range block.Bids {
 		want[b.Digest()] = true
 	}
 	reveals := make([]*sealed.KeyReveal, 0, len(want))
-	timer := time.NewTimer(revealWindow)
-	defer timer.Stop()
-collect:
-	for len(want) > 0 {
-		select {
-		case kr := <-mn.revealCh:
-			if want[kr.BidDigest] {
-				delete(want, kr.BidDigest)
-				reveals = append(reveals, kr)
-			}
-		case <-timer.C:
-			break collect
-		case <-ctx.Done():
-			return nil, ctx.Err()
+	backoff := cfg.Backoff
+	if backoff <= 1 {
+		backoff = 2
+	}
+	window := cfg.RevealWindow
+	attempts := 0
+	for {
+		attempts++
+		if err := mn.net.Broadcast(msgPreamble, block); err != nil {
+			return nil, fmt.Errorf("p2p: broadcast preamble: %w", err)
 		}
+		timer := time.NewTimer(window)
+	collect:
+		for len(want) > 0 {
+			select {
+			case kr := <-mn.revealCh:
+				if want[kr.BidDigest] {
+					delete(want, kr.BidDigest)
+					reveals = append(reveals, kr)
+				}
+			case <-timer.C:
+				break collect
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
+			}
+		}
+		timer.Stop()
+		if len(want) == 0 || attempts > cfg.RevealRetries {
+			break
+		}
+		window = time.Duration(float64(window) * backoff)
 	}
 
 	outcome, err := mn.miner.ComputeBody(block, reveals)
@@ -246,11 +353,12 @@ collect:
 	}
 
 	summary := &RoundSummary{
-		Block:      block,
-		Outcome:    outcome,
-		Unrevealed: len(want),
+		Block:          block,
+		Outcome:        outcome,
+		Unrevealed:     len(want),
+		RevealAttempts: attempts,
 	}
-	for summary.OKVotes < quorum {
+	for summary.OKVotes < cfg.Quorum {
 		select {
 		case v := <-mn.voteCh:
 			if v.Height != block.Preamble.Height {
@@ -263,7 +371,7 @@ collect:
 			}
 		case <-ctx.Done():
 			return summary, fmt.Errorf("p2p: quorum not reached: %d/%d ok, %d bad: %w",
-				summary.OKVotes, quorum, summary.BadVotes, ctx.Err())
+				summary.OKVotes, cfg.Quorum, summary.BadVotes, ctx.Err())
 		}
 	}
 	return summary, nil

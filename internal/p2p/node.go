@@ -14,9 +14,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 )
 
 // Message is the wire envelope. ID makes flooding idempotent: every node
@@ -46,20 +50,37 @@ func (m *Message) key() [32]byte {
 // Handler consumes a delivered message.
 type Handler func(Message)
 
+// FaultPlan injects transport faults into a node's gossip (chaos
+// engineering; chaos.Plan satisfies this). PlanDelivery is consulted once
+// per unique message the node sees — node is this endpoint's name, from
+// the message's originator — and returns the delivery schedule: nil means
+// deliver normally, a non-nil empty slice drops the message at this node,
+// and otherwise each entry is one local delivery after that delay (the
+// earliest entry also gates the onward relay; later entries are duplicate
+// local deliveries, exercising handler idempotency upstream of the
+// flooding dedup). Implementations must be safe for concurrent use.
+type FaultPlan interface {
+	PlanDelivery(node, from, msgType string, key [32]byte) []time.Duration
+}
+
 // ErrClosed is returned by operations on a closed node.
 var ErrClosed = errors.New("p2p: node closed")
 
 // Node is one gossip endpoint: it accepts inbound peers, dials outbound
 // peers, and floods messages to all of them, delivering each unique
-// message to the local handlers exactly once.
+// message to the local handlers exactly once (unless a FaultPlan says
+// otherwise).
 type Node struct {
 	name string
 	ln   net.Listener
+	stop chan struct{}
 
 	mu       sync.Mutex
 	conns    map[net.Conn]*bufio.Writer
 	seen     map[[32]byte]bool
 	handlers map[string][]Handler
+	faults   FaultPlan
+	logf     func(format string, args ...any)
 	closed   bool
 
 	seq uint64
@@ -76,9 +97,11 @@ func Listen(name, addr string) (*Node, error) {
 	n := &Node{
 		name:     name,
 		ln:       ln,
+		stop:     make(chan struct{}),
 		conns:    make(map[net.Conn]*bufio.Writer),
 		seen:     make(map[[32]byte]bool),
 		handlers: make(map[string][]Handler),
+		logf:     func(string, ...any) {},
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -91,8 +114,41 @@ func (n *Node) Name() string { return n.name }
 // Addr returns the listening address (host:port).
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
+// SetFaults installs a fault plan (nil removes it). Install before
+// connecting peers so every message is planned consistently.
+func (n *Node) SetFaults(f FaultPlan) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = f
+}
+
+// SetLogf routes the node's diagnostics (default: discarded). Expected
+// shutdown noise — EOF, reset, or closed-connection errors during Close —
+// is never logged; only genuinely unexpected read errors reach logf.
+func (n *Node) SetLogf(logf func(format string, args ...any)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	n.logf = logf
+}
+
+// PeerCount reports the number of live connections.
+func (n *Node) PeerCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.conns)
+}
+
 // Connect dials a peer and joins its gossip.
 func (n *Node) Connect(addr string) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	n.mu.Unlock()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("p2p: connect %s: %w", addr, err)
@@ -110,7 +166,8 @@ func (n *Node) Handle(msgType string, fn Handler) {
 }
 
 // Broadcast floods a message to every peer. The local node's handlers do
-// NOT receive their own broadcasts.
+// NOT receive their own broadcasts. Under a FaultPlan the broadcast may
+// be silently dropped or delayed at the source, as a lossy network would.
 func (n *Node) Broadcast(msgType string, payload any) error {
 	data, err := json.Marshal(payload)
 	if err != nil {
@@ -128,9 +185,57 @@ func (n *Node) Broadcast(msgType string, payload any) error {
 		return ErrClosed
 	}
 	n.seen[msg.key()] = true // never re-deliver our own message
-	err = n.relayLocked(msg, nil)
+	schedule := n.scheduleLocked(msg)
+	if len(schedule) == 0 { // dropped at the source
+		n.mu.Unlock()
+		return nil
+	}
+	if schedule[0] == 0 {
+		err = n.relayLocked(msg, nil)
+		n.mu.Unlock()
+		return err
+	}
 	n.mu.Unlock()
-	return err
+	n.after(schedule[0], func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if !n.closed {
+			_ = n.relayLocked(msg, nil)
+		}
+	})
+	return nil
+}
+
+// scheduleLocked consults the fault plan for a message's delivery
+// schedule, sorted ascending. Callers hold n.mu. No plan (or no opinion)
+// yields a single immediate delivery.
+func (n *Node) scheduleLocked(msg Message) []time.Duration {
+	if n.faults == nil {
+		return []time.Duration{0}
+	}
+	s := n.faults.PlanDelivery(n.name, msg.From, msg.Type, msg.key())
+	if s == nil {
+		return []time.Duration{0}
+	}
+	s = append([]time.Duration(nil), s...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+// after runs fn on a tracked goroutine once d elapses, unless the node
+// closes first — so Close never waits out a pending chaos delay.
+func (n *Node) after(d time.Duration, fn func()) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			fn()
+		case <-n.stop:
+		}
+	}()
 }
 
 // relayLocked writes the message to every connection except skip.
@@ -159,7 +264,11 @@ func (n *Node) relayLocked(msg Message, skip net.Conn) error {
 	return firstErr
 }
 
-// Close shuts the node down, closing every connection.
+// Close shuts the node down: no new connections are accepted, every
+// existing connection is closed, pending fault-delayed deliveries are
+// abandoned, and Close returns only after every reader and timer
+// goroutine has exited — nothing is leaked and nothing spurious is
+// logged.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -167,6 +276,7 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.closed = true
+	close(n.stop)
 	for conn := range n.conns {
 		conn.Close()
 	}
@@ -177,12 +287,30 @@ func (n *Node) Close() error {
 	return err
 }
 
+func (n *Node) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+// log emits a diagnostic through the current logf under the lock
+// discipline (SetLogf may race with reader goroutines otherwise).
+func (n *Node) log(format string, args ...any) {
+	n.mu.Lock()
+	logf := n.logf
+	n.mu.Unlock()
+	logf(format, args...)
+}
+
 func (n *Node) acceptLoop() {
 	defer n.wg.Done()
 	for {
 		conn, err := n.ln.Accept()
 		if err != nil {
-			return // listener closed
+			if !n.isClosed() && !errors.Is(err, net.ErrClosed) {
+				n.log("p2p: %s: accept: %v", n.name, err)
+			}
+			return
 		}
 		n.addConn(conn)
 	}
@@ -218,9 +346,23 @@ func (n *Node) readLoop(conn net.Conn) {
 		}
 		n.deliver(msg, conn)
 	}
+	if err := scanner.Err(); err != nil && !n.isClosed() && !expectedDisconnect(err) {
+		n.log("p2p: %s: read %s: %v", n.name, conn.RemoteAddr(), err)
+	}
 }
 
-// deliver dispatches an inbound message once and relays it onward.
+// expectedDisconnect reports whether a read error is ordinary peer-
+// shutdown noise (the peer closed or reset mid-line, or our own Close
+// raced the reader) rather than something worth logging.
+func expectedDisconnect(err error) bool {
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
+}
+
+// deliver dispatches an inbound message once (per scheduled delivery) and
+// relays it onward.
 func (n *Node) deliver(msg Message, from net.Conn) {
 	key := msg.key()
 	n.mu.Lock()
@@ -230,9 +372,45 @@ func (n *Node) deliver(msg Message, from net.Conn) {
 	}
 	n.seen[key] = true
 	handlers := append([]Handler(nil), n.handlers[msg.Type]...)
-	_ = n.relayLocked(msg, from)
-	n.mu.Unlock()
-	for _, fn := range handlers {
-		fn(msg)
+	schedule := n.scheduleLocked(msg)
+	if len(schedule) == 0 { // dropped at this hop: not relayed, not handled
+		n.mu.Unlock()
+		return
+	}
+	dispatch := func() {
+		for _, fn := range handlers {
+			fn(msg)
+		}
+	}
+	// The earliest delivery carries the relay; later entries are local
+	// duplicates only (peers would dedup a re-relay anyway).
+	if schedule[0] == 0 {
+		_ = n.relayLocked(msg, from)
+		n.mu.Unlock()
+		dispatch()
+	} else {
+		n.mu.Unlock()
+		n.after(schedule[0], func() {
+			n.mu.Lock()
+			closed := n.closed
+			if !closed {
+				_ = n.relayLocked(msg, from)
+			}
+			n.mu.Unlock()
+			if !closed {
+				dispatch()
+			}
+		})
+	}
+	for _, d := range schedule[1:] {
+		if d == 0 {
+			dispatch()
+			continue
+		}
+		n.after(d, func() {
+			if !n.isClosed() {
+				dispatch()
+			}
+		})
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"decloud/internal/auction"
 	"decloud/internal/bidding"
 	"decloud/internal/miner"
+	"decloud/internal/reputation"
 	"decloud/internal/workload"
 )
 
@@ -98,6 +99,10 @@ type RoundMetrics struct {
 // Result aggregates a full simulation.
 type Result struct {
 	Rounds []RoundMetrics
+	// Reputation is the final reputation snapshot in ledger mode (nil in
+	// Fast mode): the deny penalties and accept rewards accumulated by
+	// every participant identity across all rounds.
+	Reputation []reputation.ParticipantScore
 }
 
 // TotalWelfare sums realized welfare over all rounds (Eq. 15).
@@ -160,12 +165,16 @@ func Run(cfg Config) (*Result, error) {
 			for _, c := range carried {
 				// Shift the carried request's window into this round's
 				// horizon: a resubmitted bid asks for the same service
-				// later.
+				// later. The resubmission is a NEW bid, so it gets a new
+				// order ID — the generator reuses IDs across rounds, and in
+				// ledger mode two live orders with one ID would trip the
+				// verifiers' mutation check.
 				fresh := *c.r
 				fresh.Resources = c.r.Resources.Clone()
 				span := fresh.End - fresh.Start
 				fresh.Start = 0
 				fresh.End = span
+				fresh.ID = bidding.OrderID(fmt.Sprintf("%s~%d", c.r.ID, round))
 				market.Requests = append(market.Requests, &fresh)
 				carriedIn++
 			}
@@ -223,6 +232,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 		res.Rounds = append(res.Rounds, metrics)
 	}
+	if net != nil {
+		res.Reputation = net.Contracts().Reputation().Snapshot()
+	}
 	return res, nil
 }
 
@@ -275,9 +287,13 @@ func ledgerRound(net *miner.Network, roster map[bidding.ParticipantID]*miner.Par
 	metrics.BlockHeight = res.Block.Preamble.Height
 	metrics.Winner = res.Winner
 
-	// Clients decide on their agreements.
+	// Clients decide on their agreements. A denied allocation never
+	// executes, so its request rejoins the unmatched pool: with Resubmit
+	// on it is carried into the next round (and the denying client keeps
+	// paying for the churn through its reputation).
 	rnd := rand.New(rand.NewSource(cfg.Workload.Seed + int64(round)))
 	reg := net.Contracts()
+	denied := make(map[bidding.OrderID]bool)
 	for _, id := range res.Agreements {
 		a, err := reg.Get(id)
 		if err != nil {
@@ -287,6 +303,7 @@ func ledgerRound(net *miner.Network, roster map[bidding.ParticipantID]*miner.Par
 			if _, err := reg.Deny(id, a.Client()); err != nil {
 				return metrics, err
 			}
+			denied[bidding.OrderID(a.Record.RequestID)] = true
 			metrics.Denied++
 		} else {
 			if err := reg.Accept(id, a.Client()); err != nil {
@@ -294,6 +311,15 @@ func ledgerRound(net *miner.Network, roster map[bidding.ParticipantID]*miner.Par
 			}
 			metrics.Agreed++
 		}
+	}
+	if len(denied) > 0 {
+		kept := metrics.matchedIDs[:0]
+		for _, rid := range metrics.matchedIDs {
+			if !denied[rid] {
+				kept = append(kept, rid)
+			}
+		}
+		metrics.matchedIDs = kept
 	}
 	return metrics, nil
 }

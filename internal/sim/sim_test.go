@@ -225,3 +225,79 @@ func TestLedgerChainGrowsAcrossRounds(t *testing.T) {
 		t.Fatal("DenyProb=0.5 over 3 rounds should produce denials")
 	}
 }
+
+// TestLedgerDenyResubmissionReputationE2E drives the full contract
+// failure loop through ledger mode: every allocation is denied at the
+// contract stage, so the denied requests rejoin the unmatched pool, are
+// resubmitted in later rounds, burn through their resubmission budget,
+// and expire — while the denying clients accumulate reputation penalties
+// visible in the final snapshot.
+func TestLedgerDenyResubmissionReputationE2E(t *testing.T) {
+	res, err := Run(Config{
+		Mode:         Ledger,
+		Rounds:       4,
+		Workload:     workload.Config{Seed: 5, Requests: 12},
+		Miners:       2,
+		Difficulty:   6,
+		DenyProb:     1.0, // every agreement is denied
+		Resubmit:     true,
+		MaxResubmits: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 4 {
+		t.Fatalf("rounds = %d, want 4", len(res.Rounds))
+	}
+	r0 := res.Rounds[0]
+	if r0.Denied == 0 || r0.Agreed != 0 {
+		t.Fatalf("round 0: denied = %d, agreed = %d; want all-deny", r0.Denied, r0.Agreed)
+	}
+	// Denied allocations never execute: their requests must be carried.
+	if r0.CarriedOut < r0.Denied {
+		t.Fatalf("round 0 carried out %d requests, but denied %d", r0.CarriedOut, r0.Denied)
+	}
+	if res.Rounds[1].CarriedIn != r0.CarriedOut {
+		t.Fatalf("round 1 carried in %d, round 0 carried out %d",
+			res.Rounds[1].CarriedIn, r0.CarriedOut)
+	}
+	// With every round denying, resubmission budgets run dry.
+	expired := 0
+	for _, m := range res.Rounds {
+		expired += m.Expired
+	}
+	if expired == 0 {
+		t.Fatal("no request expired despite denials in every round")
+	}
+	// The chain still grows one verified block per round.
+	for i, m := range res.Rounds {
+		if m.BlockHeight != int64(i) {
+			t.Fatalf("round %d block height = %d", i, m.BlockHeight)
+		}
+	}
+	// Denying clients pay in reputation.
+	if len(res.Reputation) == 0 {
+		t.Fatal("ledger run returned no reputation snapshot")
+	}
+	penalized := 0
+	for _, s := range res.Reputation {
+		if s.Score < 1.0 {
+			penalized++
+		}
+	}
+	if penalized == 0 {
+		t.Fatal("no participant lost reputation despite universal denial")
+	}
+}
+
+// TestFastModeHasNoReputationSnapshot pins the mode split: reputation is
+// ledger state, so Fast mode must not fabricate one.
+func TestFastModeHasNoReputationSnapshot(t *testing.T) {
+	res, err := Run(Config{Mode: Fast, Rounds: 1, Workload: workload.Config{Seed: 3, Requests: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reputation != nil {
+		t.Fatalf("fast mode produced a reputation snapshot: %v", res.Reputation)
+	}
+}

@@ -1,0 +1,81 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document so the repository can track its performance trajectory in
+// version control (BENCH_*.json), and compares two runs benchstat-style.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH.json
+//	benchjson -out BENCH.json -baseline OLD.json < bench.txt
+//
+// With -baseline, the old run's benchmarks are embedded under "baseline"
+// in the output document and a delta table (ns/op, allocs/op, B/op) is
+// printed to stdout. The tool never fails on regressions — it reports;
+// gating is the caller's policy (scripts/ci.sh runs it warn-only because
+// CI hardware varies).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"decloud/internal/benchparse"
+)
+
+func main() {
+	out := flag.String("out", "", "write the JSON document here (omit for stdout)")
+	baseline := flag.String("baseline", "", "previous benchjson document to embed and compare against")
+	flag.Parse()
+
+	results, err := benchparse.Parse(bufio.NewReader(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	doc := benchparse.Document{Benchmarks: results}
+	if *baseline != "" {
+		old, err := readDocument(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		// A baseline document may itself carry a baseline; the comparison
+		// is always against its current benchmarks.
+		doc.Baseline = old.Benchmarks
+		benchparse.WriteComparison(os.Stdout, old.Benchmarks, results)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func readDocument(path string) (benchparse.Document, error) {
+	var doc benchparse.Document
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	return doc, json.Unmarshal(b, &doc)
+}

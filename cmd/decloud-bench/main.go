@@ -6,6 +6,11 @@
 //
 //	decloud-bench [-fig 5a|5b|5c|5d|5e|5f|all] [-out DIR] [-quick]
 //	              [-reps N] [-seed N] [-workers N]
+//	              [-cpuprofile FILE] [-memprofile FILE]
+//
+// -cpuprofile and -memprofile write pprof profiles of the sweeps (view
+// with `go tool pprof`), which is how the matching-engine hot spots in
+// DESIGN.md's performance model were measured.
 //
 // Figures 5a–5c share one market-size sweep; 5d–5f share one
 // flexibility/divergence sweep, so asking for several figures of a group
@@ -18,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"decloud/internal/experiments"
@@ -33,7 +39,37 @@ func main() {
 	compare := flag.Bool("compare", false, "also run the DeCloud/VCG/greedy/optimum comparison")
 	dynamics := flag.Bool("dynamics", false, "also run the multi-round elastic-supply trajectory")
 	workers := flag.Int("workers", 0, "auction worker-pool size (0 = all cores); results are identical at any value")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU pprof profile of the sweeps to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation pprof profile (after the sweeps) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "decloud-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "decloud-bench: start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "decloud-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the heap profile is stable
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "decloud-bench: write mem profile: %v\n", err)
+			}
+		}()
+	}
 
 	// The sweeps build auction.DefaultConfig() internally, which sizes
 	// its worker pool from GOMAXPROCS — so capping GOMAXPROCS caps every

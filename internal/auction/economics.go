@@ -9,10 +9,12 @@ package auction
 
 import (
 	"math"
+	"math/bits"
 	"sort"
 
 	"decloud/internal/bidding"
 	"decloud/internal/cluster"
+	"decloud/internal/match"
 	"decloud/internal/resource"
 )
 
@@ -126,6 +128,14 @@ func ComputeEconomics(cl *cluster.Cluster, critical map[resource.Kind]bool) *Eco
 			VHat:    r.Bid / (nu * float64(r.Duration)),
 		})
 	}
+	sortEcon(ec)
+	return ec
+}
+
+// sortEcon applies Section IV-D's McAfee-style ranking with the
+// submission-time tie rule: requests by v̂ descending, offers by ĉ
+// ascending.
+func sortEcon(ec *EconCluster) {
 	sort.Slice(ec.Requests, func(i, j int) bool {
 		a, b := ec.Requests[i], ec.Requests[j]
 		if a.VHat != b.VHat {
@@ -146,6 +156,146 @@ func ComputeEconomics(cl *cluster.Cluster, critical map[resource.Kind]bool) *Eco
 		}
 		return a.Offer.ID < b.Offer.ID
 	})
+}
+
+// ComputeEconomicsIndexed is ComputeEconomics over the block's matching
+// index: K_CL, M_CL, and K_CR come from kind-bitmask unions and
+// intersections, and the ν sums run over dense rows in ascending kind
+// index — the same sorted-kind order resource.Vector.Kinds() yields — so
+// every float is bit-identical to the map-walking reference (the block
+// outcome is consensus-critical). Falls back to ComputeEconomics when
+// the index is nil, wide (> 64 kinds), or does not know the cluster's
+// orders.
+func ComputeEconomicsIndexed(cl *cluster.Cluster, critical map[resource.Kind]bool, ix *match.Index) *EconCluster {
+	if ix == nil || ix.Wide() {
+		return ComputeEconomics(cl, critical)
+	}
+	kinds := ix.Kinds()
+	reqMasks := make([]uint64, len(cl.Requests))
+	reqRows := make([][]float64, len(cl.Requests))
+	var reqUnion uint64
+	for i, r := range cl.Requests {
+		m, ok := ix.RequestMask(r)
+		row, ok2 := ix.RequestRow(r)
+		if !ok || !ok2 {
+			return ComputeEconomics(cl, critical)
+		}
+		reqMasks[i], reqRows[i] = m, row
+		reqUnion |= m
+	}
+	offMasks := make([]uint64, len(cl.Offers))
+	offRows := make([][]float64, len(cl.Offers))
+	var offUnion uint64
+	for i, o := range cl.Offers {
+		m, ok := ix.OfferMask(o)
+		row, ok2 := ix.OfferRow(o)
+		if !ok || !ok2 {
+			return ComputeEconomics(cl, critical)
+		}
+		offMasks[i], offRows[i] = m, row
+		offUnion |= m
+	}
+
+	// K_CL = (∪_r K_r) ∩ (∪_o K_o); M_CL = componentwise offer maximum
+	// restricted to it. Every common bit has a positive offer quantity,
+	// so M_CL is positive exactly on K_CL.
+	common := reqUnion & offUnion
+	maxRow := make([]float64, len(kinds))
+	for i := range offRows {
+		for m := offMasks[i] & common; m != 0; m &= m - 1 {
+			k := bits.TrailingZeros64(m)
+			if q := offRows[i][k]; q > maxRow[k] {
+				maxRow[k] = q
+			}
+		}
+	}
+	maxVec := make(resource.Vector, bits.OnesCount64(common))
+	var dsum float64
+	for m := common; m != 0; m &= m - 1 {
+		k := bits.TrailingZeros64(m)
+		maxVec[kinds[k]] = maxRow[k]
+		dsum += maxRow[k] * maxRow[k]
+	}
+	denom := math.Sqrt(dsum) // ‖M_CL‖₂, summed in sorted kind order
+
+	// K_CR: the base critical kinds plus every kind demanded by ALL
+	// requests (the AND of the request masks).
+	crit := make(map[resource.Kind]bool)
+	if critical == nil {
+		critical = resource.DefaultCritical()
+	}
+	for k := range critical {
+		crit[k] = true
+	}
+	if len(reqMasks) > 0 {
+		inAll := reqMasks[0]
+		for _, m := range reqMasks[1:] {
+			inAll &= m
+		}
+		for m := inAll; m != 0; m &= m - 1 {
+			crit[kinds[bits.TrailingZeros64(m)]] = true
+		}
+	}
+	var critMask uint64
+	for i, k := range kinds {
+		if crit[k] {
+			critMask |= 1 << uint(i)
+		}
+	}
+
+	ec := &EconCluster{Cluster: cl, Scale: resource.NewScale(maxVec), Critical: crit}
+	// fraction is Scale.Fraction over a dense row: Σ q² over the vector's
+	// kinds known to M_CL, ascending bit = sorted kind order.
+	fraction := func(vmask uint64, row []float64) float64 {
+		if denom <= 0 {
+			return 0
+		}
+		var sum float64
+		for m := vmask & common; m != 0; m &= m - 1 {
+			q := row[bits.TrailingZeros64(m)]
+			sum += q * q
+		}
+		f := math.Sqrt(sum) / denom
+		if f > 1 {
+			f = 1
+		}
+		return f
+	}
+	for i, o := range cl.Offers {
+		nu := fraction(offMasks[i], offRows[i])
+		if nu <= 0 || o.Window() <= 0 {
+			continue
+		}
+		ec.Offers = append(ec.Offers, EconOffer{
+			Offer: o,
+			Nu:    nu,
+			CHat:  o.Bid / (nu * float64(o.Window())),
+		})
+	}
+	for i, r := range cl.Requests {
+		// CriticalFraction: max share of any critical kind M_CL knows —
+		// a max, so iteration order is immaterial.
+		var cf float64
+		for m := critMask & common; m != 0; m &= m - 1 {
+			k := bits.TrailingZeros64(m)
+			if f := reqRows[i][k] / maxRow[k]; f > cf {
+				cf = f
+			}
+		}
+		if cf > 1 {
+			cf = 1
+		}
+		nu := math.Max(cf, fraction(reqMasks[i], reqRows[i]))
+		if nu <= 0 || r.Duration <= 0 {
+			continue
+		}
+		ec.Requests = append(ec.Requests, EconRequest{
+			Request: r,
+			Nu:      nu,
+			VHat:    r.Bid / (nu * float64(r.Duration)),
+		})
+	}
+	sortEcon(ec)
 	return ec
 }
 

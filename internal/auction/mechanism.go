@@ -81,6 +81,16 @@ func effectiveWorkers(cfg Config) int {
 	return cfg.Workers
 }
 
+// econFor picks the per-cluster economics pass for a run: the indexed
+// one, except under cfg.Match.Reference, where the map-walking reference
+// runs so the equivalence harness exercises a fully index-free pipeline.
+func econFor(cfg Config, ix *match.Index) func(*cluster.Cluster) *EconCluster {
+	if cfg.Match.Reference {
+		return func(cl *cluster.Cluster) *EconCluster { return ComputeEconomics(cl, cfg.Critical) }
+	}
+	return func(cl *cluster.Cluster) *EconCluster { return ComputeEconomicsIndexed(cl, cfg.Critical, ix) }
+}
+
 // pairGate builds the request↔offer admissibility filter from the
 // reputation source (nil when no gating applies).
 func pairGate(cfg Config) func(EconRequest, EconOffer) bool {
@@ -175,18 +185,22 @@ func Run(requests []*bidding.Request, offers []*bidding.Offer, cfg Config) *Outc
 	reqs, offs := screen(requests, offers, out)
 	workers := effectiveWorkers(cfg)
 
-	scale := match.BlockScale(reqs, offs)
-	clusters := cluster.BuildWorkers(reqs, offs, scale, cfg.Match, workers)
+	// One index serves the whole block: clustering scans it for best
+	// offers, and the economics pre-pass reuses its dense rows and kind
+	// masks (ComputeEconomicsIndexed).
+	ix := match.NewIndex(reqs, offs, match.BlockScale(reqs, offs))
+	clusters := cluster.BuildIndex(ix, cfg.Match, workers)
 	out.Clusters = len(clusters)
 
 	// Pre-pass every cluster. Each pre-pass allocates the cluster in
 	// isolation against fresh capacity and writes only its own slot, so
 	// the fan-out is exact; the interval list is then assembled in
 	// cluster-index order, as the sequential loop would.
+	econ := econFor(cfg, ix)
 	pairOK := pairGate(cfg)
 	all := make([]clusterStats, len(clusters))
 	par.ForEach(workers, len(clusters), func(i int) {
-		all[i] = prePass(ComputeEconomics(clusters[i], cfg.Critical), pairOK, func() Capacity { return newCapacity(cfg) })
+		all[i] = prePass(econ(clusters[i]), pairOK, func() Capacity { return newCapacity(cfg) })
 	})
 	var intervals []miniauction.Interval
 	for i := range all {
@@ -442,8 +456,8 @@ func RunGreedy(requests []*bidding.Request, offers []*bidding.Offer, cfg Config)
 	reqs, offs := screen(requests, offers, out)
 	workers := effectiveWorkers(cfg)
 
-	scale := match.BlockScale(reqs, offs)
-	clusters := cluster.BuildWorkers(reqs, offs, scale, cfg.Match, workers)
+	ix := match.NewIndex(reqs, offs, match.BlockScale(reqs, offs))
+	clusters := cluster.BuildIndex(ix, cfg.Match, workers)
 	out.Clusters = len(clusters)
 
 	type ranked struct {
@@ -451,10 +465,11 @@ func RunGreedy(requests []*bidding.Request, offers []*bidding.Offer, cfg Config)
 		welfare float64
 		active  bool
 	}
+	econ := econFor(cfg, ix)
 	pairOK := pairGate(cfg)
 	prePassed := make([]ranked, len(clusters))
 	par.ForEach(workers, len(clusters), func(i int) {
-		ec := ComputeEconomics(clusters[i], cfg.Critical)
+		ec := econ(clusters[i])
 		st := prePass(ec, pairOK, func() Capacity { return newCapacity(cfg) })
 		prePassed[i] = ranked{ec: ec, welfare: st.welfare, active: st.active}
 	})
@@ -534,13 +549,18 @@ func sizeOrder(evidence []byte, label string, offers []EconOffer) []int {
 	for rank, idx := range stats.KeyedOrder(evidence, label, ids) {
 		hashRank[idx] = rank
 	}
+	// Norm2 allocates (it sorts the vector's kinds); compute it once per
+	// offer, not once per comparison.
+	norm := make([]float64, len(offers))
+	for i, eo := range offers {
+		norm[i] = eo.Offer.Resources.Norm2()
+	}
 	order := make([]int, len(offers))
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
-		na := offers[order[a]].Offer.Resources.Norm2()
-		nb := offers[order[b]].Offer.Resources.Norm2()
+		na, nb := norm[order[a]], norm[order[b]]
 		if na != nb {
 			return na < nb
 		}

@@ -83,6 +83,49 @@ func Assert(t testing.TB, requests []*bidding.Request, offers []*bidding.Offer, 
 	}
 }
 
+// CheckIndexedVsNaive proves the indexed matching engine innocuous: the
+// block is executed once through the brute-force reference pipeline
+// (Config.Match.Reference — per-pair Feasible/Quality scans, map-walking
+// economics, no index) and then through the production indexed engine,
+// sequentially and at every given worker count. Any divergence — a
+// pruned pair the reference accepts, a float that drifted through dense
+// re-association, a tie broken differently by top-k selection — shows up
+// as a byte difference in the marshaled Outcome. A nil workers slice
+// means WorkerCounts().
+func CheckIndexedVsNaive(requests []*bidding.Request, offers []*bidding.Offer, cfg auction.Config, workers []int) error {
+	if workers == nil {
+		workers = WorkerCounts()
+	}
+	ref := cfg
+	ref.Match.Reference = true
+	ref.Workers = 0
+	want, err := MarshalOutcome(auction.Run(requests, offers, ref))
+	if err != nil {
+		return fmt.Errorf("paralleltest: marshal reference outcome: %w", err)
+	}
+	for _, w := range append([]int{0}, workers...) {
+		cur := cfg
+		cur.Match.Reference = false
+		cur.Workers = w
+		got, err := MarshalOutcome(auction.Run(requests, offers, cur))
+		if err != nil {
+			return fmt.Errorf("paralleltest: marshal indexed workers=%d outcome: %w", w, err)
+		}
+		if !bytes.Equal(want, got) {
+			return fmt.Errorf("paralleltest: indexed engine (workers=%d) diverges from naive reference: %s", w, diffSummary(want, got))
+		}
+	}
+	return nil
+}
+
+// AssertIndexedVsNaive is CheckIndexedVsNaive wired to a testing.TB.
+func AssertIndexedVsNaive(t testing.TB, requests []*bidding.Request, offers []*bidding.Offer, cfg auction.Config, workers []int) {
+	t.Helper()
+	if err := CheckIndexedVsNaive(requests, offers, cfg, workers); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // diffSummary locates the first differing byte and quotes a small
 // window around it from both sides — enough to identify the drifting
 // field without dumping two full outcomes.

@@ -71,6 +71,86 @@ func TestEquivalenceRandomizedMarkets(t *testing.T) {
 	}
 }
 
+// TestEquivalenceIndexedVsNaive is the acceptance property of the
+// indexed matching engine: across the same ≥ 50 randomized markets as
+// the worker sweep, the production pipeline (kind bitmasks, time-bucket
+// pruning, bounded top-k, dense economics) produces Outcomes
+// byte-identical to the brute-force reference pipeline, at workers
+// ∈ {1, 2, 4}. Distinct seed offsets keep the markets disjoint from the
+// worker-sweep test so the two properties don't share blind spots.
+func TestEquivalenceIndexedVsNaive(t *testing.T) {
+	counts := []int{1, 2, 4}
+	trials := 56
+	if testing.Short() {
+		trials = 12
+	}
+	for seed := 0; seed < trials; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			t.Parallel()
+			wcfg := workload.Config{
+				Seed:     int64(5000 + seed),
+				Requests: 24 + (seed%5)*18,
+			}
+			if seed%3 == 1 {
+				wcfg.Flexibility = 0.8
+			}
+			if seed%5 == 2 {
+				wcfg.GeoRadius = 0.4
+			}
+			if seed%7 == 3 {
+				wcfg.RequestsPerClient = 3
+			}
+			m := workload.Generate(wcfg)
+
+			cfg := auction.DefaultConfig()
+			cfg.Evidence = []byte(fmt.Sprintf("indexed-evidence-%d", seed))
+			switch seed % 4 {
+			case 1:
+				cfg.ExactScheduling = true
+			case 2:
+				cfg.StrictReduction = true
+			case 3:
+				rep := reputation.NewStore()
+				for i, o := range m.Offers {
+					if i%3 == 0 {
+						o.MinReputation = 0.85
+					}
+				}
+				for i, r := range m.Requests {
+					if i%4 == 0 {
+						rep.RecordDeny(r.Client)
+					}
+				}
+				cfg.Reputation = rep
+			}
+			AssertIndexedVsNaive(t, m.Requests, m.Offers, cfg, counts)
+		})
+	}
+}
+
+// TestEquivalenceIndexedDegenerate points the indexed-vs-naive oracle at
+// the blocks most likely to trip index construction: empty and one-sided
+// blocks, and a block with invalid orders the screening pass rejects
+// before the index is built.
+func TestEquivalenceIndexedDegenerate(t *testing.T) {
+	m := workload.Generate(workload.Config{Seed: 7, Requests: 20})
+	cfg := auction.DefaultConfig()
+	cfg.Evidence = []byte("indexed-degenerate")
+
+	AssertIndexedVsNaive(t, nil, nil, cfg, nil)
+	AssertIndexedVsNaive(t, m.Requests, nil, cfg, nil)
+	AssertIndexedVsNaive(t, nil, m.Offers, cfg, nil)
+
+	reqs := append([]*bidding.Request(nil), m.Requests...)
+	for i := 0; i < len(reqs); i += 5 {
+		bad := *reqs[i]
+		bad.Resources = nil
+		reqs[i] = &bad
+	}
+	AssertIndexedVsNaive(t, reqs, m.Offers, cfg, nil)
+}
+
 // TestEquivalenceDegenerateBlocks covers the edges the randomized sweep
 // can miss: empty blocks, one-sided blocks, and blocks containing
 // invalid orders that the screening pass must reject identically.

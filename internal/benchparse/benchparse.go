@@ -1,0 +1,140 @@
+// Package benchparse parses the text output of `go test -bench` into
+// structured results and renders benchstat-style comparisons. It exists
+// so the perf trajectory of the mechanism can be recorded as JSON
+// (BENCH_*.json) and diffed across PRs without external tooling.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. Standard units (ns/op, B/op, allocs/op)
+// get dedicated fields; every other `value unit` pair — including custom
+// b.ReportMetric units such as "welfare@400req" — lands in Metrics, so
+// the economics of a run are versioned next to its speed.
+type Result struct {
+	Name     string             `json:"name"`
+	Iters    int64              `json:"iters"`
+	NsPerOp  float64            `json:"ns_op"`
+	BPerOp   float64            `json:"b_op,omitempty"`
+	AllocsOp float64            `json:"allocs_op,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the JSON shape written by cmd/benchjson: the current run,
+// optionally the previous run it was compared against.
+type Document struct {
+	Benchmarks []Result `json:"benchmarks"`
+	Baseline   []Result `json:"baseline,omitempty"`
+}
+
+// Parse extracts benchmark results from go test output. Non-benchmark
+// lines (package headers, PASS/ok, test logs) are ignored.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// parseLine parses `BenchmarkName[-P] <iters> <value> <unit> [<value> <unit>]...`.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so runs on different hosts align.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: name, Iters: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+		case "B/op":
+			res.BPerOp = val
+		case "allocs/op":
+			res.AllocsOp = val
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	if res.NsPerOp == 0 && res.BPerOp == 0 && res.AllocsOp == 0 && len(res.Metrics) == 0 {
+		return Result{}, false
+	}
+	return res, true
+}
+
+// byName indexes results for comparison.
+func byName(rs []Result) map[string]Result {
+	m := make(map[string]Result, len(rs))
+	for _, r := range rs {
+		m[r.Name] = r
+	}
+	return m
+}
+
+// Delta returns (new-old)/old as a percentage; 0 when old is 0.
+func Delta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// WriteComparison prints a benchstat-style before/after table for the
+// benchmarks present in both runs. Negative deltas are improvements.
+func WriteComparison(w io.Writer, old, new []Result) {
+	oldBy := byName(old)
+	names := make([]string, 0, len(new))
+	for _, r := range new {
+		if _, ok := oldBy[r.Name]; ok {
+			names = append(names, r.Name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(w, "benchjson: no overlapping benchmarks to compare")
+		return
+	}
+	newBy := byName(new)
+	fmt.Fprintf(w, "%-40s %15s %15s %9s %14s %14s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs/op", "new allocs/op", "delta")
+	for _, name := range names {
+		o, n := oldBy[name], newBy[name]
+		fmt.Fprintf(w, "%-40s %15.0f %15.0f %8.1f%% %14.0f %14.0f %8.1f%%\n",
+			name, o.NsPerOp, n.NsPerOp, Delta(o.NsPerOp, n.NsPerOp),
+			o.AllocsOp, n.AllocsOp, Delta(o.AllocsOp, n.AllocsOp))
+	}
+}

@@ -1,0 +1,75 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: decloud
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMechanism1000 	       3	 955905466 ns/op	268063125 B/op	 5346487 allocs/op
+BenchmarkMechanism400-4 	       5	 123456789 ns/op	  1000000 B/op	   20000 allocs/op
+BenchmarkFig5a 	       2	 2000000000 ns/op	       271.4 welfare@400req
+PASS
+ok  	decloud	4.594s
+`
+
+func TestParse(t *testing.T) {
+	rs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rs))
+	}
+	m := byName(rs)
+	r := m["BenchmarkMechanism1000"]
+	if r.Iters != 3 || r.NsPerOp != 955905466 || r.BPerOp != 268063125 || r.AllocsOp != 5346487 {
+		t.Fatalf("unexpected result: %+v", r)
+	}
+	if _, ok := m["BenchmarkMechanism400"]; !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	fig := m["BenchmarkFig5a"]
+	if fig.Metrics["welfare@400req"] != 271.4 {
+		t.Fatalf("custom metric not captured: %+v", fig)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	rs, err := Parse(strings.NewReader("BenchmarkBroken abc def\nnothing here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("parsed %d results from garbage, want 0", len(rs))
+	}
+}
+
+func TestWriteComparison(t *testing.T) {
+	old := []Result{{Name: "BenchmarkX", NsPerOp: 200, AllocsOp: 100}}
+	new := []Result{{Name: "BenchmarkX", NsPerOp: 100, AllocsOp: 40}, {Name: "BenchmarkOnlyNew", NsPerOp: 5}}
+	var sb strings.Builder
+	WriteComparison(&sb, old, new)
+	got := sb.String()
+	if !strings.Contains(got, "BenchmarkX") {
+		t.Fatalf("comparison missing benchmark:\n%s", got)
+	}
+	if strings.Contains(got, "BenchmarkOnlyNew") {
+		t.Fatalf("comparison includes benchmark absent from baseline:\n%s", got)
+	}
+	if !strings.Contains(got, "-50.0%") || !strings.Contains(got, "-60.0%") {
+		t.Fatalf("expected -50.0%% ns/op and -60.0%% allocs/op deltas:\n%s", got)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	if d := Delta(0, 10); d != 0 {
+		t.Fatalf("Delta(0,10) = %v, want 0", d)
+	}
+	if d := Delta(100, 75); d != -25 {
+		t.Fatalf("Delta(100,75) = %v, want -25", d)
+	}
+}

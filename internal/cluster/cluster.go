@@ -3,9 +3,20 @@
 // identified by its offer set; its request set accumulates every request
 // whose best offers contain (or intersect) that offer set. Within a
 // cluster, any offer is an acceptable match for any member request.
+//
+// The builder represents offer sets as bitmasks over the block's offer
+// universe (bits assigned in first-seen order), so Algorithm 2's subset
+// and intersection tests — executed once per (request, existing cluster)
+// pair — are word-wise AND/ANDN instead of per-offer map probes, and an
+// intersection cluster is only materialized when its popcount proves it
+// non-trivial. Cluster identity in the builder's map is the trimmed
+// byte encoding of the mask, which is bijective with the offer set; the
+// public Key() (sorted IDs) is unchanged and computed once per cluster.
 package cluster
 
 import (
+	"encoding/binary"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -26,19 +37,23 @@ type Cluster struct {
 
 	offerIDs map[bidding.OrderID]bool
 	reqIDs   map[bidding.OrderID]bool
+	mask     []uint64 // offer set over the builder's universe
+	key      string   // cached offerSetKey
 }
 
-// newCluster builds a cluster from an offer set.
-func newCluster(offers []*bidding.Offer) *Cluster {
+// newCluster builds a cluster from an offer set and its builder mask.
+func newCluster(offers []*bidding.Offer, mask []uint64) *Cluster {
 	c := &Cluster{
 		Offers:   append([]*bidding.Offer(nil), offers...),
 		offerIDs: make(map[bidding.OrderID]bool, len(offers)),
 		reqIDs:   make(map[bidding.OrderID]bool),
+		mask:     mask,
 	}
 	sortOffers(c.Offers)
 	for _, o := range offers {
 		c.offerIDs[o.ID] = true
 	}
+	c.key = offerSetKey(c.Offers)
 	return c
 }
 
@@ -62,8 +77,11 @@ func (c *Cluster) HasOffer(id bidding.OrderID) bool { return c.offerIDs[id] }
 // HasRequest reports whether the request belongs to the cluster.
 func (c *Cluster) HasRequest(id bidding.OrderID) bool { return c.reqIDs[id] }
 
-// Key returns the canonical identity of the cluster's offer set.
-func (c *Cluster) Key() string { return offerSetKey(c.Offers) }
+// Key returns the canonical identity of the cluster's offer set: the
+// sorted offer IDs joined with NUL. It labels the evidence-keyed
+// lotteries of the mechanism, so its format is consensus-critical and
+// independent of the builder's internal mask representation.
+func (c *Cluster) Key() string { return c.key }
 
 func offerSetKey(offers []*bidding.Offer) string {
 	ids := make([]string, len(offers))
@@ -83,41 +101,95 @@ func sortOffers(offers []*bidding.Offer) {
 	})
 }
 
-// subsetOf reports a ⊆ b for offer ID sets.
-func subsetOf(a []*bidding.Offer, b map[bidding.OrderID]bool) bool {
-	for _, o := range a {
-		if !b[o.ID] {
+// maskSubset reports a ⊆ b for offer-set masks; masks of different
+// lengths are zero-extended.
+func maskSubset(a, b []uint64) bool {
+	for i, w := range a {
+		var bw uint64
+		if i < len(b) {
+			bw = b[i]
+		}
+		if w&^bw != 0 {
 			return false
 		}
 	}
 	return true
 }
 
-func intersect(a []*bidding.Offer, b map[bidding.OrderID]bool) []*bidding.Offer {
+// Builder incrementally applies Algorithm 2's UPDATECLUSTERS procedure.
+type Builder struct {
+	clusters map[string]*Cluster // keyed by trimmed mask bytes
+	order    []string            // insertion order of mask keys, for determinism
+
+	bitOf    map[*bidding.Offer]int // offer → universe bit
+	universe []*bidding.Offer       // bit → offer
+
+	bm []uint64 // scratch: the current request's best-offer mask
+	iw []uint64 // scratch: intersection words
+	kb []byte   // scratch: trimmed key bytes
+}
+
+// NewBuilder returns an empty cluster builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		clusters: make(map[string]*Cluster),
+		bitOf:    make(map[*bidding.Offer]int),
+	}
+}
+
+// maskOf interns the offers into the universe and returns their mask in
+// the builder's scratch buffer (valid until the next maskOf call).
+func (b *Builder) maskOf(offers []*bidding.Offer) []uint64 {
+	for _, o := range offers {
+		if _, ok := b.bitOf[o]; !ok {
+			b.bitOf[o] = len(b.universe)
+			b.universe = append(b.universe, o)
+		}
+	}
+	nw := (len(b.universe) + 63) / 64
+	if cap(b.bm) < nw {
+		b.bm = make([]uint64, nw)
+	}
+	b.bm = b.bm[:nw]
+	clear(b.bm)
+	for _, o := range offers {
+		bit := b.bitOf[o]
+		b.bm[bit/64] |= 1 << uint(bit%64)
+	}
+	return b.bm
+}
+
+// keyBytes encodes a mask as trimmed little-endian bytes into the
+// builder's scratch buffer. The encoding is injective over offer sets
+// regardless of how many words the mask was built with.
+func (b *Builder) keyBytes(m []uint64) []byte {
+	if cap(b.kb) < 8*len(m) {
+		b.kb = make([]byte, 8*len(m))
+	}
+	kb := b.kb[:8*len(m)]
+	for i, w := range m {
+		binary.LittleEndian.PutUint64(kb[i*8:], w)
+	}
+	n := len(kb)
+	for n > 0 && kb[n-1] == 0 {
+		n--
+	}
+	return kb[:n]
+}
+
+// offersOf materializes the offers of a mask, in universe-bit order
+// (newCluster re-sorts canonically anyway).
+func (b *Builder) offersOf(m []uint64) []*bidding.Offer {
 	var out []*bidding.Offer
-	for _, o := range a {
-		if b[o.ID] {
-			out = append(out, o)
+	for wi, w := range m {
+		for ; w != 0; w &= w - 1 {
+			out = append(out, b.universe[wi*64+bits.TrailingZeros64(w)])
 		}
 	}
 	return out
 }
 
-// Builder incrementally applies Algorithm 2's UPDATECLUSTERS procedure.
-type Builder struct {
-	clusters map[string]*Cluster
-	order    []string // insertion order of cluster keys, for determinism
-}
-
-// NewBuilder returns an empty cluster builder.
-func NewBuilder() *Builder {
-	return &Builder{clusters: make(map[string]*Cluster)}
-}
-
-func (b *Builder) get(key string) *Cluster { return b.clusters[key] }
-
-func (b *Builder) put(c *Cluster) {
-	key := c.Key()
+func (b *Builder) put(key string, c *Cluster) {
 	if _, exists := b.clusters[key]; !exists {
 		b.order = append(b.order, key)
 	}
@@ -137,27 +209,24 @@ func (b *Builder) Update(r *bidding.Request, bestR []*bidding.Offer) {
 	if len(bestR) == 0 {
 		return
 	}
-	bestKey := offerSetKey(bestR)
-	bestIDs := make(map[bidding.OrderID]bool, len(bestR))
-	for _, o := range bestR {
-		bestIDs[o.ID] = true
+	bestMask := b.maskOf(bestR)
+	bestKey := string(b.keyBytes(bestMask))
+	if b.clusters[bestKey] == nil {
+		b.put(bestKey, newCluster(bestR, append([]uint64(nil), bestMask...)))
 	}
 
-	if b.get(bestKey) == nil {
-		b.put(newCluster(bestR))
-	}
-
-	// Snapshot the keys now: intersection clusters created below must not
-	// themselves be revisited within this update.
-	keys := append([]string(nil), b.order...)
+	// Fix the horizon now: intersection clusters created below must not
+	// themselves be revisited within this update. Entries already in
+	// b.order stay valid when it grows.
+	keys := b.order[:len(b.order):len(b.order)]
 
 	var subsets, supersets []*Cluster
 	for _, key := range keys {
-		c := b.get(key)
-		if subsetOf(c.Offers, bestIDs) {
+		c := b.clusters[key]
+		if maskSubset(c.mask, bestMask) {
 			subsets = append(subsets, c)
 		}
-		if subsetOf(bestR, c.offerIDs) {
+		if maskSubset(bestMask, c.mask) {
 			supersets = append(supersets, c)
 		}
 	}
@@ -169,22 +238,35 @@ func (b *Builder) Update(r *bidding.Request, bestR []*bidding.Offer) {
 	}
 
 	for _, key := range keys {
-		c := b.get(key)
-		if c.Key() == bestKey {
+		if key == bestKey {
 			continue
 		}
-		inter := intersect(c.Offers, bestIDs)
-		if len(inter) <= 1 {
+		c := b.clusters[key]
+		// Intersect into scratch; only popcount ≥ 2 overlaps ever touch
+		// the cluster map or allocate.
+		nw := len(c.mask)
+		if len(bestMask) < nw {
+			nw = len(bestMask)
+		}
+		if cap(b.iw) < nw {
+			b.iw = make([]uint64, nw)
+		}
+		inter := b.iw[:nw]
+		pop := 0
+		for i := 0; i < nw; i++ {
+			inter[i] = c.mask[i] & bestMask[i]
+			pop += bits.OnesCount64(inter[i])
+		}
+		if pop <= 1 {
 			continue
 		}
-		interKey := offerSetKey(inter)
-		if x := b.get(interKey); x != nil {
+		if x := b.clusters[string(b.keyBytes(inter))]; x != nil {
 			x.addRequest(r)
 		} else {
-			nc := newCluster(inter)
+			nc := newCluster(b.offersOf(inter), append([]uint64(nil), inter...))
 			nc.addRequest(r)
 			nc.addRequests(c.Requests)
-			b.put(nc)
+			b.put(string(b.keyBytes(inter)), nc)
 		}
 	}
 }
@@ -222,18 +304,24 @@ func Build(requests []*bidding.Request, offers []*bidding.Offer, scale *resource
 }
 
 // BuildWorkers is Build with the per-request best-offer scoring fanned
-// out across at most workers goroutines. Only the scoring is parallel:
-// the UPDATECLUSTERS pass consumes the precomputed best-offer sets in
-// the same deterministic request order as Build, because cluster
-// formation is inherently order-dependent (intersection clusters depend
-// on which clusters already exist). The result is therefore identical
-// to Build for any worker count.
+// out across at most workers goroutines. It compiles a throwaway block
+// index; callers that also need the index afterwards (the mechanism
+// shares it with the economics pre-pass) should build one and call
+// BuildIndex.
 func BuildWorkers(requests []*bidding.Request, offers []*bidding.Offer, scale *resource.Scale, cfg match.Config, workers int) []*Cluster {
-	ordered := append([]*bidding.Request(nil), requests...)
-	sortRequests(ordered)
-	best := match.BestOffersAll(ordered, offers, scale, cfg, workers)
+	return BuildIndex(match.NewIndex(requests, offers, scale), cfg, workers)
+}
+
+// BuildIndex runs the clustering pass over a prebuilt block index. Only
+// the best-offer scoring is parallel: the UPDATECLUSTERS pass consumes
+// the precomputed best-offer sets in the index's canonical request
+// order, because cluster formation is inherently order-dependent
+// (intersection clusters depend on which clusters already exist). The
+// result is therefore identical for any worker count.
+func BuildIndex(ix *match.Index, cfg match.Config, workers int) []*Cluster {
+	best := match.BestOffersAll(ix, cfg, workers)
 	b := NewBuilder()
-	for i, r := range ordered {
+	for i, r := range ix.Requests() {
 		b.Update(r, best[i])
 	}
 	return b.Clusters()

@@ -1,0 +1,463 @@
+package match
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+
+	"decloud/internal/bidding"
+	"decloud/internal/resource"
+)
+
+// Index is the per-block matching engine: every request and offer of the
+// block is compiled once into dense, cache-friendly form so the Eq. 18
+// best-offer phase — the O(requests × offers) hot path every verifying
+// miner re-executes — does no per-pair map lookups, no per-pair
+// allocations, and no full sorts.
+//
+// Precomputed per block:
+//
+//   - a canonical kind table (every resource kind with a positive
+//     quantity anywhere in the block, sorted) assigning each kind a
+//     small integer, so sparse resource.Vector maps become dense rows;
+//   - a per-order kind bitmask: bit k set iff the order has a positive
+//     quantity of kind k. K_r ∩ K_o = AND of two words, replacing the
+//     two map-allocating CommonKinds calls per pair;
+//   - normalized quantities ρ' = ρ/max_k (offers) and the clamped
+//     request-side ρ', significance weights σ, and the exact
+//     CoversFraction thresholds, all as dense rows;
+//   - a time bucket: offer indexes sorted by availability start, so a
+//     request only scans the prefix of offers with t_o⁻ ≤ t_r⁻
+//     (Const. 10) and the rest are pruned wholesale; the remaining
+//     structural tests (Const. 11, locality, Const. 8) are scalar
+//     compares against dense columns.
+//
+// Exactness: every arithmetic expression reproduces the reference path
+// (Feasible + Quality in match.go) operation for operation — same
+// divisions, same clamping, same accumulation order (ascending kind
+// index = the sorted order CommonKinds yields) — so scores and
+// feasibility verdicts are bit-identical, not merely close. The
+// paralleltest harness enforces byte-equality of whole-block Outcomes
+// between this engine and the brute-force reference.
+//
+// Blocks with more than 64 distinct resource kinds exceed one mask word;
+// the index then falls back to the reference per-pair functions (wide
+// mode) — still deterministic and identical, just not pruned.
+type Index struct {
+	scale  *resource.Scale
+	kinds  []resource.Kind
+	kindOf map[resource.Kind]int
+	nk     int
+	wide   bool
+
+	// scoreMask has bit k set iff the block scale's maximum for kind k
+	// is positive — Quality skips kinds that cannot discriminate.
+	scoreMask uint64
+
+	requests []*bidding.Request // canonical (Submitted, ID) order
+	offers   []*bidding.Offer   // block (input) order
+
+	// Dense request rows, nk-strided.
+	reqMask []uint64
+	reqRaw  []float64 // ρ_{r,k}
+	reqNorm []float64 // clamped ρ'_{r,k}
+	reqThr  []float64 // resource.CoverThreshold(ρ_{r,k}, f_r)
+	reqW    []float64 // σ_{r,k}
+
+	// Dense offer rows, nk-strided, plus scalar columns.
+	offMask  []uint64
+	offRaw   []float64 // ρ_{o,k}
+	offNorm  []float64 // ρ'_{o,k}
+	offStart []int64
+	offEnd   []int64
+	offX     []float64
+	offY     []float64
+
+	// Time bucket: byStart lists offer indexes sorted by Start
+	// ascending (ties by index); starts is the aligned Start column for
+	// binary search.
+	byStart []int32
+	starts  []int64
+
+	reqPos map[*bidding.Request]int
+	offPos map[*bidding.Offer]int
+}
+
+// NewIndex compiles a block into an Index. The scale must be the
+// block-wide normalization scale (match.BlockScale). Requests are
+// re-ordered canonically by (Submitted, ID) — the order Algorithm 2
+// consumes them in; Offers keep their input order.
+func NewIndex(requests []*bidding.Request, offers []*bidding.Offer, scale *resource.Scale) *Index {
+	ix := &Index{
+		scale:    scale,
+		kindOf:   make(map[resource.Kind]int),
+		requests: append([]*bidding.Request(nil), requests...),
+		offers:   offers,
+		reqPos:   make(map[*bidding.Request]int, len(requests)),
+		offPos:   make(map[*bidding.Offer]int, len(offers)),
+	}
+	sort.Slice(ix.requests, func(i, j int) bool {
+		if ix.requests[i].Submitted != ix.requests[j].Submitted {
+			return ix.requests[i].Submitted < ix.requests[j].Submitted
+		}
+		return ix.requests[i].ID < ix.requests[j].ID
+	})
+
+	// Kind table: every kind positive anywhere in the block, sorted so
+	// ascending kind index reproduces CommonKinds' sorted iteration.
+	seen := make(map[resource.Kind]bool)
+	for _, r := range ix.requests {
+		for k, q := range r.Resources {
+			if q > 0 {
+				seen[k] = true
+			}
+		}
+	}
+	for _, o := range offers {
+		for k, q := range o.Resources {
+			if q > 0 {
+				seen[k] = true
+			}
+		}
+	}
+	ix.kinds = make([]resource.Kind, 0, len(seen))
+	for k := range seen {
+		ix.kinds = append(ix.kinds, k)
+	}
+	sort.Slice(ix.kinds, func(i, j int) bool { return ix.kinds[i] < ix.kinds[j] })
+	ix.nk = len(ix.kinds)
+	for i, k := range ix.kinds {
+		ix.kindOf[k] = i
+	}
+	if ix.nk > 64 {
+		ix.wide = true
+		for i, r := range ix.requests {
+			ix.reqPos[r] = i
+		}
+		for i, o := range offers {
+			ix.offPos[o] = i
+		}
+		return ix
+	}
+	for i, k := range ix.kinds {
+		if scale.Max(k) > 0 {
+			ix.scoreMask |= 1 << uint(i)
+		}
+	}
+
+	nr, no, nk := len(ix.requests), len(offers), ix.nk
+	ix.reqMask = make([]uint64, nr)
+	ix.reqRaw = make([]float64, nr*nk)
+	ix.reqNorm = make([]float64, nr*nk)
+	ix.reqThr = make([]float64, nr*nk)
+	ix.reqW = make([]float64, nr*nk)
+	for i, r := range ix.requests {
+		ix.reqPos[r] = i
+		row := i * nk
+		flex := r.Flex()
+		for k, q := range r.Resources {
+			if q <= 0 {
+				continue
+			}
+			ki := ix.kindOf[k]
+			ix.reqMask[i] |= 1 << uint(ki)
+			ix.reqRaw[row+ki] = q
+			ix.reqThr[row+ki] = resource.CoverThreshold(q, flex)
+			ix.reqW[row+ki] = r.Weight(k)
+			if om := scale.Max(k); om > 0 {
+				nrm := q / om
+				if nrm > 1 {
+					nrm = 1
+				}
+				ix.reqNorm[row+ki] = nrm
+			}
+		}
+	}
+
+	ix.offMask = make([]uint64, no)
+	ix.offRaw = make([]float64, no*nk)
+	ix.offNorm = make([]float64, no*nk)
+	ix.offStart = make([]int64, no)
+	ix.offEnd = make([]int64, no)
+	ix.offX = make([]float64, no)
+	ix.offY = make([]float64, no)
+	for i, o := range offers {
+		ix.offPos[o] = i
+		row := i * nk
+		for k, q := range o.Resources {
+			if q <= 0 {
+				continue
+			}
+			ki := ix.kindOf[k]
+			ix.offMask[i] |= 1 << uint(ki)
+			ix.offRaw[row+ki] = q
+			if om := scale.Max(k); om > 0 {
+				ix.offNorm[row+ki] = q / om
+			}
+		}
+		ix.offStart[i] = o.Start
+		ix.offEnd[i] = o.End
+		ix.offX[i] = o.Location.X
+		ix.offY[i] = o.Location.Y
+	}
+
+	ix.byStart = make([]int32, no)
+	for i := range ix.byStart {
+		ix.byStart[i] = int32(i)
+	}
+	sort.Slice(ix.byStart, func(a, b int) bool {
+		ia, ib := ix.byStart[a], ix.byStart[b]
+		if ix.offStart[ia] != ix.offStart[ib] {
+			return ix.offStart[ia] < ix.offStart[ib]
+		}
+		return ia < ib
+	})
+	ix.starts = make([]int64, no)
+	for i, oi := range ix.byStart {
+		ix.starts[i] = ix.offStart[oi]
+	}
+	return ix
+}
+
+// Requests returns the block's valid requests in canonical
+// (Submitted, ID) order — the order BestOffers indexes into.
+func (ix *Index) Requests() []*bidding.Request { return ix.requests }
+
+// Offers returns the block's valid offers in input order.
+func (ix *Index) Offers() []*bidding.Offer { return ix.offers }
+
+// Scale returns the block-wide normalization scale the index was built
+// against.
+func (ix *Index) Scale() *resource.Scale { return ix.scale }
+
+// Kinds returns the block's kind table: every kind with a positive
+// quantity anywhere, sorted. Kind i of the table corresponds to bit i of
+// the masks returned by RequestMask / OfferMask.
+func (ix *Index) Kinds() []resource.Kind { return ix.kinds }
+
+// Wide reports whether the block exceeded 64 distinct resource kinds,
+// disabling the bitmask fast paths.
+func (ix *Index) Wide() bool { return ix.wide }
+
+// RequestMask returns the request's kind bitmask (bit i ⇔ positive
+// quantity of Kinds()[i]). ok is false when the request is not part of
+// the block or the index is wide.
+func (ix *Index) RequestMask(r *bidding.Request) (mask uint64, ok bool) {
+	if ix.wide {
+		return 0, false
+	}
+	i, ok := ix.reqPos[r]
+	if !ok {
+		return 0, false
+	}
+	return ix.reqMask[i], true
+}
+
+// OfferMask returns the offer's kind bitmask; see RequestMask.
+func (ix *Index) OfferMask(o *bidding.Offer) (mask uint64, ok bool) {
+	if ix.wide {
+		return 0, false
+	}
+	i, ok := ix.offPos[o]
+	if !ok {
+		return 0, false
+	}
+	return ix.offMask[i], true
+}
+
+// OfferRow returns the offer's dense quantity row, aligned with Kinds().
+// The slice aliases the index — callers must not mutate it. ok is false
+// when the offer is unknown or the index is wide.
+func (ix *Index) OfferRow(o *bidding.Offer) (row []float64, ok bool) {
+	if ix.wide {
+		return nil, false
+	}
+	i, ok := ix.offPos[o]
+	if !ok {
+		return nil, false
+	}
+	return ix.offRaw[i*ix.nk : (i+1)*ix.nk], true
+}
+
+// RequestRow returns the request's dense quantity row ρ_{r,k}, aligned
+// with Kinds(); see OfferRow.
+func (ix *Index) RequestRow(r *bidding.Request) (row []float64, ok bool) {
+	if ix.wide {
+		return nil, false
+	}
+	i, ok := ix.reqPos[r]
+	if !ok {
+		return nil, false
+	}
+	return ix.reqRaw[i*ix.nk : (i+1)*ix.nk], true
+}
+
+// scored is a top-k slot: an offer index with its Eq. 18 quality.
+type scored struct {
+	oi int32
+	q  float64
+}
+
+// Scratch holds the per-worker reusable state of the scoring loop: the
+// bounded top-k buffer. One Scratch must not be shared by concurrent
+// goroutines; par.ForEachWorker's slot discipline guarantees that.
+type Scratch struct {
+	top []scored
+}
+
+// NewScratch returns an empty scratch buffer.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// better reports whether a ranks strictly before b under the
+// deterministic tie order of RankOffers: quality descending, then
+// Submitted ascending, then ID ascending. The final offer-index tiebreak
+// only fires for byte-identical duplicate orders; it makes the top-k
+// result independent of scan order, which lets the time bucket reorder
+// the offer scan freely.
+func (ix *Index) better(a, b scored) bool {
+	if a.q != b.q {
+		return a.q > b.q
+	}
+	oa, ob := ix.offers[a.oi], ix.offers[b.oi]
+	if oa.Submitted != ob.Submitted {
+		return oa.Submitted < ob.Submitted
+	}
+	if oa.ID != ob.ID {
+		return oa.ID < ob.ID
+	}
+	return a.oi < b.oi
+}
+
+// feasible reports whether offer oi can structurally host request ri,
+// reproducing Feasible's verdicts exactly. The time test (Const. 10:
+// t_o⁻ ≤ t_r⁻) is already guaranteed by the byStart prefix the caller
+// scans, so only the remaining constraints are checked here.
+func (ix *Index) feasible(ri, oi int, r *bidding.Request) bool {
+	if ix.offEnd[oi] < r.End { // Const. 11: t_o⁺ ≥ t_r⁺
+		return false
+	}
+	if r.MaxDistance > 0 {
+		dx, dy := r.Location.X-ix.offX[oi], r.Location.Y-ix.offY[oi]
+		if math.Sqrt(dx*dx+dy*dy) > r.MaxDistance {
+			return false
+		}
+	}
+	rm := ix.reqMask[ri]
+	if rm&ix.offMask[oi] == 0 { // K_r ∩ K_o = ∅
+		return false
+	}
+	// Const. 8 relaxed by flexibility: each demanded kind against the
+	// precomputed CoverThreshold.
+	row := oi * ix.nk
+	thr := ix.reqThr[ri*ix.nk:]
+	for m := rm; m != 0; m &= m - 1 {
+		k := bits.TrailingZeros64(m)
+		if ix.offRaw[row+k] < thr[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// quality computes q_{(r,o)} per Eq. 18 from the dense rows, summing in
+// ascending kind index order — the same sorted order the reference
+// Quality iterates CommonKinds in, so the float result is bit-identical.
+func (ix *Index) quality(ri, oi int) float64 {
+	var q float64
+	rrow, orow := ri*ix.nk, oi*ix.nk
+	for m := ix.reqMask[ri] & ix.offMask[oi] & ix.scoreMask; m != 0; m &= m - 1 {
+		k := bits.TrailingZeros64(m)
+		no := ix.offNorm[orow+k]
+		d := no - ix.reqNorm[rrow+k]
+		q += ix.reqW[rrow+k] * no / (d*d + 1)
+	}
+	return q
+}
+
+// BestOffers computes the best-offer set of request ri (an index into
+// Requests()) — the same set BestOffers(r, offers, scale, cfg) returns,
+// via feasibility pruning and bounded top-k selection instead of a full
+// scan-sort. Only the result slice is allocated; all intermediate state
+// lives in s.
+func (ix *Index) BestOffers(ri int, cfg Config, s *Scratch) []*bidding.Offer {
+	r := ix.requests[ri]
+	band := cfg.QualityBand
+	if band <= 0 || band > 1 {
+		band = DefaultConfig().QualityBand
+	}
+	limit := cfg.MaxBestOffers
+	if limit <= 0 {
+		limit = DefaultConfig().MaxBestOffers
+	}
+
+	if ix.wide {
+		return bestFromRanked(RankOffers(r, ix.offers, ix.scale), band, limit)
+	}
+
+	if cap(s.top) < limit {
+		s.top = make([]scored, 0, limit)
+	}
+	top := s.top[:0]
+
+	// Const. 10 prune: only offers with t_o⁻ ≤ t_r⁻ can host r, and
+	// byStart puts exactly those in a prefix.
+	prefix := sort.Search(len(ix.starts), func(i int) bool { return ix.starts[i] > r.Start })
+	for _, oi32 := range ix.byStart[:prefix] {
+		oi := int(oi32)
+		if !ix.feasible(ri, oi, r) {
+			continue
+		}
+		c := scored{oi: oi32, q: ix.quality(ri, oi)}
+		if len(top) == limit {
+			if !ix.better(c, top[limit-1]) {
+				continue
+			}
+		} else {
+			top = append(top, scored{})
+		}
+		i := len(top) - 1
+		for i > 0 && ix.better(c, top[i-1]) {
+			top[i] = top[i-1]
+			i--
+		}
+		top[i] = c
+	}
+	s.top = top
+	if len(top) == 0 {
+		return nil
+	}
+
+	cut := top[0].q * band
+	best := make([]*bidding.Offer, 0, limit)
+	for _, sc := range top {
+		if sc.q < cut && len(best) > 0 {
+			break
+		}
+		best = append(best, ix.offers[sc.oi])
+		if len(best) == limit {
+			break
+		}
+	}
+	return best
+}
+
+// bestFromRanked applies the quality-band cut and cap to a full ranking
+// — the reference selection BestOffers uses, shared by the wide-mode
+// fallback.
+func bestFromRanked(ranked []Ranked, band float64, limit int) []*bidding.Offer {
+	if len(ranked) == 0 {
+		return nil
+	}
+	cut := ranked[0].Quality * band
+	best := make([]*bidding.Offer, 0, limit)
+	for _, rk := range ranked {
+		if rk.Quality < cut && len(best) > 0 {
+			break
+		}
+		best = append(best, rk.Offer)
+		if len(best) == limit {
+			break
+		}
+	}
+	return best
+}

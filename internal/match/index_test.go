@@ -1,0 +1,272 @@
+package match
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"decloud/internal/bidding"
+	"decloud/internal/resource"
+)
+
+// randomBlock builds a deterministic pseudo-random market that exercises
+// every pruning axis of the index: overlapping time windows, partial
+// kind overlap, flexibility, locality radii, significance weights, and
+// colliding submission times (to hit the tie-break path).
+func randomBlock(seed int64, nr, no int) ([]*bidding.Request, []*bidding.Offer) {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []resource.Kind{resource.CPU, resource.RAM, resource.Disk, resource.GPU, "net", "fpga"}
+	vec := func(scale float64) resource.Vector {
+		v := make(resource.Vector)
+		n := 1 + rng.Intn(len(kinds)-1)
+		for _, i := range rng.Perm(len(kinds))[:n] {
+			v[kinds[i]] = scale * (0.5 + rng.Float64()*4)
+		}
+		return v
+	}
+	reqs := make([]*bidding.Request, nr)
+	for i := range reqs {
+		start := int64(rng.Intn(50))
+		end := start + 20 + int64(rng.Intn(80))
+		r := &bidding.Request{
+			ID:        bidding.OrderID(fmt.Sprintf("r%03d", i)),
+			Client:    bidding.ParticipantID(fmt.Sprintf("c%03d", i)),
+			Resources: vec(1),
+			Start:     start, End: end,
+			Duration:  (end - start) / 2,
+			Bid:       1 + rng.Float64()*10,
+			Submitted: int64(rng.Intn(8)), // collisions on purpose
+			Location:  bidding.Location{X: rng.Float64(), Y: rng.Float64()},
+		}
+		if rng.Intn(3) == 0 {
+			r.Flexibility = 0.6 + rng.Float64()*0.4
+		}
+		if rng.Intn(4) == 0 {
+			r.MaxDistance = 0.2 + rng.Float64()*0.5
+		}
+		if rng.Intn(3) == 0 {
+			r.Weights = map[resource.Kind]float64{kinds[rng.Intn(len(kinds))]: 0.05 + rng.Float64()*0.9}
+		}
+		reqs[i] = r
+	}
+	offs := make([]*bidding.Offer, no)
+	for i := range offs {
+		start := int64(rng.Intn(60))
+		offs[i] = &bidding.Offer{
+			ID:        bidding.OrderID(fmt.Sprintf("o%03d", i)),
+			Provider:  bidding.ParticipantID(fmt.Sprintf("p%03d", i)),
+			Resources: vec(2),
+			Start:     start, End: start + 40 + int64(rng.Intn(120)),
+			Bid:       rng.Float64() * 5,
+			Submitted: int64(rng.Intn(8)),
+			Location:  bidding.Location{X: rng.Float64(), Y: rng.Float64()},
+		}
+	}
+	return reqs, offs
+}
+
+func offerIDs(offers []*bidding.Offer) []string {
+	ids := make([]string, len(offers))
+	for i, o := range offers {
+		ids[i] = string(o.ID)
+	}
+	return ids
+}
+
+// TestIndexBestOffersMatchesNaive cross-checks the indexed engine against
+// the brute-force reference per request, over randomized blocks and
+// config variants, with one Scratch reused across every request (the
+// production access pattern).
+func TestIndexBestOffersMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		reqs, offs := randomBlock(seed, 30+int(seed)*3, 40+int(seed)*5)
+		scale := BlockScale(reqs, offs)
+		ix := NewIndex(reqs, offs, scale)
+		cfg := DefaultConfig()
+		switch seed % 3 {
+		case 1:
+			cfg.QualityBand = 0.9
+		case 2:
+			cfg.MaxBestOffers = 3
+		}
+		var s Scratch
+		for ri, r := range ix.Requests() {
+			want := BestOffers(r, offs, scale, cfg)
+			got := ix.BestOffers(ri, cfg, &s)
+			if fmt.Sprint(offerIDs(want)) != fmt.Sprint(offerIDs(got)) {
+				t.Fatalf("seed %d request %s: indexed %v != naive %v", seed, r.ID, offerIDs(got), offerIDs(want))
+			}
+		}
+	}
+}
+
+// TestTopKTieBreaking pins the deterministic tie order on a block of
+// equal-quality offers: identical resources mean identical Eq. 18
+// scores, so rank order must fall back to (Submitted, ID) — and must be
+// invariant under any permutation of the input offer slice, or verifying
+// miners holding differently-ordered mempools would disagree.
+func TestTopKTieBreaking(t *testing.T) {
+	r := req("r", resource.Vector{resource.CPU: 4, resource.RAM: 8})
+	res := resource.Vector{resource.CPU: 8, resource.RAM: 16}
+	mk := func(id string, submitted int64) *bidding.Offer {
+		o := off(id, res.Clone())
+		o.Submitted = submitted
+		return o
+	}
+	// Wanted order: Submitted ascending, then ID ascending.
+	offers := []*bidding.Offer{
+		mk("o-b", 1), mk("o-d", 1), mk("o-a", 2), mk("o-c", 2), mk("o-e", 5),
+	}
+	want := []string{"o-b", "o-d", "o-a", "o-c", "o-e"}
+
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		perm := make([]*bidding.Offer, len(offers))
+		for i, j := range rng.Perm(len(offers)) {
+			perm[i] = offers[j]
+		}
+		scale := BlockScale([]*bidding.Request{r}, perm)
+
+		naive := offerIDs(BestOffers(r, perm, scale, cfg))
+		ix := NewIndex([]*bidding.Request{r}, perm, scale)
+		indexed := offerIDs(ix.BestOffers(0, cfg, NewScratch()))
+
+		if fmt.Sprint(naive) != fmt.Sprint(want) {
+			t.Fatalf("trial %d: naive order %v, want %v", trial, naive, want)
+		}
+		if fmt.Sprint(indexed) != fmt.Sprint(want) {
+			t.Fatalf("trial %d: indexed order %v, want %v", trial, indexed, want)
+		}
+	}
+}
+
+// TestTopKBoundedSelection checks the MaxBestOffers cap interacts with
+// ties the same way the full sort does: the k survivors are the first k
+// of the total order, not an arbitrary subset of the tied group.
+func TestTopKBoundedSelection(t *testing.T) {
+	r := req("r", resource.Vector{resource.CPU: 4})
+	var offers []*bidding.Offer
+	for i := 0; i < 20; i++ {
+		o := off(fmt.Sprintf("o-%02d", 19-i), resource.Vector{resource.CPU: 8})
+		o.Submitted = 3 // all tied on time AND quality: ID decides
+		offers = append(offers, o)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxBestOffers = 4
+	scale := BlockScale([]*bidding.Request{r}, offers)
+	ix := NewIndex([]*bidding.Request{r}, offers, scale)
+
+	want := []string{"o-00", "o-01", "o-02", "o-03"}
+	if got := offerIDs(ix.BestOffers(0, cfg, NewScratch())); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("indexed top-k = %v, want %v", got, want)
+	}
+	if got := offerIDs(BestOffers(r, offers, scale, cfg)); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("naive top-k = %v, want %v", got, want)
+	}
+}
+
+// TestIndexWideFallback drives a block past 64 distinct resource kinds:
+// the index must flag itself wide and still produce the reference sets
+// through the fallback path.
+func TestIndexWideFallback(t *testing.T) {
+	var reqs []*bidding.Request
+	var offs []*bidding.Offer
+	for i := 0; i < 70; i++ {
+		k := resource.Kind(fmt.Sprintf("kind-%02d", i))
+		r := req(fmt.Sprintf("r%02d", i), resource.Vector{k: 2})
+		o := off(fmt.Sprintf("o%02d", i), resource.Vector{k: 4})
+		reqs = append(reqs, r)
+		offs = append(offs, o)
+	}
+	scale := BlockScale(reqs, offs)
+	ix := NewIndex(reqs, offs, scale)
+	if !ix.Wide() {
+		t.Fatalf("70-kind block should be wide, kinds=%d", len(ix.Kinds()))
+	}
+	cfg := DefaultConfig()
+	var s Scratch
+	for ri, r := range ix.Requests() {
+		want := offerIDs(BestOffers(r, offs, scale, cfg))
+		got := offerIDs(ix.BestOffers(ri, cfg, &s))
+		if fmt.Sprint(want) != fmt.Sprint(got) {
+			t.Fatalf("wide fallback diverges for %s: %v != %v", r.ID, got, want)
+		}
+	}
+}
+
+// TestBestOffersAllReferenceAgreesWithIndexed pins the package-level
+// entry point both ways across worker counts.
+func TestBestOffersAllReferenceAgreesWithIndexed(t *testing.T) {
+	reqs, offs := randomBlock(7, 60, 80)
+	ix := NewIndex(reqs, offs, BlockScale(reqs, offs))
+	cfg := DefaultConfig()
+	refCfg := cfg
+	refCfg.Reference = true
+	want := BestOffersAll(ix, refCfg, 1)
+	for _, workers := range []int{1, 2, 4} {
+		got := BestOffersAll(ix, cfg, workers)
+		for i := range want {
+			if fmt.Sprint(offerIDs(want[i])) != fmt.Sprint(offerIDs(got[i])) {
+				t.Fatalf("workers=%d request %d: %v != %v", workers, i, offerIDs(got[i]), offerIDs(want[i]))
+			}
+		}
+	}
+}
+
+// The hot-path microbenchmarks: the naive scan-sort matcher vs the
+// indexed engine on the same block. The allocs/op column is the payoff
+// of the fused feasibility+quality intersection and the scratch-buffer
+// top-k — the indexed path allocates only the result slices.
+
+func benchBlock() ([]*bidding.Request, []*bidding.Offer, *resource.Scale) {
+	reqs, offs := randomBlock(1, 200, 300)
+	return reqs, offs, BlockScale(reqs, offs)
+}
+
+func BenchmarkBestOffersNaive(b *testing.B) {
+	reqs, offs, scale := benchBlock()
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range reqs {
+			if BestOffers(r, offs, scale, cfg) == nil {
+				continue
+			}
+		}
+	}
+}
+
+func BenchmarkBestOffersIndexed(b *testing.B) {
+	reqs, offs, scale := benchBlock()
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := NewIndex(reqs, offs, scale)
+		var s Scratch
+		for ri := range ix.Requests() {
+			if ix.BestOffers(ri, cfg, &s) == nil {
+				continue
+			}
+		}
+	}
+}
+
+// BenchmarkBestOffersIndexedScan isolates the per-request scan cost with
+// the index already built (the amortized regime of big blocks).
+func BenchmarkBestOffersIndexedScan(b *testing.B) {
+	reqs, offs, scale := benchBlock()
+	cfg := DefaultConfig()
+	ix := NewIndex(reqs, offs, scale)
+	var s Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ri := i % len(reqs)
+		if ix.BestOffers(ri, cfg, &s) == nil {
+			continue
+		}
+	}
+}

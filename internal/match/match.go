@@ -22,6 +22,13 @@ type Config struct {
 	// MaxBestOffers caps the size of the best-offer set so that cluster
 	// offer-sets stay small and comparable.
 	MaxBestOffers int
+
+	// Reference forces the brute-force scan-and-sort matcher instead of
+	// the indexed engine (index.go). Outcomes are identical by
+	// construction — the paralleltest harness proves it on every CI run
+	// — so this exists only as the test oracle for that proof and for
+	// debugging suspected index bugs. Never set it in production paths.
+	Reference bool
 }
 
 // DefaultConfig returns the tuning used throughout the evaluation. The
@@ -40,16 +47,28 @@ func DefaultConfig() Config {
 // every requested resource after applying the request's flexibility
 // (Const. 8, relaxed by f).
 func Feasible(r *bidding.Request, o *bidding.Offer) bool {
+	_, ok := feasibleCommon(r, o)
+	return ok
+}
+
+// feasibleCommon is Feasible with the K_r ∩ K_o intersection it already
+// had to compute handed back, so the Feasible→Quality call chain does
+// one CommonKinds per pair instead of two.
+func feasibleCommon(r *bidding.Request, o *bidding.Offer) ([]resource.Kind, bool) {
 	if !bidding.TimeCompatible(r, o) {
-		return false
+		return nil, false
 	}
 	if !r.WithinReach(o) {
-		return false
+		return nil, false
 	}
-	if len(r.Resources.CommonKinds(o.Resources)) == 0 {
-		return false
+	common := r.Resources.CommonKinds(o.Resources)
+	if len(common) == 0 {
+		return nil, false
 	}
-	return o.Resources.CoversFraction(r.Resources, r.Flex())
+	if !o.Resources.CoversFraction(r.Resources, r.Flex()) {
+		return nil, false
+	}
+	return common, true
 }
 
 // Quality computes q_{(r,o)} per Eq. 18:
@@ -61,8 +80,15 @@ func Feasible(r *bidding.Request, o *bidding.Offer) bool {
 // the quadratic distance term pulls the score toward offers resembling
 // the request, and σ lets clients weight which dimensions matter.
 func Quality(r *bidding.Request, o *bidding.Offer, scale *resource.Scale) float64 {
+	return qualityKinds(r, o, scale, r.Resources.CommonKinds(o.Resources))
+}
+
+// qualityKinds is Quality over a precomputed K_r ∩ K_o (sorted, as
+// CommonKinds returns it — the accumulation order is consensus-
+// critical).
+func qualityKinds(r *bidding.Request, o *bidding.Offer, scale *resource.Scale, common []resource.Kind) float64 {
 	var q float64
-	for _, k := range r.Resources.CommonKinds(o.Resources) {
+	for _, k := range common {
 		om := scale.Max(k)
 		if om <= 0 {
 			continue
@@ -91,10 +117,11 @@ type Ranked struct {
 func RankOffers(r *bidding.Request, offers []*bidding.Offer, scale *resource.Scale) []Ranked {
 	ranked := make([]Ranked, 0, len(offers))
 	for _, o := range offers {
-		if !Feasible(r, o) {
+		common, ok := feasibleCommon(r, o)
+		if !ok {
 			continue
 		}
-		ranked = append(ranked, Ranked{Offer: o, Quality: Quality(r, o, scale)})
+		ranked = append(ranked, Ranked{Offer: o, Quality: qualityKinds(r, o, scale, common)})
 	}
 	sort.Slice(ranked, func(i, j int) bool {
 		a, b := ranked[i], ranked[j]
@@ -113,11 +140,13 @@ func RankOffers(r *bidding.Request, offers []*bidding.Offer, scale *resource.Sca
 // within cfg.QualityBand of the top quality, capped at cfg.MaxBestOffers,
 // in rank order. An empty result means the request cannot be served this
 // block.
+//
+// This is the brute-force reference selection — O(offers) scan plus a
+// full sort. Block execution goes through Index.BestOffers, which
+// produces the identical set with feasibility pruning and bounded top-k
+// selection; this function remains as the equivalence oracle and for
+// one-off callers without an index.
 func BestOffers(r *bidding.Request, offers []*bidding.Offer, scale *resource.Scale, cfg Config) []*bidding.Offer {
-	ranked := RankOffers(r, offers, scale)
-	if len(ranked) == 0 {
-		return nil
-	}
 	band := cfg.QualityBand
 	if band <= 0 || band > 1 {
 		band = DefaultConfig().QualityBand
@@ -126,18 +155,7 @@ func BestOffers(r *bidding.Request, offers []*bidding.Offer, scale *resource.Sca
 	if limit <= 0 {
 		limit = DefaultConfig().MaxBestOffers
 	}
-	cut := ranked[0].Quality * band
-	best := make([]*bidding.Offer, 0, limit)
-	for _, rk := range ranked {
-		if rk.Quality < cut && len(best) > 0 {
-			break
-		}
-		best = append(best, rk.Offer)
-		if len(best) == limit {
-			break
-		}
-	}
-	return best
+	return bestFromRanked(RankOffers(r, offers, scale), band, limit)
 }
 
 // BlockScale builds the per-block normalization scale from every request

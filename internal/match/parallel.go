@@ -3,19 +3,35 @@ package match
 import (
 	"decloud/internal/bidding"
 	"decloud/internal/par"
-	"decloud/internal/resource"
 )
 
-// BestOffersAll computes every request's best-offer set, fanning the
-// per-request feasibility filtering and quality scoring across at most
-// workers goroutines. Each request's ranking is a pure function of the
-// request, the offers, and the block scale — no shared mutable state —
-// and every goroutine writes only its own result slot, so the output is
-// exactly what a sequential loop over BestOffers would produce.
-func BestOffersAll(requests []*bidding.Request, offers []*bidding.Offer, scale *resource.Scale, cfg Config, workers int) [][]*bidding.Offer {
-	out := make([][]*bidding.Offer, len(requests))
-	par.ForEach(workers, len(requests), func(i int) {
-		out[i] = BestOffers(requests[i], offers, scale, cfg)
+// BestOffersAll computes every request's best-offer set from the block
+// index, fanning the per-request scoring across at most workers
+// goroutines. Each request's set is a pure function of the index and
+// cfg — no shared mutable state beyond per-worker scratch buffers, and
+// every goroutine writes only its own result slot — so the output is
+// exactly what a sequential loop over Index.BestOffers would produce,
+// at any worker count.
+//
+// With cfg.Reference set, the brute-force scan-sort matcher runs
+// instead; the indexed and reference paths return identical sets (the
+// paralleltest harness proves byte-equality of whole-block outcomes).
+func BestOffersAll(ix *Index, cfg Config, workers int) [][]*bidding.Offer {
+	reqs := ix.Requests()
+	out := make([][]*bidding.Offer, len(reqs))
+	if cfg.Reference {
+		offers, scale := ix.Offers(), ix.Scale()
+		par.ForEach(workers, len(reqs), func(i int) {
+			out[i] = BestOffers(reqs[i], offers, scale, cfg)
+		})
+		return out
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	scratch := make([]Scratch, workers)
+	par.ForEachWorker(workers, len(reqs), func(w, i int) {
+		out[i] = ix.BestOffers(i, cfg, &scratch[w])
 	})
 	return out
 }

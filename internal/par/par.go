@@ -21,6 +21,17 @@ func Default() int { return runtime.GOMAXPROCS(0) }
 // counter, so items are load-balanced regardless of per-item cost; fn
 // must be safe to call concurrently for distinct indexes.
 func ForEach(workers, n int, fn func(int)) {
+	ForEachWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with the pool slot of the executing worker
+// passed to fn (0 ≤ slot < effective workers). Slot s is only ever
+// occupied by one goroutine, so callers can keep per-slot scratch state
+// (reusable buffers, top-k heaps) without synchronization — the
+// zero-allocation scoring path of the matching engine depends on this.
+// Sequential execution uses slot 0 for every item. The slot must not
+// influence results, only where scratch memory lives.
+func ForEachWorker(workers, n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -29,7 +40,7 @@ func ForEach(workers, n int, fn func(int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -38,16 +49,16 @@ func ForEach(workers, n int, fn func(int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(slot, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

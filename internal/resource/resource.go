@@ -147,12 +147,20 @@ func (v Vector) CoversFraction(need Vector, frac float64) bool {
 		if q <= 0 {
 			continue
 		}
-		if v[k] < q*frac-epsilon {
+		if v[k] < CoverThreshold(q, frac) {
 			return false
 		}
 	}
 	return true
 }
+
+// CoverThreshold is the exact comparison threshold CoversFraction applies
+// to a needed quantity q at flexibility frac: an offer quantity below it
+// fails the cover. Exported so the indexed matcher can precompute
+// per-request thresholds that reproduce CoversFraction's decisions
+// float-for-float — consensus requires the pruned path and the reference
+// path to agree on every borderline pair.
+func CoverThreshold(q, frac float64) float64 { return q*frac - epsilon }
 
 // CommonKinds returns K_v ∩ K_w: kinds with positive quantity in both
 // vectors, sorted for determinism.

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Benchmark runner + JSON emitter: runs the mechanism and figure
+# benchmarks, converts the output to a versioned JSON document via
+# cmd/benchjson, and — when a baseline document exists — prints a
+# benchstat-style before/after table.
+#
+# Usage:
+#   scripts/bench.sh                    # run, compare against BENCH_PR3.json if present, overwrite it
+#   BENCH_OUT=out.json scripts/bench.sh # write elsewhere
+#   BENCH_BASELINE=old.json scripts/bench.sh
+#   BENCH_PATTERN='BenchmarkMechanism1000$' BENCH_TIME=5x scripts/bench.sh
+#
+# ns/op depends on the host; the JSON is a trajectory record, not a gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH_PATTERN:-BenchmarkMechanism(100|400|1000)\$|BenchmarkBestOffers|BenchmarkFig5a\$|BenchmarkFig5d\$}"
+TIME="${BENCH_TIME:-3x}"
+OUT="${BENCH_OUT:-BENCH_PR3.json}"
+BASELINE="${BENCH_BASELINE:-}"
+RAW="$(mktemp)"
+trap 'rm -f "${RAW}"' EXIT
+
+# Default baseline: the previous version of the output document, so
+# repeated runs show drift against the last recorded state.
+if [ -z "${BASELINE}" ] && [ -f "${OUT}" ]; then
+  BASELINE="${OUT}.baseline.$$"
+  cp "${OUT}" "${BASELINE}"
+  trap 'rm -f "${RAW}" "${BASELINE}"' EXIT
+fi
+
+echo "==> go test -bench '${PATTERN}' -benchtime ${TIME} (top-level + match microbenchmarks)" >&2
+go test -run '^$' -bench "${PATTERN}" -benchtime "${TIME}" -benchmem . ./internal/match | tee "${RAW}" >&2
+
+if [ -n "${BASELINE}" ]; then
+  go run ./cmd/benchjson -out "${OUT}" -baseline "${BASELINE}" < "${RAW}"
+else
+  go run ./cmd/benchjson -out "${OUT}" < "${RAW}"
+fi
+echo "wrote ${OUT}" >&2

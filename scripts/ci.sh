@@ -39,6 +39,20 @@ for pkg in internal/miner internal/p2p; do
   echo "    ${pkg}: ${pct}% (gate 75%)"
 done
 
+echo "==> bench compare (warn-only)"
+# A quick benchmark pass compared benchstat-style against the committed
+# BENCH_PR3.json baseline. Regressions WARN, never fail: CI machines are
+# noisy and 1-iteration runs are indicative, not statistics. Refresh the
+# baseline with scripts/bench.sh after intentional perf changes.
+if [ -f BENCH_PR3.json ]; then
+  go test -run '^$' -bench 'BenchmarkMechanism(100|400)$|BenchmarkBestOffers' \
+      -benchtime 1x -benchmem . ./internal/match 2>/dev/null \
+    | go run ./cmd/benchjson -baseline BENCH_PR3.json -out /tmp/bench_ci.json \
+    || echo "    bench compare skipped (non-fatal)"
+else
+  echo "    no BENCH_PR3.json baseline; skipping"
+fi
+
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test -run='^$' -fuzz=FuzzDecodeBid -fuzztime="${FUZZTIME}" ./internal/bidding
 go test -run='^$' -fuzz=FuzzSealedRoundTrip -fuzztime="${FUZZTIME}" ./internal/sealed

@@ -11,12 +11,17 @@
 // m0 generates a demo workload (20 requests per round via in-process
 // participant clients), mines blocks every 5 s, and m1/m2 verify them.
 // -chain FILE persists the replica across restarts.
+//
+// With -obs-addr the node serves live metrics (Prometheus text at
+// /metrics, JSON at /vars, pprof under /debug/pprof/); -trace-out
+// appends one JSON line per produced round (phase timeline) to FILE.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,29 +29,65 @@ import (
 	"time"
 
 	"decloud/internal/auction"
+	"decloud/internal/obs"
 	"decloud/internal/p2p"
 	"decloud/internal/workload"
 )
 
 func main() {
-	name := flag.String("name", "node", "node name")
-	listen := flag.String("listen", "127.0.0.1:0", "listen address")
-	peers := flag.String("peers", "", "comma-separated peer addresses to join")
-	difficulty := flag.Int("difficulty", 12, "PoW difficulty in leading zero bits")
-	produce := flag.Duration("produce", 0, "produce a block every interval (0 = verify only)")
-	quorum := flag.Int("quorum", 0, "OK votes required per produced block")
-	revealWindow := flag.Duration("reveal-window", 3*time.Second, "how long to wait for key reveals")
-	revealRetries := flag.Int("reveal-retries", 2, "preamble re-broadcasts when reveals are missing at the deadline")
-	demo := flag.Int("demo", 0, "submit a demo workload of N requests before each production")
-	chainFile := flag.String("chain", "", "persist the chain to this file after each block")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("decloud-node", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("name", "node", "node name")
+	listen := fs.String("listen", "127.0.0.1:0", "listen address")
+	peers := fs.String("peers", "", "comma-separated peer addresses to join")
+	difficulty := fs.Int("difficulty", 12, "PoW difficulty in leading zero bits")
+	produce := fs.Duration("produce", 0, "produce a block every interval (0 = verify only)")
+	quorum := fs.Int("quorum", 0, "OK votes required per produced block")
+	revealWindow := fs.Duration("reveal-window", 3*time.Second, "how long to wait for key reveals")
+	revealRetries := fs.Int("reveal-retries", 2, "preamble re-broadcasts when reveals are missing at the deadline")
+	demo := fs.Int("demo", 0, "submit a demo workload of N requests before each production")
+	chainFile := fs.String("chain", "", "persist the chain to this file after each block")
+	obsAddr := fs.String("obs-addr", "", "serve metrics/pprof on this address (empty = off)")
+	traceOut := fs.String("trace-out", "", "append per-round JSONL traces to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	node, err := p2p.NewMarketNode(*name, *listen, *difficulty, auction.DefaultConfig())
 	if err != nil {
-		fatal(err)
+		fmt.Fprintf(stderr, "decloud-node: %v\n", err)
+		return 1
 	}
 	defer node.Close()
-	fmt.Printf("%s listening on %s\n", *name, node.Addr())
+	fmt.Fprintf(stdout, "%s listening on %s\n", *name, node.Addr())
+
+	var tracer *obs.Tracer
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		srv, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(stderr, "decloud-node: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		node.SetObs(obs.NewMinerMetrics(reg))
+		node.SetNetObs(obs.NewNetMetrics(reg))
+		fmt.Fprintf(stdout, "observability on http://%s/metrics\n", srv.Addr())
+	}
+	if *traceOut != "" {
+		f, err := obs.OpenTraceFile(*traceOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "decloud-node: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f)
+		node.SetTracer(tracer)
+	}
 
 	for _, peer := range strings.Split(*peers, ",") {
 		peer = strings.TrimSpace(peer)
@@ -54,18 +95,19 @@ func main() {
 			continue
 		}
 		if err := node.Connect(peer); err != nil {
-			fatal(err)
+			fmt.Fprintf(stderr, "decloud-node: %v\n", err)
+			return 1
 		}
-		fmt.Printf("connected to %s\n", peer)
+		fmt.Fprintf(stdout, "connected to %s\n", peer)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	if *produce <= 0 {
-		fmt.Println("verify-only mode; ctrl-c to exit")
+		fmt.Fprintln(stdout, "verify-only mode; ctrl-c to exit")
 		<-ctx.Done()
-		return
+		return 0
 	}
 
 	var demoClients []*p2p.ParticipantClient
@@ -81,13 +123,17 @@ func main() {
 	for {
 		select {
 		case <-ctx.Done():
-			return
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintf(stderr, "decloud-node: trace write: %v\n", err)
+				return 1
+			}
+			return 0
 		case <-ticker.C:
 		}
 		if *demo > 0 {
 			clients, err := submitDemoWorkload(node.Addr(), *demo, int64(round))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "demo workload: %v\n", err)
+				fmt.Fprintf(stderr, "demo workload: %v\n", err)
 				continue
 			}
 			demoClients = append(demoClients, clients...)
@@ -95,7 +141,7 @@ func main() {
 			time.Sleep(200 * time.Millisecond)
 		}
 		if node.MempoolSize() == 0 {
-			fmt.Println("mempool empty; skipping round")
+			fmt.Fprintln(stdout, "mempool empty; skipping round")
 			continue
 		}
 		roundCtx, cancel := context.WithTimeout(ctx, *produce+10*time.Second)
@@ -106,15 +152,15 @@ func main() {
 		})
 		cancel()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "round failed: %v\n", err)
+			fmt.Fprintf(stderr, "round failed: %v\n", err)
 			continue
 		}
-		fmt.Printf("block %d: %d trades, %d ok votes, %d bad, %d unrevealed\n",
+		fmt.Fprintf(stdout, "block %d: %d trades, %d ok votes, %d bad, %d unrevealed\n",
 			summary.Block.Preamble.Height, len(summary.Outcome.Matches),
 			summary.OKVotes, summary.BadVotes, summary.Unrevealed)
 		if *chainFile != "" {
 			if err := node.Chain().SaveFile(*chainFile); err != nil {
-				fmt.Fprintf(os.Stderr, "persist chain: %v\n", err)
+				fmt.Fprintf(stderr, "persist chain: %v\n", err)
 			}
 		}
 		round++
@@ -157,9 +203,4 @@ func submitDemoWorkload(nodeAddr string, requests int, seed int64) ([]*p2p.Parti
 		}
 	}
 	return clients, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "decloud-node: %v\n", err)
-	os.Exit(1)
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The binary must exit non-zero with a clear error — not panic — when
+// observability flags point at unusable resources.
+
+func TestRunObsAddrUnbindable(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-listen", "127.0.0.1:0", "-obs-addr", ln.Addr().String()}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "obs: listen") {
+		t.Fatalf("stderr lacks a clear listen error: %q", stderr.String())
+	}
+}
+
+func TestRunTraceOutUnwritable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "trace.jsonl")
+	code := run([]string{"-listen", "127.0.0.1:0", "-trace-out", path}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "obs: open trace file") {
+		t.Fatalf("stderr lacks a clear trace-file error: %q", stderr.String())
+	}
+}
+
+func TestRunBadPeerExitsOne(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-listen", "127.0.0.1:0", "-peers", "127.0.0.1:1"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+}
+
+func TestRunBadFlagExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

@@ -7,32 +7,53 @@
 //	decloud-sim [-mode fast|ledger] [-rounds N] [-requests N]
 //	            [-providers N] [-miners N] [-difficulty BITS]
 //	            [-deny P] [-flex F] [-seed N]
+//	            [-obs-addr HOST:PORT] [-obs-linger D] [-trace-out FILE]
+//
+// With -obs-addr the simulation serves live metrics (Prometheus text at
+// /metrics, JSON at /vars, pprof under /debug/pprof/) while it runs;
+// -obs-linger keeps the endpoint up that long after the last round so
+// scrapers can read the final totals. -trace-out appends one JSON line
+// per round (phase timeline) to FILE.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"decloud/internal/auction"
+	"decloud/internal/obs"
 	"decloud/internal/sim"
 	"decloud/internal/workload"
 )
 
 func main() {
-	mode := flag.String("mode", "fast", "simulation mode: fast or ledger")
-	rounds := flag.Int("rounds", 5, "number of auction rounds (blocks)")
-	requests := flag.Int("requests", 100, "requests per round")
-	providers := flag.Int("providers", 0, "providers per round (0 = requests/3)")
-	miners := flag.Int("miners", 3, "miners in ledger mode")
-	difficulty := flag.Int("difficulty", 10, "PoW difficulty in leading zero bits")
-	deny := flag.Float64("deny", 0, "per-agreement client denial probability (ledger mode)")
-	flex := flag.Float64("flex", 0, "request flexibility in (0,1]; 0 = inflexible")
-	seed := flag.Int64("seed", 1, "random seed")
-	resubmit := flag.Bool("resubmit", false, "carry unmatched requests into later rounds")
-	exact := flag.Bool("exact", false, "exact interval scheduling instead of aggregate resource-time")
-	maxResubmits := flag.Int("max-resubmits", 3, "attempts before an unmatched request expires")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("decloud-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "fast", "simulation mode: fast or ledger")
+	rounds := fs.Int("rounds", 5, "number of auction rounds (blocks)")
+	requests := fs.Int("requests", 100, "requests per round")
+	providers := fs.Int("providers", 0, "providers per round (0 = requests/3)")
+	miners := fs.Int("miners", 3, "miners in ledger mode")
+	difficulty := fs.Int("difficulty", 10, "PoW difficulty in leading zero bits")
+	deny := fs.Float64("deny", 0, "per-agreement client denial probability (ledger mode)")
+	flex := fs.Float64("flex", 0, "request flexibility in (0,1]; 0 = inflexible")
+	seed := fs.Int64("seed", 1, "random seed")
+	resubmit := fs.Bool("resubmit", false, "carry unmatched requests into later rounds")
+	exact := fs.Bool("exact", false, "exact interval scheduling instead of aggregate resource-time")
+	maxResubmits := fs.Int("max-resubmits", 3, "attempts before an unmatched request expires")
+	obsAddr := fs.String("obs-addr", "", "serve metrics/pprof on this address (empty = off)")
+	obsLinger := fs.Duration("obs-linger", 0, "keep the obs endpoint up this long after the simulation")
+	traceOut := fs.String("trace-out", "", "append per-round JSONL traces to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := sim.Config{
 		Rounds: *rounds,
@@ -58,37 +79,65 @@ func main() {
 	case "ledger":
 		cfg.Mode = sim.Ledger
 	default:
-		fmt.Fprintf(os.Stderr, "decloud-sim: unknown mode %q\n", *mode)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "decloud-sim: unknown mode %q\n", *mode)
+		return 2
+	}
+
+	if *obsAddr != "" {
+		cfg.Obs = obs.NewRegistry()
+		srv, err := obs.Serve(*obsAddr, cfg.Obs)
+		if err != nil {
+			fmt.Fprintf(stderr, "decloud-sim: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "observability on http://%s/metrics\n", srv.Addr())
+		if *obsLinger > 0 {
+			defer time.Sleep(*obsLinger)
+		}
+	}
+	if *traceOut != "" {
+		f, err := obs.OpenTraceFile(*traceOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "decloud-sim: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		cfg.Tracer = obs.NewTracer(f)
 	}
 
 	res, err := sim.Run(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "decloud-sim: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "decloud-sim: %v\n", err)
+		return 1
 	}
 
-	fmt.Printf("%-5s %-8s %-7s %-7s %-10s %-10s %-6s %-8s %-9s",
+	fmt.Fprintf(stdout, "%-5s %-8s %-7s %-7s %-10s %-10s %-6s %-8s %-9s",
 		"round", "requests", "offers", "matches", "welfare", "benchmark", "ratio", "reduced%", "satisf.")
 	if cfg.Resubmit {
-		fmt.Printf(" %-7s %-7s %-7s", "carried", "pending", "expired")
+		fmt.Fprintf(stdout, " %-7s %-7s %-7s", "carried", "pending", "expired")
 	}
 	if cfg.Mode == sim.Ledger {
-		fmt.Printf(" %-9s %-7s %-7s", "winner", "agreed", "denied")
+		fmt.Fprintf(stdout, " %-9s %-7s %-7s", "winner", "agreed", "denied")
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for _, m := range res.Rounds {
-		fmt.Printf("%-5d %-8d %-7d %-7d %-10.4f %-10.4f %-6.3f %-8.2f %-9.3f",
+		fmt.Fprintf(stdout, "%-5d %-8d %-7d %-7d %-10.4f %-10.4f %-6.3f %-8.2f %-9.3f",
 			m.Round, m.Requests, m.Offers, m.Matches, m.Welfare, m.BenchWelfare,
 			m.WelfareRatio, m.ReducedRate*100, m.Satisfaction)
 		if cfg.Resubmit {
-			fmt.Printf(" %-7d %-7d %-7d", m.CarriedIn, m.CarriedOut, m.Expired)
+			fmt.Fprintf(stdout, " %-7d %-7d %-7d", m.CarriedIn, m.CarriedOut, m.Expired)
 		}
 		if cfg.Mode == sim.Ledger {
-			fmt.Printf(" %-9s %-7d %-7d", m.Winner, m.Agreed, m.Denied)
+			fmt.Fprintf(stdout, " %-9s %-7d %-7d", m.Winner, m.Agreed, m.Denied)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
-	fmt.Printf("\ntotal welfare: %.4f   mean welfare ratio: %.3f\n",
+	fmt.Fprintf(stdout, "\ntotal welfare: %.4f   mean welfare ratio: %.3f\n",
 		res.TotalWelfare(), res.MeanWelfareRatio())
+	if err := cfg.Tracer.Err(); err != nil {
+		fmt.Fprintf(stderr, "decloud-sim: trace write: %v\n", err)
+		return 1
+	}
+	return 0
 }

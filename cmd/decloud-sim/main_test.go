@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The binary must exit non-zero with a clear error — not panic — when
+// observability flags point at unusable resources.
+
+func TestRunObsAddrUnbindable(t *testing.T) {
+	// Grab a port and hold it so the sim cannot bind it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-rounds", "1", "-requests", "4", "-obs-addr", ln.Addr().String()}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "obs: listen") {
+		t.Fatalf("stderr lacks a clear listen error: %q", stderr.String())
+	}
+}
+
+func TestRunTraceOutUnwritable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "trace.jsonl")
+	code := run([]string{"-rounds", "1", "-requests", "4", "-trace-out", path}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "obs: open trace file") {
+		t.Fatalf("stderr lacks a clear trace-file error: %q", stderr.String())
+	}
+}
+
+func TestRunUnknownModeExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-mode", "bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunWithObsAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-rounds", "2", "-requests", "8", "-seed", "7",
+		"-obs-addr", "127.0.0.1:0", "-trace-out", trace,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "observability on http://") {
+		t.Fatalf("stdout lacks the obs endpoint banner: %q", stdout.String())
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(string(data)), "\n") + 1
+	if lines != 2 {
+		t.Fatalf("trace file has %d lines, want one per round (2):\n%s", lines, data)
+	}
+}

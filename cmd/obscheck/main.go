@@ -1,0 +1,93 @@
+// Command obscheck scrapes a DeCloud observability endpoint once and
+// validates that the response parses as Prometheus text exposition
+// format (via internal/obs/obstest). CI uses it to smoke-test the
+// -obs-addr wiring without depending on curl or an external parser.
+//
+// Usage:
+//
+//	obscheck -url http://127.0.0.1:PORT/metrics [-timeout 5s] [-expect decloud_sim_rounds_total]
+//
+// Exit status 0 when the page parses (and every -expect family is
+// present), 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"decloud/internal/obs/obstest"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("obscheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	url := fs.String("url", "", "metrics URL to scrape (required)")
+	timeout := fs.Duration("timeout", 5*time.Second, "total retry budget for the scrape")
+	expect := fs.String("expect", "", "comma-separated metric families that must be present")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *url == "" {
+		fmt.Fprintln(stderr, "obscheck: -url is required")
+		return 2
+	}
+
+	body, err := scrape(*url, *timeout)
+	if err != nil {
+		fmt.Fprintf(stderr, "obscheck: %v\n", err)
+		return 1
+	}
+	families, err := obstest.Parse(body)
+	if err != nil {
+		fmt.Fprintf(stderr, "obscheck: invalid exposition: %v\n", err)
+		return 1
+	}
+	for _, name := range strings.Split(*expect, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if families[name] == nil {
+			fmt.Fprintf(stderr, "obscheck: family %s missing from %s\n", name, *url)
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "obscheck: ok — %d families\n", len(families))
+	return 0
+}
+
+// scrape GETs the URL, retrying until the budget lapses — the endpoint
+// may still be binding when CI asks.
+func scrape(url string, budget time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(budget)
+	var lastErr error
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil && resp.StatusCode == http.StatusOK {
+				return body, nil
+			}
+			if err == nil {
+				err = fmt.Errorf("status %s", resp.Status)
+			}
+			lastErr = err
+		} else {
+			lastErr = err
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("scrape %s: %w", url, lastErr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"decloud/internal/bidding"
 	"decloud/internal/cluster"
 	"decloud/internal/match"
 	"decloud/internal/miniauction"
+	"decloud/internal/obs"
 	"decloud/internal/par"
 	"decloud/internal/resource"
 	"decloud/internal/stats"
@@ -47,6 +49,12 @@ type Config struct {
 	// grouping's benefit (Section IV-C: "to minimize the adverse effect
 	// of trade reduction ... we group clusters in mini-auctions").
 	StrictReduction bool
+	// Obs, when set, records mechanism observability: per-phase wall
+	// times, structure counts, and welfare per block. It is purely
+	// observational — the Outcome is byte-identical with Obs nil or set
+	// (the obs determinism guard enforces this), because nothing in the
+	// pipeline ever reads a metric back.
+	Obs *obs.MechanismMetrics
 	// Workers bounds the worker pool that parallelizes the mechanism's
 	// independent stages: per-request best-offer scoring, per-cluster
 	// pre-passes, and the execution of mini-auctions whose member
@@ -178,6 +186,7 @@ func prePass(ec *EconCluster, pairOK func(EconRequest, EconOffer) bool, fresh fu
 // merged in canonical order so the Outcome is byte-identical to the
 // sequential execution (see parallel.go for the argument).
 func Run(requests []*bidding.Request, offers []*bidding.Offer, cfg Config) *Outcome {
+	pt := startPhases(cfg.Obs)
 	out := &Outcome{
 		Payments: make(map[bidding.OrderID]float64),
 		Revenues: make(map[bidding.OrderID]float64),
@@ -189,7 +198,9 @@ func Run(requests []*bidding.Request, offers []*bidding.Offer, cfg Config) *Outc
 	// offers, and the economics pre-pass reuses its dense rows and kind
 	// masks (ComputeEconomicsIndexed).
 	ix := match.NewIndex(reqs, offs, match.BlockScale(reqs, offs))
+	pt.lapIndex()
 	clusters := cluster.BuildIndex(ix, cfg.Match, workers)
+	pt.lapCluster()
 	out.Clusters = len(clusters)
 
 	// Pre-pass every cluster. Each pre-pass allocates the cluster in
@@ -202,6 +213,7 @@ func Run(requests []*bidding.Request, offers []*bidding.Offer, cfg Config) *Outc
 	par.ForEach(workers, len(clusters), func(i int) {
 		all[i] = prePass(econ(clusters[i]), pairOK, func() Capacity { return newCapacity(cfg) })
 	})
+	pt.lapPrepass()
 	var intervals []miniauction.Interval
 	for i := range all {
 		if all[i].active {
@@ -220,6 +232,8 @@ func Run(requests []*bidding.Request, offers []*bidding.Offer, cfg Config) *Outc
 
 	if workers > 1 {
 		runAuctionsParallel(out, auctions, all, cfg, pairOK, evidence, workers)
+		pt.lapAuctions()
+		pt.finish(out, ix)
 		return out
 	}
 	st := newBlockState(cfg)
@@ -229,7 +243,78 @@ func Run(requests []*bidding.Request, offers []*bidding.Offer, cfg Config) *Outc
 		}
 	}
 	finalize(out, st.taken, st.reducedReq, st.reducedOff, st.lottery)
+	pt.lapAuctions()
+	pt.finish(out, ix)
 	return out
+}
+
+// phaseTimer threads the mechanism's observability through Run: lap
+// methods record per-phase wall times, finish records the block's
+// structure counts. A zero-value timer (Obs nil) is fully inert — no
+// clock reads, no atomics — so the uninstrumented path costs one pointer
+// compare per call site.
+type phaseTimer struct {
+	m     *obs.MechanismMetrics
+	start time.Time
+	last  time.Time
+}
+
+func startPhases(m *obs.MechanismMetrics) phaseTimer {
+	if m == nil {
+		return phaseTimer{}
+	}
+	now := time.Now()
+	return phaseTimer{m: m, start: now, last: now}
+}
+
+func (pt *phaseTimer) lap(h *obs.Histogram) {
+	now := time.Now()
+	h.Observe(now.Sub(pt.last).Seconds())
+	pt.last = now
+}
+
+func (pt *phaseTimer) lapIndex() {
+	if pt.m != nil {
+		pt.lap(pt.m.IndexSeconds)
+	}
+}
+
+func (pt *phaseTimer) lapCluster() {
+	if pt.m != nil {
+		pt.lap(pt.m.ClusterSeconds)
+	}
+}
+
+func (pt *phaseTimer) lapPrepass() {
+	if pt.m != nil {
+		pt.lap(pt.m.PrepassSeconds)
+	}
+}
+
+func (pt *phaseTimer) lapAuctions() {
+	if pt.m != nil {
+		pt.lap(pt.m.AuctionsSeconds)
+	}
+}
+
+func (pt *phaseTimer) finish(out *Outcome, ix *match.Index) {
+	m := pt.m
+	if m == nil {
+		return
+	}
+	m.Blocks.Inc()
+	m.RunSeconds.Observe(time.Since(pt.start).Seconds())
+	m.TopKScans.Add(ix.Scans())
+	m.Clusters.Add(int64(out.Clusters))
+	m.MiniAuctions.Add(int64(out.MiniAuctions))
+	m.Matches.Add(int64(len(out.Matches)))
+	m.ReducedRequests.Add(int64(len(out.ReducedRequests)))
+	m.ReducedOffers.Add(int64(len(out.ReducedOffers)))
+	m.LotteryDropped.Add(int64(len(out.LotteryDropped)))
+	m.RejectedOrders.Add(int64(len(out.RejectedRequests) + len(out.RejectedOffers)))
+	w := out.BidWelfare()
+	m.BidWelfareSum.Add(w)
+	m.LastBidWelfare.Set(w)
 }
 
 // blockState is the mutable allocation state threaded through the

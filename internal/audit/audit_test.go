@@ -124,6 +124,141 @@ func TestAuditCatchesTimeViolation(t *testing.T) {
 	}
 }
 
+func TestAuditCatchesGhostOffer(t *testing.T) {
+	reqs, offs := market(7, 30)
+	out := auction.Run(reqs, offs, auction.DefaultConfig())
+	if len(out.Matches) == 0 {
+		t.Skip("no matches")
+	}
+	ghost := *out.Matches[0].Offer
+	ghost.ID = "ghost-offer"
+	out.Matches[0].Offer = &ghost
+	if !has(Outcome(reqs, offs, out), "ghost-offer") {
+		t.Fatal("ghost offer not caught")
+	}
+}
+
+func TestAuditCatchesMutatedOffer(t *testing.T) {
+	reqs, offs := market(8, 30)
+	out := auction.Run(reqs, offs, auction.DefaultConfig())
+	if len(out.Matches) == 0 {
+		t.Skip("no matches")
+	}
+	mutated := *out.Matches[0].Offer
+	mutated.Bid /= 2
+	out.Matches[0].Offer = &mutated
+	if !has(Outcome(reqs, offs, out), "mutated-offer") {
+		t.Fatal("mutated offer bid not caught")
+	}
+}
+
+func TestAuditCatchesLocalityViolation(t *testing.T) {
+	reqs, offs := market(9, 60)
+	out := auction.Run(reqs, offs, auction.DefaultConfig())
+	// Find a match with a strictly positive client↔provider distance and
+	// shrink the request's radius under it. MaxDistance is not part of the
+	// audited order identity (only bid and resources are), so the
+	// violation surfaces as a locality breach, not a mutation.
+	for i := range out.Matches {
+		m := &out.Matches[i]
+		if d := m.Request.Location.Distance(m.Offer.Location); d > 0 {
+			m.Request.MaxDistance = d / 2
+			if !has(Outcome(reqs, offs, out), "locality") {
+				t.Fatal("out-of-reach offer not caught")
+			}
+			return
+		}
+	}
+	t.Skip("no match with positive distance")
+}
+
+func TestAuditSkipsZeroNeedKinds(t *testing.T) {
+	reqs, offs := market(10, 30)
+	out := auction.Run(reqs, offs, auction.DefaultConfig())
+	if len(out.Matches) == 0 {
+		t.Skip("no matches")
+	}
+	// A zero-valued resource entry demands nothing, so the flexibility
+	// floor must not apply to it.
+	out.Matches[0].Request.Resources["phantom-kind"] = 0
+	if vs := Outcome(reqs, offs, out); len(vs) != 0 {
+		t.Fatalf("zero-need kind flagged: %v", vs)
+	}
+}
+
+func TestAuditCatchesFlexFloorViolation(t *testing.T) {
+	reqs, offs := market(11, 30)
+	out := auction.Run(reqs, offs, auction.DefaultConfig())
+	if len(out.Matches) == 0 {
+		t.Skip("no matches")
+	}
+	m := &out.Matches[0]
+	m.Granted = m.Granted.Clone()
+	for k, need := range m.Request.Resources {
+		if need > 0 {
+			m.Granted[k] = 0
+			break
+		}
+	}
+	if !has(Outcome(reqs, offs, out), "flex-floor") {
+		t.Fatal("starved grant not caught by the flexibility floor")
+	}
+}
+
+func TestAuditCatchesPhiOutOfRange(t *testing.T) {
+	reqs, offs := market(12, 30)
+	out := auction.Run(reqs, offs, auction.DefaultConfig())
+	if len(out.Matches) == 0 {
+		t.Skip("no matches")
+	}
+	m := &out.Matches[0]
+	// φ = duration/window · mean(granted/cap), so granting twice the
+	// window-to-duration ratio of every capacity forces φ = 2 (alongside
+	// the capacity violations it also causes).
+	scale := 2 * float64(m.Offer.Window()) / float64(m.Request.Duration)
+	m.Granted = m.Offer.Resources.Scale(scale)
+	vs := Outcome(reqs, offs, out)
+	if !has(vs, "const6-7") {
+		t.Fatalf("φ > 1 not caught: %v", vs)
+	}
+}
+
+func TestAuditCatchesNegativePayment(t *testing.T) {
+	reqs, offs := market(13, 30)
+	out := auction.Run(reqs, offs, auction.DefaultConfig())
+	if len(out.Matches) == 0 {
+		t.Skip("no matches")
+	}
+	out.Matches[0].Payment = -1
+	vs := Outcome(reqs, offs, out)
+	if !has(vs, "negative-payment") {
+		t.Fatalf("negative payment not caught: %v", vs)
+	}
+}
+
+func TestAuditCatchesTamperedBooks(t *testing.T) {
+	reqs, offs := market(14, 30)
+	out := auction.Run(reqs, offs, auction.DefaultConfig())
+	if len(out.Payments) == 0 || len(out.Revenues) == 0 {
+		t.Skip("no payments")
+	}
+	for id := range out.Payments {
+		out.Payments[id] += 5
+		break
+	}
+	if vs := Outcome(reqs, offs, out); !has(vs, "books") {
+		t.Fatalf("tampered payments map not caught: %v", vs)
+	}
+	out = auction.Run(reqs, offs, auction.DefaultConfig())
+	for id := range out.Revenues {
+		out.Revenues[id] -= 5
+		break
+	}
+	if vs := Outcome(reqs, offs, out); !has(vs, "books") {
+		t.Fatalf("tampered revenues map not caught: %v", vs)
+	}
+}
+
 func TestViolationString(t *testing.T) {
 	v := Violation{Code: "x", Detail: "y"}
 	if v.String() != "x: y" {

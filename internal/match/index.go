@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 
 	"decloud/internal/bidding"
 	"decloud/internal/resource"
@@ -49,6 +50,12 @@ type Index struct {
 	kindOf map[resource.Kind]int
 	nk     int
 	wide   bool
+
+	// scans counts offers considered by the top-k loop across the whole
+	// block — the observability layer's "work done" signal for the
+	// pruning. One atomic add per request (not per pair), so the hot
+	// loop stays untouched.
+	scans atomic.Int64
 
 	// scoreMask has bit k set iff the block scale's maximum for kind k
 	// is positive — Quality skips kinds that cannot discriminate.
@@ -239,6 +246,11 @@ func (ix *Index) Kinds() []resource.Kind { return ix.kinds }
 // disabling the bitmask fast paths.
 func (ix *Index) Wide() bool { return ix.wide }
 
+// Scans reports how many offer candidates the top-k best-offer loop has
+// considered so far (after time-bucket pruning, before feasibility).
+// Purely observational.
+func (ix *Index) Scans() int64 { return ix.scans.Load() }
+
 // RequestMask returns the request's kind bitmask (bit i ⇔ positive
 // quantity of Kinds()[i]). ok is false when the request is not part of
 // the block or the index is wide.
@@ -391,6 +403,7 @@ func (ix *Index) BestOffers(ri int, cfg Config, s *Scratch) []*bidding.Offer {
 	}
 
 	if ix.wide {
+		ix.scans.Add(int64(len(ix.offers)))
 		return bestFromRanked(RankOffers(r, ix.offers, ix.scale), band, limit)
 	}
 
@@ -402,6 +415,7 @@ func (ix *Index) BestOffers(ri int, cfg Config, s *Scratch) []*bidding.Offer {
 	// Const. 10 prune: only offers with t_o⁻ ≤ t_r⁻ can host r, and
 	// byStart puts exactly those in a prefix.
 	prefix := sort.Search(len(ix.starts), func(i int) bool { return ix.starts[i] > r.Start })
+	ix.scans.Add(int64(prefix))
 	for _, oi32 := range ix.byStart[:prefix] {
 		oi := int(oi32)
 		if !ix.feasible(ri, oi, r) {

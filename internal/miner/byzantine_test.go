@@ -8,6 +8,7 @@ import (
 	"decloud/internal/auction"
 	"decloud/internal/chaos"
 	"decloud/internal/ledger"
+	"decloud/internal/obs"
 )
 
 // crashAll builds a plan that keeps every named miner crashed for the
@@ -85,6 +86,8 @@ func TestByzantineProducerMatrix(t *testing.T) {
 					net.Consensus = cons.c
 					net.Policy = pol.p
 					net.SampleProb = pol.prob
+					reg := obs.NewRegistry()
+					net.Obs = obs.NewMinerMetrics(reg)
 					// The first producer to win the round turns Byzantine;
 					// re-elected producers stay honest.
 					var offender string
@@ -109,6 +112,12 @@ func TestByzantineProducerMatrix(t *testing.T) {
 					}
 					if got := net.Slashed[offender]; got != 1 {
 						t.Fatalf("offender slashed %d times, want exactly 1", got)
+					}
+					if got := reg.CounterValue("decloud_miner_slashes_total"); got != 1 {
+						t.Fatalf("slashes_total metric = %d, want exactly 1", got)
+					}
+					if got := reg.CounterValue("decloud_miner_rejected_bids_total"); got != 0 {
+						t.Fatalf("rejected_bids_total = %d on an honest re-election, want 0", got)
 					}
 					if got := net.Balances[offender]; got != 0 {
 						t.Fatalf("offender earned %v despite rejection", got)

@@ -13,6 +13,7 @@ import (
 
 	"decloud/internal/auction"
 	"decloud/internal/chaos"
+	"decloud/internal/obs"
 )
 
 // soakMinerNames matches NewNetwork's naming for a 3-miner network.
@@ -66,12 +67,15 @@ func soakMarket(t *testing.T, net *Network, seed int64) []*Participant {
 
 // runSoakRound runs one proof-of-stake round of the seed's market under
 // the given fault plan and returns the result plus the hash of the full
-// head-block bytes (preamble, bids, reveals, allocation).
-func runSoakRound(t *testing.T, seed int64, plan *chaos.Plan) (*RoundResult, [32]byte) {
+// head-block bytes (preamble, bids, reveals, allocation). A non-nil reg
+// wires full observability through the round — the soak sweep uses this
+// to prove metrics cannot perturb the chain bytes.
+func runSoakRound(t *testing.T, seed int64, plan *chaos.Plan, reg *obs.Registry) (*RoundResult, [32]byte) {
 	t.Helper()
 	net := NewNetwork(3, testDifficulty, auction.DefaultConfig())
 	net.Consensus = ProofOfStake
 	net.Faults = plan
+	net.Obs = obs.NewMinerMetrics(reg)
 	parts := soakMarket(t, net, seed)
 	res, err := net.RunRound(context.Background(), parts)
 	if err != nil {
@@ -82,6 +86,45 @@ func runSoakRound(t *testing.T, seed int64, plan *chaos.Plan) (*RoundResult, [32
 		t.Fatal(err)
 	}
 	return res, sha256.Sum256(data)
+}
+
+// soakMetricInvariants checks the recorded round metrics against the
+// round result they describe. Every reveal in the soak market is
+// produced, so a retry can only mean the chaos layer lost a delivery
+// (reveal_losses ≥ retries), and an excluded bid means the loss repeated
+// on every attempt (reveal_losses ≥ excluded × attempts).
+func soakMetricInvariants(t *testing.T, reg *obs.Registry, res *RoundResult) {
+	t.Helper()
+	if got := reg.CounterValue("decloud_miner_rounds_total"); got != 1 {
+		t.Fatalf("rounds_total = %d, want 1", got)
+	}
+	if got := reg.CounterValue("decloud_miner_blocks_accepted_total"); got != 1 {
+		t.Fatalf("blocks_accepted_total = %d, want 1", got)
+	}
+	if got := reg.CounterValue("decloud_miner_slashes_total"); got != 0 {
+		t.Fatalf("slashes_total = %d, want 0 — chaos faults must never be treated as Byzantine", got)
+	}
+	attempts := reg.CounterValue("decloud_miner_reveal_attempts_total")
+	if attempts != int64(res.RevealAttempts) {
+		t.Fatalf("reveal_attempts_total = %d, want %d", attempts, res.RevealAttempts)
+	}
+	retries := reg.CounterValue("decloud_miner_reveal_retries_total")
+	if retries != attempts-1 {
+		t.Fatalf("reveal_retries_total = %d, want attempts-1 = %d", retries, attempts-1)
+	}
+	excluded := reg.CounterValue("decloud_miner_excluded_bids_total")
+	if excluded != int64(len(res.ExcludedDigests)) {
+		t.Fatalf("excluded_bids_total = %d, want the deterministic exclusion set size %d",
+			excluded, len(res.ExcludedDigests))
+	}
+	losses := reg.CounterValue("decloud_miner_reveal_losses_total")
+	if losses < retries {
+		t.Fatalf("reveal_losses_total = %d < retries %d: a retry without a lost delivery", losses, retries)
+	}
+	if losses < excluded*attempts {
+		t.Fatalf("reveal_losses_total = %d < excluded×attempts = %d: an exclusion without repeated losses",
+			losses, excluded*attempts)
+	}
 }
 
 func equalDigests(a, b [][32]byte) bool {
@@ -131,8 +174,12 @@ func TestChaosSoakDeterministicConvergence(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed-%02d", seed), func(t *testing.T) {
 			plan := func() *chaos.Plan { return chaos.SoakPlan(seed, soakMinerNames) }
-			resA, hashA := runSoakRound(t, seed, plan())
-			resB, hashB := runSoakRound(t, seed, plan())
+			// Run A is uninstrumented, run B carries a full metrics
+			// registry: hash equality below therefore also proves the
+			// observability layer cannot perturb consensus bytes.
+			reg := obs.NewRegistry()
+			resA, hashA := runSoakRound(t, seed, plan(), nil)
+			resB, hashB := runSoakRound(t, seed, plan(), reg)
 			if hashA != hashB {
 				t.Fatal("same seed produced different chain bytes")
 			}
@@ -142,6 +189,7 @@ func TestChaosSoakDeterministicConvergence(t *testing.T) {
 			if resA.RevealAttempts != resB.RevealAttempts {
 				t.Fatalf("same seed used %d vs %d reveal attempts", resA.RevealAttempts, resB.RevealAttempts)
 			}
+			soakMetricInvariants(t, reg, resB)
 			if len(resA.ExcludedDigests) > 0 {
 				sawExclusion = true
 			}
@@ -155,7 +203,7 @@ func TestChaosSoakDeterministicConvergence(t *testing.T) {
 			for _, d := range resA.ExcludedDigests {
 				blocked[d] = true
 			}
-			_, hashC := runSoakRound(t, seed, &chaos.Plan{BlockedReveals: blocked})
+			_, hashC := runSoakRound(t, seed, &chaos.Plan{BlockedReveals: blocked}, nil)
 			if hashC != hashA {
 				t.Fatal("chaotic round differs from fault-free round modulo excluded reveals")
 			}

@@ -25,6 +25,16 @@ const (
 	ProofOfStake
 )
 
+// String names the consensus mode for logs and round traces.
+func (c Consensus) String() string {
+	switch c {
+	case ProofOfStake:
+		return "pos"
+	default:
+		return "pow"
+	}
+}
+
 // VerifyPolicy selects how non-producing miners check a block.
 type VerifyPolicy int
 

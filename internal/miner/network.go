@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"decloud/internal/auction"
 	"decloud/internal/chaos"
 	"decloud/internal/contract"
 	"decloud/internal/ledger"
+	"decloud/internal/obs"
 	"decloud/internal/sealed"
 )
 
@@ -82,6 +84,14 @@ type Network struct {
 	// TamperBody, when set, mutates the named producer's body before it
 	// is broadcast — a test hook simulating a Byzantine miner.
 	TamperBody func(producer string, b *ledger.Body)
+
+	// Obs, when set, records round observability (reveal retries,
+	// exclusions, Byzantine rejections, per-phase wall times). Tracer,
+	// when set, emits one structured timeline per round. Both are purely
+	// observational: nothing in the round ever reads them back, so block
+	// outcomes stay byte-identical with observability on or off.
+	Obs    *obs.MinerMetrics
+	Tracer *obs.Tracer
 
 	clock int64
 }
@@ -190,6 +200,13 @@ func (n *Network) RunRound(ctx context.Context, participants []*Participant) (*R
 		return nil, ErrEmptyMempool
 	}
 
+	tr := n.Tracer.StartRound(timestamp)
+	defer tr.End()
+	roundStart := obsNow(n.Obs)
+	if n.Obs != nil {
+		n.Obs.Rounds.Inc()
+	}
+
 	// crashed miners sit the whole round out; miners slashed during this
 	// round's re-elections are barred from producing but keep verifying —
 	// a Byzantine producer must not escape scrutiny just because its
@@ -240,18 +257,44 @@ func (n *Network) RunRound(ctx context.Context, participants []*Participant) (*R
 			}
 		}
 		winner := n.miners[winnerIdx]
+		tr.Event("preamble_sealed", map[string]any{
+			"producer": winner.Name, "height": block.Preamble.Height, "bids": len(block.Bids),
+		})
+		tr.Event("consensus_decided", map[string]any{
+			"consensus": n.Consensus.String(), "producer": winner.Name,
+		})
 
 		// Phase 1→2 boundary: participants validate the preamble and
 		// reveal keys for their committed bids; lost reveals are retried,
 		// then excluded.
+		revealStart := obsNow(n.Obs)
 		reveals, excluded, attempts := n.collectReveals(block, participants, timestamp, winner.Name)
+		if n.Obs != nil {
+			n.Obs.RevealSeconds.Observe(time.Since(revealStart).Seconds())
+			n.Obs.RevealAttempts.Add(int64(attempts))
+			n.Obs.RevealRetries.Add(int64(attempts - 1))
+			n.Obs.ExcludedBids.Add(int64(len(excluded)))
+		}
+		tr.Event("reveals_collected", map[string]any{
+			"attempts": attempts, "retries": attempts - 1,
+			"revealed": len(reveals), "excluded": len(excluded),
+		})
 
 		// Phase 2: the winner decrypts and computes the allocation.
+		computeStart := obsNow(n.Obs)
 		outcome, err := winner.ComputeBody(block, reveals)
 		if err != nil {
 			return nil, fmt.Errorf("miner: compute body: %w", err)
 		}
 		dec := DecryptOrders(block.Bids, reveals)
+		if n.Obs != nil {
+			n.Obs.ComputeSeconds.Observe(time.Since(computeStart).Seconds())
+			n.Obs.UnrevealedBids.Add(int64(dec.Unrevealed))
+			n.Obs.RejectedBids.Add(int64(dec.Rejected))
+		}
+		tr.Event("allocation_computed", map[string]any{
+			"matches": len(outcome.Matches), "unrevealed": dec.Unrevealed, "rejected": dec.Rejected,
+		})
 
 		if n.TamperBody != nil {
 			n.TamperBody(winner.Name, block.Body)
@@ -262,9 +305,13 @@ func (n *Network) RunRound(ctx context.Context, participants []*Participant) (*R
 		// VerifySampled each miner checks with probability SampleProb and
 		// any detected mismatch becomes a challenge that triggers full
 		// verification (TrueBit's escape from the verifier's dilemma).
+		verifyStart := obsNow(n.Obs)
 		err = n.chain.Append(block, func(b *ledger.Block) error {
 			return n.verifyByPolicy(b, winnerIdx, verifiers)
 		})
+		if n.Obs != nil {
+			n.Obs.VerifySeconds.Observe(time.Since(verifyStart).Seconds())
+		}
 		if err != nil {
 			// The verifiers rejected the producer's block: slash it, bar
 			// it, and re-elect among the remaining miners. The bids are
@@ -273,10 +320,20 @@ func (n *Network) RunRound(ctx context.Context, participants []*Participant) (*R
 			offenders = append(offenders, winner.Name)
 			barred[winnerIdx] = true
 			lastErr = err
+			if n.Obs != nil {
+				n.Obs.Slashes.Inc()
+			}
+			tr.Event("denied", map[string]any{"producer": winner.Name, "error": err.Error()})
+			tr.Event("slashed", map[string]any{"producer": winner.Name})
 			continue
 		}
+		tr.Event("verified", map[string]any{"producer": winner.Name, "verifiers": len(verifiers) - 1})
 
 		n.Balances[winner.Name] += n.BlockReward
+		if n.Obs != nil {
+			n.Obs.BlocksAccepted.Inc()
+			n.Obs.RoundSeconds.Observe(time.Since(roundStart).Seconds())
+		}
 
 		ids := n.registry.ProposeFromBlock(block.Preamble.Height, mustDecode(block.Body.Allocation))
 		return &RoundResult{
@@ -335,6 +392,9 @@ func (n *Network) collectReveals(block *ledger.Block, participants []*Participan
 				continue       // silent sender may still be partitioned, not gone
 			}
 			if n.Faults.RevealLost(round, attempt, producer, string(b.SenderID()), d) {
+				if n.Obs != nil {
+					n.Obs.RevealLosses.Inc()
+				}
 				missing = true
 				continue
 			}
@@ -356,6 +416,15 @@ func (n *Network) collectReveals(block *ledger.Block, participants []*Participan
 		}
 	}
 	return reveals, excluded, attempts
+}
+
+// obsNow reads the wall clock only when metrics are enabled, so the
+// uninstrumented round makes zero time syscalls for observability.
+func obsNow(m *obs.MinerMetrics) (t time.Time) {
+	if m != nil {
+		t = time.Now()
+	}
+	return
 }
 
 func mustDecode(alloc []byte) []ledger.AllocationRecord {

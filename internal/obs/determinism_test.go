@@ -1,0 +1,81 @@
+package obs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"decloud/internal/auction"
+	"decloud/internal/auction/paralleltest"
+	"decloud/internal/obs"
+	"decloud/internal/workload"
+)
+
+// TestObsDeterminismGuard is the load-bearing invariant of the
+// observability layer: with metrics AND tracing enabled, the mechanism's
+// marshaled outcome is byte-identical to the uninstrumented run, at
+// every worker count. If an instrumentation site ever feeds a metric
+// back into allocation state, this test catches it.
+func TestObsDeterminismGuard(t *testing.T) {
+	workers := []int{1, 2, 4}
+	for _, seed := range []int64{1, 7, 1234} {
+		market := workload.Generate(workload.Config{Seed: seed, Requests: 120})
+
+		base := auction.DefaultConfig()
+		base.Evidence = []byte("obs-determinism")
+		base.Workers = 1
+		want, err := paralleltest.MarshalOutcome(auction.Run(market.Requests, market.Offers, base))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, w := range workers {
+			reg := obs.NewRegistry()
+			cfg := base
+			cfg.Workers = w
+			cfg.Obs = obs.NewMechanismMetrics(reg)
+			got, err := paralleltest.MarshalOutcome(auction.Run(market.Requests, market.Offers, cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("seed %d workers %d: outcome with obs enabled diverges from uninstrumented run", seed, w)
+			}
+			// The instrumentation did actually record the run.
+			if reg.CounterValue("decloud_mech_blocks_total") != 1 {
+				t.Fatalf("seed %d workers %d: mechanism metrics were not recorded", seed, w)
+			}
+		}
+	}
+}
+
+// TestObsMechanismCountsMatchOutcome cross-checks the recorded structure
+// counters against the outcome they describe.
+func TestObsMechanismCountsMatchOutcome(t *testing.T) {
+	market := workload.Generate(workload.Config{Seed: 99, Requests: 150})
+	reg := obs.NewRegistry()
+	cfg := auction.DefaultConfig()
+	cfg.Evidence = []byte("obs-counts")
+	cfg.Obs = obs.NewMechanismMetrics(reg)
+	out := auction.Run(market.Requests, market.Offers, cfg)
+
+	checks := map[string]int64{
+		"decloud_mech_clusters_total":         int64(out.Clusters),
+		"decloud_mech_mini_auctions_total":    int64(out.MiniAuctions),
+		"decloud_mech_matches_total":          int64(len(out.Matches)),
+		"decloud_mech_reduced_requests_total": int64(len(out.ReducedRequests)),
+		"decloud_mech_reduced_offers_total":   int64(len(out.ReducedOffers)),
+		"decloud_mech_lottery_dropped_total":  int64(len(out.LotteryDropped)),
+		"decloud_mech_rejected_orders_total":  int64(len(out.RejectedRequests) + len(out.RejectedOffers)),
+	}
+	for name, want := range checks {
+		if got := reg.CounterValue(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if len(out.Matches) > 0 && reg.CounterValue("decloud_mech_topk_scans_total") == 0 {
+		t.Error("top-k scan counter stayed zero on a trading block")
+	}
+	if got, want := reg.GaugeValue("decloud_mech_bid_welfare_last"), out.BidWelfare(); got != want {
+		t.Errorf("bid welfare gauge = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// NewMux builds the observability HTTP mux:
+//
+//	/metrics        Prometheus text exposition
+//	/vars           expvar-style JSON (also at /debug/vars)
+//	/debug/pprof/   the standard net/http/pprof handlers
+//	/healthz        200 ok
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	vars := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	}
+	mux.HandleFunc("/vars", vars)
+	mux.HandleFunc("/debug/vars", vars)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve binds addr and serves the observability mux in the background.
+// It returns an error — not a panic, not a background log line — when
+// the address is unbindable, so binaries can exit non-zero with a clear
+// message.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{srv: &http.Server{Handler: NewMux(reg)}, ln: ln}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (host:port) — useful with ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// OpenTraceFile opens (creating or appending) a JSONL trace sink for
+// -trace-out flags, surfacing unwritable paths as errors.
+func OpenTraceFile(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open trace file: %w", err)
+	}
+	return f, nil
+}

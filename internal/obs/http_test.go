@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"decloud/internal/obs/obstest"
+)
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("srv_total", "served requests").Add(9)
+	reg.Histogram("srv_seconds", "latency", []float64{0.1, 1}).Observe(0.05)
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body, resp := get(t, base+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics Content-Type = %q", ct)
+	}
+	families, err := obstest.Parse([]byte(body))
+	if err != nil {
+		t.Fatalf("/metrics does not parse as Prometheus text: %v\n%s", err, body)
+	}
+	if families["srv_total"] == nil || families["srv_seconds"] == nil {
+		t.Fatalf("families missing from /metrics: %v", families)
+	}
+
+	for _, path := range []string{"/vars", "/debug/vars"} {
+		body, resp = get(t, base+path)
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("%s Content-Type = %q", path, ct)
+		}
+		if !strings.Contains(body, `"srv_total": 9`) {
+			t.Fatalf("%s lacks the counter: %s", path, body)
+		}
+	}
+
+	body, _ = get(t, base+"/healthz")
+	if strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %q", body)
+	}
+
+	_, resp = get(t, base+"/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status = %d", resp.StatusCode)
+	}
+}
+
+func TestServeUnbindableAddr(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srv, err := Serve(ln.Addr().String(), NewRegistry())
+	if err == nil {
+		srv.Close()
+		t.Fatal("Serve on an occupied port must fail")
+	}
+	if !strings.Contains(err.Error(), "obs: listen") {
+		t.Fatalf("error %q lacks the obs: listen prefix", err)
+	}
+}
+
+func TestOpenTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	f, err := OpenTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{}\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// Append semantics: a second open adds, never truncates.
+	f, err = OpenTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{}\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "\n"); got != 2 {
+		t.Fatalf("trace file has %d lines, want 2 (append, not truncate)", got)
+	}
+
+	if _, err := OpenTraceFile(filepath.Join(dir, "no", "dir", "t.jsonl")); err == nil {
+		t.Fatal("OpenTraceFile into a missing directory must fail")
+	}
+}

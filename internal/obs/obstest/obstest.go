@@ -1,0 +1,281 @@
+// Package obstest validates Prometheus text exposition output — a tiny
+// parser used by the obs unit tests and the CI smoke scrape (cmd/obscheck)
+// so a malformed /metrics page cannot land green.
+package obstest
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Sample is one rendered metric line.
+type Sample struct {
+	// Name is the full sample name, e.g. "decloud_mech_run_seconds_bucket".
+	Name string
+	// Labels holds the label pairs, e.g. {"le": "0.001"}.
+	Labels map[string]string
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// Family is one metric family: a TYPE declaration plus its samples.
+type Family struct {
+	Name    string
+	Type    string // "counter", "gauge", "histogram", ...
+	Help    string
+	Samples []Sample
+}
+
+// Parse validates data as Prometheus text exposition format (0.0.4) and
+// returns the metric families by name. It enforces the invariants a
+// scraper relies on:
+//
+//   - every sample belongs to a declared # TYPE family;
+//   - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+//   - sample values parse as floats (+Inf/-Inf/NaN allowed);
+//   - histogram families carry ascending le buckets ending at +Inf,
+//     with the +Inf bucket equal to the _count sample.
+func Parse(data []byte) (map[string]*Family, error) {
+	families := make(map[string]*Family)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			name := fields[0]
+			if !validName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q in HELP", lineNo, name)
+			}
+			f := family(families, name)
+			if len(fields) == 2 {
+				f.Help = fields[1]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			if !validName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q in TYPE", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			f := family(families, name)
+			if f.Type != "" && f.Type != typ {
+				return nil, fmt.Errorf("line %d: family %s re-declared as %s (was %s)", lineNo, name, typ, f.Type)
+			}
+			f.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal and ignored
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		f := families[familyName(s.Name, families)]
+		if f == nil {
+			return nil, fmt.Errorf("line %d: sample %s has no # TYPE declaration", lineNo, s.Name)
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range families {
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+// family returns (creating if needed) the named family.
+func family(families map[string]*Family, name string) *Family {
+	f := families[name]
+	if f == nil {
+		f = &Family{Name: name}
+		families[name] = f
+	}
+	return f
+}
+
+// familyName resolves a sample name to its declaring family: exact match
+// first, then the histogram suffixes.
+func familyName(sample string, families map[string]*Family) string {
+	if _, ok := families[sample]; ok {
+		return sample
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sample, suffix); ok {
+			if _, exists := families[base]; exists {
+				return base
+			}
+		}
+	}
+	return sample
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		letter := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		digit := r >= '0' && r <= '9'
+		if !letter && !(digit && i > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample parses `name{labels} value` or `name value`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		s.Name = line[:i]
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return s, fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		for _, pair := range splitLabels(line[i+1 : j]) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				return s, fmt.Errorf("malformed label %q", pair)
+			}
+			uq, err := strconv.Unquote(v)
+			if err != nil {
+				return s, fmt.Errorf("label %s: unquotable value %s", k, v)
+			}
+			s.Labels[k] = uq
+		}
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("malformed sample line %q", line)
+		}
+		s.Name = fields[0]
+		rest = fields[1]
+	}
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("sample %s has no value", s.Name)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %s: %w", s.Name, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(body string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range body {
+		switch {
+		case escaped:
+			cur.WriteRune(r)
+			escaped = false
+		case r == '\\' && inQuote:
+			cur.WriteRune(r)
+			escaped = true
+		case r == '"':
+			cur.WriteRune(r)
+			inQuote = !inQuote
+		case r == ',' && !inQuote:
+			if p := strings.TrimSpace(cur.String()); p != "" {
+				out = append(out, p)
+			}
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if p := strings.TrimSpace(cur.String()); p != "" {
+		out = append(out, p)
+	}
+	return out
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// checkHistogram enforces the histogram family invariants.
+func checkHistogram(f *Family) error {
+	var les []float64
+	var counts []float64
+	var count float64
+	haveCount, haveInf := false, false
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, err := parseValue(s.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("histogram %s: bucket without parsable le label", f.Name)
+			}
+			if math.IsInf(le, 1) {
+				haveInf = true
+			}
+			les = append(les, le)
+			counts = append(counts, s.Value)
+		case f.Name + "_count":
+			count = s.Value
+			haveCount = true
+		}
+	}
+	if !haveInf {
+		return fmt.Errorf("histogram %s: missing +Inf bucket", f.Name)
+	}
+	if !haveCount {
+		return fmt.Errorf("histogram %s: missing _count sample", f.Name)
+	}
+	for i := 1; i < len(les); i++ {
+		if les[i] <= les[i-1] {
+			return fmt.Errorf("histogram %s: le bounds not ascending: %v", f.Name, les)
+		}
+		if counts[i] < counts[i-1] {
+			return fmt.Errorf("histogram %s: bucket counts not cumulative: %v", f.Name, counts)
+		}
+	}
+	if inf := counts[len(counts)-1]; inf != count {
+		return fmt.Errorf("histogram %s: +Inf bucket %v != count %v", f.Name, inf, count)
+	}
+	return nil
+}

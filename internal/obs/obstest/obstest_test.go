@@ -1,0 +1,127 @@
+package obstest
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const good = `# HELP app_reqs_total requests served
+# TYPE app_reqs_total counter
+app_reqs_total 12
+# TYPE app_temp gauge
+app_temp -3.5
+# an unrelated comment
+# TYPE app_lat_seconds histogram
+app_lat_seconds_bucket{le="0.1"} 2
+app_lat_seconds_bucket{le="1"} 5
+app_lat_seconds_bucket{le="+Inf"} 7
+app_lat_seconds_sum 4.25
+app_lat_seconds_count 7
+`
+
+func TestParseGood(t *testing.T) {
+	families, err := Parse([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := families["app_reqs_total"]
+	if c == nil || c.Type != "counter" || c.Help != "requests served" {
+		t.Fatalf("counter family = %+v", c)
+	}
+	if len(c.Samples) != 1 || c.Samples[0].Value != 12 {
+		t.Fatalf("counter samples = %+v", c.Samples)
+	}
+	g := families["app_temp"]
+	if g == nil || g.Samples[0].Value != -3.5 {
+		t.Fatalf("gauge family = %+v", g)
+	}
+	h := families["app_lat_seconds"]
+	if h == nil || h.Type != "histogram" {
+		t.Fatalf("histogram family = %+v", h)
+	}
+	if len(h.Samples) != 5 {
+		t.Fatalf("histogram has %d samples, want 5", len(h.Samples))
+	}
+	if le := h.Samples[2].Labels["le"]; le != "+Inf" {
+		t.Fatalf("third bucket le = %q", le)
+	}
+}
+
+func TestParseValueSpecials(t *testing.T) {
+	for s, want := range map[string]float64{"+Inf": math.Inf(1), "-Inf": math.Inf(-1), "2.5": 2.5} {
+		got, err := parseValue(s)
+		if err != nil || got != want {
+			t.Errorf("parseValue(%q) = %v, %v", s, got, err)
+		}
+	}
+	if v, err := parseValue("NaN"); err != nil || !math.IsNaN(v) {
+		t.Errorf("parseValue(NaN) = %v, %v", v, err)
+	}
+	if _, err := parseValue("bogus"); err == nil {
+		t.Error("parseValue(bogus) should fail")
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":    "orphan_total 3\n",
+		"invalid name in TYPE":   "# TYPE 0bad counter\n0bad 1\n",
+		"unknown type":           "# TYPE x widget\nx 1\n",
+		"malformed TYPE line":    "# TYPE onlyname\n",
+		"re-declared type":       "# TYPE x counter\n# TYPE x gauge\nx 1\n",
+		"unparsable value":       "# TYPE x counter\nx notanumber\n",
+		"missing value":          "# TYPE x counter\nx\n",
+		"unbalanced braces":      "# TYPE x counter\nx{le=\"1\" 3\n",
+		"unquotable label":       "# TYPE x counter\nx{le=1} 3\n",
+		"malformed label":        "# TYPE x counter\nx{nolabel} 3\n",
+		"invalid name in HELP":   "# HELP bad-name help text\n",
+		"histogram no +Inf":      "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram no count":     "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n",
+		"buckets not ascending":  "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_count 2\nh_sum 1\n",
+		"buckets not cumulative": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_count 3\nh_sum 1\n",
+		"+Inf bucket != count":   "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_count 9\nh_sum 1\n",
+		"bucket bad le":          "# TYPE h histogram\nh_bucket{le=\"x\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\nh_sum 1\n",
+	}
+	for name, input := range cases {
+		if _, err := Parse([]byte(input)); err == nil {
+			t.Errorf("%s: Parse accepted invalid input:\n%s", name, input)
+		}
+	}
+}
+
+func TestParseToleratesBlankAndComments(t *testing.T) {
+	input := "\n# just a comment\n\n# TYPE ok_total counter\n\nok_total 1\n\n"
+	families, err := Parse([]byte(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if families["ok_total"] == nil {
+		t.Fatal("family missing")
+	}
+}
+
+func TestSplitLabelsQuoteAware(t *testing.T) {
+	got := splitLabels(`a="x,y", b="z\"w"`)
+	if len(got) != 2 || got[0] != `a="x,y"` || got[1] != `b="z\"w"` {
+		t.Fatalf("splitLabels = %q", got)
+	}
+}
+
+func TestFamilyNameSuffixResolution(t *testing.T) {
+	families, err := Parse([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// _sum/_count/_bucket samples all resolved to the base family.
+	var names []string
+	for _, s := range families["app_lat_seconds"].Samples {
+		names = append(names, s.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"_bucket", "_sum", "_count"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("suffix %s not resolved into base family: %v", want, names)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer records one structured timeline per protocol round and writes
+// it as a JSON line when the round ends. Timestamps are monotonic
+// durations measured from the round's start and live ONLY in the trace —
+// consensus-critical state (block preambles, allocations, the logical
+// clock) never reads them, so tracing cannot perturb byte-identical
+// block outcomes.
+//
+// A nil *Tracer is a valid "tracing off" value: StartRound returns a nil
+// *RoundTrace whose methods are all no-ops.
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+	err error
+}
+
+// NewTracer returns a tracer writing JSONL to w. The caller owns w's
+// lifecycle; writes are serialized internally so one tracer may serve
+// concurrent rounds.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, now: time.Now}
+}
+
+// SetNow replaces the tracer's clock — test hook for deterministic
+// timelines. Must be called before any StartRound.
+func (t *Tracer) SetNow(now func() time.Time) {
+	if t != nil && now != nil {
+		t.now = now
+	}
+}
+
+// Err returns the first write error the tracer encountered, if any —
+// callers that must not lose traces (e.g. -trace-out) check it at exit.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Event is one phase marker inside a round trace.
+type Event struct {
+	// Phase names the protocol step, e.g. "preamble_sealed",
+	// "consensus_decided", "reveals_collected", "allocation_computed",
+	// "verified", "denied", "slashed".
+	Phase string `json:"phase"`
+	// ElapsedNs is the monotonic offset from the round's start.
+	ElapsedNs int64 `json:"elapsed_ns"`
+	// Attrs carries phase-specific details (counts, names). JSON
+	// marshaling sorts the keys, keeping lines stable for golden tests.
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// RoundTrace accumulates the events of one round. Safe for concurrent
+// Event calls; nil-receiver safe throughout.
+type RoundTrace struct {
+	t     *Tracer
+	round int64
+	wall  time.Time
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// roundRecord is the JSONL schema of one finished round.
+type roundRecord struct {
+	Round      int64   `json:"round"`
+	WallUnixNs int64   `json:"wall_unix_ns"`
+	Events     []Event `json:"events"`
+}
+
+// StartRound opens a trace for the given round identifier (a height or
+// logical timestamp — purely a label).
+func (t *Tracer) StartRound(round int64) *RoundTrace {
+	if t == nil {
+		return nil
+	}
+	return &RoundTrace{t: t, round: round, wall: t.now()}
+}
+
+// Event appends a phase marker with the elapsed monotonic time and the
+// given attributes.
+func (rt *RoundTrace) Event(phase string, attrs map[string]any) {
+	if rt == nil {
+		return
+	}
+	e := Event{Phase: phase, ElapsedNs: rt.t.now().Sub(rt.wall).Nanoseconds(), Attrs: attrs}
+	rt.mu.Lock()
+	rt.events = append(rt.events, e)
+	rt.mu.Unlock()
+}
+
+// End writes the round's record as one JSON line. Calling End on a nil
+// trace is a no-op; calling it twice writes two lines (don't).
+func (rt *RoundTrace) End() {
+	if rt == nil {
+		return
+	}
+	rt.mu.Lock()
+	rec := roundRecord{Round: rt.round, WallUnixNs: rt.wall.UnixNano(), Events: rt.events}
+	rt.mu.Unlock()
+	line, err := json.Marshal(rec)
+	if err == nil {
+		line = append(line, '\n')
+	}
+	rt.t.mu.Lock()
+	defer rt.t.mu.Unlock()
+	if err == nil {
+		_, err = rt.t.w.Write(line)
+	}
+	if err != nil && rt.t.err == nil {
+		rt.t.err = err
+	}
+}

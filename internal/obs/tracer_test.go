@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a monotonically advancing clock stepping 5ms per
+// call, starting from a fixed wall time — deterministic timelines.
+func fakeClock() func() time.Time {
+	base := time.Unix(1700000000, 0)
+	n := 0
+	return func() time.Time {
+		t := base.Add(time.Duration(n) * 5 * time.Millisecond)
+		n++
+		return t
+	}
+}
+
+func TestTracerTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.SetNow(fakeClock())
+
+	rt := tr.StartRound(42) // clock call 0: wall = base
+	rt.Event("preamble_sealed", map[string]any{"producer": "m0", "bids": 3})
+	rt.Event("verified", nil)
+	rt.End()
+
+	line := strings.TrimSpace(buf.String())
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("expected exactly one JSONL line, got:\n%s", buf.String())
+	}
+	var rec struct {
+		Round      int64 `json:"round"`
+		WallUnixNs int64 `json:"wall_unix_ns"`
+		Events     []struct {
+			Phase     string         `json:"phase"`
+			ElapsedNs int64          `json:"elapsed_ns"`
+			Attrs     map[string]any `json:"attrs"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("trace line is not JSON: %v\n%s", err, line)
+	}
+	if rec.Round != 42 {
+		t.Fatalf("round = %d, want 42", rec.Round)
+	}
+	if rec.WallUnixNs != time.Unix(1700000000, 0).UnixNano() {
+		t.Fatalf("wall = %d, want the fake clock's base", rec.WallUnixNs)
+	}
+	if len(rec.Events) != 2 {
+		t.Fatalf("got %d events, want 2", len(rec.Events))
+	}
+	if rec.Events[0].Phase != "preamble_sealed" || rec.Events[1].Phase != "verified" {
+		t.Fatalf("phases = %q, %q", rec.Events[0].Phase, rec.Events[1].Phase)
+	}
+	// Clock calls 1 and 2 → 5ms and 10ms after the round start.
+	if rec.Events[0].ElapsedNs != (5 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("event 0 elapsed = %d, want 5ms", rec.Events[0].ElapsedNs)
+	}
+	if rec.Events[1].ElapsedNs != (10 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("event 1 elapsed = %d, want 10ms", rec.Events[1].ElapsedNs)
+	}
+	if rec.Events[0].Attrs["producer"] != "m0" || rec.Events[0].Attrs["bids"] != float64(3) {
+		t.Fatalf("attrs = %v", rec.Events[0].Attrs)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatalf("Err() = %v", err)
+	}
+}
+
+func TestTracerMultipleRoundsAreSeparateLines(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.SetNow(fakeClock())
+	for round := int64(0); round < 3; round++ {
+		rt := tr.StartRound(round)
+		rt.Event("allocation_computed", nil)
+		rt.End()
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d invalid: %v", i, err)
+		}
+		if rec["round"] != float64(i) {
+			t.Fatalf("line %d round = %v, want %d", i, rec["round"], i)
+		}
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	rt := tr.StartRound(1)
+	if rt != nil {
+		t.Fatal("nil tracer must return a nil trace")
+	}
+	rt.Event("x", nil) // must not panic
+	rt.End()
+	if err := tr.Err(); err != nil {
+		t.Fatalf("nil tracer Err() = %v", err)
+	}
+	tr.SetNow(time.Now) // must not panic
+}
+
+type failWriter struct{ err error }
+
+func (w *failWriter) Write([]byte) (int, error) { return 0, w.err }
+
+func TestTracerRecordsFirstWriteError(t *testing.T) {
+	sentinel := errors.New("disk full")
+	tr := NewTracer(&failWriter{err: sentinel})
+	tr.SetNow(fakeClock())
+	tr.StartRound(1).End()
+	tr.StartRound(2).End()
+	if !errors.Is(tr.Err(), sentinel) {
+		t.Fatalf("Err() = %v, want %v", tr.Err(), sentinel)
+	}
+}

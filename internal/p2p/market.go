@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"decloud/internal/auction"
 	"decloud/internal/ledger"
 	"decloud/internal/miner"
+	"decloud/internal/obs"
 	"decloud/internal/sealed"
 )
 
@@ -73,6 +75,12 @@ type MarketNode struct {
 	mempool  []*sealed.Bid
 	havePool map[[32]byte]bool
 
+	// metrics/tracer are read on both the producer and the gossip reader
+	// goroutines; atomic pointers let SetObs/SetTracer install them after
+	// the node is already connected. Nil means off.
+	metrics atomic.Pointer[obs.MinerMetrics]
+	tracer  atomic.Pointer[obs.Tracer]
+
 	revealCh chan *sealed.KeyReveal
 	voteCh   chan vote
 }
@@ -114,6 +122,16 @@ func (mn *MarketNode) Connect(addr string) error { return mn.net.Connect(addr) }
 
 // SetFaults installs a transport fault plan on the underlying node.
 func (mn *MarketNode) SetFaults(f FaultPlan) { mn.net.SetFaults(f) }
+
+// SetObs installs the round metrics bundle (nil removes it).
+func (mn *MarketNode) SetObs(m *obs.MinerMetrics) { mn.metrics.Store(m) }
+
+// SetNetObs installs the transport metrics bundle on the underlying node.
+func (mn *MarketNode) SetNetObs(m *obs.NetMetrics) { mn.net.SetObs(m) }
+
+// SetTracer installs the round tracer (nil removes it). Produced rounds
+// emit one JSONL timeline each.
+func (mn *MarketNode) SetTracer(t *obs.Tracer) { mn.tracer.Store(t) }
 
 // SetLogf routes the underlying node's diagnostics.
 func (mn *MarketNode) SetLogf(logf func(format string, args ...any)) { mn.net.SetLogf(logf) }
@@ -176,6 +194,8 @@ func (mn *MarketNode) onBlock(msg Message) {
 	if err := json.Unmarshal(msg.Payload, &b); err != nil {
 		return
 	}
+	m := mn.metrics.Load()
+	verifyStart := obsNow(m)
 	v := vote{Voter: mn.Name(), Height: b.Preamble.Height, OK: true}
 	if err := mn.chain.Append(&b, mn.miner.VerifyBlock); err != nil {
 		v.OK = false
@@ -183,6 +203,9 @@ func (mn *MarketNode) onBlock(msg Message) {
 		if errors.Is(err, ledger.ErrBadLinkage) && b.Preamble.Height > int64(mn.chain.Len()) {
 			_ = mn.net.Broadcast(msgSyncReq, syncRequest{From: mn.Name(), Height: int64(mn.chain.Len())})
 		}
+	}
+	if m != nil {
+		m.VerifySeconds.Observe(time.Since(verifyStart).Seconds())
 	}
 	_ = mn.net.Broadcast(msgVote, v)
 }
@@ -285,10 +308,21 @@ func (mn *MarketNode) ProduceBlockOpts(ctx context.Context, cfg RoundConfig) (*R
 		return nil, miner.ErrEmptyMempool
 	}
 
+	m := mn.metrics.Load()
+	roundStart := obsNow(m)
+	if m != nil {
+		m.Rounds.Inc()
+	}
+	tr := mn.tracer.Load().StartRound(int64(mn.chain.Len()))
+	defer tr.End()
+
 	block := mn.miner.AssembleBlock(mn.chain, bids, time.Now().Unix())
 	if err := mn.miner.Mine(ctx, block, 0); err != nil {
 		return nil, err
 	}
+	tr.Event("preamble_sealed", map[string]any{
+		"producer": mn.Name(), "height": block.Preamble.Height, "bids": len(block.Bids),
+	})
 
 	// Drain stale reveals from a previous round before asking for new ones.
 	for {
@@ -312,6 +346,7 @@ func (mn *MarketNode) ProduceBlockOpts(ctx context.Context, cfg RoundConfig) (*R
 		backoff = 2
 	}
 	window := cfg.RevealWindow
+	revealStart := obsNow(m)
 	attempts := 0
 	for {
 		attempts++
@@ -340,11 +375,26 @@ func (mn *MarketNode) ProduceBlockOpts(ctx context.Context, cfg RoundConfig) (*R
 		}
 		window = time.Duration(float64(window) * backoff)
 	}
+	if m != nil {
+		m.RevealSeconds.Observe(time.Since(revealStart).Seconds())
+		m.RevealAttempts.Add(int64(attempts))
+		m.RevealRetries.Add(int64(attempts - 1))
+		m.UnrevealedBids.Add(int64(len(want)))
+	}
+	tr.Event("reveals_collected", map[string]any{
+		"attempts": attempts, "retries": attempts - 1,
+		"revealed": len(reveals), "unrevealed": len(want),
+	})
 
+	computeStart := obsNow(m)
 	outcome, err := mn.miner.ComputeBody(block, reveals)
 	if err != nil {
 		return nil, err
 	}
+	if m != nil {
+		m.ComputeSeconds.Observe(time.Since(computeStart).Seconds())
+	}
+	tr.Event("allocation_computed", map[string]any{"matches": len(outcome.Matches)})
 	if err := mn.chain.Append(block, nil); err != nil {
 		return nil, fmt.Errorf("p2p: self-append: %w", err)
 	}
@@ -370,9 +420,27 @@ func (mn *MarketNode) ProduceBlockOpts(ctx context.Context, cfg RoundConfig) (*R
 				summary.BadVotes++
 			}
 		case <-ctx.Done():
+			tr.Event("denied", map[string]any{
+				"ok_votes": summary.OKVotes, "bad_votes": summary.BadVotes, "quorum": cfg.Quorum,
+			})
 			return summary, fmt.Errorf("p2p: quorum not reached: %d/%d ok, %d bad: %w",
 				summary.OKVotes, cfg.Quorum, summary.BadVotes, ctx.Err())
 		}
 	}
+	tr.Event("verified", map[string]any{
+		"ok_votes": summary.OKVotes, "bad_votes": summary.BadVotes,
+	})
+	if m != nil {
+		m.BlocksAccepted.Inc()
+		m.RoundSeconds.Observe(time.Since(roundStart).Seconds())
+	}
 	return summary, nil
+}
+
+// obsNow reads the wall clock only when metrics are enabled.
+func obsNow(m *obs.MinerMetrics) (t time.Time) {
+	if m != nil {
+		t = time.Now()
+	}
+	return
 }

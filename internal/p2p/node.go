@@ -21,6 +21,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"decloud/internal/obs"
 )
 
 // Message is the wire envelope. ID makes flooding idempotent: every node
@@ -83,6 +85,11 @@ type Node struct {
 	logf     func(format string, args ...any)
 	closed   bool
 
+	// metrics is read on every reader goroutine without the node lock;
+	// an atomic pointer keeps SetObs race-free against live traffic. A
+	// nil bundle (the default) disables all accounting.
+	metrics atomic.Pointer[obs.NetMetrics]
+
 	seq uint64
 	wg  sync.WaitGroup
 }
@@ -113,6 +120,11 @@ func (n *Node) Name() string { return n.name }
 
 // Addr returns the listening address (host:port).
 func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// SetObs installs the transport metrics bundle (nil removes it). Safe to
+// call while traffic flows; counters only ever move forward, so a
+// mid-stream install simply starts counting from that point.
+func (n *Node) SetObs(m *obs.NetMetrics) { n.metrics.Store(m) }
 
 // SetFaults installs a fault plan (nil removes it). Install before
 // connecting peers so every message is planned consistently.
@@ -219,6 +231,17 @@ func (n *Node) scheduleLocked(msg Message) []time.Duration {
 	}
 	s = append([]time.Duration(nil), s...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if m := n.metrics.Load(); m != nil {
+		switch {
+		case len(s) == 0:
+			m.FaultDropped.Inc()
+		default:
+			if s[0] > 0 {
+				m.FaultDelayed.Inc()
+			}
+			m.FaultDup.Add(int64(len(s) - 1))
+		}
+	}
 	return s
 }
 
@@ -246,6 +269,7 @@ func (n *Node) relayLocked(msg Message, skip net.Conn) error {
 		return err
 	}
 	line = append(line, '\n')
+	m := n.metrics.Load()
 	var firstErr error
 	for conn, w := range n.conns {
 		if conn == skip {
@@ -254,6 +278,10 @@ func (n *Node) relayLocked(msg Message, skip net.Conn) error {
 		if _, err := w.Write(line); err == nil {
 			err = w.Flush()
 			if err == nil {
+				if m != nil {
+					m.SentMsgs.Inc()
+					m.SentBytes.Add(int64(len(line)))
+				}
 				continue
 			}
 		}
@@ -325,6 +353,9 @@ func (n *Node) addConn(conn net.Conn) {
 	}
 	n.conns[conn] = bufio.NewWriter(conn)
 	n.mu.Unlock()
+	if m := n.metrics.Load(); m != nil {
+		m.Conns.Add(1)
+	}
 	n.wg.Add(1)
 	go n.readLoop(conn)
 }
@@ -336,12 +367,23 @@ func (n *Node) readLoop(conn net.Conn) {
 		delete(n.conns, conn)
 		n.mu.Unlock()
 		conn.Close()
+		if m := n.metrics.Load(); m != nil {
+			m.Conns.Add(-1)
+		}
 	}()
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for scanner.Scan() {
+		m := n.metrics.Load()
+		if m != nil {
+			m.RecvMsgs.Inc()
+			m.RecvBytes.Add(int64(len(scanner.Bytes()) + 1)) // +1 for the newline framing
+		}
 		var msg Message
 		if err := json.Unmarshal(scanner.Bytes(), &msg); err != nil {
+			if m != nil {
+				m.Malformed.Inc()
+			}
 			continue // drop malformed lines, keep the connection
 		}
 		n.deliver(msg, conn)

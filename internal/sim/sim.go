@@ -13,6 +13,7 @@ import (
 	"decloud/internal/auction"
 	"decloud/internal/bidding"
 	"decloud/internal/miner"
+	"decloud/internal/obs"
 	"decloud/internal/reputation"
 	"decloud/internal/workload"
 )
@@ -49,6 +50,13 @@ type Config struct {
 	MaxResubmits int
 	// Auction tunes the mechanism (zero value → auction.DefaultConfig()).
 	Auction auction.Config
+	// Obs, when set, is the registry the simulation publishes metrics to:
+	// the mechanism, miner, and sim bundles are resolved from it and wired
+	// through the whole pipeline. Purely observational — results are
+	// byte-identical with Obs nil or set.
+	Obs *obs.Registry
+	// Tracer, when set, emits one structured JSONL timeline per round.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +143,11 @@ func (r *Result) MeanWelfareRatio() float64 {
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Result{}
+	// Observability wiring: the mechanism bundle rides inside the auction
+	// config (so both fast rounds and every ledger miner publish to it),
+	// the sim bundle tracks market-level totals.
+	sm := obs.NewSimMetrics(cfg.Obs)
+	cfg.Auction.Obs = obs.NewMechanismMetrics(cfg.Obs)
 	// Ledger mode keeps ONE network and participant set across rounds:
 	// the chain grows block by block and reputation persists, as it would
 	// in a deployment.
@@ -142,6 +155,8 @@ func Run(cfg Config) (*Result, error) {
 	var roster map[bidding.ParticipantID]*miner.Participant
 	if cfg.Mode == Ledger {
 		net = NewLedgerNetwork(cfg)
+		net.Obs = obs.NewMinerMetrics(cfg.Obs)
+		net.Tracer = cfg.Tracer
 		roster = make(map[bidding.ParticipantID]*miner.Participant)
 	}
 	// carried holds unmatched requests awaiting resubmission, with their
@@ -229,6 +244,27 @@ func Run(cfg Config) (*Result, error) {
 				carried = append(carried, carriedReq{r: r, left: left - 1})
 			}
 			metrics.CarriedOut = len(carried)
+		}
+		if sm != nil {
+			sm.Rounds.Inc()
+			sm.Requests.Add(int64(metrics.Requests))
+			sm.Offers.Add(int64(metrics.Offers))
+			sm.Matches.Add(int64(metrics.Matches))
+			sm.Agreed.Add(int64(metrics.Agreed))
+			sm.Denied.Add(int64(metrics.Denied))
+			sm.Carried.Add(int64(metrics.CarriedOut))
+			sm.Expired.Add(int64(metrics.Expired))
+			sm.WelfareSum.Add(metrics.Welfare)
+		}
+		if cfg.Mode == Fast && cfg.Tracer != nil {
+			// Fast mode has no protocol phases; emit a one-event timeline
+			// per round so -trace-out is useful in both modes. (Ledger
+			// rounds trace inside miner.Network.RunRound.)
+			tr := cfg.Tracer.StartRound(int64(round))
+			tr.Event("allocation_computed", map[string]any{
+				"matches": metrics.Matches, "requests": metrics.Requests, "offers": metrics.Offers,
+			})
+			tr.End()
 		}
 		res.Rounds = append(res.Rounds, metrics)
 	}

@@ -26,18 +26,23 @@ DECLOUD_CHAOS_SCHEDULES=8 go test -race -count=1 \
   -run 'Chaos|CloseUnderLoad|Byzantine|CrashRestart|RevealRetry' \
   ./internal/miner ./internal/p2p
 
-echo "==> coverage gate (protocol packages)"
-# The two protocol-critical packages must not regress below 75% (both
-# sit near 86% today; the gate catches untested new surface, not noise).
-for pkg in internal/miner internal/p2p; do
+echo "==> coverage gate (protocol + toolkit packages)"
+# Protocol-critical packages must not regress below 75% (both sit near
+# 86% today; the gate catches untested new surface, not noise). The
+# self-contained toolkit packages — stats, audit, obs — hold a higher
+# 80% bar: they have no concurrency or I/O excuses.
+check_cov() { # pkg floor
+  local pkg="$1" floor="$2" pct ok
   pct=$(go test -cover "./${pkg}" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*')
-  ok=$(awk -v p="${pct:-0}" 'BEGIN { print (p >= 75.0) ? 1 : 0 }')
+  ok=$(awk -v p="${pct:-0}" -v f="${floor}" 'BEGIN { print (p >= f) ? 1 : 0 }')
   if [ "${ok}" != "1" ]; then
-    echo "coverage gate FAILED: ${pkg} at ${pct:-?}% (< 75%)" >&2
+    echo "coverage gate FAILED: ${pkg} at ${pct:-?}% (< ${floor}%)" >&2
     exit 1
   fi
-  echo "    ${pkg}: ${pct}% (gate 75%)"
-done
+  echo "    ${pkg}: ${pct}% (gate ${floor}%)"
+}
+for pkg in internal/miner internal/p2p; do check_cov "${pkg}" 75.0; done
+for pkg in internal/stats internal/audit internal/obs; do check_cov "${pkg}" 80.0; done
 
 echo "==> bench compare (warn-only)"
 # A quick benchmark pass compared benchstat-style against the committed
@@ -52,6 +57,33 @@ if [ -f BENCH_PR3.json ]; then
 else
   echo "    no BENCH_PR3.json baseline; skipping"
 fi
+
+echo "==> observability smoke (sim + /metrics scrape)"
+# Boot a short simulation with the obs endpoint on an ephemeral port,
+# scrape /metrics once, and validate the Prometheus exposition with the
+# strict parser in internal/obs/obstest. The -obs-linger window keeps
+# the endpoint alive after the run so the scrape cannot race shutdown.
+OBS_LOG=$(mktemp)
+go run ./cmd/decloud-sim -rounds 2 -requests 10 -seed 7 \
+  -obs-addr 127.0.0.1:0 -obs-linger 10s >"${OBS_LOG}" 2>&1 &
+SIM_PID=$!
+OBS_URL=""
+for _ in $(seq 1 100); do
+  OBS_URL=$(grep -o 'http://[0-9.:]*/metrics' "${OBS_LOG}" | head -1 || true)
+  [ -n "${OBS_URL}" ] && break
+  sleep 0.1
+done
+if [ -z "${OBS_URL}" ]; then
+  echo "obs smoke FAILED: no metrics banner in sim output" >&2
+  cat "${OBS_LOG}" >&2
+  kill "${SIM_PID}" 2>/dev/null || true
+  exit 1
+fi
+go run ./cmd/obscheck -url "${OBS_URL}" -timeout 10s \
+  -expect decloud_sim_rounds_total,decloud_mech_blocks_total
+kill "${SIM_PID}" 2>/dev/null || true
+wait "${SIM_PID}" 2>/dev/null || true
+rm -f "${OBS_LOG}"
 
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test -run='^$' -fuzz=FuzzDecodeBid -fuzztime="${FUZZTIME}" ./internal/bidding

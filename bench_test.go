@@ -186,6 +186,29 @@ func BenchmarkMechanismParallel1000(b *testing.B) {
 	benchmarkMechanismWorkers(b, 1000, runtime.GOMAXPROCS(0))
 }
 
+// benchmarkMechanismSharded pins the shard count (Workers fixed at
+// GOMAXPROCS) so the K=1/K=4 pair below isolates the partitioner's
+// scheduling cost — outcomes are byte-identical at any K.
+func benchmarkMechanismSharded(b *testing.B, n, shards int) {
+	market := workload.Generate(workload.Config{Seed: 1, Requests: n})
+	cfg := auction.DefaultConfig()
+	cfg.Evidence = []byte("bench")
+	cfg.Shards = shards
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := auction.Run(market.Requests, market.Offers, cfg)
+		if len(out.Matches) == 0 {
+			b.Fatal("no trades")
+		}
+	}
+}
+
+// Sharded mechanism pair: shard count as the only variable. Compare with
+//
+//	go test -bench 'BenchmarkMechanismSharded' -run ^$ .
+func BenchmarkMechanismSharded1000K1(b *testing.B) { benchmarkMechanismSharded(b, 1000, 1) }
+func BenchmarkMechanismSharded1000K4(b *testing.B) { benchmarkMechanismSharded(b, 1000, 4) }
+
 // BenchmarkGreedyBenchmark400 measures the non-truthful baseline.
 func BenchmarkGreedyBenchmark400(b *testing.B) {
 	market := workload.Generate(workload.Config{Seed: 1, Requests: 400})

@@ -49,6 +49,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quorum := fs.Int("quorum", 0, "OK votes required per produced block")
 	revealWindow := fs.Duration("reveal-window", 3*time.Second, "how long to wait for key reveals")
 	revealRetries := fs.Int("reveal-retries", 2, "preamble re-broadcasts when reveals are missing at the deadline")
+	shards := fs.Int("shards", 0, "deterministic auction shards (0 = monolithic execution)")
+	pipeline := fs.Bool("pipeline", false, "pipeline production: overlap the next round's reveals with the current round's votes")
+	pipelineRounds := fs.Int("pipeline-rounds", 3, "rounds per pipelined batch (with -pipeline)")
 	demo := fs.Int("demo", 0, "submit a demo workload of N requests before each production")
 	chainFile := fs.String("chain", "", "persist the chain to this file after each block")
 	obsAddr := fs.String("obs-addr", "", "serve metrics/pprof on this address (empty = off)")
@@ -57,7 +60,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	node, err := p2p.NewMarketNode(*name, *listen, *difficulty, auction.DefaultConfig())
+	acfg := auction.DefaultConfig()
+	acfg.Shards = *shards
+	node, err := p2p.NewMarketNode(*name, *listen, *difficulty, acfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "decloud-node: %v\n", err)
 		return 1
@@ -119,6 +124,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	ticker := time.NewTicker(*produce)
 	defer ticker.Stop()
+	rcfg := p2p.RoundConfig{
+		Quorum:        *quorum,
+		RevealWindow:  *revealWindow,
+		RevealRetries: *revealRetries,
+	}
 	round := 0
 	for {
 		select {
@@ -129,6 +139,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			return 0
 		case <-ticker.C:
+		}
+		if *pipeline {
+			// One tick produces a whole batch: round r+1's reveal window
+			// overlaps round r's vote collection.
+			batchCtx, cancel := context.WithTimeout(ctx,
+				time.Duration(*pipelineRounds)*(*produce+10*time.Second))
+			sums, err := node.RunPipeline(batchCtx, *pipelineRounds, rcfg, func(r int) error {
+				if *demo <= 0 {
+					return nil
+				}
+				clients, err := submitDemoWorkload(node.Addr(), *demo, int64(round+r))
+				if err != nil {
+					return err
+				}
+				demoClients = append(demoClients, clients...)
+				// Give the gossip a moment to spread the bids.
+				time.Sleep(200 * time.Millisecond)
+				return nil
+			})
+			cancel()
+			if err != nil {
+				fmt.Fprintf(stderr, "pipelined batch: %v\n", err)
+				continue
+			}
+			for _, s := range sums {
+				if s.Err != nil {
+					fmt.Fprintf(stderr, "round failed: %v\n", s.Err)
+					continue
+				}
+				fmt.Fprintf(stdout, "block %d: %d trades, %d ok votes, %d bad, %d unrevealed\n",
+					s.Summary.Block.Preamble.Height, len(s.Summary.Outcome.Matches),
+					s.Summary.OKVotes, s.Summary.BadVotes, s.Summary.Unrevealed)
+			}
+			if *chainFile != "" {
+				if err := node.Chain().SaveFile(*chainFile); err != nil {
+					fmt.Fprintf(stderr, "persist chain: %v\n", err)
+				}
+			}
+			round += *pipelineRounds
+			continue
 		}
 		if *demo > 0 {
 			clients, err := submitDemoWorkload(node.Addr(), *demo, int64(round))
@@ -145,11 +195,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		roundCtx, cancel := context.WithTimeout(ctx, *produce+10*time.Second)
-		summary, err := node.ProduceBlockOpts(roundCtx, p2p.RoundConfig{
-			Quorum:        *quorum,
-			RevealWindow:  *revealWindow,
-			RevealRetries: *revealRetries,
-		})
+		summary, err := node.ProduceBlockOpts(roundCtx, rcfg)
 		cancel()
 		if err != nil {
 			fmt.Fprintf(stderr, "round failed: %v\n", err)

@@ -6,7 +6,7 @@
 //
 //	decloud-sim [-mode fast|ledger] [-rounds N] [-requests N]
 //	            [-providers N] [-miners N] [-difficulty BITS]
-//	            [-deny P] [-flex F] [-seed N]
+//	            [-deny P] [-flex F] [-seed N] [-shards K] [-pipeline]
 //	            [-obs-addr HOST:PORT] [-obs-linger D] [-trace-out FILE]
 //
 // With -obs-addr the simulation serves live metrics (Prometheus text at
@@ -45,6 +45,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	deny := fs.Float64("deny", 0, "per-agreement client denial probability (ledger mode)")
 	flex := fs.Float64("flex", 0, "request flexibility in (0,1]; 0 = inflexible")
 	seed := fs.Int64("seed", 1, "random seed")
+	shards := fs.Int("shards", 0, "deterministic auction shards (0 = monolithic execution)")
+	pipeline := fs.Bool("pipeline", false, "overlap reveal collection with verification across rounds (ledger mode)")
 	resubmit := fs.Bool("resubmit", false, "carry unmatched requests into later rounds")
 	exact := fs.Bool("exact", false, "exact interval scheduling instead of aggregate resource-time")
 	maxResubmits := fs.Int("max-resubmits", 3, "attempts before an unmatched request expires")
@@ -68,6 +70,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		DenyProb:     *deny,
 		Resubmit:     *resubmit,
 		MaxResubmits: *maxResubmits,
+		Shards:       *shards,
+		Pipeline:     *pipeline,
 	}
 	if *exact {
 		cfg.Auction = auction.DefaultConfig()

@@ -72,3 +72,27 @@ func TestRunWithObsAndTrace(t *testing.T) {
 		t.Fatalf("trace file has %d lines, want one per round (2):\n%s", lines, data)
 	}
 }
+
+func TestRunShardedPipelinedLedger(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-mode", "ledger", "-rounds", "2", "-requests", "10",
+		"-difficulty", "6", "-shards", "4", "-pipeline", "-seed", "3",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "total welfare") {
+		t.Fatalf("stdout lacks the summary line: %q", stdout.String())
+	}
+}
+
+func TestRunPipelineRequiresLedger(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-mode", "fast", "-pipeline", "-rounds", "1", "-requests", "4"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "pipeline") {
+		t.Fatalf("stderr lacks a clear pipeline error: %q", stderr.String())
+	}
+}

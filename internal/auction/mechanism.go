@@ -65,6 +65,22 @@ type Config struct {
 	// arbitrary core counts, so this invariant is load-bearing and is
 	// enforced by the internal/auction/paralleltest harness.
 	Workers int
+	// Shards, when ≥ 1, routes mini-auction execution through the
+	// deterministic order-book partitioner (internal/shard): each
+	// order-disjoint component of mini-auctions is hashed — locality
+	// cell, time bucket, block digest — to one of Shards shards,
+	// components straddling shards spill into a residual clearing
+	// round, and shards fan out across the worker pool (sharded.go).
+	// Like Workers, the value never changes the Outcome: byte-equality
+	// at every K, including against the unsharded path, is enforced by
+	// paralleltest.CheckShardedVsMonolithic. 0 (the default) keeps the
+	// unsharded execution.
+	Shards int
+	// ShardObs, when set alongside Shards, records per-shard
+	// observability: orders and welfare per shard, spillover, and
+	// partition/clear/residual stage latencies. Purely observational,
+	// like Obs.
+	ShardObs *obs.ShardMetrics
 }
 
 // ReputationSource exposes participant reputations to the mechanism
@@ -230,6 +246,12 @@ func Run(requests []*bidding.Request, offers []*bidding.Offer, cfg Config) *Outc
 		evidence = []byte("decloud/no-evidence")
 	}
 
+	if cfg.Shards > 0 {
+		runAuctionsSharded(out, reqs, offs, clusters, auctions, all, cfg, pairOK, evidence, workers)
+		pt.lapAuctions()
+		pt.finish(out, ix)
+		return out
+	}
 	if workers > 1 {
 		runAuctionsParallel(out, auctions, all, cfg, pairOK, evidence, workers)
 		pt.lapAuctions()

@@ -1,0 +1,212 @@
+package auction
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"decloud/internal/bidding"
+	"decloud/internal/obs"
+	"decloud/internal/workload"
+)
+
+// The sharded executor re-routes mini-auctions through the partitioner,
+// so the economic properties must be re-proven ON that path — a bug
+// that preserved bytes in the equivalence harness's markets but broke
+// incentives elsewhere would surface here.
+
+// TestDSICHomogeneousSharded: no client or provider can gain by
+// misreporting when clearing runs through the sharded path (K=4 over a
+// single-cluster market: everything lands in one shard, exercising the
+// partition → clear → merge loop end to end).
+func TestDSICHomogeneousSharded(t *testing.T) {
+	values := []float64{10, 8, 6, 5, 3}
+	costs := []float64{1, 2, 3, 4}
+	reqs, offs := homogeneousMarket(values, costs)
+	tv, tc := truthMaps(reqs, offs)
+	cfg := DefaultConfig()
+	cfg.Evidence = []byte("dsic-sharded")
+	cfg.Shards = 4
+	cfg.Workers = 4
+
+	base := Run(reqs, offs, cfg)
+	for i := range reqs {
+		truthful := clientUtility(base, reqs[i].Client, tv)
+		for _, dev := range []float64{0.1, 0.5, 0.9, 1.1, 1.5, 3, 10} {
+			mod := cloneRequests(reqs)
+			mod[i].Bid = reqs[i].TrueValue * dev
+			out := Run(mod, offs, cfg)
+			if u := clientUtility(out, reqs[i].Client, tv); u > truthful+1e-9 {
+				t.Fatalf("sharded mode: client %s gains by bidding %v instead of %v: %v > %v",
+					reqs[i].Client, mod[i].Bid, reqs[i].TrueValue, u, truthful)
+			}
+		}
+	}
+	for j := range offs {
+		truthful := providerUtility(base, offs[j].Provider, tc)
+		for _, dev := range []float64{0.1, 0.5, 0.9, 1.1, 1.5, 3, 10} {
+			mod := cloneOffers(offs)
+			mod[j].Bid = offs[j].TrueCost * dev
+			out := Run(reqs, mod, cfg)
+			if u := providerUtility(out, offs[j].Provider, tc); u > truthful+1e-9 {
+				t.Fatalf("sharded mode: provider %s gains by asking %v instead of %v: %v > %v",
+					offs[j].Provider, mod[j].Bid, offs[j].TrueCost, u, truthful)
+			}
+		}
+	}
+}
+
+// TestInvariantsShardedRandomMarkets asserts IR, the per-match payment
+// identity, strong budget balance, and feasibility directly on
+// sharded-path outcomes across random markets and shard counts.
+func TestInvariantsShardedRandomMarkets(t *testing.T) {
+	rnd := rand.New(rand.NewSource(171))
+	for trial := 0; trial < 30; trial++ {
+		reqs, offs := randomMarket(rnd, 10+rnd.Intn(40), 3+rnd.Intn(10))
+		cfg := DefaultConfig()
+		cfg.Evidence = []byte("sharded-invariants")
+		cfg.Shards = 1 + trial%8
+		cfg.Workers = 1 + trial%4
+		out := Run(reqs, offs, cfg)
+		revCheck := make(map[bidding.OrderID]float64)
+		for _, m := range out.Matches {
+			if m.Payment > m.Request.Bid+1e-9 {
+				t.Fatalf("trial %d: client IR violated in sharded mode: pays %v > bid %v",
+					trial, m.Payment, m.Request.Bid)
+			}
+			if m.Payment < m.Fraction*m.Offer.Bid-1e-9 {
+				t.Fatalf("trial %d: provider IR violated in sharded mode: %v < cost share %v",
+					trial, m.Payment, m.Fraction*m.Offer.Bid)
+			}
+			if want := m.Nu * m.UnitPrice * float64(m.Request.Duration); m.Payment != want {
+				t.Fatalf("trial %d: payment identity broken: %v != ν·p·d = %v", trial, m.Payment, want)
+			}
+			revCheck[m.Offer.ID] += m.Payment
+		}
+		for id, want := range revCheck {
+			if out.Revenues[id] != want {
+				t.Fatalf("trial %d: Revenues ledger drift for %s: %v != %v", trial, id, out.Revenues[id], want)
+			}
+		}
+		if math.Abs(out.TotalPayments()-out.TotalRevenues()) > 1e-9 {
+			t.Fatalf("trial %d: block budget imbalance in sharded mode", trial)
+		}
+		assertFeasible(t, out, offs)
+	}
+}
+
+// TestShardedOutcomeConservation is the outcome-level conservation
+// invariant: matched + excluded + carried == submitted, with the three
+// sets pairwise disjoint — the sharded executor may move orders between
+// shards and the residual, but it must never trade an order twice, drop
+// one silently, or both match and exclude one.
+func TestShardedOutcomeConservation(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		m := workload.Generate(workload.Config{Seed: 300 + seed, Requests: 40 + int(seed)*7})
+		for _, k := range []int{1, 3, 8} {
+			cfg := DefaultConfig()
+			cfg.Evidence = []byte{byte(seed), byte(k)}
+			cfg.Shards = k
+			out := Run(m.Requests, m.Offers, cfg)
+
+			submitted := make(map[bidding.OrderID]bool)
+			for _, r := range m.Requests {
+				submitted[r.ID] = true
+			}
+			for _, o := range m.Offers {
+				submitted[o.ID] = true
+			}
+
+			matched := make(map[bidding.OrderID]bool)
+			for _, mt := range out.Matches {
+				if matched[mt.Request.ID] {
+					t.Fatalf("seed %d K=%d: request %s matched twice", seed, k, mt.Request.ID)
+				}
+				matched[mt.Request.ID] = true
+				matched[mt.Offer.ID] = true // offers may host several requests
+			}
+			excluded := make(map[bidding.OrderID]bool)
+			for _, set := range [][]bidding.OrderID{
+				out.ReducedRequests, out.ReducedOffers, out.LotteryDropped,
+				out.RejectedRequests, out.RejectedOffers,
+			} {
+				for _, id := range set {
+					if matched[id] {
+						t.Fatalf("seed %d K=%d: order %s both matched and excluded", seed, k, id)
+					}
+					if excluded[id] {
+						t.Fatalf("seed %d K=%d: order %s excluded twice", seed, k, id)
+					}
+					excluded[id] = true
+				}
+			}
+			carried := 0
+			for id := range submitted {
+				if !matched[id] && !excluded[id] {
+					carried++ // unmatched: a resubmitting client would carry it forward
+				}
+			}
+			for id := range matched {
+				if !submitted[id] {
+					t.Fatalf("seed %d K=%d: matched order %s was never submitted", seed, k, id)
+				}
+			}
+			for id := range excluded {
+				if !submitted[id] {
+					t.Fatalf("seed %d K=%d: excluded order %s was never submitted", seed, k, id)
+				}
+			}
+			if got := len(matched) + len(excluded) + carried; got != len(submitted) {
+				t.Fatalf("seed %d K=%d: matched(%d) + excluded(%d) + carried(%d) = %d != submitted %d",
+					seed, k, len(matched), len(excluded), carried, got, len(submitted))
+			}
+
+			// Plan-level conservation rides on the outcome.
+			st := out.ShardStats
+			if st == nil {
+				t.Fatalf("seed %d K=%d: no ShardStats on a sharded run", seed, k)
+			}
+			sum := st.ResidualOrders + st.UnclusteredOrders
+			for _, n := range st.Orders {
+				sum += n
+			}
+			if sum != st.TotalOrders {
+				t.Fatalf("seed %d K=%d: shard accounting leak: %d != %d", seed, k, sum, st.TotalOrders)
+			}
+		}
+	}
+}
+
+// TestShardedObsDeterminism extends the obs determinism guard to the
+// shard bundle: outcomes must be byte-identical with ShardObs nil or
+// set, and the recorded aggregates must agree with the attached stats.
+func TestShardedObsDeterminism(t *testing.T) {
+	m := workload.Generate(workload.Config{Seed: 77, Requests: 60})
+	cfg := DefaultConfig()
+	cfg.Evidence = []byte("sharded-obs")
+	cfg.Shards = 4
+
+	bare := Run(m.Requests, m.Offers, cfg)
+
+	reg := obs.NewRegistry()
+	cfg.Obs = obs.NewMechanismMetrics(reg)
+	cfg.ShardObs = obs.NewShardMetrics(reg)
+	instrumented := Run(m.Requests, m.Offers, cfg)
+
+	if len(bare.Matches) != len(instrumented.Matches) || bare.BidWelfare() != instrumented.BidWelfare() {
+		t.Fatal("shard metrics perturbed the outcome")
+	}
+	if got := reg.CounterValue("decloud_shard_blocks_total"); got != 1 {
+		t.Fatalf("shard_blocks_total = %d, want 1", got)
+	}
+	st := instrumented.ShardStats
+	if got := reg.CounterValue("decloud_shard_spillover_orders_total"); got != int64(st.ResidualOrders) {
+		t.Fatalf("spillover_orders_total = %d, want %d", got, st.ResidualOrders)
+	}
+	if got := reg.CounterValue("decloud_shard_residual_auctions_total"); got != int64(st.ResidualAuctions) {
+		t.Fatalf("residual_auctions_total = %d, want %d", got, st.ResidualAuctions)
+	}
+	if got := reg.GaugeValue("decloud_shard_count"); got != float64(st.Shards) {
+		t.Fatalf("shard_count gauge = %v, want %d", got, st.Shards)
+	}
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import "decloud/internal/auction"
+
+// shardCount is the process-wide shard count every sweep's auction
+// inherits; 0 keeps the monolithic path. Sharded execution is
+// byte-identical to monolithic at any K (see
+// internal/auction/paralleltest), so the setting only changes how the
+// mini-auctions are scheduled, never what they decide.
+var shardCount int
+
+// SetShards routes every experiment's auction through K deterministic
+// shards (0 restores monolithic execution). Call it before starting
+// sweeps — it is not synchronized against sweeps already running.
+func SetShards(k int) { shardCount = k }
+
+// baseConfig is the auction configuration every sweep starts from.
+func baseConfig() auction.Config {
+	cfg := auction.DefaultConfig()
+	cfg.Shards = shardCount
+	return cfg
+}

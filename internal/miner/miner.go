@@ -37,19 +37,28 @@ type Miner struct {
 // canonical order no miner can game) and builds the unmined preamble
 // referencing the current chain head.
 func (m *Miner) AssembleBlock(chain *ledger.Chain, bids []*sealed.Bid, timestamp int64) *ledger.Block {
+	var height int64
+	if head := chain.Head(); head != nil {
+		height = head.Preamble.Height + 1
+	}
+	return m.AssembleBlockAt(chain.HeadHash(), height, bids, timestamp)
+}
+
+// AssembleBlockAt builds the unmined preamble against an explicit parent
+// instead of the chain head. The epoch pipeline uses this to assemble
+// block n+1 against block n's preamble hash while n's body is still
+// being verified — the parent hash depends only on the preamble, so it
+// is known as soon as production finishes.
+func (m *Miner) AssembleBlockAt(prevHash [32]byte, height int64, bids []*sealed.Bid, timestamp int64) *ledger.Block {
 	ordered := append([]*sealed.Bid(nil), bids...)
 	sort.Slice(ordered, func(i, j int) bool {
 		di, dj := ordered[i].Digest(), ordered[j].Digest()
 		return bytes.Compare(di[:], dj[:]) < 0
 	})
-	var height int64
-	if head := chain.Head(); head != nil {
-		height = head.Preamble.Height + 1
-	}
 	return &ledger.Block{
 		Preamble: ledger.Preamble{
 			Height:     height,
-			PrevHash:   chain.HeadHash(),
+			PrevHash:   prevHash,
 			Timestamp:  timestamp,
 			Difficulty: m.Difficulty,
 			BidsHash:   ledger.HashBids(ordered),

@@ -39,6 +39,12 @@ type Network struct {
 
 	mu      sync.Mutex
 	mempool []*sealed.Bid
+	closed  bool
+
+	// stop is closed by Close; in-flight backoff waits and pipelined
+	// commits select on it so shutdown never blocks on a sleeping timer.
+	stop chan struct{}
+	wg   sync.WaitGroup
 
 	// Consensus selects the block producer: ProofOfWork (default) races
 	// on the puzzle; ProofOfStake elects a stake-weighted leader.
@@ -77,9 +83,15 @@ type Network struct {
 	Faults *chaos.Plan
 	// RevealRetries caps the reveal phase's delivery attempts (0 means
 	// DefaultRevealRetries; negative means no retries). The in-process
-	// transport retries instantly; the TCP layer (p2p.MarketNode) backs
-	// off exponentially between attempts.
+	// transport retries instantly by default; set RevealBackoff to wait
+	// between attempts. The TCP layer (p2p.MarketNode) backs off
+	// exponentially between attempts.
 	RevealRetries int
+	// RevealBackoff is the wait between reveal delivery attempts. The
+	// wait is wg-tracked and aborts on Close, so a network shutting down
+	// mid-round never leaks a sleeping timer (the same bug class as the
+	// p2p reconnect backoff fixed in the chaos PR).
+	RevealBackoff time.Duration
 
 	// TamperBody, when set, mutates the named producer's body before it
 	// is broadcast — a test hook simulating a Byzantine miner.
@@ -105,6 +117,7 @@ func NewNetwork(n int, difficulty int, cfg auction.Config) *Network {
 	net := &Network{
 		chain:       ledger.NewChain(),
 		registry:    contract.NewRegistry(nil),
+		stop:        make(chan struct{}),
 		Slashed:     make(map[string]int),
 		BlockReward: DefaultBlockReward,
 		Balances:    make(map[string]float64),
@@ -125,6 +138,55 @@ func (n *Network) Chain() *ledger.Chain { return n.chain }
 
 // Contracts exposes the agreement registry.
 func (n *Network) Contracts() *contract.Registry { return n.registry }
+
+// Close shuts the network down: it wakes every in-flight backoff wait
+// and blocks until all wg-tracked work (reveal backoffs, pipelined
+// commits) has drained. Safe to call more than once.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if !n.closed {
+		n.closed = true
+		if n.stop != nil {
+			close(n.stop)
+		}
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// track registers one unit of in-flight work with the shutdown
+// WaitGroup, refusing once Close has begun (an Add racing Wait is
+// undefined). The caller must call n.wg.Done() iff track returns true.
+func (n *Network) track() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false
+	}
+	n.wg.Add(1)
+	return true
+}
+
+// sleepBackoff waits d, returning early (false) when the network is
+// closed. The wait counts as in-flight work so Close cannot return
+// while a round is mid-backoff.
+func (n *Network) sleepBackoff(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	if !n.track() {
+		return false
+	}
+	defer n.wg.Done()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-n.stop:
+		return false
+	}
+}
 
 // SubmitBid gossips a sealed bid into the mempool. Bids with invalid
 // signatures are rejected at the door, as any real node would.
@@ -403,6 +465,12 @@ func (n *Network) collectReveals(block *ledger.Block, participants []*Participan
 		if !missing {
 			break
 		}
+		// Back off before re-requesting, unless the network is closing —
+		// then stop retrying and let the deterministic exclusion below
+		// take whatever has not arrived (the node is going away anyway).
+		if attempt < retries && !n.sleepBackoff(n.RevealBackoff) {
+			break
+		}
 	}
 
 	var reveals []*sealed.KeyReveal
@@ -441,16 +509,23 @@ func mustDecode(alloc []byte) []ledger.AllocationRecord {
 // leader among the eligible miners assembles it with difficulty 0 (no
 // puzzle to solve).
 func (n *Network) electLeader(eligible []int, bids []*sealed.Bid, timestamp int64) (int, *ledger.Block) {
-	names := make([]string, len(eligible))
-	for i, idx := range eligible {
-		names[i] = n.miners[idx].Name
-	}
 	var height int64
 	if head := n.chain.Head(); head != nil {
 		height = head.Preamble.Height + 1
 	}
-	idx := eligible[SelectLeader(n.chain.HeadHash(), height, names, n.Stakes)]
-	block := n.miners[idx].AssembleBlock(n.chain, bids, timestamp)
+	return n.electLeaderAt(n.chain.HeadHash(), height, eligible, bids, timestamp)
+}
+
+// electLeaderAt elects and assembles against an explicit parent, so the
+// epoch pipeline can elect round n+1's leader from block n's preamble
+// hash before n's body has committed.
+func (n *Network) electLeaderAt(prevHash [32]byte, height int64, eligible []int, bids []*sealed.Bid, timestamp int64) (int, *ledger.Block) {
+	names := make([]string, len(eligible))
+	for i, idx := range eligible {
+		names[i] = n.miners[idx].Name
+	}
+	idx := eligible[SelectLeader(prevHash, height, names, n.Stakes)]
+	block := n.miners[idx].AssembleBlockAt(prevHash, height, bids, timestamp)
 	block.Preamble.Difficulty = 0
 	return idx, block
 }
@@ -512,6 +587,16 @@ func (n *Network) verifyByPolicy(b *ledger.Block, producerIdx int, verifiers []i
 // race runs the PoW competition among the eligible miners and returns the
 // winning miner's index and its mined block.
 func (n *Network) race(ctx context.Context, eligible []int, bids []*sealed.Bid, timestamp int64) (int, *ledger.Block, error) {
+	var height int64
+	if head := n.chain.Head(); head != nil {
+		height = head.Preamble.Height + 1
+	}
+	return n.raceAt(ctx, n.chain.HeadHash(), height, eligible, bids, timestamp)
+}
+
+// raceAt runs the PoW competition against an explicit parent — the
+// pipelined counterpart of race, mining on a speculated head.
+func (n *Network) raceAt(ctx context.Context, prevHash [32]byte, height int64, eligible []int, bids []*sealed.Bid, timestamp int64) (int, *ledger.Block, error) {
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -525,7 +610,7 @@ func (n *Network) race(ctx context.Context, eligible []int, bids []*sealed.Bid, 
 		wg.Add(1)
 		go func(idx int, m *Miner) {
 			defer wg.Done()
-			b := m.AssembleBlock(n.chain, bids, timestamp)
+			b := m.AssembleBlockAt(prevHash, height, bids, timestamp)
 			// Disjoint nonce regions keep the race fair and deterministic
 			// enough for tests while still genuinely concurrent.
 			start := uint64(idx) << 48

@@ -1,0 +1,346 @@
+package miner
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"decloud/internal/ledger"
+	"decloud/internal/obs"
+	"decloud/internal/sealed"
+)
+
+// This file implements the epoch pipeline: overlapping round n+1's
+// bidding phase (mempool drain, leader election / PoW race, key-reveal
+// collection) with round n's execution phase (allocation, verification,
+// append). The overlap is sound because a block's identity is fixed by
+// its preamble alone — Chain.HeadHash is the head *preamble* hash — so
+// round n+1 can be produced against block n the moment n's production
+// finishes, while n's body is still being computed and verified.
+//
+// The pipeline is speculative, never optimistic about consensus: if the
+// committed head turns out to differ from the speculated parent (a
+// Byzantine producer was rejected and the round re-mined under PoW, or
+// the previous round failed outright), the in-flight production is
+// flushed and redone against the real head. Reveal verdicts are keyed
+// on (round, attempt, producer, digest), so a redo collects exactly the
+// reveals a sequential round would have — pipelining can change wall
+// clock, never bytes.
+
+// PipelinedRound is one round's (result, error) pair — exactly what a
+// sequential loop over RunRound would have produced for that round.
+type PipelinedRound struct {
+	Round  int
+	Result *RoundResult
+	Err    error
+}
+
+// pipelineStage carries one round's state across the two stages.
+type pipelineStage struct {
+	round        int
+	bids         []*sealed.Bid
+	timestamp    int64
+	participants []*Participant
+	crashed      map[int]bool
+	tr           *obs.RoundTrace
+	roundStart   time.Time
+
+	// Filled by produceStage.
+	winnerIdx int
+	block     *ledger.Block
+	reveals   []*sealed.KeyReveal
+	excluded  [][32]byte
+	attempts  int
+}
+
+// RunPipelined executes rounds protocol rounds as a bounded two-stage
+// pipeline. feed is called at the top of each round to submit that
+// round's sealed bids and return the reveal endpoints; it must not
+// depend on the previous round's commit (which may still be in flight).
+// Rounds that fail (empty mempool, every miner crashed, no producer
+// converging) record their error and the pipeline moves on, like a
+// sequential driver that logs RunRound errors and continues. Results
+// are returned in round order.
+func (n *Network) RunPipelined(ctx context.Context, rounds int, feed func(round int) []*Participant) ([]*PipelinedRound, error) {
+	if len(n.miners) == 0 {
+		return nil, ErrNoMiners
+	}
+	results := make([]*PipelinedRound, 0, rounds)
+
+	type commitOut struct {
+		round int
+		res   *RoundResult
+		err   error
+	}
+	var pending chan commitOut
+	join := func() {
+		if pending == nil {
+			return
+		}
+		out := <-pending
+		pending = nil
+		results = append(results, &PipelinedRound{Round: out.round, Result: out.res, Err: out.err})
+	}
+
+	// The speculated parent: the preamble hash and next height of the
+	// newest *produced* block, whether or not it has committed yet.
+	specPrev := n.chain.HeadHash()
+	var specHeight int64
+	if head := n.chain.Head(); head != nil {
+		specHeight = head.Preamble.Height + 1
+	}
+
+	for r := 0; r < rounds; r++ {
+		var participants []*Participant
+		if feed != nil {
+			participants = feed(r)
+		}
+		n.mu.Lock()
+		bids := n.mempool
+		n.mempool = nil
+		n.clock++
+		timestamp := n.clock
+		n.mu.Unlock()
+		if len(bids) == 0 {
+			join()
+			results = append(results, &PipelinedRound{Round: r, Err: ErrEmptyMempool})
+			continue
+		}
+
+		tr := n.Tracer.StartRound(timestamp)
+		roundStart := obsNow(n.Obs)
+		if n.Obs != nil {
+			n.Obs.Rounds.Inc()
+		}
+		crashed := make(map[int]bool)
+		for i, m := range n.miners {
+			if n.Faults.Crashed(timestamp, m.Name) {
+				crashed[i] = true
+			}
+		}
+		st := &pipelineStage{
+			round: r, bids: bids, timestamp: timestamp,
+			participants: participants, crashed: crashed,
+			tr: tr, roundStart: roundStart,
+		}
+
+		// Stage 1 against the speculated parent, overlapping the
+		// previous round's in-flight commit.
+		produceStart := obsNow(n.Obs)
+		err := n.produceStage(ctx, st, specPrev, specHeight, nil)
+		if n.Obs != nil {
+			n.Obs.ProduceSeconds.Observe(time.Since(produceStart).Seconds())
+		}
+
+		// Join the previous commit; its final head decides whether the
+		// speculation held.
+		join()
+		if err != nil {
+			tr.End()
+			results = append(results, &PipelinedRound{Round: r, Err: err})
+			specPrev = n.chain.HeadHash()
+			if head := n.chain.Head(); head != nil {
+				specHeight = head.Preamble.Height + 1
+			}
+			continue
+		}
+		if realPrev := n.chain.HeadHash(); st.block.Preamble.PrevHash != realPrev {
+			// The chain diverged from the speculation — a Byzantine
+			// rejection re-mined the parent, or the parent round failed.
+			// Flush the in-flight production and redo it on the real head.
+			if n.Obs != nil {
+				n.Obs.PipelineFlushes.Inc()
+			}
+			var realHeight int64
+			if head := n.chain.Head(); head != nil {
+				realHeight = head.Preamble.Height + 1
+			}
+			tr.Event("pipeline_flushed", map[string]any{
+				"speculated_height": st.block.Preamble.Height, "height": realHeight,
+			})
+			if err := n.produceStage(ctx, st, realPrev, realHeight, nil); err != nil {
+				tr.End()
+				results = append(results, &PipelinedRound{Round: r, Err: err})
+				specPrev, specHeight = realPrev, realHeight
+				continue
+			}
+		}
+		specPrev = st.block.Preamble.Hash()
+		specHeight = st.block.Preamble.Height + 1
+
+		ch := make(chan commitOut, 1)
+		pending = ch
+		commit := func(st *pipelineStage) {
+			commitStart := obsNow(n.Obs)
+			res, err := n.commitStage(ctx, st)
+			if n.Obs != nil {
+				n.Obs.CommitSeconds.Observe(time.Since(commitStart).Seconds())
+			}
+			st.tr.End()
+			ch <- commitOut{round: st.round, res: res, err: err}
+		}
+		if n.track() {
+			go func(st *pipelineStage) {
+				defer n.wg.Done()
+				commit(st)
+			}(st)
+		} else {
+			commit(st) // network closing: finish the round inline
+		}
+	}
+	join()
+	return results, nil
+}
+
+// produceStage runs one round's bidding phase against an explicit
+// parent: elect or race among the non-crashed, non-barred miners, then
+// collect key reveals for the produced block.
+func (n *Network) produceStage(ctx context.Context, st *pipelineStage, prevHash [32]byte, height int64, barred map[int]bool) error {
+	var eligible []int
+	for i := range n.miners {
+		if !st.crashed[i] && !barred[i] {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return ErrAllCrashed
+	}
+	var err error
+	switch n.Consensus {
+	case ProofOfStake:
+		st.winnerIdx, st.block = n.electLeaderAt(prevHash, height, eligible, st.bids, st.timestamp)
+	default:
+		st.winnerIdx, st.block, err = n.raceAt(ctx, prevHash, height, eligible, st.bids, st.timestamp)
+		if err != nil {
+			return err
+		}
+	}
+	winner := n.miners[st.winnerIdx]
+	st.tr.Event("preamble_sealed", map[string]any{
+		"producer": winner.Name, "height": st.block.Preamble.Height, "bids": len(st.block.Bids),
+	})
+	st.tr.Event("consensus_decided", map[string]any{
+		"consensus": n.Consensus.String(), "producer": winner.Name,
+	})
+	st.reveals, st.excluded, st.attempts = n.revealStage(st.block, st.participants, st.timestamp, winner.Name, st.tr)
+	return nil
+}
+
+// revealStage wraps collectReveals with the same observability RunRound
+// records, so pipelined and sequential rounds emit identical metrics.
+func (n *Network) revealStage(block *ledger.Block, participants []*Participant, round int64, producer string, tr *obs.RoundTrace) ([]*sealed.KeyReveal, [][32]byte, int) {
+	revealStart := obsNow(n.Obs)
+	reveals, excluded, attempts := n.collectReveals(block, participants, round, producer)
+	if n.Obs != nil {
+		n.Obs.RevealSeconds.Observe(time.Since(revealStart).Seconds())
+		n.Obs.RevealAttempts.Add(int64(attempts))
+		n.Obs.RevealRetries.Add(int64(attempts - 1))
+		n.Obs.ExcludedBids.Add(int64(len(excluded)))
+	}
+	tr.Event("reveals_collected", map[string]any{
+		"attempts": attempts, "retries": attempts - 1,
+		"revealed": len(reveals), "excluded": len(excluded),
+	})
+	return reveals, excluded, attempts
+}
+
+// commitStage runs one round's execution phase: compute the body,
+// verify by policy, append, and on rejection slash, bar, and re-elect —
+// the same Byzantine-degradation loop as RunRound, now against the
+// round's fixed parent (the previous round has fully committed before a
+// commit starts, so re-elections here never chase a moving head).
+func (n *Network) commitStage(ctx context.Context, st *pipelineStage) (*RoundResult, error) {
+	var offenders []string
+	var lastErr error
+	barred := make(map[int]bool)
+	winnerIdx, block := st.winnerIdx, st.block
+	reveals, excluded, attempts := st.reveals, st.excluded, st.attempts
+	var verifiers []int
+	for i := range n.miners {
+		if !st.crashed[i] {
+			verifiers = append(verifiers, i)
+		}
+	}
+	for {
+		winner := n.miners[winnerIdx]
+		computeStart := obsNow(n.Obs)
+		outcome, err := winner.ComputeBody(block, reveals)
+		if err != nil {
+			return nil, fmt.Errorf("miner: compute body: %w", err)
+		}
+		dec := DecryptOrders(block.Bids, reveals)
+		if n.Obs != nil {
+			n.Obs.ComputeSeconds.Observe(time.Since(computeStart).Seconds())
+			n.Obs.UnrevealedBids.Add(int64(dec.Unrevealed))
+			n.Obs.RejectedBids.Add(int64(dec.Rejected))
+		}
+		st.tr.Event("allocation_computed", map[string]any{
+			"matches": len(outcome.Matches), "unrevealed": dec.Unrevealed, "rejected": dec.Rejected,
+		})
+
+		if n.TamperBody != nil {
+			n.TamperBody(winner.Name, block.Body)
+		}
+
+		verifyStart := obsNow(n.Obs)
+		err = n.chain.Append(block, func(b *ledger.Block) error {
+			return n.verifyByPolicy(b, winnerIdx, verifiers)
+		})
+		if n.Obs != nil {
+			n.Obs.VerifySeconds.Observe(time.Since(verifyStart).Seconds())
+		}
+		if err != nil {
+			n.Slashed[winner.Name]++
+			offenders = append(offenders, winner.Name)
+			barred[winnerIdx] = true
+			lastErr = err
+			if n.Obs != nil {
+				n.Obs.Slashes.Inc()
+			}
+			st.tr.Event("denied", map[string]any{"producer": winner.Name, "error": err.Error()})
+			st.tr.Event("slashed", map[string]any{"producer": winner.Name})
+
+			var eligible []int
+			for _, i := range verifiers {
+				if !barred[i] {
+					eligible = append(eligible, i)
+				}
+			}
+			if len(eligible) == 0 {
+				return nil, fmt.Errorf("miner: no producer converged after %d rejection(s): %w", len(offenders), lastErr)
+			}
+			prev, height := block.Preamble.PrevHash, block.Preamble.Height
+			switch n.Consensus {
+			case ProofOfStake:
+				winnerIdx, block = n.electLeaderAt(prev, height, eligible, st.bids, st.timestamp)
+			default:
+				winnerIdx, block, err = n.raceAt(ctx, prev, height, eligible, st.bids, st.timestamp)
+				if err != nil {
+					return nil, err
+				}
+			}
+			reveals, excluded, attempts = n.revealStage(block, st.participants, st.timestamp, n.miners[winnerIdx].Name, st.tr)
+			continue
+		}
+		st.tr.Event("verified", map[string]any{"producer": winner.Name, "verifiers": len(verifiers) - 1})
+
+		n.Balances[winner.Name] += n.BlockReward
+		if n.Obs != nil {
+			n.Obs.BlocksAccepted.Inc()
+			n.Obs.RoundSeconds.Observe(time.Since(st.roundStart).Seconds())
+		}
+
+		ids := n.registry.ProposeFromBlock(block.Preamble.Height, mustDecode(block.Body.Allocation))
+		return &RoundResult{
+			Block:           block,
+			Outcome:         outcome,
+			Winner:          winner.Name,
+			Agreements:      ids,
+			Unrevealed:      dec.Unrevealed,
+			RejectedBids:    dec.Rejected,
+			ExcludedDigests: excluded,
+			RevealAttempts:  attempts,
+			Offenders:       offenders,
+		}, nil
+	}
+}

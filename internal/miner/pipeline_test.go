@@ -1,0 +1,310 @@
+package miner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"decloud/internal/auction"
+	"decloud/internal/chaos"
+	"decloud/internal/ledger"
+	"decloud/internal/obs"
+)
+
+// pipelineRounds is the epoch count each pipelined schedule runs.
+const pipelineRounds = 6
+
+// seqRound mirrors what PipelinedRound records, produced by a plain
+// sequential RunRound loop — the oracle the pipeline is compared to.
+type seqRound struct {
+	winner   string
+	errText  string
+	excluded [][32]byte
+	attempts int
+}
+
+func roundSnapshot(res *RoundResult, err error) seqRound {
+	s := seqRound{}
+	if err != nil {
+		s.errText = err.Error()
+	}
+	if res != nil {
+		s.winner = res.Winner
+		s.excluded = res.ExcludedDigests
+		s.attempts = res.RevealAttempts
+	}
+	return s
+}
+
+// chainDigests marshals every block of the chain to canonical JSON — the
+// bytes a verifying peer would compare.
+func chainDigests(t *testing.T, net *Network) []string {
+	t.Helper()
+	var out []string
+	for i := 0; i < net.Chain().Len(); i++ {
+		data, err := json.Marshal(net.Chain().BlockAt(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, string(data))
+	}
+	return out
+}
+
+// tamperFirstByte corrupts every allocation the target miner produces —
+// a persistent Byzantine producer.
+func tamperFirstByte(target string) func(string, *ledger.Body) {
+	return func(producer string, b *ledger.Body) {
+		if producer == target && len(b.Allocation) > 0 {
+			b.Allocation[0] ^= 0xff
+		}
+	}
+}
+
+// tamperOnce corrupts only the first body produced across the whole run.
+func tamperOnce(flag *bool) func(string, *ledger.Body) {
+	return func(producer string, b *ledger.Body) {
+		if !*flag && len(b.Allocation) > 0 {
+			*flag = true
+			b.Allocation[0] ^= 0xff
+		}
+	}
+}
+
+// newPipelineTestNet builds one PoS soak network; when tamper is set,
+// every body produced by miner-00 is corrupted, forcing the Byzantine
+// re-election loop inside the pipeline's commit stage.
+func newPipelineTestNet(seed int64, tamper bool) *Network {
+	net := NewNetwork(3, testDifficulty, auction.DefaultConfig())
+	net.Consensus = ProofOfStake
+	net.Faults = chaos.SoakPlan(seed, soakMinerNames)
+	if tamper {
+		net.TamperBody = tamperFirstByte("miner-00")
+	}
+	return net
+}
+
+// TestPipelinedEquivalenceSoak sweeps chaos schedules through multi-round
+// markets twice — once as a sequential RunRound loop, once through the
+// two-stage epoch pipeline — and asserts the chains are byte-identical
+// block for block and every round reports the same (winner, error,
+// excluded set, attempts). Pipelining may only change wall clock, never
+// bytes: this is the pipeline's acceptance property.
+func TestPipelinedEquivalenceSoak(t *testing.T) {
+	schedules := soakSchedules(t, 14, 5)
+	before := runtime.NumGoroutine()
+	for seed := int64(0); seed < int64(schedules); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%02d", seed), func(t *testing.T) {
+			tamper := seed%3 == 0
+
+			seqNet := newPipelineTestNet(seed, tamper)
+			var seq []seqRound
+			for r := 0; r < pipelineRounds; r++ {
+				parts := soakMarket(t, seqNet, seed*100+int64(r))
+				res, err := seqNet.RunRound(context.Background(), parts)
+				seq = append(seq, roundSnapshot(res, err))
+			}
+
+			pipNet := newPipelineTestNet(seed, tamper)
+			rounds, err := pipNet.RunPipelined(context.Background(), pipelineRounds, func(r int) []*Participant {
+				return soakMarket(t, pipNet, seed*100+int64(r))
+			})
+			if err != nil {
+				t.Fatalf("pipelined run failed outright: %v", err)
+			}
+			pipNet.Close()
+
+			if len(rounds) != len(seq) {
+				t.Fatalf("pipeline returned %d rounds, sequential ran %d", len(rounds), len(seq))
+			}
+			for r := range seq {
+				got := roundSnapshot(rounds[r].Result, rounds[r].Err)
+				if got.winner != seq[r].winner {
+					t.Fatalf("round %d: winner %q, sequential elected %q", r, got.winner, seq[r].winner)
+				}
+				if got.errText != seq[r].errText {
+					t.Fatalf("round %d: error %q, sequential %q", r, got.errText, seq[r].errText)
+				}
+				if !equalDigests(got.excluded, seq[r].excluded) {
+					t.Fatalf("round %d: pipelined excluded %x, sequential %x", r, got.excluded, seq[r].excluded)
+				}
+				if got.attempts != seq[r].attempts {
+					t.Fatalf("round %d: %d reveal attempts, sequential %d", r, got.attempts, seq[r].attempts)
+				}
+			}
+			seqChain, pipChain := chainDigests(t, seqNet), chainDigests(t, pipNet)
+			if len(seqChain) != len(pipChain) {
+				t.Fatalf("chain lengths diverge: %d vs %d", len(seqChain), len(pipChain))
+			}
+			for i := range seqChain {
+				if seqChain[i] != pipChain[i] {
+					t.Fatalf("block %d bytes diverge between sequential and pipelined runs", i)
+				}
+			}
+			// Cross-verification: an outsider accepts the pipelined head by
+			// independent re-execution.
+			if head := pipNet.Chain().Head(); head != nil {
+				cfg := auction.DefaultConfig()
+				cfg.Reputation = seqNet.Contracts().Reputation()
+				outsider := &Miner{Name: "outsider", Difficulty: testDifficulty, AuctionCfg: cfg}
+				if err := outsider.VerifyBlock(head); err != nil {
+					t.Fatalf("outsider rejects the pipelined head: %v", err)
+				}
+			}
+		})
+	}
+	checkGoroutineLeaks(t, before)
+}
+
+// TestPipelinedFlushOnReElection forces a mid-pipeline re-election under
+// proof-of-work: round 0's first body is corrupted, the verifiers reject
+// it, and the honest re-mine lands in a different nonce region (the
+// original producer is barred and regions are per-miner), so the head
+// hash no longer matches the parent round 1 speculated on. The pipeline
+// must flush the in-flight stage, redo it against the real head, and
+// still converge to a fully linked chain.
+func TestPipelinedFlushOnReElection(t *testing.T) {
+	before := runtime.NumGoroutine()
+	reg := obs.NewRegistry()
+	net := NewNetwork(3, testDifficulty, auction.DefaultConfig())
+	net.Obs = obs.NewMinerMetrics(reg)
+	var tampered bool
+	net.TamperBody = tamperOnce(&tampered)
+
+	rounds, err := net.RunPipelined(context.Background(), 3, func(r int) []*Participant {
+		return soakMarket(t, net, 7000+int64(r))
+	})
+	if err != nil {
+		t.Fatalf("pipelined PoW run failed: %v", err)
+	}
+	net.Close()
+
+	for r, pr := range rounds {
+		if pr.Err != nil {
+			t.Fatalf("round %d failed: %v", r, pr.Err)
+		}
+	}
+	if net.Chain().Len() != 3 {
+		t.Fatalf("chain holds %d blocks, want 3", net.Chain().Len())
+	}
+	if rounds[0].Result == nil || len(rounds[0].Result.Offenders) == 0 {
+		t.Fatal("round 0 never saw the Byzantine rejection the test injected")
+	}
+	if got := reg.CounterValue("decloud_miner_pipeline_flushes_total"); got < 1 {
+		t.Fatalf("pipeline_flushes_total = %d: the re-mined parent must have flushed round 1's speculation", got)
+	}
+	// Linkage: each block references its predecessor's preamble hash.
+	for i := 1; i < net.Chain().Len(); i++ {
+		prev := net.Chain().BlockAt(i - 1).Preamble.Hash()
+		if net.Chain().BlockAt(i).Preamble.PrevHash != prev {
+			t.Fatalf("block %d does not link to its parent", i)
+		}
+	}
+	checkGoroutineLeaks(t, before)
+}
+
+// TestCloseAbortsRevealBackoff pins the shutdown fix: a round sleeping
+// in the reveal retry backoff must be woken by Close instead of holding
+// the network open for the full backoff (mirroring the p2p reconnect
+// timer fix). The blocked reveal forces retries; with a 30s backoff the
+// round would otherwise take ≥ 90s.
+func TestCloseAbortsRevealBackoff(t *testing.T) {
+	before := runtime.NumGoroutine()
+	net := NewNetwork(3, testDifficulty, auction.DefaultConfig())
+	net.Consensus = ProofOfStake
+	net.RevealBackoff = 30 * time.Second
+
+	parts := soakMarket(t, net, 4242)
+	net.mu.Lock()
+	blockedDigest := net.mempool[0].Digest()
+	net.mu.Unlock()
+	net.Faults = &chaos.Plan{BlockedReveals: map[[32]byte]bool{blockedDigest: true}}
+
+	done := make(chan struct{})
+	var res *RoundResult
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = net.RunRound(context.Background(), parts)
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let the round reach the backoff
+	start := time.Now()
+	net.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("round still running 5s after Close — the backoff timer leaked")
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("Close took %v — it must abort the backoff, not wait it out", waited)
+	}
+	if runErr != nil {
+		t.Fatalf("aborted round errored: %v", runErr)
+	}
+	if len(res.ExcludedDigests) != 1 || res.ExcludedDigests[0] != blockedDigest {
+		t.Fatalf("the blocked bid must be excluded on shutdown, got %x", res.ExcludedDigests)
+	}
+	checkGoroutineLeaks(t, before)
+}
+
+// TestRevealBackoffWaitsWhenOpen: with the network open, the backoff is
+// honored between attempts — a blocked reveal with a measurable backoff
+// makes the round take at least retries × backoff.
+func TestRevealBackoffWaitsWhenOpen(t *testing.T) {
+	net := NewNetwork(3, testDifficulty, auction.DefaultConfig())
+	net.Consensus = ProofOfStake
+	net.RevealBackoff = 30 * time.Millisecond
+	net.RevealRetries = 2
+
+	parts := soakMarket(t, net, 4243)
+	net.mu.Lock()
+	blockedDigest := net.mempool[0].Digest()
+	net.mu.Unlock()
+	net.Faults = &chaos.Plan{BlockedReveals: map[[32]byte]bool{blockedDigest: true}}
+
+	start := time.Now()
+	res, err := net.RunRound(context.Background(), parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*30*time.Millisecond {
+		t.Fatalf("round took %v, expected ≥ 60ms of backoff between 3 attempts", elapsed)
+	}
+	if res.RevealAttempts != 3 {
+		t.Fatalf("RevealAttempts = %d, want 3", res.RevealAttempts)
+	}
+	net.Close()
+}
+
+// TestPipelinedEmptyRounds: rounds whose feed submits nothing record
+// ErrEmptyMempool and the pipeline keeps going — matching a sequential
+// driver that logs the error and continues.
+func TestPipelinedEmptyRounds(t *testing.T) {
+	net := NewNetwork(3, testDifficulty, auction.DefaultConfig())
+	net.Consensus = ProofOfStake
+	rounds, err := net.RunPipelined(context.Background(), 3, func(r int) []*Participant {
+		if r == 1 {
+			return nil // submit nothing
+		}
+		return soakMarket(t, net, 8800+int64(r))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Close()
+	if !errors.Is(rounds[1].Err, ErrEmptyMempool) {
+		t.Fatalf("round 1 error = %v, want ErrEmptyMempool", rounds[1].Err)
+	}
+	if rounds[0].Err != nil || rounds[2].Err != nil {
+		t.Fatalf("non-empty rounds failed: %v, %v", rounds[0].Err, rounds[2].Err)
+	}
+	if net.Chain().Len() != 2 {
+		t.Fatalf("chain holds %d blocks, want 2", net.Chain().Len())
+	}
+}

@@ -299,15 +299,10 @@ func (mn *MarketNode) ProduceBlock(ctx context.Context, quorum int, revealWindow
 // then collect verifier votes until cfg.Quorum OK votes arrive or ctx
 // expires. The producer appends to its own replica before broadcasting.
 func (mn *MarketNode) ProduceBlockOpts(ctx context.Context, cfg RoundConfig) (*RoundSummary, error) {
-	mn.mu.Lock()
-	bids := mn.mempool
-	mn.mempool = nil
-	mn.havePool = make(map[[32]byte]bool)
-	mn.mu.Unlock()
+	bids := mn.drainPool()
 	if len(bids) == 0 {
 		return nil, miner.ErrEmptyMempool
 	}
-
 	m := mn.metrics.Load()
 	roundStart := obsNow(m)
 	if m != nil {
@@ -316,7 +311,49 @@ func (mn *MarketNode) ProduceBlockOpts(ctx context.Context, cfg RoundConfig) (*R
 	tr := mn.tracer.Load().StartRound(int64(mn.chain.Len()))
 	defer tr.End()
 
-	block := mn.miner.AssembleBlock(mn.chain, bids, time.Now().Unix())
+	var height int64
+	if head := mn.chain.Head(); head != nil {
+		height = head.Preamble.Height + 1
+	}
+	pr, err := mn.produceStage(ctx, cfg, mn.chain.HeadHash(), height, bids, tr)
+	if err != nil {
+		return nil, err
+	}
+	pr.roundStart = roundStart
+	return mn.commitStage(ctx, cfg, pr, tr)
+}
+
+// drainPool atomically takes the current mempool.
+func (mn *MarketNode) drainPool() []*sealed.Bid {
+	mn.mu.Lock()
+	defer mn.mu.Unlock()
+	bids := mn.mempool
+	mn.mempool = nil
+	mn.havePool = make(map[[32]byte]bool)
+	return bids
+}
+
+// producedRound is the output of the production stage — everything the
+// commit stage needs to finish the round.
+type producedRound struct {
+	block      *ledger.Block
+	reveals    []*sealed.KeyReveal
+	bids       []*sealed.Bid
+	unrevealed int
+	attempts   int
+	roundStart time.Time
+}
+
+// produceStage runs the round's bidding phase against an explicit
+// parent: assemble and mine the preamble, broadcast it, and collect key
+// reveals with the retrying window. The parent hash depends only on the
+// previous block's preamble, so the pipeline can run this stage while
+// the previous block's body is still out for votes. Reveal waits abort
+// on node shutdown as well as ctx — a closing node must not sit out a
+// multi-second reveal window.
+func (mn *MarketNode) produceStage(ctx context.Context, cfg RoundConfig, prevHash [32]byte, height int64, bids []*sealed.Bid, tr *obs.RoundTrace) (*producedRound, error) {
+	m := mn.metrics.Load()
+	block := mn.miner.AssembleBlockAt(prevHash, height, bids, time.Now().Unix())
 	if err := mn.miner.Mine(ctx, block, 0); err != nil {
 		return nil, err
 	}
@@ -364,6 +401,9 @@ func (mn *MarketNode) ProduceBlockOpts(ctx context.Context, cfg RoundConfig) (*R
 				}
 			case <-timer.C:
 				break collect
+			case <-mn.net.stop:
+				timer.Stop()
+				return nil, ErrClosed
 			case <-ctx.Done():
 				timer.Stop()
 				return nil, ctx.Err()
@@ -385,9 +425,20 @@ func (mn *MarketNode) ProduceBlockOpts(ctx context.Context, cfg RoundConfig) (*R
 		"attempts": attempts, "retries": attempts - 1,
 		"revealed": len(reveals), "unrevealed": len(want),
 	})
+	return &producedRound{
+		block: block, reveals: reveals, bids: bids,
+		unrevealed: len(want), attempts: attempts,
+	}, nil
+}
 
+// commitStage runs the round's execution phase: compute the body,
+// self-append, broadcast the full block, and wait for the verifier
+// quorum. Vote waits abort on node shutdown as well as ctx.
+func (mn *MarketNode) commitStage(ctx context.Context, cfg RoundConfig, pr *producedRound, tr *obs.RoundTrace) (*RoundSummary, error) {
+	m := mn.metrics.Load()
+	block := pr.block
 	computeStart := obsNow(m)
-	outcome, err := mn.miner.ComputeBody(block, reveals)
+	outcome, err := mn.miner.ComputeBody(block, pr.reveals)
 	if err != nil {
 		return nil, err
 	}
@@ -405,8 +456,8 @@ func (mn *MarketNode) ProduceBlockOpts(ctx context.Context, cfg RoundConfig) (*R
 	summary := &RoundSummary{
 		Block:          block,
 		Outcome:        outcome,
-		Unrevealed:     len(want),
-		RevealAttempts: attempts,
+		Unrevealed:     pr.unrevealed,
+		RevealAttempts: pr.attempts,
 	}
 	for summary.OKVotes < cfg.Quorum {
 		select {
@@ -419,6 +470,12 @@ func (mn *MarketNode) ProduceBlockOpts(ctx context.Context, cfg RoundConfig) (*R
 			} else {
 				summary.BadVotes++
 			}
+		case <-mn.net.stop:
+			tr.Event("denied", map[string]any{
+				"ok_votes": summary.OKVotes, "bad_votes": summary.BadVotes, "quorum": cfg.Quorum,
+			})
+			return summary, fmt.Errorf("p2p: quorum not reached: %d/%d ok, %d bad: %w",
+				summary.OKVotes, cfg.Quorum, summary.BadVotes, ErrClosed)
 		case <-ctx.Done():
 			tr.Event("denied", map[string]any{
 				"ok_votes": summary.OKVotes, "bad_votes": summary.BadVotes, "quorum": cfg.Quorum,
@@ -432,9 +489,114 @@ func (mn *MarketNode) ProduceBlockOpts(ctx context.Context, cfg RoundConfig) (*R
 	})
 	if m != nil {
 		m.BlocksAccepted.Inc()
-		m.RoundSeconds.Observe(time.Since(roundStart).Seconds())
+		if !pr.roundStart.IsZero() {
+			m.RoundSeconds.Observe(time.Since(pr.roundStart).Seconds())
+		}
 	}
 	return summary, nil
+}
+
+// PipelinedSummary is one pipelined round's (summary, error) pair.
+type PipelinedSummary struct {
+	Round   int
+	Summary *RoundSummary
+	Err     error
+}
+
+// RunPipeline produces rounds blocks as a bounded two-stage pipeline:
+// while block n's body is out for verifier votes, block n+1's preamble
+// is already mined and broadcast and its reveal window is open — the
+// reveal round-trip of epoch n+1 overlaps the vote round-trip of epoch
+// n. feed, when non-nil, is called at the top of each round to submit
+// that round's bids. If a commit leaves the replica's head different
+// from the parent the next round speculated on (e.g. the commit failed
+// before self-append), the speculative production is flushed and redone
+// against the real head; flushes are counted in the miner metrics
+// bundle. Per-round failures are recorded and the pipeline continues.
+func (mn *MarketNode) RunPipeline(ctx context.Context, rounds int, cfg RoundConfig, feed func(round int) error) ([]*PipelinedSummary, error) {
+	results := make([]*PipelinedSummary, 0, rounds)
+	type commitOut struct {
+		round int
+		sum   *RoundSummary
+		err   error
+	}
+	var pending chan commitOut
+	join := func() {
+		if pending == nil {
+			return
+		}
+		out := <-pending
+		pending = nil
+		results = append(results, &PipelinedSummary{Round: out.round, Summary: out.sum, Err: out.err})
+	}
+
+	specPrev := mn.chain.HeadHash()
+	var specHeight int64
+	if head := mn.chain.Head(); head != nil {
+		specHeight = head.Preamble.Height + 1
+	}
+
+	for r := 0; r < rounds; r++ {
+		if feed != nil {
+			if err := feed(r); err != nil {
+				join()
+				return results, fmt.Errorf("p2p: feed round %d: %w", r, err)
+			}
+		}
+		bids := mn.drainPool()
+		if len(bids) == 0 {
+			join()
+			results = append(results, &PipelinedSummary{Round: r, Err: miner.ErrEmptyMempool})
+			continue
+		}
+		m := mn.metrics.Load()
+		roundStart := obsNow(m)
+		if m != nil {
+			m.Rounds.Inc()
+		}
+		tr := mn.tracer.Load().StartRound(specHeight)
+
+		pr, err := mn.produceStage(ctx, cfg, specPrev, specHeight, bids, tr)
+		join()
+		if err != nil {
+			tr.End()
+			results = append(results, &PipelinedSummary{Round: r, Err: err})
+			specPrev = mn.chain.HeadHash()
+			specHeight = int64(mn.chain.Len())
+			continue
+		}
+		if realPrev := mn.chain.HeadHash(); pr.block.Preamble.PrevHash != realPrev {
+			// The previous commit never extended the speculated parent:
+			// flush and re-produce against the real head.
+			if m != nil {
+				m.PipelineFlushes.Inc()
+			}
+			realHeight := int64(mn.chain.Len())
+			tr.Event("pipeline_flushed", map[string]any{
+				"speculated_height": pr.block.Preamble.Height, "height": realHeight,
+			})
+			pr, err = mn.produceStage(ctx, cfg, realPrev, realHeight, bids, tr)
+			if err != nil {
+				tr.End()
+				results = append(results, &PipelinedSummary{Round: r, Err: err})
+				specPrev, specHeight = realPrev, realHeight
+				continue
+			}
+		}
+		pr.roundStart = roundStart
+		specPrev = pr.block.Preamble.Hash()
+		specHeight = pr.block.Preamble.Height + 1
+
+		ch := make(chan commitOut, 1)
+		pending = ch
+		go func(r int, pr *producedRound, tr *obs.RoundTrace) {
+			sum, err := mn.commitStage(ctx, cfg, pr, tr)
+			tr.End()
+			ch <- commitOut{round: r, sum: sum, err: err}
+		}(r, pr, tr)
+	}
+	join()
+	return results, nil
 }
 
 // obsNow reads the wall clock only when metrics are enabled.

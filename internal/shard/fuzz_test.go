@@ -1,0 +1,91 @@
+package shard
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"decloud/internal/bidding"
+	"decloud/internal/cluster"
+	"decloud/internal/miniauction"
+)
+
+// FuzzShardPartition feeds arbitrary order-book shapes and block
+// digests to the partitioner and asserts its two contracts, mirroring
+// what the bidding-layer fuzzers do for the wire format:
+//
+//   - conservation: no submitted order is ever lost or homed twice,
+//     whatever the cluster topology, auction pooling, or K;
+//   - determinism: the same (book, digest, K) partitions identically
+//     on every call — the partition may depend only on its inputs.
+//
+// The corpus drives the generator, not raw structs: every byte of fuzz
+// input perturbs cluster count, coupling, geometry, and K, so the
+// fuzzer explores topology space instead of JSON syntax.
+func FuzzShardPartition(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, int64(1), uint8(2))
+	f.Add([]byte{}, int64(99), uint8(1))
+	f.Add([]byte{0xff, 0x00, 0x7f, 0x13}, int64(-5), uint8(8))
+	f.Add([]byte("block-digest"), int64(7), uint8(200))
+	f.Fuzz(func(t *testing.T, digest []byte, seed int64, kRaw uint8) {
+		k := int(kRaw % 12)
+		m := synth(seed, 1+int(uint64(seed)%14))
+		if len(digest) > 64 {
+			digest = digest[:64]
+		}
+
+		plan := Partition(m.reqs, m.offs, m.clusters, m.auctions, digest, k)
+		checkConservation(t, m, plan)
+
+		again := Partition(m.reqs, m.offs, m.clusters, m.auctions, digest, k)
+		if !reflect.DeepEqual(plan, again) {
+			t.Fatal("partition is not deterministic for identical inputs")
+		}
+	})
+}
+
+// FuzzShardPartitionSharedOffers drives the partitioner over books
+// where one offer belongs to many clusters (intersection clusters) —
+// the topology most likely to produce an order with conflicting homes
+// if component detection under-merged.
+func FuzzShardPartitionSharedOffers(f *testing.F) {
+	f.Add(uint8(3), uint8(4))
+	f.Add(uint8(9), uint8(1))
+	f.Fuzz(func(t *testing.T, nRaw, kRaw uint8) {
+		n := 1 + int(nRaw%10)
+		k := int(kRaw % 9)
+		shared := &bidding.Offer{ID: "o-shared", Location: bidding.Location{X: 0.5, Y: 0.5}}
+		m := &synthMarket{offs: []*bidding.Offer{shared}}
+		for c := 0; c < n; c++ {
+			own := &bidding.Offer{
+				ID:       bidding.OrderID(fmt.Sprintf("o%d", c)),
+				Location: bidding.Location{X: float64(c), Y: float64(c) / 2},
+				Start:    int64(c * 40),
+			}
+			r := &bidding.Request{ID: bidding.OrderID(fmt.Sprintf("r%d", c))}
+			m.offs = append(m.offs, own)
+			m.reqs = append(m.reqs, r)
+			m.clusters = append(m.clusters, &cluster.Cluster{
+				Offers:   []*bidding.Offer{shared, own},
+				Requests: []*bidding.Request{r},
+			})
+			m.auctions = append(m.auctions, miniauction.Auction{Clusters: []int{c}})
+		}
+		plan := Partition(m.reqs, m.offs, m.clusters, m.auctions, []byte{nRaw, kRaw}, k)
+		checkConservation(t, m, plan)
+		// Everything is coupled through the shared offer: one component,
+		// so exactly one site hosts every auction.
+		used := 0
+		for _, s := range plan.Shards {
+			if len(s) > 0 {
+				used++
+			}
+		}
+		if len(plan.Residual) > 0 {
+			used++
+		}
+		if used > 1 {
+			t.Fatalf("one shared-offer component landed on %d sites", used)
+		}
+	})
+}

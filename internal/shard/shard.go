@@ -1,0 +1,287 @@
+// Package shard partitions one block's order book into K independent
+// shards for parallel clearing, following the decomposition literature
+// on large-scale double auctions (Gao et al.'s locality partitioning,
+// Zhao et al.'s carry-forward of boundary orders): orders are grouped
+// by locality and time bucket, each group clears independently, and
+// orders whose market structure straddles groups are carried into a
+// residual clearing round.
+//
+// DeCloud's mechanism gives the decomposition a precise, loss-free
+// grain: after clustering (Algorithm 2) and mini-auction formation
+// (Algorithm 3), all cross-auction coupling flows through order-ID-keyed
+// state, so the union-find components of order-disjoint mini-auctions
+// (miniauction.IndependentGroups) can be executed in ANY grouping
+// without changing a single byte of the outcome, provided auctions run
+// in global index order against per-group state and results merge
+// canonically (see internal/auction/parallel.go for the commutation
+// argument). Partition therefore assigns each component a shard:
+// every member cluster hashes its locality cell and time bucket with
+// the block digest to a home shard, components whose clusters agree
+// land on that shard, and components whose clusters straddle two or
+// more shards — the boundary orders, whose best-offer sets span
+// localities — spill into the residual round.
+//
+// Because the shards and the residual are pairwise order-disjoint by
+// construction, the sharded execution is byte-identical to the
+// monolithic one at ANY K and for ANY choice of cell size or time
+// bucket: the partition parameters tune load balance and spillover
+// rate, never consensus. This is the property the
+// internal/auction/paralleltest harness (CheckShardedVsMonolithic) and
+// FuzzShardPartition enforce.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+
+	"decloud/internal/bidding"
+	"decloud/internal/cluster"
+	"decloud/internal/miniauction"
+)
+
+// Partition parameters. They shape WHERE components execute, not what
+// they produce, so unlike cluster keys or lottery labels they are not
+// consensus-critical — still, they are fixed constants so the same
+// block partitions identically on every node and in every test rerun.
+const (
+	// CellSize is the locality grid pitch: clusters whose offer
+	// centroid falls in the same CellSize×CellSize cell share a
+	// locality key. Workload coordinates live in the unit square, so
+	// 0.25 yields a 4×4 grid.
+	CellSize = 0.25
+	// TimeBucketWidth groups clusters by the earliest offer
+	// availability, in the workload's logical time units.
+	TimeBucketWidth = 16
+)
+
+// Home sentinel values in Plan.Home: non-negative entries name a shard.
+const (
+	// HomeResidual marks orders of boundary components — their
+	// best-offer structure straddles shards, so they clear in the
+	// residual round.
+	HomeResidual = -1
+	// HomeUnclustered marks screened orders that belong to no active
+	// mini-auction: nothing clears them under any partition, monolithic
+	// included.
+	HomeUnclustered = -2
+)
+
+// Plan is the deterministic partition of one block's mini-auctions
+// across K shards plus the residual round, with full conservation
+// accounting: every submitted order appears in exactly one of a shard,
+// the residual, or the unclustered remainder.
+type Plan struct {
+	// K is the shard count the plan was built for (≥ 1).
+	K int
+	// Shards lists, per shard, the mini-auction indexes assigned to it
+	// in ascending (global auction index) order — the execution order
+	// that keeps the merge canonical.
+	Shards [][]int
+	// Residual lists the auction indexes of boundary components,
+	// ascending. They clear after the shard fan-out, against their own
+	// state.
+	Residual []int
+	// Home maps every submitted order ID to its execution site: a
+	// shard index, HomeResidual, or HomeUnclustered. Exactly-once
+	// membership is the conservation invariant the property tests and
+	// FuzzShardPartition assert.
+	Home map[bidding.OrderID]int
+	// ShardOrders counts the distinct orders homed on each shard.
+	ShardOrders []int
+	// ResidualOrders counts the distinct boundary orders carried into
+	// the residual round.
+	ResidualOrders int
+	// UnclusteredOrders counts submitted orders outside every active
+	// mini-auction.
+	UnclusteredOrders int
+	// TotalOrders is len(Home): every screened request and offer.
+	TotalOrders int
+}
+
+// SpilloverRate is the fraction of clusterable orders carried into the
+// residual round — the load the partition failed to localize. Zero when
+// nothing is clustered.
+func (p *Plan) SpilloverRate() float64 {
+	clustered := p.TotalOrders - p.UnclusteredOrders
+	if clustered <= 0 {
+		return 0
+	}
+	return float64(p.ResidualOrders) / float64(clustered)
+}
+
+// Partition assigns the block's mini-auctions to K shards plus a
+// residual. clusters indexes must match the cluster IDs referenced by
+// auctions[i].Clusters (i.e. the block's cluster list in build order);
+// evidence is the block digest seeding the shard hash; reqs and offs
+// are the screened orders, enumerated so the plan accounts for every
+// one of them. K below 1 is treated as 1.
+func Partition(reqs []*bidding.Request, offs []*bidding.Offer, clusters []*cluster.Cluster, auctions []miniauction.Auction, evidence []byte, k int) *Plan {
+	if k < 1 {
+		k = 1
+	}
+	plan := &Plan{
+		K:           k,
+		Shards:      make([][]int, k),
+		Home:        make(map[bidding.OrderID]int, len(reqs)+len(offs)),
+		ShardOrders: make([]int, k),
+	}
+
+	// Order-disjoint components of mini-auctions: the finest grain at
+	// which execution can move between shards without changing bytes.
+	components := miniauction.IndependentGroups(auctions, func(ci int) []string {
+		return clusterOrderIDs(clusters[ci])
+	})
+
+	// Home shard per cluster, computed once: clusters are shared
+	// between auctions of one component but never across components.
+	homes := make(map[int]int)
+	clusterHome := func(ci int) int {
+		h, ok := homes[ci]
+		if !ok {
+			h = homeShard(evidence, clusters[ci], k)
+			homes[ci] = h
+		}
+		return h
+	}
+
+	for _, comp := range components {
+		// A component executes on a shard iff every member cluster
+		// calls that shard home; disagreement means the component's
+		// best-offer structure straddles shards → residual.
+		home, straddles := -1, false
+		for _, ai := range comp {
+			for _, ci := range auctions[ai].Clusters {
+				h := clusterHome(ci)
+				if home == -1 {
+					home = h
+				} else if h != home {
+					straddles = true
+				}
+			}
+		}
+		site := home
+		if straddles {
+			site = HomeResidual
+			plan.Residual = append(plan.Residual, comp...)
+		} else {
+			plan.Shards[home] = append(plan.Shards[home], comp...)
+		}
+		for _, ai := range comp {
+			for _, ci := range auctions[ai].Clusters {
+				for _, id := range clusterOrderIDs(clusters[ci]) {
+					plan.Home[bidding.OrderID(id)] = site
+				}
+			}
+		}
+	}
+
+	// Components arrive ordered by smallest member, but a shard pooling
+	// several components needs its union re-sorted: execution within
+	// one state must follow global auction-index order for the merge to
+	// be canonical.
+	for si := range plan.Shards {
+		sortInts(plan.Shards[si])
+	}
+	sortInts(plan.Residual)
+
+	// Conservation accounting over every screened order.
+	for _, r := range reqs {
+		countHome(plan, r.ID)
+	}
+	for _, o := range offs {
+		countHome(plan, o.ID)
+	}
+	return plan
+}
+
+// countHome folds one submitted order into the plan's accounting,
+// defaulting unseen orders to the unclustered remainder.
+func countHome(plan *Plan, id bidding.OrderID) {
+	site, ok := plan.Home[id]
+	if !ok {
+		site = HomeUnclustered
+		plan.Home[id] = site
+	}
+	plan.TotalOrders++
+	switch site {
+	case HomeResidual:
+		plan.ResidualOrders++
+	case HomeUnclustered:
+		plan.UnclusteredOrders++
+	default:
+		plan.ShardOrders[site]++
+	}
+}
+
+// clusterOrderIDs lists every order ID in the cluster's raw membership —
+// the same footprint parallel execution unions components over, so the
+// plan's disjointness matches the executor's.
+func clusterOrderIDs(cl *cluster.Cluster) []string {
+	ids := make([]string, 0, len(cl.Requests)+len(cl.Offers))
+	for _, r := range cl.Requests {
+		ids = append(ids, string(r.ID))
+	}
+	for _, o := range cl.Offers {
+		ids = append(ids, string(o.ID))
+	}
+	return ids
+}
+
+// homeShard keys a cluster to its shard: the centroid of its offer
+// locations names a locality cell, the earliest offer availability a
+// time bucket, and SHA-256(evidence ‖ cell ‖ bucket) draws the shard.
+// Seeding by the block digest re-randomizes the cell→shard map every
+// block, so no locality is permanently hot-spotted onto one shard.
+func homeShard(evidence []byte, cl *cluster.Cluster, k int) int {
+	if k <= 1 {
+		return 0
+	}
+	var sx, sy float64
+	minStart := int64(math.MaxInt64)
+	for _, o := range cl.Offers {
+		sx += o.Location.X
+		sy += o.Location.Y
+		if o.Start < minStart {
+			minStart = o.Start
+		}
+	}
+	var cellX, cellY int64
+	if n := float64(len(cl.Offers)); n > 0 {
+		cellX = int64(math.Floor(sx / n / CellSize))
+		cellY = int64(math.Floor(sy / n / CellSize))
+	}
+	bucket := floorDiv(minStart, TimeBucketWidth)
+
+	h := sha256.New()
+	h.Write(evidence)
+	h.Write([]byte("decloud/shard/v1"))
+	var buf [24]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(cellX))
+	binary.BigEndian.PutUint64(buf[8:16], uint64(cellY))
+	binary.BigEndian.PutUint64(buf[16:24], uint64(bucket))
+	h.Write(buf[:])
+	sum := h.Sum(nil)
+	return int(binary.BigEndian.Uint64(sum[:8]) % uint64(k))
+}
+
+// floorDiv is integer division rounding toward negative infinity, so
+// negative timestamps bucket consistently with positive ones.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// sortInts is an insertion sort: shard auction lists are short unions
+// of already-sorted component runs, where insertion sort is near-linear
+// and dependency-free.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"decloud/internal/bidding"
+	"decloud/internal/cluster"
+	"decloud/internal/miniauction"
+)
+
+// synthMarket builds a synthetic block: orders, clusters over them, and
+// one mini-auction per cluster group. Clusters are plain literals — the
+// partitioner reads only exported membership and offer geometry, so it
+// must work on any cluster shape the builder can produce.
+type synthMarket struct {
+	reqs     []*bidding.Request
+	offs     []*bidding.Offer
+	clusters []*cluster.Cluster
+	auctions []miniauction.Auction
+}
+
+// synth derives a market from a seed: nClusters clusters, each with its
+// own offers and requests, some sharing requests with the next cluster
+// (intersection-style coupling) so multi-cluster components occur.
+func synth(seed int64, nClusters int) *synthMarket {
+	rnd := rand.New(rand.NewSource(seed))
+	m := &synthMarket{}
+	var ri, oi int
+	for c := 0; c < nClusters; c++ {
+		loc := bidding.Location{X: rnd.Float64() * 2, Y: rnd.Float64() * 2}
+		var cl cluster.Cluster
+		for k := 0; k < 1+rnd.Intn(3); k++ {
+			o := &bidding.Offer{
+				ID:       bidding.OrderID(fmt.Sprintf("o%03d", oi)),
+				Start:    int64(rnd.Intn(200) - 50),
+				Location: bidding.Location{X: loc.X + rnd.Float64()*0.1, Y: loc.Y + rnd.Float64()*0.1},
+			}
+			oi++
+			m.offs = append(m.offs, o)
+			cl.Offers = append(cl.Offers, o)
+		}
+		for k := 0; k < 1+rnd.Intn(4); k++ {
+			r := &bidding.Request{ID: bidding.OrderID(fmt.Sprintf("r%03d", ri))}
+			ri++
+			m.reqs = append(m.reqs, r)
+			cl.Requests = append(cl.Requests, r)
+		}
+		// Couple ~every third cluster to its predecessor through a
+		// shared request, forming multi-cluster components.
+		if c > 0 && rnd.Intn(3) == 0 {
+			prev := m.clusters[c-1]
+			cl.Requests = append(cl.Requests, prev.Requests[0])
+		}
+		m.clusters = append(m.clusters, &cl)
+	}
+	// One auction per cluster, plus pooled auctions over adjacent pairs
+	// every fourth cluster — auctions sharing a cluster must stay in
+	// one component.
+	for c := range m.clusters {
+		m.auctions = append(m.auctions, miniauction.Auction{Clusters: []int{c}})
+		if c > 0 && rnd.Intn(4) == 0 {
+			m.auctions = append(m.auctions, miniauction.Auction{Clusters: []int{c - 1, c}})
+		}
+	}
+	// A few orders outside any cluster: the unclustered remainder.
+	for k := 0; k < 3; k++ {
+		m.reqs = append(m.reqs, &bidding.Request{ID: bidding.OrderID(fmt.Sprintf("r-un%d", k))})
+	}
+	return m
+}
+
+// checkConservation asserts the partition's central invariant: every
+// submitted order is homed exactly once — on one shard, the residual,
+// or the unclustered remainder — and the counts add up.
+func checkConservation(t testing.TB, m *synthMarket, plan *Plan) {
+	t.Helper()
+	if want := len(m.reqs) + len(m.offs); plan.TotalOrders != want {
+		t.Fatalf("TotalOrders = %d, want %d", plan.TotalOrders, want)
+	}
+	sum := plan.ResidualOrders + plan.UnclusteredOrders
+	for _, n := range plan.ShardOrders {
+		sum += n
+	}
+	if sum != plan.TotalOrders {
+		t.Fatalf("order accounting leak: sites sum to %d, total %d", sum, plan.TotalOrders)
+	}
+	seen := make(map[bidding.OrderID]bool)
+	check := func(id bidding.OrderID) {
+		if seen[id] {
+			t.Fatalf("order %s submitted twice in the synthetic market", id)
+		}
+		seen[id] = true
+		site, ok := plan.Home[id]
+		if !ok {
+			t.Fatalf("order %s lost: no home", id)
+		}
+		if site >= plan.K || (site < 0 && site != HomeResidual && site != HomeUnclustered) {
+			t.Fatalf("order %s homed at invalid site %d (K=%d)", id, site, plan.K)
+		}
+	}
+	for _, r := range m.reqs {
+		check(r.ID)
+	}
+	for _, o := range m.offs {
+		check(o.ID)
+	}
+	if len(plan.Home) != plan.TotalOrders {
+		t.Fatalf("Home has %d entries beyond the %d submitted orders", len(plan.Home), plan.TotalOrders)
+	}
+
+	// Every auction lands in exactly one execution site, in ascending
+	// order within each site.
+	assigned := make(map[int]int)
+	sites := append([][]int{plan.Residual}, plan.Shards...)
+	for _, ais := range sites {
+		for i, ai := range ais {
+			assigned[ai]++
+			if i > 0 && ais[i-1] >= ai {
+				t.Fatalf("site auction list not ascending: %v", ais)
+			}
+		}
+	}
+	if len(assigned) != len(m.auctions) {
+		t.Fatalf("%d of %d auctions assigned", len(assigned), len(m.auctions))
+	}
+	for ai, n := range assigned {
+		if n != 1 {
+			t.Fatalf("auction %d assigned %d times", ai, n)
+		}
+	}
+
+	// Orders of one auction's clusters must share a single site: an
+	// auction whose state straddled sites could not execute.
+	for _, ais := range sites {
+		for _, ai := range ais {
+			var site *int
+			for _, ci := range m.auctions[ai].Clusters {
+				for _, id := range clusterOrderIDs(m.clusters[ci]) {
+					s := plan.Home[bidding.OrderID(id)]
+					if site == nil {
+						site = &s
+					} else if *site != s {
+						t.Fatalf("auction %d spans sites %d and %d", ai, *site, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionConservation(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		for _, k := range []int{1, 2, 3, 4, 8, 17} {
+			m := synth(seed, 6+int(seed%9))
+			plan := Partition(m.reqs, m.offs, m.clusters, m.auctions, []byte(fmt.Sprintf("ev-%d", seed)), k)
+			if plan.K != k {
+				t.Fatalf("plan.K = %d, want %d", plan.K, k)
+			}
+			checkConservation(t, m, plan)
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	m := synth(42, 12)
+	a := Partition(m.reqs, m.offs, m.clusters, m.auctions, []byte("digest"), 4)
+	b := Partition(m.reqs, m.offs, m.clusters, m.auctions, []byte("digest"), 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same inputs produced different plans")
+	}
+}
+
+func TestPartitionEvidenceReseeds(t *testing.T) {
+	// The block digest seeds the cell→shard map; across enough digests
+	// at least one cluster must move shards, or locality hot-spots
+	// would pin to one shard forever.
+	m := synth(3, 10)
+	base := Partition(m.reqs, m.offs, m.clusters, m.auctions, []byte("digest-0"), 4)
+	for i := 1; i < 32; i++ {
+		p := Partition(m.reqs, m.offs, m.clusters, m.auctions, []byte(fmt.Sprintf("digest-%d", i)), 4)
+		if !reflect.DeepEqual(base.Shards, p.Shards) {
+			return
+		}
+	}
+	t.Fatal("32 distinct digests never moved any component between shards")
+}
+
+func TestPartitionSingleShard(t *testing.T) {
+	m := synth(7, 8)
+	for _, k := range []int{0, -3, 1} {
+		plan := Partition(m.reqs, m.offs, m.clusters, m.auctions, []byte("one"), k)
+		if plan.K != 1 {
+			t.Fatalf("K=%d normalized to %d, want 1", k, plan.K)
+		}
+		if len(plan.Residual) != 0 {
+			t.Fatalf("K=1 produced a residual: %v — a single shard has no boundaries", plan.Residual)
+		}
+		if plan.ResidualOrders != 0 || plan.SpilloverRate() != 0 {
+			t.Fatalf("K=1 reported spillover: %d orders, rate %v", plan.ResidualOrders, plan.SpilloverRate())
+		}
+		if got := len(plan.Shards[0]); got != len(m.auctions) {
+			t.Fatalf("shard 0 holds %d of %d auctions", got, len(m.auctions))
+		}
+	}
+}
+
+func TestPartitionExercisesBothPaths(t *testing.T) {
+	// Across the sweep both genuine outcomes must occur: components
+	// homed on shards AND components spilled to the residual —
+	// otherwise the suite would never exercise the spillover pass.
+	var homed, spilled bool
+	for seed := int64(0); seed < 40 && !(homed && spilled); seed++ {
+		m := synth(seed, 10)
+		plan := Partition(m.reqs, m.offs, m.clusters, m.auctions, []byte{byte(seed)}, 8)
+		for _, s := range plan.Shards {
+			if len(s) > 0 {
+				homed = true
+			}
+		}
+		if len(plan.Residual) > 0 {
+			spilled = true
+		}
+	}
+	if !homed {
+		t.Error("no component was ever homed on a shard")
+	}
+	if !spilled {
+		t.Error("no component ever spilled to the residual — widen the synthetic geography")
+	}
+}
+
+func TestSpilloverRate(t *testing.T) {
+	p := &Plan{TotalOrders: 10, UnclusteredOrders: 2, ResidualOrders: 4}
+	if got := p.SpilloverRate(); got != 0.5 {
+		t.Fatalf("SpilloverRate = %v, want 0.5", got)
+	}
+	empty := &Plan{TotalOrders: 3, UnclusteredOrders: 3}
+	if got := empty.SpilloverRate(); got != 0 {
+		t.Fatalf("all-unclustered SpilloverRate = %v, want 0", got)
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{35, 16, 2}, {0, 16, 0}, {-1, 16, -1}, {-16, 16, -1}, {-17, 16, -2}, {16, 16, 1},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Fatalf("floorDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

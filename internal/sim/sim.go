@@ -50,6 +50,16 @@ type Config struct {
 	MaxResubmits int
 	// Auction tunes the mechanism (zero value → auction.DefaultConfig()).
 	Auction auction.Config
+	// Shards, when ≥ 1, routes mini-auction execution through the
+	// deterministic shard partitioner (auction.Config.Shards). Applied
+	// after the auction defaults, so it composes with a zero Auction.
+	Shards int
+	// Pipeline overlaps round n+1's reveal collection with round n's
+	// clearing and verification in ledger mode (miner.Network.RunPipelined).
+	// Incompatible with Resubmit and DenyProb > 0: both feed the next
+	// round's market from the previous round's committed outcome, which a
+	// pipelined feed must not depend on.
+	Pipeline bool
 	// Obs, when set, is the registry the simulation publishes metrics to:
 	// the mechanism, miner, and sim bundles are resolved from it and wired
 	// through the whole pipeline. Purely observational — results are
@@ -71,6 +81,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Auction.Match.QualityBand == 0 {
 		c.Auction = auction.DefaultConfig()
+	}
+	if c.Shards > 0 {
+		c.Auction.Shards = c.Shards
 	}
 	return c
 }
@@ -148,6 +161,7 @@ func Run(cfg Config) (*Result, error) {
 	// the sim bundle tracks market-level totals.
 	sm := obs.NewSimMetrics(cfg.Obs)
 	cfg.Auction.Obs = obs.NewMechanismMetrics(cfg.Obs)
+	cfg.Auction.ShardObs = obs.NewShardMetrics(cfg.Obs)
 	// Ledger mode keeps ONE network and participant set across rounds:
 	// the chain grows block by block and reputation persists, as it would
 	// in a deployment.
@@ -158,6 +172,15 @@ func Run(cfg Config) (*Result, error) {
 		net.Obs = obs.NewMinerMetrics(cfg.Obs)
 		net.Tracer = cfg.Tracer
 		roster = make(map[bidding.ParticipantID]*miner.Participant)
+	}
+	if cfg.Pipeline {
+		if cfg.Mode != Ledger {
+			return nil, fmt.Errorf("sim: pipeline requires ledger mode")
+		}
+		if cfg.Resubmit || cfg.DenyProb > 0 {
+			return nil, fmt.Errorf("sim: pipeline is incompatible with resubmission and denial dynamics")
+		}
+		return runPipelinedLedger(cfg, net, roster, sm, res)
 	}
 	// carried holds unmatched requests awaiting resubmission, with their
 	// remaining attempt budget.
@@ -358,6 +381,73 @@ func ledgerRound(net *miner.Network, roster map[bidding.ParticipantID]*miner.Par
 		metrics.matchedIDs = kept
 	}
 	return metrics, nil
+}
+
+// runPipelinedLedger drives all rounds through the miner network's
+// two-stage epoch pipeline: round n+1's market is generated, submitted,
+// and its reveals collected while round n's block is still being
+// computed and verified. The feed only generates workloads (seeded per
+// round, never reading prior outcomes), so the pipelined simulation is
+// outcome-equivalent to the sequential ledger loop. Agreement settlement
+// (all accepts — denial dynamics are rejected upstream) happens after
+// the batch, off the critical path.
+func runPipelinedLedger(cfg Config, net *miner.Network, roster map[bidding.ParticipantID]*miner.Participant, sm *obs.SimMetrics, res *Result) (*Result, error) {
+	markets := make([]*workload.Market, cfg.Rounds)
+	var feedErr error
+	rounds, err := net.RunPipelined(context.Background(), cfg.Rounds, func(round int) []*miner.Participant {
+		wcfg := cfg.Workload
+		wcfg.Seed = cfg.Workload.Seed + int64(round)*1009
+		markets[round] = workload.Generate(wcfg)
+		parts, err := SubmitMarket(net, roster, markets[round])
+		if err != nil {
+			feedErr = err
+			return nil
+		}
+		return parts
+	})
+	net.Close()
+	if feedErr != nil {
+		return nil, fmt.Errorf("sim: %w", feedErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	reg := net.Contracts()
+	for round, pr := range rounds {
+		if pr.Err != nil {
+			return nil, fmt.Errorf("sim: round %d: %w", round, pr.Err)
+		}
+		market := markets[round]
+		restoreGroundTruth(pr.Result.Outcome, market)
+		bench := auction.RunGreedy(market.Requests, market.Offers, cfg.Auction)
+		metrics := metricsFrom(pr.Result.Outcome, bench, len(market.Requests))
+		metrics.Round = round
+		metrics.Requests = len(market.Requests)
+		metrics.Offers = len(market.Offers)
+		metrics.BlockHeight = pr.Result.Block.Preamble.Height
+		metrics.Winner = pr.Result.Winner
+		for _, id := range pr.Result.Agreements {
+			a, err := reg.Get(id)
+			if err != nil {
+				return nil, fmt.Errorf("sim: round %d: %w", round, err)
+			}
+			if err := reg.Accept(id, a.Client()); err != nil {
+				return nil, fmt.Errorf("sim: round %d: %w", round, err)
+			}
+			metrics.Agreed++
+		}
+		if sm != nil {
+			sm.Rounds.Inc()
+			sm.Requests.Add(int64(metrics.Requests))
+			sm.Offers.Add(int64(metrics.Offers))
+			sm.Matches.Add(int64(metrics.Matches))
+			sm.Agreed.Add(int64(metrics.Agreed))
+			sm.WelfareSum.Add(metrics.Welfare)
+		}
+		res.Rounds = append(res.Rounds, metrics)
+	}
+	res.Reputation = reg.Reputation().Snapshot()
+	return res, nil
 }
 
 // restoreGroundTruth copies TrueValue/TrueCost from the generated market

@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_PATTERN:-BenchmarkMechanism(100|400|1000)\$|BenchmarkBestOffers|BenchmarkFig5a\$|BenchmarkFig5d\$}"
+PATTERN="${BENCH_PATTERN:-BenchmarkMechanism(100|400|1000)\$|BenchmarkMechanismSharded1000K[14]\$|BenchmarkBestOffers|BenchmarkFig5a\$|BenchmarkFig5d\$}"
 TIME="${BENCH_TIME:-3x}"
 OUT="${BENCH_OUT:-BENCH_PR3.json}"
 BASELINE="${BENCH_BASELINE:-}"

@@ -42,7 +42,7 @@ check_cov() { # pkg floor
   echo "    ${pkg}: ${pct}% (gate ${floor}%)"
 }
 for pkg in internal/miner internal/p2p; do check_cov "${pkg}" 75.0; done
-for pkg in internal/stats internal/audit internal/obs; do check_cov "${pkg}" 80.0; done
+for pkg in internal/stats internal/audit internal/obs internal/shard; do check_cov "${pkg}" 80.0; done
 
 echo "==> bench compare (warn-only)"
 # A quick benchmark pass compared benchstat-style against the committed
@@ -50,7 +50,7 @@ echo "==> bench compare (warn-only)"
 # noisy and 1-iteration runs are indicative, not statistics. Refresh the
 # baseline with scripts/bench.sh after intentional perf changes.
 if [ -f BENCH_PR3.json ]; then
-  go test -run '^$' -bench 'BenchmarkMechanism(100|400)$|BenchmarkBestOffers' \
+  go test -run '^$' -bench 'BenchmarkMechanism(100|400)$|BenchmarkMechanismSharded1000K[14]$|BenchmarkBestOffers' \
       -benchtime 1x -benchmem . ./internal/match 2>/dev/null \
     | go run ./cmd/benchjson -baseline BENCH_PR3.json -out /tmp/bench_ci.json \
     || echo "    bench compare skipped (non-fatal)"
@@ -88,5 +88,7 @@ rm -f "${OBS_LOG}"
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test -run='^$' -fuzz=FuzzDecodeBid -fuzztime="${FUZZTIME}" ./internal/bidding
 go test -run='^$' -fuzz=FuzzSealedRoundTrip -fuzztime="${FUZZTIME}" ./internal/sealed
+# Anchored: the shard package has two Fuzz targets sharing this prefix.
+go test -run='^$' -fuzz='^FuzzShardPartition$' -fuzztime="${FUZZTIME}" ./internal/shard
 
 echo "==> ci.sh: all green"

@@ -9,9 +9,10 @@
 //
 // With -baseline, the old run's benchmarks are embedded under "baseline"
 // in the output document and a delta table (ns/op, allocs/op, B/op) is
-// printed to stdout. The tool never fails on regressions — it reports;
-// gating is the caller's policy (scripts/ci.sh runs it warn-only because
-// CI hardware varies).
+// printed to stdout. By default the tool reports without failing; with
+// -gate N it exits 2 when any overlapping benchmark's ns/op regressed
+// more than N percent over the baseline — the hard-gate mode
+// scripts/ci.sh runs with a ±5% tolerance.
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 func main() {
 	out := flag.String("out", "", "write the JSON document here (omit for stdout)")
 	baseline := flag.String("baseline", "", "previous benchjson document to embed and compare against")
+	gate := flag.Float64("gate", 0, "exit 2 when any benchmark's ns/op regresses more than this percent over the baseline (0 = report only)")
 	flag.Parse()
 
 	results, err := benchparse.Parse(bufio.NewReader(os.Stdin))
@@ -39,8 +41,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
+	// `go test -count=N` emits each benchmark N times; keep the fastest
+	// run per name. On a shared runner external load only adds time, so
+	// min-of-N is the stable statistic to record and to gate on.
+	results = benchparse.Best(results)
 
 	doc := benchparse.Document{Benchmarks: results}
+	var regressions []string
 	if *baseline != "" {
 		old, err := readDocument(*baseline)
 		if err != nil {
@@ -51,6 +58,9 @@ func main() {
 		// is always against its current benchmarks.
 		doc.Baseline = old.Benchmarks
 		benchparse.WriteComparison(os.Stdout, old.Benchmarks, results)
+		if *gate > 0 {
+			regressions = benchparse.Regressions(old.Benchmarks, results, *gate)
+		}
 	}
 
 	var w io.Writer = os.Stdout
@@ -68,6 +78,15 @@ func main() {
 	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+
+	// Gate AFTER the document is written: a failing run still records its
+	// numbers, so the regression being reported is inspectable.
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s\n", r)
+		}
+		os.Exit(2)
 	}
 }
 

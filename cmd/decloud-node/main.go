@@ -56,6 +56,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	chainFile := fs.String("chain", "", "persist the chain to this file after each block")
 	obsAddr := fs.String("obs-addr", "", "serve metrics/pprof on this address (empty = off)")
 	traceOut := fs.String("trace-out", "", "append per-round JSONL traces to this file")
+	maxConns := fs.Int("max-conns", 0, "cap on simultaneous gossip connections (0 = unlimited)")
+	maxFrameMB := fs.Int("max-frame-mb", 0, "cap on a single wire message in MiB (0 = default 256)")
+	mempoolLimit := fs.Int("mempool-limit", 0, "cap on pending sealed bids (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,6 +71,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer node.Close()
+	node.SetLimits(p2p.Limits{MaxConns: *maxConns, MaxFrameBytes: *maxFrameMB * 1024 * 1024})
+	node.SetMempoolLimit(*mempoolLimit)
 	fmt.Fprintf(stdout, "%s listening on %s\n", *name, node.Addr())
 
 	var tracer *obs.Tracer

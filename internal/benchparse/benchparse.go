@@ -96,6 +96,29 @@ func parseLine(line string) (Result, bool) {
 	return res, true
 }
 
+// Best collapses repeated benchmark names (a `go test -count=N` run
+// emits each benchmark N times) to the run with the lowest ns/op.
+// Minimum-of-N is the contention-robust statistic for a gate on a
+// shared box: external load only ever adds time, so the fastest run is
+// the most reproducible measurement of the code itself. Single-run
+// input passes through unchanged; first-seen order is preserved.
+func Best(rs []Result) []Result {
+	best := make(map[string]int, len(rs))
+	var out []Result
+	for _, r := range rs {
+		i, seen := best[r.Name]
+		if !seen {
+			best[r.Name] = len(out)
+			out = append(out, r)
+			continue
+		}
+		if r.NsPerOp > 0 && (out[i].NsPerOp <= 0 || r.NsPerOp < out[i].NsPerOp) {
+			out[i] = r
+		}
+	}
+	return out
+}
+
 // byName indexes results for comparison.
 func byName(rs []Result) map[string]Result {
 	m := make(map[string]Result, len(rs))
@@ -111,6 +134,34 @@ func Delta(old, new float64) float64 {
 		return 0
 	}
 	return (new - old) / old * 100
+}
+
+// Regressions returns one line per benchmark present in both runs whose
+// ns/op regressed by more than tolerancePct (e.g. 5 = +5%). Benchmarks
+// missing from either run are ignored: adding or retiring a benchmark is
+// not a regression. An empty slice means the gate passes.
+func Regressions(old, new []Result, tolerancePct float64) []string {
+	oldBy := byName(old)
+	var out []string
+	names := make([]string, 0, len(new))
+	for _, r := range new {
+		if _, ok := oldBy[r.Name]; ok {
+			names = append(names, r.Name)
+		}
+	}
+	sort.Strings(names)
+	newBy := byName(new)
+	for _, name := range names {
+		o, n := oldBy[name], newBy[name]
+		if o.NsPerOp <= 0 {
+			continue
+		}
+		if d := Delta(o.NsPerOp, n.NsPerOp); d > tolerancePct {
+			out = append(out, fmt.Sprintf("%s: ns/op %+.1f%% (%.0f -> %.0f, tolerance %.1f%%)",
+				name, d, o.NsPerOp, n.NsPerOp, tolerancePct))
+		}
+	}
+	return out
 }
 
 // WriteComparison prints a benchstat-style before/after table for the

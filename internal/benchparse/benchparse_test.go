@@ -73,3 +73,63 @@ func TestDelta(t *testing.T) {
 		t.Fatalf("Delta(100,75) = %v, want -25", d)
 	}
 }
+
+func TestRegressions(t *testing.T) {
+	old := []Result{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 100},
+		{Name: "BenchmarkGone", NsPerOp: 100},
+		{Name: "BenchmarkZeroBase"},
+	}
+	new := []Result{
+		{Name: "BenchmarkA", NsPerOp: 104}, // +4%: inside a 5% gate
+		{Name: "BenchmarkB", NsPerOp: 120}, // +20%: regression
+		{Name: "BenchmarkOnlyNew", NsPerOp: 999},
+		{Name: "BenchmarkZeroBase", NsPerOp: 50}, // no baseline signal
+	}
+	regs := Regressions(old, new, 5)
+	if len(regs) != 1 {
+		t.Fatalf("want exactly the +20%% regression, got %v", regs)
+	}
+	if !strings.Contains(regs[0], "BenchmarkB") || !strings.Contains(regs[0], "+20.0%") {
+		t.Fatalf("unexpected regression line: %q", regs[0])
+	}
+	if regs := Regressions(old, new, 25); len(regs) != 0 {
+		t.Fatalf("a 25%% gate must pass, got %v", regs)
+	}
+}
+
+func TestBest(t *testing.T) {
+	in := []Result{
+		{Name: "BenchmarkA", Iters: 3, NsPerOp: 1200, AllocsOp: 10},
+		{Name: "BenchmarkB", Iters: 3, NsPerOp: 500},
+		{Name: "BenchmarkA", Iters: 3, NsPerOp: 1000, AllocsOp: 9},
+		{Name: "BenchmarkA", Iters: 3, NsPerOp: 1100, AllocsOp: 11},
+		{Name: "BenchmarkB", Iters: 3, NsPerOp: 700},
+		{Name: "BenchmarkMetricOnly", Metrics: map[string]float64{"orders/round": 100}},
+		{Name: "BenchmarkMetricOnly", NsPerOp: 42},
+	}
+	got := Best(in)
+	if len(got) != 3 {
+		t.Fatalf("Best collapsed to %d results, want 3: %+v", len(got), got)
+	}
+	// First-seen order is preserved; each name keeps its fastest run.
+	if got[0].Name != "BenchmarkA" || got[0].NsPerOp != 1000 || got[0].AllocsOp != 9 {
+		t.Fatalf("BenchmarkA: %+v, want the ns/op=1000 run with its own allocs", got[0])
+	}
+	if got[1].Name != "BenchmarkB" || got[1].NsPerOp != 500 {
+		t.Fatalf("BenchmarkB: %+v, want ns/op=500", got[1])
+	}
+	// A zero-ns/op entry (metric-only line) is replaced by any timed run.
+	if got[2].Name != "BenchmarkMetricOnly" || got[2].NsPerOp != 42 {
+		t.Fatalf("BenchmarkMetricOnly: %+v, want the timed run", got[2])
+	}
+
+	single := []Result{{Name: "BenchmarkSolo", NsPerOp: 7}}
+	if out := Best(single); len(out) != 1 || out[0].Name != "BenchmarkSolo" || out[0].NsPerOp != 7 {
+		t.Fatalf("single-run input must pass through unchanged: %+v", out)
+	}
+	if out := Best(nil); out != nil {
+		t.Fatalf("nil input must return nil, got %+v", out)
+	}
+}

@@ -82,8 +82,11 @@ type Plan struct {
 	Crashes    []Crash
 	// BlockedReveals lists bid digests whose key reveals never arrive, on
 	// any attempt — the hook chaos tests use to replay a previous run's
-	// exclusion set against a fault-free network.
-	BlockedReveals map[[32]byte]bool
+	// exclusion set against a fault-free network. Excluded from JSON (the
+	// key type has no text form) so a Plan's schedule can ship across
+	// process boundaries — the devnet orchestrator serializes plans into
+	// the config files of the node processes it spawns.
+	BlockedReveals map[[32]byte]bool `json:"-"`
 
 	now atomic.Int64
 }

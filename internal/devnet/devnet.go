@@ -1,0 +1,615 @@
+// Package devnet orchestrates a multi-process DeCloud network on one
+// machine: N miner processes and M participant processes — each a
+// re-exec of the current binary (see MaybeRunRole) — wired into a gossip
+// mesh, subjected to churn, a partition, and a crash-restart, and
+// audited at teardown for chain convergence and order conservation.
+//
+// Everything a child needs travels in a JSON config file; everything the
+// auditor needs comes back as files (chain replicas, participant
+// reports), so a SIGKILL loses no evidence. The orchestrator never
+// shares memory with the nodes it tests — the network under test is real
+// processes exchanging real TCP traffic.
+package devnet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"decloud/internal/chaos"
+	"decloud/internal/workload"
+)
+
+// Topology configures a devnet run.
+type Topology struct {
+	// Miners (first one produces) and Participants are process counts.
+	Miners       int
+	Participants int
+	// Dir receives configs, logs, ready files, chain replicas, and
+	// participant reports.
+	Dir string
+	// Bin is the executable to re-exec (default: os.Executable()).
+	Bin string
+	// Seed derives the fault plan and every participant's order stream.
+	Seed int64
+	// Rate paces each participant, orders/second (default 10).
+	Rate float64
+	// EpochOrders shapes each participant's stream (default 16 — small
+	// epochs keep offers and requests interleaved, so every produced
+	// round holds both sides of the market and short runs still clear
+	// trades).
+	EpochOrders int
+	// Difficulty is the miners' PoW difficulty (default 8).
+	Difficulty int
+	// Quorum is the producer's per-round OK-vote requirement (default 1).
+	Quorum int
+	// MinPool batches production (default 16 bids).
+	MinPool int
+	// Soak is how long faults and churn run before healing (default 8s).
+	Soak time.Duration
+	// Churn kills one participant mid-soak and respawns a replacement.
+	Churn bool
+	// Partition opens an origin-based cut through mid-soak.
+	Partition bool
+	// CrashRestart SIGKILLs one verifier miner mid-soak and respawns it
+	// (empty chain; it must catch up over the sync protocol).
+	CrashRestart bool
+	// ConvergeTimeout bounds the post-soak wait for identical chains
+	// (default 60s).
+	ConvergeTimeout time.Duration
+	// TickMS is the fault plan's logical clock granularity (default 100).
+	TickMS int
+}
+
+func (t Topology) withDefaults() (Topology, error) {
+	if t.Miners < 1 || t.Participants < 1 {
+		return t, fmt.Errorf("devnet: need at least 1 miner and 1 participant")
+	}
+	if t.Dir == "" {
+		return t, fmt.Errorf("devnet: Dir is required")
+	}
+	if t.Bin == "" {
+		bin, err := os.Executable()
+		if err != nil {
+			return t, err
+		}
+		t.Bin = bin
+	}
+	if t.Rate <= 0 {
+		t.Rate = 10
+	}
+	if t.EpochOrders <= 0 {
+		t.EpochOrders = 16
+	}
+	if t.Difficulty <= 0 {
+		t.Difficulty = 8
+	}
+	if t.Quorum <= 0 && t.Miners > 1 {
+		t.Quorum = 1
+	}
+	if t.MinPool <= 0 {
+		t.MinPool = 16
+	}
+	if t.Soak <= 0 {
+		t.Soak = 8 * time.Second
+	}
+	if t.ConvergeTimeout <= 0 {
+		t.ConvergeTimeout = 60 * time.Second
+	}
+	if t.TickMS <= 0 {
+		t.TickMS = 100
+	}
+	return t, nil
+}
+
+// proc is one child process and its artifact paths.
+type proc struct {
+	name    string
+	role    string
+	cfgPath string
+	ready   string
+	log     *os.File
+	cmd     *exec.Cmd
+}
+
+// Cluster is a running devnet.
+type Cluster struct {
+	top    Topology
+	start  time.Time
+	plan   *chaos.Plan
+	miners []*proc
+	parts  []*proc
+	// reports accumulates every participant report path ever spawned —
+	// churned-away and stopped processes stay in the submitted-set.
+	reports    []string
+	minerAddrs []string
+	churnSeq   int
+}
+
+// Logf is swappable output for orchestrator progress (default: discard).
+var Logf = func(format string, args ...any) {}
+
+// tick converts a wall duration from cluster start into plan ticks.
+func (c *Cluster) tick(d time.Duration) int64 {
+	return int64(d / (time.Duration(c.top.TickMS) * time.Millisecond))
+}
+
+func (c *Cluster) elapsedTick() int64 {
+	return c.tick(time.Since(c.start))
+}
+
+// buildPlan derives the run's fault plan: light message chaos for the
+// whole soak plus (optionally) one partition window through the middle
+// third of the soak. Groups split miners AND participants so the cut
+// severs endpoints, not just links.
+func buildPlan(top Topology, minerNames, partNames []string) *chaos.Plan {
+	plan := &chaos.Plan{
+		Seed: top.Seed,
+		Probs: chaos.Probs{
+			Drop:          0.02,
+			Delay:         0.10,
+			Dup:           0.05,
+			MaxDelaySteps: 3,
+		},
+		// Exempt votes and the catch-up protocol from background faults:
+		// a single lost vote stalls the producer for a whole round
+		// timeout, which starves the run without testing anything the
+		// partition windows (which DO sever these messages) don't already
+		// cover harder.
+		TypeProbs: map[string]chaos.Probs{
+			"vote":    {},
+			"syncreq": {},
+			"chain":   {},
+		},
+		Step: 10 * time.Millisecond,
+	}
+	if top.Partition {
+		tickLen := time.Duration(top.TickMS) * time.Millisecond
+		from := int64(top.Soak / 3 / tickLen)
+		until := int64(top.Soak * 2 / 3 / tickLen)
+		// Producer side keeps a quorum of verifiers; the far side keeps
+		// at least one miner so its participants' gossip has somewhere
+		// to go.
+		cutM := len(minerNames) - 1
+		cutP := len(partNames) / 2
+		plan.Partitions = []chaos.Partition{{
+			Window: chaos.Window{From: from, Until: until},
+			GroupA: append(append([]string{}, minerNames[:cutM]...), partNames[:cutP]...),
+			GroupB: append(append([]string{}, minerNames[cutM:]...), partNames[cutP:]...),
+		}}
+	}
+	return plan
+}
+
+// Launch starts the cluster: miners first (meshed in spawn order), then
+// participants (dialing every miner).
+func Launch(ctx context.Context, top Topology) (*Cluster, error) {
+	top, err := top.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(top.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	c := &Cluster{top: top, start: time.Now()}
+
+	minerNames := make([]string, top.Miners)
+	for i := range minerNames {
+		minerNames[i] = fmt.Sprintf("m%d", i)
+	}
+	partNames := make([]string, top.Participants)
+	for i := range partNames {
+		partNames[i] = fmt.Sprintf("p%d", i)
+	}
+	c.plan = buildPlan(top, minerNames, partNames)
+
+	for i := 0; i < top.Miners; i++ {
+		p, err := c.spawnMiner(ctx, i)
+		if err != nil {
+			c.Kill()
+			return nil, err
+		}
+		c.miners = append(c.miners, p)
+		addr, err := c.awaitReady(ctx, p)
+		if err != nil {
+			c.Kill()
+			return nil, err
+		}
+		c.minerAddrs = append(c.minerAddrs, addr)
+		Logf("devnet: miner %s up at %s", p.name, addr)
+	}
+	for i := 0; i < top.Participants; i++ {
+		p, err := c.spawnParticipant(ctx, fmt.Sprintf("p%d", i), int64(i))
+		if err != nil {
+			c.Kill()
+			return nil, err
+		}
+		c.parts = append(c.parts, p)
+		if _, err := c.awaitReady(ctx, p); err != nil {
+			c.Kill()
+			return nil, err
+		}
+		Logf("devnet: participant %s up", p.name)
+	}
+	return c, nil
+}
+
+func (c *Cluster) minerConfig(i int) MinerConfig {
+	name := fmt.Sprintf("m%d", i)
+	return MinerConfig{
+		Name:           name,
+		Listen:         "127.0.0.1:0",
+		Peers:          append([]string{}, c.minerAddrs[:min(i, len(c.minerAddrs))]...),
+		Difficulty:     c.top.Difficulty,
+		Produce:        i == 0,
+		Quorum:         c.top.Quorum,
+		MinPool:        c.top.MinPool,
+		MaxPoolWaitMS:  1500,
+		RevealWindowMS: 800,
+		// Reveal windows sum to 0.8×(1+2+4) = 5.6 s — comfortably inside
+		// the 12 s round timeout, so a round with permanently lost
+		// reveals completes with exclusions instead of dying on ctx.
+		RevealRetries: 2,
+		ChainFile:     filepath.Join(c.top.Dir, name+".chain"),
+		ReadyFile:     filepath.Join(c.top.Dir, name+".ready"),
+		StatusFile:    filepath.Join(c.top.Dir, name+".status"),
+		Plan:          c.plan,
+		StartTick:     c.elapsedTick(),
+		TickMS:        c.top.TickMS,
+	}
+}
+
+func (c *Cluster) spawnMiner(ctx context.Context, i int) (*proc, error) {
+	cfg := c.minerConfig(i)
+	return c.spawn(ctx, "miner", cfg.Name, cfg.ReadyFile, cfg)
+}
+
+func (c *Cluster) participantConfig(name string, streamSeed int64) ParticipantConfig {
+	return ParticipantConfig{
+		Name:  name,
+		Peers: append([]string{}, c.minerAddrs...),
+		Stream: workload.StreamConfig{
+			Seed:        c.top.Seed ^ (streamSeed+1)*0x9e3779b9,
+			Clients:     1,
+			EpochOrders: c.top.EpochOrders,
+			EpochSec:    600,
+			IDPrefix:    name,
+		},
+		Rate:       c.top.Rate,
+		ReportFile: filepath.Join(c.top.Dir, name+".report"),
+		ReadyFile:  filepath.Join(c.top.Dir, name+".ready"),
+		Plan:       c.plan,
+		StartTick:  c.elapsedTick(),
+		TickMS:     c.top.TickMS,
+	}
+}
+
+func (c *Cluster) spawnParticipant(ctx context.Context, name string, streamSeed int64) (*proc, error) {
+	cfg := c.participantConfig(name, streamSeed)
+	c.reports = append(c.reports, cfg.ReportFile)
+	return c.spawn(ctx, "participant", cfg.Name, cfg.ReadyFile, cfg)
+}
+
+func (c *Cluster) spawn(ctx context.Context, role, name, readyFile string, cfg any) (*proc, error) {
+	_ = os.Remove(readyFile)
+	cfgPath := filepath.Join(c.top.Dir, name+"."+role+".json")
+	if err := writeJSON(cfgPath, cfg); err != nil {
+		return nil, err
+	}
+	logPath := filepath.Join(c.top.Dir, name+".log")
+	logF, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.CommandContext(ctx, c.top.Bin)
+	cmd.Env = append(os.Environ(),
+		RoleEnv+"="+role,
+		ConfigEnv+"="+cfgPath,
+	)
+	cmd.Stdout = logF
+	cmd.Stderr = logF
+	cmd.WaitDelay = 10 * time.Second
+	cmd.Cancel = func() error { return cmd.Process.Signal(syscall.SIGTERM) }
+	if err := cmd.Start(); err != nil {
+		logF.Close()
+		return nil, fmt.Errorf("devnet: spawn %s %s: %w", role, name, err)
+	}
+	return &proc{name: name, role: role, cfgPath: cfgPath, ready: readyFile, log: logF, cmd: cmd}, nil
+}
+
+func (c *Cluster) awaitReady(ctx context.Context, p *proc) (string, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if data, err := os.ReadFile(p.ready); err == nil && len(data) > 0 {
+			return string(data[:len(data)-1]), nil
+		}
+		if ctx.Err() != nil {
+			return "", ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("devnet: %s %s not ready after 30s (see %s)", p.role, p.name, p.log.Name())
+		}
+		if p.cmd.ProcessState != nil {
+			return "", fmt.Errorf("devnet: %s %s exited before ready", p.role, p.name)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// ChurnParticipant SIGKILLs participant index i and spawns a fresh
+// replacement with a new identity and stream. The dead process's report
+// file stays in the audit's submitted-set.
+func (c *Cluster) ChurnParticipant(ctx context.Context, i int) error {
+	if i < 0 || i >= len(c.parts) {
+		return fmt.Errorf("devnet: no participant %d", i)
+	}
+	old := c.parts[i]
+	_ = old.cmd.Process.Kill()
+	_ = old.cmd.Wait()
+	old.log.Close()
+	Logf("devnet: churned participant %s", old.name)
+
+	c.churnSeq++
+	name := fmt.Sprintf("pc%d", c.churnSeq)
+	p, err := c.spawnParticipant(ctx, name, int64(100+c.churnSeq))
+	if err != nil {
+		return err
+	}
+	c.parts[i] = p
+	if _, err := c.awaitReady(ctx, p); err != nil {
+		return err
+	}
+	Logf("devnet: replacement participant %s up", name)
+	return nil
+}
+
+// CrashRestartMiner SIGKILLs miner index i (never 0, the producer) and
+// respawns it with the same name and an empty chain — it must resync
+// from its peers through the sync protocol.
+func (c *Cluster) CrashRestartMiner(ctx context.Context, i int, downFor time.Duration) error {
+	if i <= 0 || i >= len(c.miners) {
+		return fmt.Errorf("devnet: cannot crash-restart miner %d", i)
+	}
+	old := c.miners[i]
+	_ = old.cmd.Process.Kill()
+	_ = old.cmd.Wait()
+	old.log.Close()
+	Logf("devnet: crashed miner %s", old.name)
+	select {
+	case <-time.After(downFor):
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// Fresh chain: the replica must come back over the wire.
+	_ = os.Remove(filepath.Join(c.top.Dir, old.name+".chain"))
+	p, err := c.spawnMiner(ctx, i)
+	if err != nil {
+		return err
+	}
+	c.miners[i] = p
+	addr, err := c.awaitReady(ctx, p)
+	if err != nil {
+		return err
+	}
+	c.minerAddrs[i] = addr
+	Logf("devnet: miner %s restarted at %s", p.name, addr)
+	return nil
+}
+
+// ChainFiles returns each live miner's chain replica path.
+func (c *Cluster) ChainFiles() []string {
+	out := make([]string, len(c.miners))
+	for i, p := range c.miners {
+		out[i] = filepath.Join(c.top.Dir, p.name+".chain")
+	}
+	return out
+}
+
+// ReportFiles returns every participant report ever spawned, including
+// churned-away and already-stopped processes.
+func (c *Cluster) ReportFiles() []string {
+	return append([]string{}, c.reports...)
+}
+
+// AwaitConvergence polls the miners' chain files until every replica is
+// byte-identical at height ≥ minHeight, or the topology's converge
+// timeout lapses.
+func (c *Cluster) AwaitConvergence(ctx context.Context, minHeight int) error {
+	deadline := time.Now().Add(c.top.ConvergeTimeout)
+	var lastErr error
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		res, err := CheckConvergence(c.ChainFiles(), minHeight)
+		if err == nil {
+			Logf("devnet: converged at height %d (%s)", res.Height, res.HeadHash[:12])
+			return nil
+		}
+		lastErr = err
+		time.Sleep(250 * time.Millisecond)
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return fmt.Errorf("devnet: no convergence within %s: %w", c.top.ConvergeTimeout, lastErr)
+}
+
+// QuiesceParticipants SIGUSR1s all participants: they stop emitting new
+// orders but stay alive answering reveals, so the miners can drain their
+// pools without excluding the stragglers.
+func (c *Cluster) QuiesceParticipants() {
+	for _, p := range c.parts {
+		_ = p.cmd.Process.Signal(syscall.SIGUSR1)
+	}
+}
+
+// StopParticipants SIGTERMs all participants and waits for exit.
+func (c *Cluster) StopParticipants() {
+	for _, p := range c.parts {
+		_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	for _, p := range c.parts {
+		_ = p.cmd.Wait()
+		p.log.Close()
+	}
+	c.parts = nil
+}
+
+// StopMiners SIGTERMs all miners and waits for exit (each saves its
+// chain on the way out).
+func (c *Cluster) StopMiners() {
+	for _, p := range c.miners {
+		_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	for _, p := range c.miners {
+		_ = p.cmd.Wait()
+		p.log.Close()
+	}
+}
+
+// Kill force-stops everything (cleanup path).
+func (c *Cluster) Kill() {
+	for _, p := range append(append([]*proc{}, c.parts...), c.miners...) {
+		if p.cmd.Process != nil {
+			_ = p.cmd.Process.Kill()
+			_ = p.cmd.Wait()
+		}
+		if p.log != nil {
+			p.log.Close()
+		}
+	}
+}
+
+// Summary is the outcome of a full scenario run.
+type Summary struct {
+	Convergence  *ConvergenceResult
+	Conservation *ConservationResult
+}
+
+// Run executes the whole scenario: launch, soak with faults, heal,
+// converge, stop, audit. It is the one-call form used by the soak test
+// and cmd/decloud-devnet.
+func Run(ctx context.Context, top Topology) (*Summary, error) {
+	c, err := Launch(ctx, top)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Kill()
+	top = c.top // defaults applied
+
+	// Soak phase: churn at 1/4, crash at 1/2 (partition window, if any,
+	// spans the middle third via the plan).
+	soakEnd := time.After(top.Soak)
+	if top.Churn {
+		select {
+		case <-time.After(top.Soak / 4):
+			if err := c.ChurnParticipant(ctx, len(c.parts)/2); err != nil {
+				return nil, err
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if top.CrashRestart && top.Miners > 1 {
+		select {
+		case <-time.After(top.Soak / 4):
+			if err := c.CrashRestartMiner(ctx, top.Miners-1, top.Soak/8); err != nil {
+				return nil, err
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	select {
+	case <-soakEnd:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+
+	// Healing phase: all fault windows are behind us (the partition
+	// closes at 2/3 of soak); participants keep feeding rounds so every
+	// replica — including the restarted miner — hears new blocks and
+	// resyncs. Require some chain growth first.
+	if err := c.AwaitConvergence(ctx, 1); err != nil {
+		return nil, err
+	}
+
+	// Quiesce: emission stops, but participants stay up answering
+	// reveals while the producer drains its pool — leftovers land in
+	// blocks fully decoded instead of excluded as unrevealed. Only once
+	// the chains are identical and stably at rest do the processes exit.
+	c.QuiesceParticipants()
+	if err := c.AwaitStableConvergence(ctx); err != nil {
+		return nil, err
+	}
+	c.StopParticipants()
+	c.StopMiners()
+
+	conv, err := CheckConvergence(c.ChainFiles(), 1)
+	if err != nil {
+		return nil, fmt.Errorf("devnet: post-stop convergence: %w", err)
+	}
+	cons, err := CheckConservation(c.ChainFiles()[0], c.ReportFiles())
+	if err != nil {
+		return nil, err
+	}
+	return &Summary{Convergence: conv, Conservation: cons}, nil
+}
+
+// AwaitStableConvergence waits until the replicas are identical, the
+// producer's mempool is empty (nothing left to drain — read from its
+// status file), AND the head held still across two consecutive
+// observations 2 s apart. A round that is mid-flight when this returns
+// has already appended and broadcast its block (votes come after), so a
+// stable head with an empty pool really is the final state.
+func (c *Cluster) AwaitStableConvergence(ctx context.Context) error {
+	deadline := time.Now().Add(c.top.ConvergeTimeout)
+	statusFile := filepath.Join(c.top.Dir, c.miners[0].name+".status")
+	var prevHead string
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		res, err := CheckConvergence(c.ChainFiles(), 1)
+		if err == nil && res.HeadHash == prevHead && producerDrained(statusFile) {
+			return nil
+		}
+		if err == nil {
+			prevHead = res.HeadHash
+		} else {
+			prevHead = ""
+		}
+		time.Sleep(2 * time.Second)
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return fmt.Errorf("devnet: chains never stabilized within %s", c.top.ConvergeTimeout)
+}
+
+func producerDrained(statusFile string) bool {
+	data, err := os.ReadFile(statusFile)
+	if err != nil {
+		return false
+	}
+	var st MinerStatus
+	if json.Unmarshal(data, &st) != nil {
+		return false
+	}
+	return st.Pool == 0 && !st.InFlight
+}
+
+func writeJSON(path string, v any) error {
+	data, err := jsonMarshalIndent(v)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,431 @@
+package devnet
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"decloud/internal/auction"
+	"decloud/internal/chaos"
+	"decloud/internal/p2p"
+	"decloud/internal/sealed"
+	"decloud/internal/workload"
+)
+
+// Child processes are this same binary re-executed with a role: the
+// orchestrator sets RoleEnv and ConfigEnv and spawns os.Executable().
+// Both cmd/decloud-devnet and the devnet test binary call MaybeRunRole
+// first thing, so a race-instrumented `go test -race` binary re-execs
+// itself and every node process runs under the race detector too.
+const (
+	// RoleEnv selects the child's role: "miner" or "participant".
+	RoleEnv = "DECLOUD_DEVNET_ROLE"
+	// ConfigEnv is the path of the role's JSON config file.
+	ConfigEnv = "DECLOUD_DEVNET_CONFIG"
+)
+
+// MaybeRunRole checks the environment for a devnet role and, if one is
+// set, runs it and exits the process. Call it at the top of main (and of
+// TestMain in packages whose test binary doubles as the devnet helper);
+// it returns immediately when no role is set.
+func MaybeRunRole() {
+	role := os.Getenv(RoleEnv)
+	if role == "" {
+		return
+	}
+	os.Exit(RunRole(role, os.Getenv(ConfigEnv)))
+}
+
+// RunRole runs one devnet role to completion and returns its exit code.
+func RunRole(role, configPath string) int {
+	var err error
+	switch role {
+	case "miner":
+		err = runMiner(configPath)
+	case "participant":
+		err = runParticipant(configPath)
+	default:
+		err = fmt.Errorf("devnet: unknown role %q", role)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "devnet %s: %v\n", role, err)
+		return 1
+	}
+	return 0
+}
+
+// MinerConfig is the JSON config of a miner process.
+type MinerConfig struct {
+	Name       string   `json:"name"`
+	Listen     string   `json:"listen"`
+	Peers      []string `json:"peers"`
+	Difficulty int      `json:"difficulty"`
+
+	// Produce marks the block producer; the rest verify and vote.
+	Produce bool `json:"produce"`
+	// Quorum is the OK votes the producer waits for per round.
+	Quorum int `json:"quorum"`
+	// MinPool delays production until that many bids are pending; after
+	// MaxPoolWaitMS with a non-empty pool a round runs anyway, so a
+	// trickle of leftovers still drains at teardown.
+	MinPool        int `json:"min_pool"`
+	MaxPoolWaitMS  int `json:"max_pool_wait_ms"`
+	RevealWindowMS int `json:"reveal_window_ms"`
+	RevealRetries  int `json:"reveal_retries"`
+	MempoolLimit   int `json:"mempool_limit"`
+	// RoundTimeoutMS bounds one whole round (default 12s). The block is
+	// appended and broadcast before vote collection, so a quorum that
+	// never arrives (verifier partitioned or crashed) costs at most this
+	// long and the chain still grows.
+	RoundTimeoutMS int `json:"round_timeout_ms"`
+
+	// ChainFile receives the replica after every appended block and at
+	// shutdown; ReadyFile receives the node's listen address once it
+	// accepts connections; StatusFile (optional) receives a MinerStatus
+	// JSON snapshot once a second — the orchestrator's window into the
+	// producer's mempool at teardown.
+	ChainFile  string `json:"chain_file"`
+	ReadyFile  string `json:"ready_file"`
+	StatusFile string `json:"status_file"`
+
+	// Plan (optional) injects transport faults; its logical clock starts
+	// at StartTick and advances once per TickMS of wall time, so every
+	// process — whenever it (re)started — agrees on when fault windows
+	// open and close.
+	Plan      *chaos.Plan `json:"plan,omitempty"`
+	StartTick int64       `json:"start_tick"`
+	TickMS    int         `json:"tick_ms"`
+}
+
+// ParticipantConfig is the JSON config of a participant process.
+type ParticipantConfig struct {
+	Name  string   `json:"name"`
+	Peers []string `json:"peers"`
+	// Stream shapes this participant's private order stream; its
+	// IDPrefix must be unique per participant so IDs never collide.
+	Stream workload.StreamConfig `json:"stream"`
+	// Rate paces emission in orders/second (0 = one order per 100 ms).
+	Rate float64 `json:"rate"`
+	// Orders bounds emission (0 = emit until SIGTERM).
+	Orders int `json:"orders"`
+	// ReportFile receives one JSON line per submitted order — written
+	// with an unbuffered fd BEFORE the bid is broadcast, so the
+	// submitted-set survives a SIGKILL mid-flight.
+	ReportFile string `json:"report_file"`
+	ReadyFile  string `json:"ready_file"`
+
+	Plan      *chaos.Plan `json:"plan,omitempty"`
+	StartTick int64       `json:"start_tick"`
+	TickMS    int         `json:"tick_ms"`
+}
+
+// MinerStatus is the periodic snapshot a miner writes to its StatusFile.
+type MinerStatus struct {
+	Height int `json:"height"`
+	Pool   int `json:"pool"`
+	// InFlight is true while a production round is running. The pool is
+	// drained at round START, so Pool == 0 alone does not mean the
+	// producer is idle — the orchestrator must see Pool == 0 AND
+	// !InFlight before it may stop the miners.
+	InFlight bool `json:"in_flight"`
+}
+
+// ReportLine is one participant report entry.
+type ReportLine struct {
+	Order  string `json:"order"`
+	Digest string `json:"digest"` // hex of the sealed bid digest
+	Kind   string `json:"kind"`   // "request" | "offer"
+}
+
+func readConfig(path string, into any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, into)
+}
+
+// startPlanClock drives a plan's logical clock from wall time until ctx
+// ends. Done synchronously at ticker cadence; SetNow is atomic.
+func startPlanClock(ctx context.Context, plan *chaos.Plan, startTick int64, tickMS int) {
+	if plan == nil {
+		return
+	}
+	if tickMS <= 0 {
+		tickMS = 100
+	}
+	plan.SetNow(startTick)
+	start := time.Now()
+	go func() {
+		t := time.NewTicker(time.Duration(tickMS) * time.Millisecond / 4)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				plan.SetNow(startTick + int64(time.Since(start).Milliseconds())/int64(tickMS))
+			}
+		}
+	}()
+}
+
+// connectAll dials each peer, retrying for up to 15 s per peer — peers
+// may still be starting. Failure to reach a peer is tolerated (it may be
+// crashed on purpose); at least one connection must succeed.
+func connectAll(dial func(string) error, peers []string) error {
+	ok := 0
+	for _, peer := range peers {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			err := dial(peer)
+			if err == nil {
+				ok++
+				break
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	if ok == 0 && len(peers) > 0 {
+		return fmt.Errorf("devnet: no peer reachable of %d", len(peers))
+	}
+	return nil
+}
+
+func writeReady(path, addr string) error {
+	if path == "" {
+		return nil
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func runMiner(configPath string) error {
+	var cfg MinerConfig
+	if err := readConfig(configPath, &cfg); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	return runMinerWith(ctx, cfg)
+}
+
+// runMinerWith is the miner role's body, factored from the signal shell
+// so tests can run a miner in-process under a cancellable context.
+func runMinerWith(ctx context.Context, cfg MinerConfig) error {
+	mn, err := p2p.NewMarketNode(cfg.Name, cfg.Listen, cfg.Difficulty, auction.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	defer mn.Close()
+	mn.SetMempoolLimit(cfg.MempoolLimit)
+	if cfg.Plan != nil {
+		mn.SetFaults(cfg.Plan)
+		startPlanClock(ctx, cfg.Plan, cfg.StartTick, cfg.TickMS)
+	}
+	if err := connectAll(mn.Connect, cfg.Peers); err != nil {
+		return err
+	}
+	if err := writeReady(cfg.ReadyFile, mn.Addr()); err != nil {
+		return err
+	}
+
+	saveChain := func() {
+		if cfg.ChainFile != "" && mn.Chain().Len() > 0 {
+			if err := mn.Chain().SaveFile(cfg.ChainFile); err != nil {
+				fmt.Fprintf(os.Stderr, "devnet miner %s: save chain: %v\n", cfg.Name, err)
+			}
+		}
+	}
+	defer saveChain()
+
+	// Status runs on its own goroutine so snapshots stay fresh even while
+	// the production loop sits in a round (e.g. a vote wait).
+	var producing atomic.Bool
+	if cfg.StatusFile != "" {
+		go func() {
+			t := time.NewTicker(500 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+				}
+				data, _ := json.Marshal(MinerStatus{
+					Height:   mn.Chain().Len(),
+					Pool:     mn.MempoolSize(),
+					InFlight: producing.Load(),
+				})
+				tmp := cfg.StatusFile + ".tmp"
+				if err := os.WriteFile(tmp, data, 0o644); err == nil {
+					_ = os.Rename(tmp, cfg.StatusFile)
+				}
+			}
+		}()
+	}
+
+	revealWindow := time.Duration(cfg.RevealWindowMS) * time.Millisecond
+	if revealWindow <= 0 {
+		revealWindow = time.Second
+	}
+	maxPoolWait := time.Duration(cfg.MaxPoolWaitMS) * time.Millisecond
+	if maxPoolWait <= 0 {
+		maxPoolWait = 2 * time.Second
+	}
+	roundTimeout := time.Duration(cfg.RoundTimeoutMS) * time.Millisecond
+	if roundTimeout <= 0 {
+		roundTimeout = 12 * time.Second
+	}
+	rcfg := p2p.RoundConfig{
+		Quorum:        cfg.Quorum,
+		RevealWindow:  revealWindow,
+		RevealRetries: cfg.RevealRetries,
+	}
+
+	savedLen := 0
+	poolSince := time.Time{} // first time the pool was seen non-empty
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(50 * time.Millisecond):
+		}
+		if n := mn.Chain().Len(); n > savedLen {
+			savedLen = n
+			saveChain()
+		}
+		if !cfg.Produce {
+			continue
+		}
+		pool := mn.MempoolSize()
+		switch {
+		case pool == 0:
+			poolSince = time.Time{}
+			continue
+		case poolSince.IsZero():
+			poolSince = time.Now()
+		}
+		if pool < cfg.MinPool && time.Since(poolSince) < maxPoolWait {
+			continue
+		}
+		roundCtx, cancel := context.WithTimeout(ctx, roundTimeout)
+		producing.Store(true)
+		_, err := mn.ProduceBlockOpts(roundCtx, rcfg)
+		producing.Store(false)
+		cancel()
+		poolSince = time.Time{}
+		if err != nil && ctx.Err() == nil {
+			fmt.Fprintf(os.Stderr, "devnet miner %s: round: %v\n", cfg.Name, err)
+		}
+	}
+}
+
+func runParticipant(configPath string) error {
+	var cfg ParticipantConfig
+	if err := readConfig(configPath, &cfg); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	return runParticipantWith(ctx, cfg)
+}
+
+// runParticipantWith is the participant role's body, factored from the
+// signal shell so tests can run one in-process under a cancellable
+// context.
+func runParticipantWith(ctx context.Context, cfg ParticipantConfig) error {
+	// SIGUSR1 quiesces: emission stops but the process stays alive
+	// answering preamble reveals, so the miners can drain their pools
+	// without excluding the leftovers as unrevealed. SIGTERM then exits.
+	quiesce := make(chan os.Signal, 1)
+	signal.Notify(quiesce, syscall.SIGUSR1)
+	defer signal.Stop(quiesce)
+
+	report, err := os.OpenFile(cfg.ReportFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer report.Close()
+
+	lc, err := p2p.NewLoadClient(cfg.Name, "127.0.0.1:0", make([]io.Reader, 1), nil)
+	if err != nil {
+		return err
+	}
+	defer lc.Close()
+	if cfg.Plan != nil {
+		lc.SetFaults(cfg.Plan)
+		startPlanClock(ctx, cfg.Plan, cfg.StartTick, cfg.TickMS)
+	}
+	if err := connectAll(lc.Connect, cfg.Peers); err != nil {
+		return err
+	}
+	if err := writeReady(cfg.ReadyFile, cfg.Name); err != nil {
+		return err
+	}
+
+	stream := workload.NewStream(cfg.Stream)
+	gap := 100 * time.Millisecond
+	if cfg.Rate > 0 {
+		gap = time.Duration(float64(time.Second) / cfg.Rate)
+	}
+	tick := time.NewTicker(gap)
+	defer tick.Stop()
+emit:
+	for i := 0; cfg.Orders == 0 || i < cfg.Orders; i++ {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-quiesce:
+			break emit
+		case <-tick.C:
+		}
+		so := stream.Next()
+		// Seal first, append the report line (bare write syscall on an
+		// O_APPEND fd — survives SIGKILL), and only then broadcast: a
+		// bid can never be committed on-chain without its digest
+		// already in the report, so the auditor's committed ⊆ submitted
+		// invariant holds through any kill the orchestrator injects.
+		var bid *sealed.Bid
+		var serr error
+		kind := "offer"
+		if so.Request != nil {
+			kind = "request"
+			bid, serr = lc.SealRequest(0, so.Request)
+		} else {
+			bid, serr = lc.SealOffer(0, so.Offer)
+		}
+		if serr != nil {
+			fmt.Fprintf(os.Stderr, "devnet participant %s: seal: %v\n", cfg.Name, serr)
+			continue
+		}
+		digest := bid.Digest()
+		line, _ := json.Marshal(ReportLine{
+			Order:  string(so.ID()),
+			Digest: hex.EncodeToString(digest[:]),
+			Kind:   kind,
+		})
+		line = append(line, '\n')
+		if _, err := report.Write(line); err != nil {
+			return fmt.Errorf("devnet participant %s: report: %w", cfg.Name, err)
+		}
+		if err := lc.Publish(string(so.ID()), bid); err != nil && ctx.Err() == nil {
+			fmt.Fprintf(os.Stderr, "devnet participant %s: publish: %v\n", cfg.Name, err)
+		}
+	}
+	<-ctx.Done() // keep revealing for in-flight bids until told to stop
+	return nil
+}

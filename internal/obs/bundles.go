@@ -150,6 +150,9 @@ type NetMetrics struct {
 	RecvMsgs     *Counter // wire lines received
 	RecvBytes    *Counter // bytes received
 	Malformed    *Counter // undecodable wire lines dropped
+	Rejected     *Counter // inbound connections refused at the accept limit
+	Oversize     *Counter // connections dropped for exceeding the frame limit
+	PoolDropped  *Counter // bids refused at the mempool limit
 	FaultDropped *Counter // messages dropped by the fault plan
 	FaultDelayed *Counter // messages delayed by the fault plan
 	FaultDup     *Counter // duplicate local deliveries injected
@@ -167,6 +170,9 @@ func NewNetMetrics(r *Registry) *NetMetrics {
 		RecvMsgs:     r.Counter("decloud_p2p_recv_msgs_total", "wire lines received"),
 		RecvBytes:    r.Counter("decloud_p2p_recv_bytes_total", "bytes received"),
 		Malformed:    r.Counter("decloud_p2p_malformed_msgs_total", "undecodable wire lines dropped"),
+		Rejected:     r.Counter("decloud_p2p_rejected_conns_total", "inbound connections refused at the accept limit"),
+		Oversize:     r.Counter("decloud_p2p_oversize_frames_total", "connections dropped for exceeding the frame limit"),
+		PoolDropped:  r.Counter("decloud_p2p_pool_dropped_total", "bids refused at the mempool limit"),
 		FaultDropped: r.Counter("decloud_p2p_fault_dropped_total", "messages dropped by the fault plan"),
 		FaultDelayed: r.Counter("decloud_p2p_fault_delayed_total", "messages delayed by the fault plan"),
 		FaultDup:     r.Counter("decloud_p2p_fault_dup_deliveries_total", "duplicate local deliveries injected by the fault plan"),

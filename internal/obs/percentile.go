@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Client-side histogram aggregation: quantile estimation and snapshot
+// merging, so load generators can fold per-connection (or per-process)
+// latency histograms into one frontier report without shipping raw
+// samples. Everything operates on HistogramSnapshot — the immutable,
+// cumulative-bucket view — and never on live histograms, keeping the
+// hot Observe path untouched.
+
+// Quantile estimates the q-th quantile (q in [0, 1]) from the
+// snapshot's cumulative buckets, interpolating linearly inside the
+// bucket the rank falls into — the same estimator Prometheus's
+// histogram_quantile uses. The lowest bucket interpolates from zero;
+// ranks landing in the +Inf bucket return the highest finite bound (the
+// best point estimate a bounded histogram can give). An empty snapshot
+// returns NaN.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	// First bucket whose cumulative count reaches the rank.
+	i := 0
+	for i < len(s.Buckets)-1 && float64(s.Buckets[i]) < rank {
+		i++
+	}
+	if i == len(s.Bounds) {
+		// +Inf bucket: no finite upper edge to interpolate toward.
+		if len(s.Bounds) == 0 {
+			return math.NaN()
+		}
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	var lo float64
+	var below int64
+	if i > 0 {
+		lo = s.Bounds[i-1]
+		below = s.Buckets[i-1]
+	}
+	in := s.Buckets[i] - below
+	if in <= 0 {
+		return s.Bounds[i]
+	}
+	return lo + (s.Bounds[i]-lo)*(rank-float64(below))/float64(in)
+}
+
+// Merge folds other into a copy of s and returns the sum: bucket-wise
+// addition of the cumulative counts plus summed Count and Sum. The two
+// snapshots must share identical bounds (histograms cut from the same
+// registry layout do); mismatched bounds return an error rather than a
+// silently skewed aggregate. An empty snapshot (zero value) merges as
+// the identity in either position.
+func (s HistogramSnapshot) Merge(other HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(s.Buckets) == 0 {
+		return other, nil
+	}
+	if len(other.Buckets) == 0 {
+		return s, nil
+	}
+	if len(s.Bounds) != len(other.Bounds) {
+		return HistogramSnapshot{}, fmt.Errorf("obs: merge: %d vs %d bounds", len(s.Bounds), len(other.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != other.Bounds[i] {
+			return HistogramSnapshot{}, fmt.Errorf("obs: merge: bound %d differs: %v vs %v", i, s.Bounds[i], other.Bounds[i])
+		}
+	}
+	out := HistogramSnapshot{
+		Bounds:  append([]float64(nil), s.Bounds...),
+		Buckets: make([]int64, len(s.Buckets)),
+		Count:   s.Count + other.Count,
+		Sum:     s.Sum + other.Sum,
+	}
+	for i := range s.Buckets {
+		out.Buckets[i] = s.Buckets[i] + other.Buckets[i]
+	}
+	return out, nil
+}
+
+// MergeSnapshots folds any number of snapshots (skipping empties) into
+// one aggregate; it fails on the first bounds mismatch.
+func MergeSnapshots(snaps ...HistogramSnapshot) (HistogramSnapshot, error) {
+	var acc HistogramSnapshot
+	var err error
+	for _, s := range snaps {
+		if acc, err = acc.Merge(s); err != nil {
+			return HistogramSnapshot{}, err
+		}
+	}
+	return acc, nil
+}
+
+// LatencySummary is the percentile digest a load report carries.
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"` // upper edge of the highest occupied bucket
+}
+
+// Summarize digests a snapshot into the standard load-report percentiles.
+// NaNs (empty snapshot) collapse to zeros so reports marshal cleanly.
+func (s HistogramSnapshot) Summarize() LatencySummary {
+	sum := LatencySummary{Count: s.Count}
+	if s.Count == 0 {
+		return sum
+	}
+	sum.Mean = s.Sum / float64(s.Count)
+	sum.P50 = zeroNaN(s.Quantile(0.50))
+	sum.P95 = zeroNaN(s.Quantile(0.95))
+	sum.P99 = zeroNaN(s.Quantile(0.99))
+	for i := len(s.Buckets) - 1; i >= 0; i-- {
+		var below int64
+		if i > 0 {
+			below = s.Buckets[i-1]
+		}
+		if s.Buckets[i] > below {
+			if i < len(s.Bounds) {
+				sum.Max = s.Bounds[i]
+			} else if len(s.Bounds) > 0 {
+				sum.Max = s.Bounds[len(s.Bounds)-1]
+			}
+			break
+		}
+	}
+	return sum
+}
+
+func zeroNaN(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

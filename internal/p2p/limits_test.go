@@ -1,0 +1,185 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"decloud/internal/auction"
+	"decloud/internal/bidding"
+	"decloud/internal/miner"
+	"decloud/internal/obs"
+	"decloud/internal/resource"
+	"decloud/internal/sealed"
+)
+
+// TestConnLimitInbound: a node at MaxConns refuses further inbound
+// connections — the dialer sees its connection die, the listener's peer
+// count holds, and the rejection is counted.
+func TestConnLimitInbound(t *testing.T) {
+	srv, err := Listen("srv", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	reg := obs.NewRegistry()
+	m := obs.NewNetMetrics(reg)
+	srv.SetObs(m)
+	srv.SetLimits(Limits{MaxConns: 1})
+
+	a, err := Listen("a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Connect(srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first peer", func() bool { return srv.PeerCount() == 1 })
+
+	b, err := Listen("b", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Connect(srv.Addr()); err != nil {
+		t.Fatal(err) // dial succeeds; the listener closes it after accept
+	}
+	waitFor(t, "rejection counted", func() bool { return m.Rejected.Value() == 1 })
+	if srv.PeerCount() != 1 {
+		t.Fatalf("peer count %d, want 1", srv.PeerCount())
+	}
+	// The survivor still gossips.
+	got := make(chan struct{}, 1)
+	a.Handle("ping", func(Message) { got <- struct{}{} })
+	if err := srv.Broadcast("ping", "x"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("surviving peer stopped receiving after a rejection")
+	}
+}
+
+// TestConnLimitOutbound: Connect refuses to exceed the local cap.
+func TestConnLimitOutbound(t *testing.T) {
+	a, err := Listen("a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.SetLimits(Limits{MaxConns: 1})
+	if got := a.Limits().MaxConns; got != 1 {
+		t.Fatalf("Limits().MaxConns = %d, want 1", got)
+	}
+	b, err := Listen("b", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := Listen("c", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := a.Connect(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Connect(c.Addr()); !errors.Is(err, ErrConnLimit) {
+		t.Fatalf("second Connect err = %v, want ErrConnLimit", err)
+	}
+}
+
+// TestFrameLimitDropsPeer: a peer shipping an oversize line is
+// disconnected, counted, and the oversize payload is never delivered.
+func TestFrameLimitDropsPeer(t *testing.T) {
+	srv, err := Listen("srv", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	reg := obs.NewRegistry()
+	m := obs.NewNetMetrics(reg)
+	srv.SetObs(m)
+	srv.SetLimits(Limits{MaxFrameBytes: 4 * 1024})
+
+	peer, err := Listen("peer", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	if err := peer.Connect(srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "peer connected", func() bool { return srv.PeerCount() == 1 })
+
+	delivered := make(chan int, 4)
+	srv.Handle("blob", func(msg Message) { delivered <- len(msg.Payload) })
+	if err := peer.Broadcast("blob", strings.Repeat("x", 64*1024)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "oversize drop", func() bool { return m.Oversize.Value() == 1 })
+	waitFor(t, "peer disconnected", func() bool { return srv.PeerCount() == 0 })
+	select {
+	case n := <-delivered:
+		t.Fatalf("oversize payload of %d bytes was delivered", n)
+	default:
+	}
+}
+
+// TestMempoolLimit: bids beyond the cap are refused at SubmitBid and at
+// the gossip handler, counted, and never occupy pool slots.
+func TestMempoolLimit(t *testing.T) {
+	mn, err := NewMarketNode("m", "127.0.0.1:0", testDifficulty, auction.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mn.Close()
+	reg := obs.NewRegistry()
+	m := obs.NewNetMetrics(reg)
+	mn.SetNetObs(m)
+	mn.SetMempoolLimit(2)
+	if got := mn.PoolLimit(); got != 2 {
+		t.Fatalf("PoolLimit() = %d, want 2", got)
+	}
+
+	part, err := miner.NewParticipant(newDetReader("mempool-limit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bids := make([]*sealed.Bid, 3)
+	for i := range bids {
+		b, err := part.SubmitRequest(&bidding.Request{
+			ID:        bidding.OrderID(fmt.Sprintf("r-%d", i)),
+			Resources: resource.Vector{resource.CPU: 2, resource.RAM: 8},
+			Start:     0, End: 100, Duration: 100,
+			Bid: float64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bids[i] = b
+	}
+	if err := mn.SubmitBid(bids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := mn.SubmitBid(bids[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate of an admitted bid is absorbed, not refused.
+	if err := mn.SubmitBid(bids[1]); err != nil {
+		t.Fatalf("duplicate submit err = %v", err)
+	}
+	if err := mn.SubmitBid(bids[2]); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("over-limit submit err = %v, want ErrPoolFull", err)
+	}
+	if got := mn.MempoolSize(); got != 2 {
+		t.Fatalf("mempool size %d, want 2", got)
+	}
+	if got := m.PoolDropped.Value(); got != 1 {
+		t.Fatalf("PoolDropped = %d, want 1", got)
+	}
+}

@@ -1,0 +1,233 @@
+package p2p
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decloud/internal/bidding"
+	"decloud/internal/ledger"
+	"decloud/internal/miner"
+	"decloud/internal/obs"
+	"decloud/internal/sealed"
+)
+
+// LoadClient multiplexes many virtual participant identities over ONE
+// gossip endpoint — the load generator's workhorse. A ParticipantClient
+// opens a TCP node per identity, which caps a single-box load test at a
+// few hundred participants; a LoadClient carries thousands of sealed-bid
+// identities over one connection while still speaking the exact two-phase
+// protocol: it answers preambles with per-identity signed key reveals and
+// stamps submit→commit latency when the full block lands.
+//
+// Submission is safe for concurrent use as long as two goroutines never
+// submit for the SAME virtual client index at once (each identity's
+// entropy reader is not locked) — the loadgen engine shards clients over
+// its workers to guarantee that.
+type LoadClient struct {
+	net   *Node
+	parts []*miner.Participant
+	lat   *obs.Histogram // nil-safe; submit→commit seconds
+
+	submitted int64 // atomic
+	committed int64 // atomic
+	matched   int64 // atomic
+
+	mu       sync.Mutex
+	submitAt map[[32]byte]time.Time
+	done     map[[32]byte]bool // bids already counted committed
+	mine     map[string]bool   // order IDs this client submitted
+	blocks   map[[32]byte]bool // block preambles already processed
+}
+
+// NewLoadClient starts a load endpoint carrying len(entropy) virtual
+// identities; a nil slice entry draws that identity's keys from
+// crypto/rand. lat (optional) receives one submit→commit latency
+// observation per committed bid, in seconds.
+func NewLoadClient(name, addr string, entropy []io.Reader, lat *obs.Histogram) (*LoadClient, error) {
+	if len(entropy) == 0 {
+		entropy = make([]io.Reader, 1)
+	}
+	parts := make([]*miner.Participant, len(entropy))
+	for i, e := range entropy {
+		p, err := miner.NewParticipant(e)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = p
+	}
+	n, err := Listen(name, addr)
+	if err != nil {
+		return nil, err
+	}
+	lc := &LoadClient{
+		net:      n,
+		parts:    parts,
+		lat:      lat,
+		submitAt: make(map[[32]byte]time.Time),
+		done:     make(map[[32]byte]bool),
+		mine:     make(map[string]bool),
+		blocks:   make(map[[32]byte]bool),
+	}
+	n.Handle(msgPreamble, lc.onPreamble)
+	n.Handle(msgBlock, lc.onBlock)
+	return lc, nil
+}
+
+// Connect joins a peer's gossip.
+func (lc *LoadClient) Connect(addr string) error { return lc.net.Connect(addr) }
+
+// SetLimits installs transport limits on the underlying node (raise the
+// frame cap to receive large blocks).
+func (lc *LoadClient) SetLimits(l Limits) { lc.net.SetLimits(l) }
+
+// SetFaults installs a transport fault plan on the underlying node, so a
+// devnet partition also severs participant endpoints.
+func (lc *LoadClient) SetFaults(f FaultPlan) { lc.net.SetFaults(f) }
+
+// Clients returns the number of virtual identities.
+func (lc *LoadClient) Clients() int { return len(lc.parts) }
+
+// ClientID returns virtual client i's on-ledger fingerprint.
+func (lc *LoadClient) ClientID(i int) bidding.ParticipantID {
+	return lc.parts[i%len(lc.parts)].ID()
+}
+
+// Close shuts the endpoint down.
+func (lc *LoadClient) Close() error { return lc.net.Close() }
+
+// SubmitRequest seals r under virtual client i's identity and broadcasts
+// it, stamping the submit time for latency accounting. The returned
+// digest identifies the sealed bid on-chain (the devnet's conservation
+// audit keys its submitted-set on it).
+func (lc *LoadClient) SubmitRequest(i int, r *bidding.Request) ([32]byte, error) {
+	bid, err := lc.SealRequest(i, r)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return bid.Digest(), lc.Publish(string(r.ID), bid)
+}
+
+// SubmitOffer seals o under virtual client i's identity and broadcasts it.
+func (lc *LoadClient) SubmitOffer(i int, o *bidding.Offer) ([32]byte, error) {
+	bid, err := lc.SealOffer(i, o)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return bid.Digest(), lc.Publish(string(o.ID), bid)
+}
+
+// SealRequest seals r under virtual client i's identity WITHOUT
+// broadcasting — follow with Publish. The split lets a caller durably
+// record the bid digest (e.g. a crash-safe audit log) before the bid can
+// possibly reach the network, so the recorded submitted-set always
+// covers everything that could ever be committed.
+func (lc *LoadClient) SealRequest(i int, r *bidding.Request) (*sealed.Bid, error) {
+	return lc.parts[i%len(lc.parts)].SubmitRequest(r)
+}
+
+// SealOffer seals o under virtual client i's identity without
+// broadcasting — follow with Publish.
+func (lc *LoadClient) SealOffer(i int, o *bidding.Offer) (*sealed.Bid, error) {
+	return lc.parts[i%len(lc.parts)].SubmitOffer(o)
+}
+
+// Publish broadcasts a previously sealed bid and starts its latency
+// clock. orderID is the plaintext order's ID (match accounting).
+func (lc *LoadClient) Publish(orderID string, bid *sealed.Bid) error {
+	if err := lc.net.Broadcast(msgBid, bid); err != nil {
+		return err
+	}
+	now := time.Now()
+	lc.mu.Lock()
+	lc.submitAt[bid.Digest()] = now
+	lc.mine[orderID] = true
+	lc.mu.Unlock()
+	atomic.AddInt64(&lc.submitted, 1)
+	return nil
+}
+
+// Counts reports (submitted, committed, matched) bid totals. Committed
+// means the bid appeared in a full block received on the wire; matched
+// means one of this client's requests appears in a committed allocation.
+func (lc *LoadClient) Counts() (submitted, committed, matched int64) {
+	return atomic.LoadInt64(&lc.submitted),
+		atomic.LoadInt64(&lc.committed),
+		atomic.LoadInt64(&lc.matched)
+}
+
+// onPreamble validates a mined preamble and answers with key reveals for
+// every virtual identity's committed bids — same phase discipline as
+// ParticipantClient, multiplied across identities.
+func (lc *LoadClient) onPreamble(msg Message) {
+	var block ledger.Block
+	if err := json.Unmarshal(msg.Payload, &block); err != nil {
+		return
+	}
+	if !block.Preamble.ValidPoW() {
+		return
+	}
+	if ledger.HashBids(block.Bids) != block.Preamble.BidsHash {
+		return
+	}
+	for _, part := range lc.parts {
+		for _, kr := range part.RevealsFor(block.Bids) {
+			_ = lc.net.Broadcast(msgReveal, kr)
+		}
+	}
+}
+
+// onBlock observes a full committed block: every bid of ours it carries
+// gets a submit→commit latency sample, every allocation naming one of our
+// requests counts as a match, and the identities' retained keys for the
+// block's bids are released.
+func (lc *LoadClient) onBlock(msg Message) {
+	var block ledger.Block
+	if err := json.Unmarshal(msg.Payload, &block); err != nil {
+		return
+	}
+	if block.Validate() != nil {
+		return
+	}
+	now := time.Now()
+	ph := block.Preamble.Hash()
+	lc.mu.Lock()
+	if lc.blocks[ph] { // duplicate delivery (chaos dup, competing relay)
+		lc.mu.Unlock()
+		return
+	}
+	lc.blocks[ph] = true
+	lc.mu.Unlock()
+	digests := make([][32]byte, len(block.Bids))
+	for i, b := range block.Bids {
+		digests[i] = b.Digest()
+	}
+	lc.mu.Lock()
+	var newlyCommitted int64
+	for _, d := range digests {
+		at, ours := lc.submitAt[d]
+		if !ours || lc.done[d] {
+			continue
+		}
+		lc.done[d] = true
+		delete(lc.submitAt, d)
+		newlyCommitted++
+		lc.lat.Observe(now.Sub(at).Seconds())
+	}
+	var newlyMatched int64
+	if records, err := ledger.DecodeAllocation(block.Body.Allocation); err == nil {
+		for _, rec := range records {
+			if lc.mine[rec.RequestID] {
+				newlyMatched++
+			}
+		}
+	}
+	lc.mu.Unlock()
+	atomic.AddInt64(&lc.committed, newlyCommitted)
+	atomic.AddInt64(&lc.matched, newlyMatched)
+	for _, part := range lc.parts {
+		part.Forget(digests)
+	}
+}

@@ -1,0 +1,152 @@
+package p2p
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"testing"
+	"time"
+
+	"decloud/internal/auction"
+	"decloud/internal/bidding"
+	"decloud/internal/obs"
+	"decloud/internal/resource"
+)
+
+// TestLoadClientRoundTrip: one LoadClient carries two virtual identities
+// over a single connection through a full round — seal, publish, reveal
+// on preamble, and commit accounting with latency samples when the block
+// lands.
+func TestLoadClientRoundTrip(t *testing.T) {
+	mn, err := NewMarketNode("lc-m0", "127.0.0.1:0", 8, auction.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mn.Close() })
+
+	reg := obs.NewRegistry()
+	lat := reg.Histogram("lc_commit_seconds", "submit→commit", []float64{0.1, 1, 10})
+	lc, err := NewLoadClient("lc-gen", "127.0.0.1:0", make([]io.Reader, 2), lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lc.Close() })
+	lc.SetLimits(Limits{MaxFrameBytes: 8 * 1024 * 1024})
+	lc.SetFaults(nil)
+	if lc.Clients() != 2 {
+		t.Fatalf("clients = %d, want 2", lc.Clients())
+	}
+	if lc.ClientID(0) == lc.ClientID(1) {
+		t.Fatal("virtual identities must be distinct")
+	}
+	if lc.ClientID(2) != lc.ClientID(0) {
+		t.Fatal("client index must wrap modulo Clients()")
+	}
+	if err := lc.Connect(mn.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	mkReq := func(id string, value float64) *bidding.Request {
+		return &bidding.Request{
+			ID:        bidding.OrderID(id),
+			Resources: resource.Vector{resource.CPU: 2, resource.RAM: 8},
+			Start:     0, End: 100, Duration: 100,
+			Bid: value,
+		}
+	}
+	// The seal/publish split: the digest is known before the bid can
+	// possibly reach the network.
+	bid, err := lc.SealRequest(0, mkReq("lr-0", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := bid.Digest()
+	if err := lc.Publish("lr-0", bid); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := lc.SubmitRequest(1, mkReq("lr-1", 8)); err != nil {
+		t.Fatal(err)
+	} else if d == digest {
+		t.Fatal("distinct bids share a digest")
+	}
+	if _, err := lc.SubmitOffer(0, &bidding.Offer{
+		ID:        "lo-0",
+		Resources: resource.Vector{resource.CPU: 8, resource.RAM: 32},
+		Start:     0, End: 100,
+		Bid: 0.5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "bids pooled", func() bool { return mn.MempoolSize() == 3 })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if _, err := mn.ProduceBlock(ctx, 0, 3*time.Second); err != nil {
+		t.Fatalf("round failed: %v", err)
+	}
+
+	waitFor(t, "commits observed", func() bool {
+		_, committed, _ := lc.Counts()
+		return committed == 3
+	})
+	submitted, committed, matched := lc.Counts()
+	if submitted != 3 || committed != 3 {
+		t.Fatalf("counts: submitted %d committed %d, want 3/3", submitted, committed)
+	}
+	if matched == 0 {
+		t.Fatal("no request of ours appears in the committed allocation")
+	}
+	if sum := lat.Snapshot().Summarize(); sum.Count != 3 || sum.P50 <= 0 {
+		t.Fatalf("latency samples: %+v", sum)
+	}
+}
+
+// TestLoadClientDuplicateBlockCountedOnce: a re-delivered block (chaos
+// dup, competing relay) must not double-count commits or matches.
+func TestLoadClientDuplicateBlockCountedOnce(t *testing.T) {
+	mn, err := NewMarketNode("dup-m0", "127.0.0.1:0", 8, auction.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mn.Close() })
+	lc, err := NewLoadClient("dup-gen", "127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lc.Close() })
+	if lc.Clients() != 1 {
+		t.Fatalf("nil entropy must default to one identity, got %d", lc.Clients())
+	}
+	if err := lc.Connect(mn.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lc.SubmitRequest(0, &bidding.Request{
+		ID:        "dup-r",
+		Resources: resource.Vector{resource.CPU: 1},
+		Start:     0, End: 10, Duration: 10,
+		Bid: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "bid pooled", func() bool { return mn.MempoolSize() == 1 })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if _, err := mn.ProduceBlock(ctx, 0, 3*time.Second); err != nil {
+		t.Fatalf("round failed: %v", err)
+	}
+	waitFor(t, "commit observed", func() bool {
+		_, committed, _ := lc.Counts()
+		return committed == 1
+	})
+
+	// Re-deliver the committed block straight into the handler.
+	head := mn.Chain().Head()
+	payload, err := json.Marshal(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc.onBlock(Message{Type: msgBlock, Payload: payload})
+	if _, committed, _ := lc.Counts(); committed != 1 {
+		t.Fatalf("duplicate block double-counted: committed = %d", committed)
+	}
+}

@@ -71,9 +71,11 @@ type MarketNode struct {
 	miner *miner.Miner
 	chain *ledger.Chain
 
-	mu       sync.Mutex
-	mempool  []*sealed.Bid
-	havePool map[[32]byte]bool
+	mu        sync.Mutex
+	mempool   []*sealed.Bid
+	havePool  map[[32]byte]bool
+	committed map[[32]byte]bool // bid digests already on this replica's chain
+	poolLimit int               // max pending bids; 0 = unlimited
 
 	// metrics/tracer are read on both the producer and the gossip reader
 	// goroutines; atomic pointers let SetObs/SetTracer install them after
@@ -92,12 +94,13 @@ func NewMarketNode(name, addr string, difficulty int, cfg auction.Config) (*Mark
 		return nil, err
 	}
 	mn := &MarketNode{
-		net:      n,
-		miner:    &miner.Miner{Name: name, Difficulty: difficulty, AuctionCfg: cfg},
-		chain:    ledger.NewChain(),
-		havePool: make(map[[32]byte]bool),
-		revealCh: make(chan *sealed.KeyReveal, 4096),
-		voteCh:   make(chan vote, 1024),
+		net:       n,
+		miner:     &miner.Miner{Name: name, Difficulty: difficulty, AuctionCfg: cfg},
+		chain:     ledger.NewChain(),
+		havePool:  make(map[[32]byte]bool),
+		committed: make(map[[32]byte]bool),
+		revealCh:  make(chan *sealed.KeyReveal, 65536),
+		voteCh:    make(chan vote, 1024),
 	}
 	n.Handle(msgBid, mn.onBid)
 	n.Handle(msgReveal, mn.onReveal)
@@ -123,6 +126,20 @@ func (mn *MarketNode) Connect(addr string) error { return mn.net.Connect(addr) }
 // SetFaults installs a transport fault plan on the underlying node.
 func (mn *MarketNode) SetFaults(f FaultPlan) { mn.net.SetFaults(f) }
 
+// SetLimits installs transport resource limits on the underlying node.
+func (mn *MarketNode) SetLimits(l Limits) { mn.net.SetLimits(l) }
+
+// SetMempoolLimit caps the number of pending sealed bids (0 = unlimited).
+// Bids arriving while the pool is full are refused — and counted in
+// NetMetrics.PoolDropped — rather than growing memory without bound; a
+// well-behaved client observes its bid missing from the next block and
+// resubmits.
+func (mn *MarketNode) SetMempoolLimit(n int) {
+	mn.mu.Lock()
+	defer mn.mu.Unlock()
+	mn.poolLimit = n
+}
+
 // SetObs installs the round metrics bundle (nil removes it).
 func (mn *MarketNode) SetObs(m *obs.MinerMetrics) { mn.metrics.Store(m) }
 
@@ -144,19 +161,63 @@ func (mn *MarketNode) SubmitBid(b *sealed.Bid) error {
 	if !b.VerifySignature() {
 		return miner.ErrBadBid
 	}
-	mn.addToPool(b)
+	if !mn.addToPool(b) {
+		return ErrPoolFull
+	}
 	return mn.net.Broadcast(msgBid, b)
 }
 
-func (mn *MarketNode) addToPool(b *sealed.Bid) {
+// ErrPoolFull is returned by SubmitBid when the mempool limit is reached.
+var ErrPoolFull = errors.New("p2p: mempool full")
+
+// markCommitted records a block's bid digests as on-chain and prunes any
+// pending copy of them from the pool. Called after every successful chain
+// append — producer self-append, verifier accept, and sync catch-up — it
+// keeps an already-committed bid from ever (re-)entering a later round,
+// e.g. when the transport redelivers a duplicate bid message after the
+// pool was drained.
+func (mn *MarketNode) markCommitted(b *ledger.Block) {
 	mn.mu.Lock()
 	defer mn.mu.Unlock()
-	d := b.Digest()
-	if mn.havePool[d] {
+	for _, bid := range b.Bids {
+		mn.committed[bid.Digest()] = true
+	}
+	if len(mn.mempool) == 0 {
 		return
+	}
+	kept := mn.mempool[:0]
+	for _, bid := range mn.mempool {
+		d := bid.Digest()
+		if mn.committed[d] {
+			delete(mn.havePool, d)
+			continue
+		}
+		kept = append(kept, bid)
+	}
+	mn.mempool = kept
+}
+
+// addToPool admits a bid, reporting false when the pool is at its limit.
+// Duplicates and already-committed bids are absorbed silently and report
+// true.
+func (mn *MarketNode) addToPool(b *sealed.Bid) bool {
+	mn.mu.Lock()
+	d := b.Digest()
+	if mn.havePool[d] || mn.committed[d] {
+		mn.mu.Unlock()
+		return true
+	}
+	if mn.poolLimit > 0 && len(mn.mempool) >= mn.poolLimit {
+		mn.mu.Unlock()
+		if m := mn.net.metrics.Load(); m != nil {
+			m.PoolDropped.Inc()
+		}
+		return false
 	}
 	mn.havePool[d] = true
 	mn.mempool = append(mn.mempool, b)
+	mn.mu.Unlock()
+	return true
 }
 
 // MempoolSize reports the number of pending sealed bids.
@@ -172,6 +233,13 @@ func (mn *MarketNode) onBid(msg Message) {
 		return
 	}
 	mn.addToPool(&b)
+}
+
+// PoolLimit returns the configured mempool cap (0 = unlimited).
+func (mn *MarketNode) PoolLimit() int {
+	mn.mu.Lock()
+	defer mn.mu.Unlock()
+	return mn.poolLimit
 }
 
 func (mn *MarketNode) onReveal(msg Message) {
@@ -197,7 +265,10 @@ func (mn *MarketNode) onBlock(msg Message) {
 	m := mn.metrics.Load()
 	verifyStart := obsNow(m)
 	v := vote{Voter: mn.Name(), Height: b.Preamble.Height, OK: true}
-	if err := mn.chain.Append(&b, mn.miner.VerifyBlock); err != nil {
+	err := mn.chain.Append(&b, mn.miner.VerifyBlock)
+	if err == nil {
+		mn.markCommitted(&b)
+	} else {
 		v.OK = false
 		v.Err = err.Error()
 		if errors.Is(err, ledger.ErrBadLinkage) && b.Preamble.Height > int64(mn.chain.Len()) {
@@ -243,6 +314,7 @@ func (mn *MarketNode) onChain(msg Message) {
 		if err := mn.chain.Append(b, mn.miner.VerifyBlock); err != nil {
 			continue // already have it, or it does not verify
 		}
+		mn.markCommitted(b)
 		_ = mn.net.Broadcast(msgVote, vote{Voter: mn.Name(), Height: b.Preamble.Height, OK: true})
 	}
 }
@@ -317,6 +389,16 @@ func (mn *MarketNode) ProduceBlockOpts(ctx context.Context, cfg RoundConfig) (*R
 	}
 	pr, err := mn.produceStage(ctx, cfg, mn.chain.HeadHash(), height, bids, tr)
 	if err != nil {
+		// The round died before anything was appended or broadcast (timed
+		// out mid-reveal, node closing, mining aborted). The drained bids
+		// were never committed anywhere — put them back so the next round
+		// retries them instead of silently losing them. Best effort: the
+		// pool may have refilled to its limit in the meantime.
+		if !errors.Is(err, ErrClosed) {
+			for _, b := range bids {
+				mn.addToPool(b)
+			}
+		}
 		return nil, err
 	}
 	pr.roundStart = roundStart
@@ -449,6 +531,7 @@ func (mn *MarketNode) commitStage(ctx context.Context, cfg RoundConfig, pr *prod
 	if err := mn.chain.Append(block, nil); err != nil {
 		return nil, fmt.Errorf("p2p: self-append: %w", err)
 	}
+	mn.markCommitted(block)
 	if err := mn.net.Broadcast(msgBlock, block); err != nil {
 		return nil, fmt.Errorf("p2p: broadcast block: %w", err)
 	}

@@ -68,6 +68,32 @@ type FaultPlan interface {
 // ErrClosed is returned by operations on a closed node.
 var ErrClosed = errors.New("p2p: node closed")
 
+// ErrConnLimit is returned by Connect when the node is at its connection
+// limit; inbound connections over the limit are silently refused (and
+// counted in NetMetrics.Rejected).
+var ErrConnLimit = errors.New("p2p: connection limit reached")
+
+// DefaultMaxFrameBytes is the wire-line size cap applied when Limits
+// leaves MaxFrameBytes zero. A block carrying ~100k sealed bids
+// serializes to well over 16 MiB of JSON, so the default is sized for
+// load-test blocks rather than chat traffic.
+const DefaultMaxFrameBytes = 256 * 1024 * 1024
+
+// Limits bounds a node's resource use under load. The zero value means
+// "no connection cap, default frame cap". Install with SetLimits before
+// connecting peers: the frame cap is latched per connection when its
+// reader starts, so changing it later only affects new connections.
+type Limits struct {
+	// MaxConns caps simultaneous connections (inbound + outbound).
+	// 0 means unlimited. Inbound connections beyond the cap are closed
+	// immediately; Connect returns ErrConnLimit.
+	MaxConns int
+	// MaxFrameBytes caps a single wire line (one JSON message). A peer
+	// that sends a longer line is disconnected. 0 means
+	// DefaultMaxFrameBytes.
+	MaxFrameBytes int
+}
+
 // Node is one gossip endpoint: it accepts inbound peers, dials outbound
 // peers, and floods messages to all of them, delivering each unique
 // message to the local handlers exactly once (unless a FaultPlan says
@@ -82,6 +108,7 @@ type Node struct {
 	seen     map[[32]byte]bool
 	handlers map[string][]Handler
 	faults   FaultPlan
+	limits   Limits
 	logf     func(format string, args ...any)
 	closed   bool
 
@@ -126,6 +153,22 @@ func (n *Node) Addr() string { return n.ln.Addr().String() }
 // mid-stream install simply starts counting from that point.
 func (n *Node) SetObs(m *obs.NetMetrics) { n.metrics.Store(m) }
 
+// SetLimits installs resource limits (see Limits). Safe to call while
+// traffic flows; the connection cap applies to subsequent accepts and
+// dials, the frame cap to subsequently opened connections.
+func (n *Node) SetLimits(l Limits) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.limits = l
+}
+
+// Limits returns the currently installed limits.
+func (n *Node) Limits() Limits {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.limits
+}
+
 // SetFaults installs a fault plan (nil removes it). Install before
 // connecting peers so every message is planned consistently.
 func (n *Node) SetFaults(f FaultPlan) {
@@ -165,7 +208,9 @@ func (n *Node) Connect(addr string) error {
 	if err != nil {
 		return fmt.Errorf("p2p: connect %s: %w", addr, err)
 	}
-	n.addConn(conn)
+	if !n.addConn(conn) {
+		return ErrConnLimit
+	}
 	return nil
 }
 
@@ -344,23 +389,39 @@ func (n *Node) acceptLoop() {
 	}
 }
 
-func (n *Node) addConn(conn net.Conn) {
+// addConn registers a connection and starts its reader; it reports false
+// (closing the connection) when the node is closed or at its connection
+// limit.
+func (n *Node) addConn(conn net.Conn) bool {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		conn.Close()
-		return
+		return false
+	}
+	if max := n.limits.MaxConns; max > 0 && len(n.conns) >= max {
+		n.mu.Unlock()
+		conn.Close()
+		if m := n.metrics.Load(); m != nil {
+			m.Rejected.Inc()
+		}
+		return false
 	}
 	n.conns[conn] = bufio.NewWriter(conn)
+	maxFrame := n.limits.MaxFrameBytes
 	n.mu.Unlock()
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrameBytes
+	}
 	if m := n.metrics.Load(); m != nil {
 		m.Conns.Add(1)
 	}
 	n.wg.Add(1)
-	go n.readLoop(conn)
+	go n.readLoop(conn, maxFrame)
+	return true
 }
 
-func (n *Node) readLoop(conn net.Conn) {
+func (n *Node) readLoop(conn net.Conn, maxFrame int) {
 	defer n.wg.Done()
 	defer func() {
 		n.mu.Lock()
@@ -372,7 +433,7 @@ func (n *Node) readLoop(conn net.Conn) {
 		}
 	}()
 	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	scanner.Buffer(make([]byte, 0, 64*1024), maxFrame)
 	for scanner.Scan() {
 		m := n.metrics.Load()
 		if m != nil {
@@ -388,8 +449,15 @@ func (n *Node) readLoop(conn net.Conn) {
 		}
 		n.deliver(msg, conn)
 	}
-	if err := scanner.Err(); err != nil && !n.isClosed() && !expectedDisconnect(err) {
-		n.log("p2p: %s: read %s: %v", n.name, conn.RemoteAddr(), err)
+	if err := scanner.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			if m := n.metrics.Load(); m != nil {
+				m.Oversize.Inc()
+			}
+			n.log("p2p: %s: dropping %s: frame exceeds %d bytes", n.name, conn.RemoteAddr(), maxFrame)
+		} else if !n.isClosed() && !expectedDisconnect(err) {
+			n.log("p2p: %s: read %s: %v", n.name, conn.RemoteAddr(), err)
+		}
 	}
 }
 

@@ -36,6 +36,16 @@ type Config struct {
 	// Workload is the per-round market shape; its Seed advances each
 	// round so rounds differ but the whole simulation is reproducible.
 	Workload workload.Config
+	// Stream, when non-nil, sources every round's market from one
+	// continuous epoch-structured order stream (workload.Stream) instead
+	// of independent Generate calls — the same order flow the load
+	// generator and the devnet emit, so batch simulations are comparable
+	// point for point with networked load tests. Stream order IDs are
+	// globally unique, so ledger mode needs no per-round ID remapping.
+	Stream *workload.StreamConfig
+	// StreamOrders is the number of stream orders drained per round
+	// (default 256). Only read when Stream is set.
+	StreamOrders int
 	// Miners and Difficulty configure ledger mode (defaults 3 and 8).
 	Miners     int
 	Difficulty int
@@ -193,10 +203,9 @@ func Run(cfg Config) (*Result, error) {
 	if maxResubmits <= 0 {
 		maxResubmits = 3
 	}
+	nextMarket := marketSource(cfg)
 	for round := 0; round < cfg.Rounds; round++ {
-		wcfg := cfg.Workload
-		wcfg.Seed = cfg.Workload.Seed + int64(round)*1009
-		market := workload.Generate(wcfg)
+		market := nextMarket(round)
 
 		carriedIn := 0
 		if cfg.Resubmit && round > 0 {
@@ -393,11 +402,10 @@ func ledgerRound(net *miner.Network, roster map[bidding.ParticipantID]*miner.Par
 // the batch, off the critical path.
 func runPipelinedLedger(cfg Config, net *miner.Network, roster map[bidding.ParticipantID]*miner.Participant, sm *obs.SimMetrics, res *Result) (*Result, error) {
 	markets := make([]*workload.Market, cfg.Rounds)
+	nextMarket := marketSource(cfg)
 	var feedErr error
 	rounds, err := net.RunPipelined(context.Background(), cfg.Rounds, func(round int) []*miner.Participant {
-		wcfg := cfg.Workload
-		wcfg.Seed = cfg.Workload.Seed + int64(round)*1009
-		markets[round] = workload.Generate(wcfg)
+		markets[round] = nextMarket(round)
 		parts, err := SubmitMarket(net, roster, markets[round])
 		if err != nil {
 			feedErr = err
@@ -448,6 +456,27 @@ func runPipelinedLedger(cfg Config, net *miner.Network, roster map[bidding.Parti
 	}
 	res.Reputation = reg.Reputation().Snapshot()
 	return res, nil
+}
+
+// marketSource returns the per-round market generator: a stateful drain
+// of one continuous stream when Config.Stream is set (rounds are fed in
+// order in both the sequential loop and the pipelined feed, so the drain
+// order is well-defined), otherwise the classic per-round seeded
+// Generate.
+func marketSource(cfg Config) func(round int) *workload.Market {
+	if cfg.Stream != nil {
+		s := workload.NewStream(*cfg.Stream)
+		n := cfg.StreamOrders
+		if n <= 0 {
+			n = 256
+		}
+		return func(int) *workload.Market { return workload.CollectMarket(s, n) }
+	}
+	return func(round int) *workload.Market {
+		wcfg := cfg.Workload
+		wcfg.Seed = cfg.Workload.Seed + int64(round)*1009
+		return workload.Generate(wcfg)
+	}
 }
 
 // restoreGroundTruth copies TrueValue/TrueCost from the generated market

@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"decloud/internal/bidding"
+	"decloud/internal/resource"
+	"decloud/internal/stats"
+	"decloud/internal/trace"
+)
+
+// StreamConfig describes an unbounded, epoch-structured order stream —
+// the load-generation counterpart of Generate. Where Generate builds one
+// dense batch market (and pays an O(requests × offers) valuation pass),
+// a Stream emits orders one at a time with windows confined to epochs:
+// every order of epoch e lives inside [e·EpochSec, (e+1)·EpochSec), so a
+// block holding many epochs stays cheap to clear — the match index
+// rejects cross-epoch pairs on the first availability-window compare —
+// and million-order rounds become tractable on one core.
+type StreamConfig struct {
+	// Seed makes the whole stream deterministic. Every virtual client
+	// draws from its own sub-stream derived from (Seed, client index), so
+	// client c's j-th order is the same no matter how emissions from
+	// different clients interleave.
+	Seed int64
+	// Clients is the number of virtual clients emission round-robins over
+	// (default 8). Each client emits both requests and offers.
+	Clients int
+	// OfferFraction is the fraction of each epoch's emissions that are
+	// offers (default 0.25, the paper's 1:3 supply:demand shape). Offers
+	// lead each epoch so the supply a request needs is already in the
+	// block when the request arrives.
+	OfferFraction float64
+	// EpochOrders is the number of orders per epoch (default 512).
+	EpochOrders int
+	// EpochSec is the epoch length in seconds (default 3600). Offers span
+	// their whole epoch; request windows nest inside it.
+	EpochSec int64
+	// StartEpoch offsets the first emission's epoch — a restarted emitter
+	// can rejoin the market at the epoch its peers have reached.
+	StartEpoch int64
+	// Flexibility applies to every request (0 = inflexible).
+	Flexibility float64
+	// ValuationLow/High bound the uniform valuation coefficient
+	// (defaults 0.5 and 2.0, the paper's range).
+	ValuationLow, ValuationHigh float64
+	// IDPrefix namespaces order IDs (default "s"): many independent
+	// streams can feed one market without ID collisions.
+	IDPrefix string
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.OfferFraction <= 0 || c.OfferFraction >= 1 {
+		c.OfferFraction = 0.25
+	}
+	if c.EpochOrders <= 0 {
+		c.EpochOrders = 512
+	}
+	if c.EpochSec <= 0 {
+		c.EpochSec = 3600
+	}
+	if c.ValuationLow == 0 && c.ValuationHigh == 0 {
+		c.ValuationLow, c.ValuationHigh = 0.5, 2.0
+	}
+	if c.IDPrefix == "" {
+		c.IDPrefix = "s"
+	}
+	return c
+}
+
+// StreamOrder is one emitted order: exactly one of Request and Offer is
+// non-nil. Client is the index of the virtual client that emitted it.
+type StreamOrder struct {
+	Client  int
+	Request *bidding.Request
+	Offer   *bidding.Offer
+}
+
+// ID returns the order's namespaced identifier.
+func (so StreamOrder) ID() bidding.OrderID {
+	if so.Request != nil {
+		return so.Request.ID
+	}
+	return so.Offer.ID
+}
+
+// Stream emits a deterministic, epoch-structured order sequence. Not
+// safe for concurrent use; wrap in a mutex or shard one stream per
+// goroutine via distinct StreamConfig seeds.
+type Stream struct {
+	cfg   StreamConfig
+	gens  []*trace.Generator
+	rnds  []*rand.Rand
+	local []int // per-client emission count
+	seq   int   // global round-robin position
+}
+
+// NewStream builds a stream from the config.
+func NewStream(cfg StreamConfig) *Stream {
+	cfg = cfg.withDefaults()
+	s := &Stream{
+		cfg:   cfg,
+		gens:  make([]*trace.Generator, cfg.Clients),
+		rnds:  make([]*rand.Rand, cfg.Clients),
+		local: make([]int, cfg.Clients),
+	}
+	var seedBytes [8]byte
+	binary.BigEndian.PutUint64(seedBytes[:], uint64(cfg.Seed))
+	for c := 0; c < cfg.Clients; c++ {
+		sub := stats.SubRand(seedBytes[:], fmt.Sprintf("workload/stream/client/%d", c))
+		s.gens[c] = trace.NewGenerator(sub.Int63())
+		s.rnds[c] = sub
+	}
+	return s
+}
+
+// Next emits the next order, round-robining over the virtual clients.
+func (s *Stream) Next() StreamOrder {
+	c := s.seq % s.cfg.Clients
+	s.seq++
+	return s.emit(c)
+}
+
+// NextFor emits client c's next order out of round-robin order — the
+// devnet's per-process emitters each own one client index. The order
+// depends only on (Seed, c, emission count of c), never on interleaving.
+func (s *Stream) NextFor(c int) StreamOrder {
+	return s.emit(c % s.cfg.Clients)
+}
+
+// Emit returns the next n round-robin orders.
+func (s *Stream) Emit(n int) []StreamOrder {
+	out := make([]StreamOrder, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s.Next())
+	}
+	return out
+}
+
+// emit draws client c's next order. The epoch derives from the client's
+// own emission count so that per-client sequences are interleaving-
+// independent; with strict round-robin the global position j·C+c walks
+// epochs in emission order.
+func (s *Stream) emit(c int) StreamOrder {
+	cfg := s.cfg
+	j := s.local[c]
+	s.local[c]++
+	global := int64(j*cfg.Clients + c)
+	epoch := cfg.StartEpoch + global/int64(cfg.EpochOrders)
+	within := int(global % int64(cfg.EpochOrders))
+	epochStart := epoch * cfg.EpochSec
+	epochEnd := epochStart + cfg.EpochSec
+	submitted := cfg.StartEpoch*int64(cfg.EpochOrders) + global
+
+	rnd := s.rnds[c]
+	offerLead := int(cfg.OfferFraction * float64(cfg.EpochOrders))
+	if offerLead < 1 {
+		offerLead = 1
+	}
+	catalog := trace.M5Catalog()
+	epochHours := float64(cfg.EpochSec) / 3600
+
+	if within < offerLead {
+		// Offers lead the epoch and span all of it; private costs spread
+		// ±30% around the EC2 list price as in Generate.
+		it := catalog[rnd.Intn(len(catalog))]
+		cost := it.CostFor(epochHours) * (0.7 + 0.6*rnd.Float64())
+		return StreamOrder{Client: c, Offer: &bidding.Offer{
+			ID:        bidding.OrderID(fmt.Sprintf("%s-c%02d-o%07d", cfg.IDPrefix, c, j)),
+			Provider:  bidding.ParticipantID(fmt.Sprintf("%s-c%02d", cfg.IDPrefix, c)),
+			Submitted: submitted,
+			Resources: it.Resources(),
+			Start:     epochStart,
+			End:       epochEnd,
+			Bid:       cost,
+			TrueCost:  cost,
+		}}
+	}
+
+	// Requests: Google-trace task shapes scaled onto the M5 reference
+	// anchor, with an execution window nested inside the epoch so every
+	// in-epoch offer passes the availability constraints.
+	task := s.gens[c].Sample()
+	reference := catalog[len(catalog)-1]
+	dur := task.DurationSec
+	if dur > cfg.EpochSec/2 {
+		dur = cfg.EpochSec / 2
+	}
+	if dur < 1 {
+		dur = 1
+	}
+	slack := 1 + 2*rnd.Float64()
+	window := int64(float64(dur) * slack)
+	if window > cfg.EpochSec {
+		window = cfg.EpochSec
+	}
+	start := epochStart + rnd.Int63n(cfg.EpochSec-window+1)
+	r := &bidding.Request{
+		ID:        bidding.OrderID(fmt.Sprintf("%s-c%02d-r%07d", cfg.IDPrefix, c, j)),
+		Client:    bidding.ParticipantID(fmt.Sprintf("%s-c%02d", cfg.IDPrefix, c)),
+		Submitted: submitted,
+		Resources: resource.Vector{
+			resource.CPU:  task.CPU * reference.VCPU,
+			resource.RAM:  task.RAM * reference.MemGiB,
+			resource.Disk: task.Disk * reference.StorageGiB,
+		},
+		Start:       start,
+		End:         start + window,
+		Duration:    dur,
+		Flexibility: cfg.Flexibility,
+	}
+	// Valuation: cost of the smallest catalog machine that covers the
+	// request, times the paper's uniform coefficient. Anchoring on the
+	// catalog instead of ranking live offers keeps emission O(1) per
+	// order — the stream never scans the market it feeds.
+	base := catalog[len(catalog)-1].CostFor(epochHours)
+	for _, it := range catalog {
+		if it.VCPU >= r.Resources[resource.CPU] && it.MemGiB >= r.Resources[resource.RAM] {
+			base = it.CostFor(epochHours)
+			break
+		}
+	}
+	coeff := cfg.ValuationLow + rnd.Float64()*(cfg.ValuationHigh-cfg.ValuationLow)
+	r.Bid = base * coeff
+	r.TrueValue = r.Bid
+	return StreamOrder{Client: c, Request: r}
+}
+
+// CollectMarket drains n orders from the stream into a batch Market —
+// the bridge from streaming emission to the batch APIs (sim rounds,
+// mechanism benchmarks).
+func CollectMarket(s *Stream, n int) *Market {
+	m := &Market{}
+	for _, so := range s.Emit(n) {
+		if so.Request != nil {
+			m.Requests = append(m.Requests, so.Request)
+		} else {
+			m.Offers = append(m.Offers, so.Offer)
+		}
+	}
+	return m
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"testing"
+
+	"decloud/internal/auction"
+)
+
+// TestStreamDeterminism: the same seed yields the same emission sequence,
+// order for order; a different seed diverges.
+func TestStreamDeterminism(t *testing.T) {
+	cfg := StreamConfig{Seed: 42, Clients: 4, EpochOrders: 64}
+	a := NewStream(cfg).Emit(500)
+	b := NewStream(cfg).Emit(500)
+	for i := range a {
+		if a[i].ID() != b[i].ID() {
+			t.Fatalf("emission %d diverged: %s vs %s", i, a[i].ID(), b[i].ID())
+		}
+		switch {
+		case a[i].Request != nil:
+			ar, br := a[i].Request, b[i].Request
+			if br == nil || ar.Bid != br.Bid || ar.Start != br.Start || ar.End != br.End ||
+				ar.Duration != br.Duration || ar.Submitted != br.Submitted ||
+				ar.Resources["cpu"] != br.Resources["cpu"] {
+				t.Fatalf("emission %d request diverged", i)
+			}
+		case a[i].Offer != nil:
+			ao, bo := a[i].Offer, b[i].Offer
+			if bo == nil || ao.Bid != bo.Bid || ao.Start != bo.Start || ao.End != bo.End {
+				t.Fatalf("emission %d offer diverged", i)
+			}
+		}
+	}
+	c := NewStream(StreamConfig{Seed: 43, Clients: 4, EpochOrders: 64}).Emit(500)
+	same := 0
+	for i := range a {
+		if a[i].Request != nil && c[i].Request != nil && a[i].Request.Bid == c[i].Request.Bid {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestStreamInterleavingIndependence: client c's j-th order is identical
+// whether emissions round-robin over all clients or drain one client at
+// a time via NextFor.
+func TestStreamInterleavingIndependence(t *testing.T) {
+	cfg := StreamConfig{Seed: 7, Clients: 3, EpochOrders: 30}
+	rr := NewStream(cfg)
+	perClient := make(map[int][]StreamOrder)
+	for _, so := range rr.Emit(300) {
+		perClient[so.Client] = append(perClient[so.Client], so)
+	}
+	solo := NewStream(cfg)
+	for c := 0; c < 3; c++ {
+		for j, want := range perClient[c] {
+			got := solo.NextFor(c)
+			if got.ID() != want.ID() {
+				t.Fatalf("client %d emission %d: NextFor %s, round-robin %s", c, j, got.ID(), want.ID())
+			}
+		}
+	}
+}
+
+// TestStreamEpochStructure: every order's window nests inside its epoch,
+// offers lead each epoch, and emitted orders validate.
+func TestStreamEpochStructure(t *testing.T) {
+	cfg := StreamConfig{Seed: 3, Clients: 4, EpochOrders: 40, EpochSec: 600}
+	orders := NewStream(cfg).Emit(400)
+	offers, requests := 0, 0
+	for i, so := range orders {
+		epoch := int64(i) / int64(cfg.EpochOrders)
+		lo, hi := epoch*cfg.EpochSec, (epoch+1)*cfg.EpochSec
+		switch {
+		case so.Offer != nil:
+			offers++
+			if err := so.Offer.Validate(); err != nil {
+				t.Fatalf("offer %d invalid: %v", i, err)
+			}
+			if so.Offer.Start != lo || so.Offer.End != hi {
+				t.Fatalf("offer %d window [%d,%d] escapes epoch [%d,%d]", i, so.Offer.Start, so.Offer.End, lo, hi)
+			}
+		case so.Request != nil:
+			requests++
+			if err := so.Request.Validate(); err != nil {
+				t.Fatalf("request %d invalid: %v", i, err)
+			}
+			if so.Request.Start < lo || so.Request.End > hi {
+				t.Fatalf("request %d window [%d,%d] escapes epoch [%d,%d]", i, so.Request.Start, so.Request.End, lo, hi)
+			}
+			if so.Request.Bid <= 0 || so.Request.Duration <= 0 {
+				t.Fatalf("request %d degenerate: bid=%v dur=%d", i, so.Request.Bid, so.Request.Duration)
+			}
+		default:
+			t.Fatalf("emission %d is neither request nor offer", i)
+		}
+		// Offers lead: within an epoch, no offer may follow a request.
+		if so.Offer != nil && i%cfg.EpochOrders >= 10 {
+			t.Fatalf("offer at in-epoch position %d; offers must lead the epoch", i%cfg.EpochOrders)
+		}
+	}
+	if offers == 0 || requests == 0 {
+		t.Fatalf("degenerate mix: %d offers, %d requests", offers, requests)
+	}
+	wantOffers := 400 / 40 * 10 // 0.25 × 40 per epoch × 10 epochs
+	if offers != wantOffers {
+		t.Fatalf("offer count %d, want %d", offers, wantOffers)
+	}
+}
+
+// TestStreamStartEpoch: StartEpoch shifts windows and Submitted stamps
+// without changing the per-client draw sequence.
+func TestStreamStartEpoch(t *testing.T) {
+	base := NewStream(StreamConfig{Seed: 9, Clients: 2, EpochOrders: 20, EpochSec: 100}).Emit(40)
+	shift := NewStream(StreamConfig{Seed: 9, Clients: 2, EpochOrders: 20, EpochSec: 100, StartEpoch: 5}).Emit(40)
+	for i := range base {
+		var b0, s0, e0, e1 int64
+		if base[i].Offer != nil {
+			b0, e0 = base[i].Offer.Start, base[i].Offer.End
+			s0, e1 = shift[i].Offer.Start, shift[i].Offer.End
+		} else {
+			b0, e0 = base[i].Request.Start, base[i].Request.End
+			s0, e1 = shift[i].Request.Start, shift[i].Request.End
+		}
+		if s0 != b0+500 || e1 != e0+500 {
+			t.Fatalf("emission %d: shifted window [%d,%d], want [%d,%d]", i, s0, e1, b0+500, e0+500)
+		}
+	}
+}
+
+// TestStreamMarketClears: a collected stream market clears through the
+// real mechanism with a healthy match rate — the structural guarantee
+// the load generator depends on.
+func TestStreamMarketClears(t *testing.T) {
+	m := CollectMarket(NewStream(StreamConfig{Seed: 1, EpochOrders: 128}), 2000)
+	if len(m.Requests)+len(m.Offers) != 2000 {
+		t.Fatalf("collected %d+%d orders, want 2000", len(m.Requests), len(m.Offers))
+	}
+	cfg := auction.DefaultConfig()
+	cfg.Evidence = []byte("stream-test")
+	out := auction.Run(m.Requests, m.Offers, cfg)
+	if got := len(out.Matches); got < len(m.Requests)/4 {
+		t.Fatalf("only %d matches for %d requests; stream market does not clear", got, len(m.Requests))
+	}
+}

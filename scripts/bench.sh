@@ -1,22 +1,34 @@
 #!/usr/bin/env bash
 # Benchmark runner + JSON emitter: runs the mechanism and figure
-# benchmarks, converts the output to a versioned JSON document via
-# cmd/benchjson, and — when a baseline document exists — prints a
-# benchstat-style before/after table.
+# benchmarks plus the load frontier, converts the output to a versioned
+# JSON document via cmd/benchjson, and — when a baseline document
+# exists — prints a benchstat-style before/after table.
 #
 # Usage:
-#   scripts/bench.sh                    # run, compare against BENCH_PR3.json if present, overwrite it
+#   scripts/bench.sh                    # run, compare against BENCH_PR6.json if present, overwrite it
 #   BENCH_OUT=out.json scripts/bench.sh # write elsewhere
 #   BENCH_BASELINE=old.json scripts/bench.sh
 #   BENCH_PATTERN='BenchmarkMechanism1000$' BENCH_TIME=5x scripts/bench.sh
+#   BENCH_FRONTIER_TIME=0 scripts/bench.sh   # skip the slow load frontier
 #
-# ns/op depends on the host; the JSON is a trajectory record, not a gate.
+# ns/op depends on the host; the JSON is a trajectory record. scripts/
+# ci.sh gates the fast mechanism subset of it at ±5% via benchjson -gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PATTERN="${BENCH_PATTERN:-BenchmarkMechanism(100|400|1000)\$|BenchmarkMechanismSharded1000K[14]\$|BenchmarkBestOffers|BenchmarkFig5a\$|BenchmarkFig5d\$}"
-TIME="${BENCH_TIME:-3x}"
-OUT="${BENCH_OUT:-BENCH_PR3.json}"
+# Time-based sampling: each sample spans many scheduler/steal periods,
+# which a bare 3-iteration run does not. Each benchmark then runs COUNT
+# times and benchjson records the fastest — the same min-of-N discipline
+# the ci.sh ±5% gate compares with, so baseline and gate measure the
+# same statistic.
+TIME="${BENCH_TIME:-1s}"
+COUNT="${BENCH_COUNT:-3}"
+# The load frontier commits full 1e4–1e5-order rounds over real TCP; one
+# iteration per point is minutes of wall time, so it runs at 1x and can
+# be skipped entirely with BENCH_FRONTIER_TIME=0.
+FRONTIER_TIME="${BENCH_FRONTIER_TIME:-1x}"
+OUT="${BENCH_OUT:-BENCH_PR6.json}"
 BASELINE="${BENCH_BASELINE:-}"
 RAW="$(mktemp)"
 trap 'rm -f "${RAW}"' EXIT
@@ -29,8 +41,14 @@ if [ -z "${BASELINE}" ] && [ -f "${OUT}" ]; then
   trap 'rm -f "${RAW}" "${BASELINE}"' EXIT
 fi
 
-echo "==> go test -bench '${PATTERN}' -benchtime ${TIME} (top-level + match microbenchmarks)" >&2
-go test -run '^$' -bench "${PATTERN}" -benchtime "${TIME}" -benchmem . ./internal/match | tee "${RAW}" >&2
+echo "==> go test -bench '${PATTERN}' -benchtime ${TIME} -count=${COUNT} (top-level + match microbenchmarks)" >&2
+go test -run '^$' -bench "${PATTERN}" -benchtime "${TIME}" -count="${COUNT}" -benchmem . ./internal/match | tee "${RAW}" >&2
+
+if [ "${FRONTIER_TIME}" != "0" ]; then
+  echo "==> go test -bench BenchmarkLoadRound -benchtime ${FRONTIER_TIME} (load frontier: orders/round × rounds/sec × latency percentiles)" >&2
+  go test -run '^$' -bench 'BenchmarkLoadRound' -benchtime "${FRONTIER_TIME}" \
+    ./internal/loadgen | tee -a "${RAW}" >&2
+fi
 
 if [ -n "${BASELINE}" ]; then
   go run ./cmd/benchjson -out "${OUT}" -baseline "${BASELINE}" < "${RAW}"

@@ -42,21 +42,45 @@ check_cov() { # pkg floor
   echo "    ${pkg}: ${pct}% (gate ${floor}%)"
 }
 for pkg in internal/miner internal/p2p; do check_cov "${pkg}" 75.0; done
-for pkg in internal/stats internal/audit internal/obs internal/shard; do check_cov "${pkg}" 80.0; done
+for pkg in internal/stats internal/audit internal/obs internal/shard \
+           internal/devnet internal/loadgen; do check_cov "${pkg}" 80.0; done
 
-echo "==> bench compare (warn-only)"
-# A quick benchmark pass compared benchstat-style against the committed
-# BENCH_PR3.json baseline. Regressions WARN, never fail: CI machines are
-# noisy and 1-iteration runs are indicative, not statistics. Refresh the
-# baseline with scripts/bench.sh after intentional perf changes.
-if [ -f BENCH_PR3.json ]; then
-  go test -run '^$' -bench 'BenchmarkMechanism(100|400)$|BenchmarkMechanismSharded1000K[14]$|BenchmarkBestOffers' \
-      -benchtime 1x -benchmem . ./internal/match 2>/dev/null \
-    | go run ./cmd/benchjson -baseline BENCH_PR3.json -out /tmp/bench_ci.json \
-    || echo "    bench compare skipped (non-fatal)"
+echo "==> bench gate (hard, ±5%)"
+# The mechanism microbenchmarks are compared against the committed
+# BENCH_PR6.json baseline and FAIL the build when any overlapping
+# benchmark's ns/op regresses more than 5%. Two disciplines make a hard
+# gate viable on a shared runner whose load drifts ±10%:
+#   - time-based sampling (-benchtime 1s) so every sample spans many
+#     scheduler/steal periods instead of 3 bare iterations, and
+#   - min-of-N (-count=4; benchjson keeps the fastest run per name):
+#     external load only ever adds time, so the minimum is the
+#     reproducible measurement of the code itself.
+# The gated set is the benchmarks whose min-of-N spread measures ≤3.5%
+# on this class of runner: Mechanism400, Sharded1000 K∈{1,4}, and the
+# indexed order-book scan. The noisier micro points (Mechanism100,
+# BestOffersNaive/Indexed — GC-coupled, ≥9% drift) are still recorded in
+# BENCH_PR6.json by scripts/bench.sh but not hard-gated. The baseline is
+# recorded with the same -benchtime/min-of-N discipline; the slow
+# load-frontier points in it are absent from this run and therefore not
+# gated. Refresh the baseline with scripts/bench.sh after intentional
+# changes.
+if [ -f BENCH_PR6.json ]; then
+  go test -run '^$' -bench 'BenchmarkMechanism400$|BenchmarkMechanismSharded1000K[14]$|BenchmarkBestOffersIndexedScan$' \
+      -benchtime 1s -count=4 -benchmem . ./internal/match 2>/dev/null \
+    | go run ./cmd/benchjson -baseline BENCH_PR6.json -gate 5 -out /tmp/bench_ci.json
 else
-  echo "    no BENCH_PR3.json baseline; skipping"
+  echo "    no BENCH_PR6.json baseline; skipping"
 fi
+
+echo "==> devnet smoke (multi-process, time-boxed)"
+# A small real-process devnet — 2 miner + 4 participant OS processes with
+# churn, a partition window, and a crash-restart — must converge to
+# byte-identical chains and pass the conservation audit. The full 3×8
+# soak (TestSoak3x8) already ran under -race in the test phase; this
+# drives the standalone orchestrator binary end to end.
+timeout 300 go run ./cmd/decloud-devnet \
+  -miners 2 -participants 4 -seed 3 -rate 8 -soak 6s -converge 150s \
+  -out /tmp/devnet_ci.json
 
 echo "==> observability smoke (sim + /metrics scrape)"
 # Boot a short simulation with the obs endpoint on an ephemeral port,

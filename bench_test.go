@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"decloud/internal/auction"
+	"decloud/internal/bidding"
+	"decloud/internal/book"
 	"decloud/internal/experiments"
 	"decloud/internal/workload"
 )
@@ -291,4 +293,48 @@ func BenchmarkAblationBand(b *testing.B) {
 		gain += points[1].Ratio - points[0].Ratio
 	}
 	b.ReportMetric(gain/float64(b.N), "wide_band_sat_gain")
+}
+
+// BenchmarkBookIncremental1000 is the incremental counterpart of
+// BenchmarkMechanism1000: the same 1000-order market lives in a warm
+// book (caches populated by one full clear), and each iteration prices
+// one block of 50 fresh requests via Preview — a ≤10% dirty fraction.
+// Preview rolls its admissions back, so every iteration re-runs the
+// same incremental clear from the same state: only the 50 arrivals are
+// rescored and only the clusters they join are re-solved. The ratio to
+// BenchmarkMechanism1000 is the continuous-market win the book exists
+// to deliver (acceptance floor: ≥2×).
+func BenchmarkBookIncremental1000(b *testing.B) {
+	market := workload.Generate(workload.Config{Seed: 1, Requests: 1000})
+	cfg := auction.DefaultConfig()
+	cfg.Incremental = true
+	bk := book.New(cfg)
+	for _, r := range market.Requests {
+		bk.InsertRequest(r)
+	}
+	for _, o := range market.Offers {
+		bk.InsertOffer(o)
+	}
+	// Warm clear without commit: Preview with no arrivals populates the
+	// best-set and prepass caches but keeps all 1000 orders live.
+	bk.Preview(nil, nil, []byte("bench-warm"))
+
+	arrivals := workload.Generate(workload.Config{Seed: 2, Requests: 50}).Requests
+	for i, r := range arrivals {
+		r.ID = bidding.OrderID(fmt.Sprintf("arr%04d", i)) // distinct from the resident market's IDs
+	}
+	// Prime with one loop-identical Preview: the first arrival clear
+	// rebuilds component caches the empty warm clear didn't touch
+	// (~6× a steady iteration's allocations). Paying it untimed makes
+	// every timed iteration start from the same post-rollback state, so
+	// per-op cost no longer depends on b.N — which the ±5% min-of-N CI
+	// gate requires.
+	bk.Preview(arrivals, nil, []byte("bench"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, _ := bk.Preview(arrivals, nil, []byte("bench"))
+		if out == nil {
+			b.Fatal("nil outcome")
+		}
+	}
 }

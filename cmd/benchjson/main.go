@@ -9,10 +9,17 @@
 //
 // With -baseline, the old run's benchmarks are embedded under "baseline"
 // in the output document and a delta table (ns/op, allocs/op, B/op) is
-// printed to stdout. By default the tool reports without failing; with
-// -gate N it exits 2 when any overlapping benchmark's ns/op regressed
-// more than N percent over the baseline — the hard-gate mode
-// scripts/ci.sh runs with a ±5% tolerance.
+// printed to stdout. By default the tool reports without failing; the
+// hard-gate flags exit 2 on violation:
+//
+//   - -gate N: any overlapping benchmark's ns/op regressed more than N
+//     percent over the baseline. On shared runners min-of-N ns/op still
+//     drifts with co-tenant load, so ci.sh uses a loose bound here.
+//   - -gate-allocs N: same for allocs/op, which IS bit-reproducible —
+//     this is the tight gate (±5% in ci.sh).
+//   - -require-ratio 'A/B<=R': benchmark A's ns/op must be at most R ×
+//     benchmark B's ns/op in THIS run. A same-run ratio cancels machine
+//     drift, so speedup acceptance criteria stay hard-gateable.
 package main
 
 import (
@@ -22,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"decloud/internal/benchparse"
 )
@@ -30,7 +39,15 @@ func main() {
 	out := flag.String("out", "", "write the JSON document here (omit for stdout)")
 	baseline := flag.String("baseline", "", "previous benchjson document to embed and compare against")
 	gate := flag.Float64("gate", 0, "exit 2 when any benchmark's ns/op regresses more than this percent over the baseline (0 = report only)")
+	gateAllocs := flag.Float64("gate-allocs", 0, "exit 2 when any benchmark's allocs/op regresses more than this percent over the baseline (0 = report only)")
+	requireRatio := flag.String("require-ratio", "", "exit 2 unless 'NumName/DenName<=R' holds for ns/op within this run")
 	flag.Parse()
+
+	ratioNum, ratioDen, ratioMax, err := parseRatioSpec(*requireRatio)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: -require-ratio: %v\n", err)
+		os.Exit(1)
+	}
 
 	results, err := benchparse.Parse(bufio.NewReader(os.Stdin))
 	if err != nil {
@@ -58,8 +75,13 @@ func main() {
 		// is always against its current benchmarks.
 		doc.Baseline = old.Benchmarks
 		benchparse.WriteComparison(os.Stdout, old.Benchmarks, results)
-		if *gate > 0 {
-			regressions = benchparse.Regressions(old.Benchmarks, results, *gate)
+		if *gate > 0 || *gateAllocs > 0 {
+			regressions = benchparse.Regressions(old.Benchmarks, results, *gate, *gateAllocs)
+		}
+	}
+	if ratioNum != "" {
+		if v := benchparse.RatioViolation(results, ratioNum, ratioDen, ratioMax); v != "" {
+			regressions = append(regressions, v)
 		}
 	}
 
@@ -88,6 +110,27 @@ func main() {
 		}
 		os.Exit(2)
 	}
+}
+
+// parseRatioSpec parses 'NumName/DenName<=R'. An empty spec is allowed
+// and disables the ratio gate.
+func parseRatioSpec(spec string) (num, den string, max float64, err error) {
+	if spec == "" {
+		return "", "", 0, nil
+	}
+	names, bound, ok := strings.Cut(spec, "<=")
+	if !ok {
+		return "", "", 0, fmt.Errorf("want 'Num/Den<=R', got %q", spec)
+	}
+	num, den, ok = strings.Cut(names, "/")
+	if !ok || num == "" || den == "" {
+		return "", "", 0, fmt.Errorf("want 'Num/Den<=R', got %q", spec)
+	}
+	max, err = strconv.ParseFloat(strings.TrimSpace(bound), 64)
+	if err != nil || max <= 0 {
+		return "", "", 0, fmt.Errorf("bad ratio bound in %q", spec)
+	}
+	return strings.TrimSpace(num), strings.TrimSpace(den), max, nil
 }
 
 func readDocument(path string) (benchparse.Document, error) {

@@ -38,6 +38,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	partition := fs.Bool("partition", true, "partition the network through mid-soak")
 	crash := fs.Bool("crash", true, "SIGKILL and restart one verifier miner mid-soak")
 	converge := fs.Duration("converge", 60*time.Second, "post-soak convergence timeout")
+	incremental := fs.Bool("incremental", false, "run miners over a continuous order book (carry unmatched orders across blocks)")
 	out := fs.String("out", "", "write the run summary as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Churn:           *churn,
 		Partition:       *partition,
 		CrashRestart:    *crash,
+		Incremental:     *incremental,
 		ConvergeTimeout: *converge,
 	}
 	fmt.Fprintf(stdout, "devnet: %d miners × %d participants, soak %s, artifacts in %s\n",

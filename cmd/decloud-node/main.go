@@ -50,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	revealWindow := fs.Duration("reveal-window", 3*time.Second, "how long to wait for key reveals")
 	revealRetries := fs.Int("reveal-retries", 2, "preamble re-broadcasts when reveals are missing at the deadline")
 	shards := fs.Int("shards", 0, "deterministic auction shards (0 = monolithic execution)")
+	incremental := fs.Bool("incremental", false, "clear over a persistent order book, carrying unmatched orders across blocks")
 	pipeline := fs.Bool("pipeline", false, "pipeline production: overlap the next round's reveals with the current round's votes")
 	pipelineRounds := fs.Int("pipeline-rounds", 3, "rounds per pipelined batch (with -pipeline)")
 	demo := fs.Int("demo", 0, "submit a demo workload of N requests before each production")
@@ -65,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	acfg := auction.DefaultConfig()
 	acfg.Shards = *shards
+	acfg.Incremental = *incremental
 	node, err := p2p.NewMarketNode(*name, *listen, *difficulty, acfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "decloud-node: %v\n", err)

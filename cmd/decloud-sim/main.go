@@ -48,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	shards := fs.Int("shards", 0, "deterministic auction shards (0 = monolithic execution)")
 	pipeline := fs.Bool("pipeline", false, "overlap reveal collection with verification across rounds (ledger mode)")
 	resubmit := fs.Bool("resubmit", false, "carry unmatched requests into later rounds")
+	incremental := fs.Bool("incremental", false, "clear over a persistent order book that carries unmatched orders itself")
 	exact := fs.Bool("exact", false, "exact interval scheduling instead of aggregate resource-time")
 	maxResubmits := fs.Int("max-resubmits", 3, "attempts before an unmatched request expires")
 	obsAddr := fs.String("obs-addr", "", "serve metrics/pprof on this address (empty = off)")
@@ -77,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Auction = auction.DefaultConfig()
 		cfg.Auction.ExactScheduling = true
 	}
+	cfg.Auction.Incremental = *incremental
 	switch *mode {
 	case "fast":
 		cfg.Mode = sim.Fast

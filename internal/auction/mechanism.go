@@ -81,6 +81,16 @@ type Config struct {
 	// partition/clear/residual stage latencies. Purely observational,
 	// like Obs.
 	ShardObs *obs.ShardMetrics
+	// Incremental routes block execution through the long-lived order
+	// book (internal/book) instead of rebuilding the match index and
+	// clusters from scratch every round: unmatched orders carry across
+	// epochs, and only book state touched since the previous clear is
+	// re-derived. The flag is consensus-critical — every miner of a
+	// network must agree on it, because carried orders make successive
+	// allocations depend on prior blocks. The mechanism itself
+	// (Run/RunPrepared) ignores the flag; it is read by the round loops
+	// in miner, p2p, sim, and devnet.
+	Incremental bool
 }
 
 // ReputationSource exposes participant reputations to the mechanism
@@ -217,56 +227,7 @@ func Run(requests []*bidding.Request, offers []*bidding.Offer, cfg Config) *Outc
 	pt.lapIndex()
 	clusters := cluster.BuildIndex(ix, cfg.Match, workers)
 	pt.lapCluster()
-	out.Clusters = len(clusters)
-
-	// Pre-pass every cluster. Each pre-pass allocates the cluster in
-	// isolation against fresh capacity and writes only its own slot, so
-	// the fan-out is exact; the interval list is then assembled in
-	// cluster-index order, as the sequential loop would.
-	econ := econFor(cfg, ix)
-	pairOK := pairGate(cfg)
-	all := make([]clusterStats, len(clusters))
-	par.ForEach(workers, len(clusters), func(i int) {
-		all[i] = prePass(econ(clusters[i]), pairOK, func() Capacity { return newCapacity(cfg) })
-	})
-	pt.lapPrepass()
-	var intervals []miniauction.Interval
-	for i := range all {
-		if all[i].active {
-			intervals = append(intervals, miniauction.Interval{
-				ID: i, Lo: all[i].cHatZ, Hi: all[i].vHatZ, Weight: all[i].welfare,
-			})
-		}
-	}
-	auctions := miniauction.Form(intervals)
-	out.MiniAuctions = len(auctions)
-
-	evidence := cfg.Evidence
-	if evidence == nil {
-		evidence = []byte("decloud/no-evidence")
-	}
-
-	if cfg.Shards > 0 {
-		runAuctionsSharded(out, reqs, offs, clusters, auctions, all, cfg, pairOK, evidence, workers)
-		pt.lapAuctions()
-		pt.finish(out, ix)
-		return out
-	}
-	if workers > 1 {
-		runAuctionsParallel(out, auctions, all, cfg, pairOK, evidence, workers)
-		pt.lapAuctions()
-		pt.finish(out, ix)
-		return out
-	}
-	st := newBlockState(cfg)
-	for ai := range auctions {
-		for _, tr := range runMiniAuction(ai, auctions[ai], all, cfg, pairOK, evidence, st) {
-			recordMatch(out, tr.ec, tr.a, tr.price)
-		}
-	}
-	finalize(out, st.taken, st.reducedReq, st.reducedOff, st.lottery)
-	pt.lapAuctions()
-	pt.finish(out, ix)
+	runClustered(out, reqs, offs, ix, clusters, cfg, &pt, nil)
 	return out
 }
 

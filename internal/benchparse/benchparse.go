@@ -137,10 +137,17 @@ func Delta(old, new float64) float64 {
 }
 
 // Regressions returns one line per benchmark present in both runs whose
-// ns/op regressed by more than tolerancePct (e.g. 5 = +5%). Benchmarks
-// missing from either run are ignored: adding or retiring a benchmark is
-// not a regression. An empty slice means the gate passes.
-func Regressions(old, new []Result, tolerancePct float64) []string {
+// ns/op regressed by more than nsTolPct or whose allocs/op regressed by
+// more than allocTolPct (e.g. 5 = +5%; 0 disables that check).
+// Benchmarks missing from either run are ignored: adding or retiring a
+// benchmark is not a regression. An empty slice means the gate passes.
+//
+// The two tolerances exist because the two statistics have different
+// reproducibility on a shared runner: allocs/op is a property of the
+// code alone (bit-identical across runs), while min-of-N ns/op still
+// drifts with co-tenant load, so it usually gets a looser bound that
+// only catches order-of-magnitude blowups.
+func Regressions(old, new []Result, nsTolPct, allocTolPct float64) []string {
 	oldBy := byName(old)
 	var out []string
 	names := make([]string, 0, len(new))
@@ -156,12 +163,45 @@ func Regressions(old, new []Result, tolerancePct float64) []string {
 		if o.NsPerOp <= 0 {
 			continue
 		}
-		if d := Delta(o.NsPerOp, n.NsPerOp); d > tolerancePct {
-			out = append(out, fmt.Sprintf("%s: ns/op %+.1f%% (%.0f -> %.0f, tolerance %.1f%%)",
-				name, d, o.NsPerOp, n.NsPerOp, tolerancePct))
+		if nsTolPct > 0 {
+			if d := Delta(o.NsPerOp, n.NsPerOp); d > nsTolPct {
+				out = append(out, fmt.Sprintf("%s: ns/op %+.1f%% (%.0f -> %.0f, tolerance %.1f%%)",
+					name, d, o.NsPerOp, n.NsPerOp, nsTolPct))
+			}
+		}
+		if allocTolPct > 0 && o.AllocsOp > 0 {
+			if d := Delta(o.AllocsOp, n.AllocsOp); d > allocTolPct {
+				out = append(out, fmt.Sprintf("%s: allocs/op %+.1f%% (%.0f -> %.0f, tolerance %.1f%%)",
+					name, d, o.AllocsOp, n.AllocsOp, allocTolPct))
+			}
 		}
 	}
 	return out
+}
+
+// RatioViolation checks a same-run invariant: num's ns/op must be at
+// most maxRatio × den's ns/op. Comparing two benchmarks from the SAME
+// invocation cancels machine-speed drift entirely, so this stays a hard
+// gate on shared runners where absolute ns/op wanders ±20%. It returns
+// "" when the invariant holds and an explanatory line otherwise — a
+// missing benchmark is a violation, not a skip, because a silently
+// renamed benchmark must not turn the gate off.
+func RatioViolation(results []Result, num, den string, maxRatio float64) string {
+	by := byName(results)
+	n, okN := by[num]
+	d, okD := by[den]
+	if !okN || !okD {
+		return fmt.Sprintf("ratio %s/%s: benchmark missing from run (have %s=%v, %s=%v)",
+			num, den, num, okN, den, okD)
+	}
+	if d.NsPerOp <= 0 {
+		return fmt.Sprintf("ratio %s/%s: denominator ns/op %.0f", num, den, d.NsPerOp)
+	}
+	if r := n.NsPerOp / d.NsPerOp; r > maxRatio {
+		return fmt.Sprintf("ratio %s/%s = %.3f exceeds %.3f (%.0f vs %.0f ns/op)",
+			num, den, r, maxRatio, n.NsPerOp, d.NsPerOp)
+	}
+	return ""
 }
 
 // WriteComparison prints a benchstat-style before/after table for the

@@ -87,15 +87,56 @@ func TestRegressions(t *testing.T) {
 		{Name: "BenchmarkOnlyNew", NsPerOp: 999},
 		{Name: "BenchmarkZeroBase", NsPerOp: 50}, // no baseline signal
 	}
-	regs := Regressions(old, new, 5)
+	regs := Regressions(old, new, 5, 0)
 	if len(regs) != 1 {
 		t.Fatalf("want exactly the +20%% regression, got %v", regs)
 	}
 	if !strings.Contains(regs[0], "BenchmarkB") || !strings.Contains(regs[0], "+20.0%") {
 		t.Fatalf("unexpected regression line: %q", regs[0])
 	}
-	if regs := Regressions(old, new, 25); len(regs) != 0 {
+	if regs := Regressions(old, new, 25, 0); len(regs) != 0 {
 		t.Fatalf("a 25%% gate must pass, got %v", regs)
+	}
+}
+
+func TestRegressionsAllocGate(t *testing.T) {
+	old := []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsOp: 1000},
+		{Name: "BenchmarkNoAllocs", NsPerOp: 100}, // no allocs baseline: ns-only
+	}
+	new := []Result{
+		{Name: "BenchmarkA", NsPerOp: 118, AllocsOp: 1100},     // ns +18%, allocs +10%
+		{Name: "BenchmarkNoAllocs", NsPerOp: 110, AllocsOp: 5}, // ns +10%
+	}
+	// Loose ns bound absorbs runner drift; the tight alloc bound still
+	// catches the +10% allocation growth.
+	regs := Regressions(old, new, 30, 5)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op +10.0%") {
+		t.Fatalf("want exactly the allocs/op regression, got %v", regs)
+	}
+	// Both statistics over tolerance → both reported for the same name.
+	if regs := Regressions(old, new, 15, 5); len(regs) != 2 {
+		t.Fatalf("want A's ns AND alloc regressions, got %v", regs)
+	}
+	if regs := Regressions(old, new, 0, 15); len(regs) != 0 {
+		t.Fatalf("disabled ns gate + 15%% alloc gate must pass, got %v", regs)
+	}
+}
+
+func TestRatioViolation(t *testing.T) {
+	run := []Result{
+		{Name: "BenchmarkFast", NsPerOp: 40},
+		{Name: "BenchmarkSlow", NsPerOp: 100},
+	}
+	if v := RatioViolation(run, "BenchmarkFast", "BenchmarkSlow", 0.5); v != "" {
+		t.Fatalf("0.4 <= 0.5 must pass, got %q", v)
+	}
+	v := RatioViolation(run, "BenchmarkFast", "BenchmarkSlow", 0.25)
+	if v == "" || !strings.Contains(v, "0.400") {
+		t.Fatalf("0.4 > 0.25 must fail with the measured ratio, got %q", v)
+	}
+	if v := RatioViolation(run, "BenchmarkRenamed", "BenchmarkSlow", 0.5); v == "" {
+		t.Fatal("a missing benchmark must be a violation, not a silent pass")
 	}
 }
 

@@ -1,0 +1,669 @@
+// Package book implements DeCloud's long-lived streaming order book:
+// the mutation-friendly layer over match.Index and cluster.Builder that
+// turns the per-block batch auction into a continuous market. Orders
+// are inserted, cancelled, and expired between clears; unmatched orders
+// carry across epochs (promoting the simulator's resubmission loop into
+// the market itself); and each clear re-derives only the state that the
+// mutations since the previous clear could have touched.
+//
+// # What is incremental, and why it is safe
+//
+// The dominant cost of a from-scratch block execution is the
+// per-request best-offer scan (O(requests × offers)) plus the
+// per-cluster economics pre-pass. Both are cached here:
+//
+//   - Each live request caches its best-offer set from the last clear
+//     and is rescanned only when dirty. The dirty rules are exact:
+//     a request is dirtied when it is inserted, when an offer feasible
+//     for it (match.Feasible — scale-independent) is inserted, when an
+//     offer belonging to any cluster that contained the request is
+//     removed, or when the block normalization scale changes (scale
+//     changes invalidate every quality score, so everything is
+//     dirtied). Removing an offer that was in no cluster cannot have
+//     been in any best set — cluster.Builder.Update places every best
+//     offer of r into the exact best-set cluster containing r — and
+//     removing a request never changes another request's best set.
+//
+//   - Per-cluster pre-pass economics are cached in an
+//     auction.PrepassCache keyed by exact membership, flushed on scale
+//     changes and order-ID reuse (see below).
+//
+// Cluster formation and mini-auction execution are NOT cached: cluster
+// identity is order-dependent global state (intersection clusters
+// depend on creation order), and the mini-auction lotteries are keyed
+// by the block evidence, which changes every round. Both re-run from
+// the cached/rescanned best sets in the index's canonical request
+// order, which is what makes the outcome byte-identical to the
+// from-scratch oracle — the booktest differential harness replays
+// randomized multi-epoch mutation traces against auction.Run and
+// asserts byte equality at every clear.
+//
+// # Concurrency
+//
+// All methods are safe for concurrent use; the book is a single
+// mutex-guarded replica. Chain-driven replicas (miner.Miner.Book) are
+// additionally serialized by the miner's sync loop so blocks apply in
+// height order.
+package book
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"decloud/internal/auction"
+	"decloud/internal/bidding"
+	"decloud/internal/cluster"
+	"decloud/internal/match"
+	"decloud/internal/par"
+	"decloud/internal/resource"
+)
+
+// DefaultMaxCarry is the number of additional clears an unmatched order
+// participates in after its first — mirroring the simulator's historic
+// MaxResubmits default of 3.
+const DefaultMaxCarry = 3
+
+// Stats counts every order the book has ever admitted, partitioned by
+// fate. Per side, the conservation invariant holds at every instant:
+//
+//	Inserted == Matched + Cancelled + Expired + CarriedOut + live
+//
+// (Rejected orders were never admitted and are tracked separately.)
+type Stats struct {
+	InsertedRequests, InsertedOffers     int
+	RejectedRequests, RejectedOffers     int
+	MatchedRequests, MatchedOffers       int
+	CancelledRequests, CancelledOffers   int
+	ExpiredRequests, ExpiredOffers       int // time-window expiry
+	CarriedOutRequests, CarriedOutOffers int // carry budget exhausted
+	LiveRequests, LiveOffers             int
+
+	// Clears counts clearing rounds; Rescored counts per-request
+	// best-offer rescans across them (the work the dirty-tracking
+	// saves); FullRescores counts clears that ran all-dirty.
+	Clears, Rescored, FullRescores int
+}
+
+type reqEntry struct {
+	r     *bidding.Request
+	pos   int  // slot in Book.reqs (kept exact by compactLocked)
+	left  int  // clears remaining before carry-out
+	dirty bool // best-offer set must be rescanned
+	best  []*bidding.Offer
+}
+
+type offEntry struct {
+	o    *bidding.Offer
+	pos  int
+	left int
+	// watch lists the request sets of every cluster that contained
+	// this offer at the last clear; removing the offer dirties them
+	// all. The slices are shared with the clusters (read-only).
+	watch [][]*bidding.Request
+}
+
+// Book is the streaming order book. Create with New; the zero value is
+// not usable.
+type Book struct {
+	mu  sync.Mutex
+	cfg auction.Config
+
+	// MaxCarry is the carry budget of newly inserted orders; set it
+	// before the first insert (New initializes it to DefaultMaxCarry).
+	MaxCarry int
+
+	reqs    []*reqEntry // insertion order, nil holes compacted on clear
+	offs    []*offEntry
+	reqByID map[bidding.OrderID]*reqEntry
+	offByID map[bidding.OrderID]*offEntry
+
+	// prevMax is the per-kind maxima of the last clear's normalization
+	// scale; a mismatch invalidates every cached quality score.
+	prevMax  resource.Vector
+	allDirty bool
+	cleared  bool
+
+	// fingerprints of every order ID ever admitted: re-using an ID with
+	// different contents silently invalidates caches keyed by ID, so it
+	// triggers a full flush instead (re-use with identical contents is
+	// benign and common — Preview inserts and rolls back block orders
+	// that Apply then re-inserts).
+	seenReq map[bidding.OrderID]uint64
+	seenOff map[bidding.OrderID]uint64
+
+	cache   *auction.PrepassCache
+	scratch []*match.Scratch
+
+	// memo carries the outcome of the latest Preview to a matching
+	// Apply so the block's clear runs once, not twice. Any mutation in
+	// between invalidates it (gen).
+	gen  uint64
+	memo *previewMemo
+
+	blocks int // chain blocks applied (Apply calls); see Blocks
+	stats  Stats
+}
+
+type previewMemo struct {
+	gen uint64
+	key string
+	out *auction.Outcome
+}
+
+// New creates an empty book executing cfg at every clear. The
+// reference matcher is unsupported (it exists to bypass exactly the
+// index this book is built on); cfg.Match.Reference is ignored.
+func New(cfg auction.Config) *Book {
+	cfg.Match.Reference = false
+	return &Book{
+		cfg:      cfg,
+		MaxCarry: DefaultMaxCarry,
+		reqByID:  make(map[bidding.OrderID]*reqEntry),
+		offByID:  make(map[bidding.OrderID]*offEntry),
+		seenReq:  make(map[bidding.OrderID]uint64),
+		seenOff:  make(map[bidding.OrderID]uint64),
+		cache:    &auction.PrepassCache{},
+	}
+}
+
+// fingerprint hashes an order's canonical JSON encoding (struct field
+// order is fixed and map keys are sorted, so the bytes are stable).
+func fingerprint(v any) uint64 {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// InsertRequest admits a request. Invalid orders and IDs already live
+// in the book are rejected (counted, not fatal — a miner must process
+// whatever a block contains). Returns whether the order was admitted.
+func (b *Book) InsertRequest(r *bidding.Request) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.insertRequestLocked(r, true)
+}
+
+// InsertOffer admits an offer; same contract as InsertRequest.
+func (b *Book) InsertOffer(o *bidding.Offer) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.insertOfferLocked(o, true)
+}
+
+func (b *Book) insertRequestLocked(r *bidding.Request, record bool) bool {
+	b.gen++
+	if r.Validate() != nil || b.reqByID[r.ID] != nil {
+		if record {
+			b.stats.RejectedRequests++
+		}
+		return false
+	}
+	fp := fingerprint(r)
+	if prev, ok := b.seenReq[r.ID]; ok && prev != fp {
+		b.flushCachesLocked()
+	}
+	b.seenReq[r.ID] = fp
+	e := &reqEntry{r: r, pos: len(b.reqs), left: b.MaxCarry + 1, dirty: true}
+	b.reqs = append(b.reqs, e)
+	b.reqByID[r.ID] = e
+	if record {
+		b.stats.InsertedRequests++
+	}
+	return true
+}
+
+func (b *Book) insertOfferLocked(o *bidding.Offer, record bool) bool {
+	b.gen++
+	if o.Validate() != nil || b.offByID[o.ID] != nil {
+		if record {
+			b.stats.RejectedOffers++
+		}
+		return false
+	}
+	fp := fingerprint(o)
+	if prev, ok := b.seenOff[o.ID]; ok && prev != fp {
+		b.flushCachesLocked()
+	}
+	b.seenOff[o.ID] = fp
+	e := &offEntry{o: o, pos: len(b.offs), left: b.MaxCarry + 1}
+	b.offs = append(b.offs, e)
+	b.offByID[o.ID] = e
+	// A fresh offer can enter the best set of any request it is
+	// feasible for; feasibility is scale-independent, so this is exact.
+	for _, re := range b.reqs {
+		if re != nil && !re.dirty && match.Feasible(re.r, o) {
+			re.dirty = true
+		}
+	}
+	if record {
+		b.stats.InsertedOffers++
+	}
+	return true
+}
+
+// flushCachesLocked drops every cross-clear cache: an order ID was
+// re-used with different contents, so membership-keyed state is no
+// longer trustworthy.
+func (b *Book) flushCachesLocked() {
+	b.allDirty = true
+	b.cache.Flush()
+}
+
+// CancelRequest removes a live request. Reports whether it was live.
+func (b *Book) CancelRequest(id bidding.OrderID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.reqByID[id]
+	if e == nil {
+		return false
+	}
+	b.gen++
+	b.removeRequestLocked(e)
+	b.stats.CancelledRequests++
+	return true
+}
+
+// CancelOffer removes a live offer. Reports whether it was live.
+func (b *Book) CancelOffer(id bidding.OrderID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.offByID[id]
+	if e == nil {
+		return false
+	}
+	b.gen++
+	b.removeOfferLocked(e)
+	b.stats.CancelledOffers++
+	return true
+}
+
+// ExpireBefore removes every order whose time window ends before now —
+// it can no longer be scheduled (Const. 10–11). Returns the number of
+// orders removed.
+func (b *Book) ExpireBefore(now int64) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.gen++
+	n := 0
+	for _, e := range b.reqs {
+		if e != nil && e.r.End < now {
+			b.removeRequestLocked(e)
+			b.stats.ExpiredRequests++
+			n++
+		}
+	}
+	for _, e := range b.offs {
+		if e != nil && e.o.End < now {
+			b.removeOfferLocked(e)
+			b.stats.ExpiredOffers++
+			n++
+		}
+	}
+	return n
+}
+
+// removeRequestLocked unlinks a request entry. Removing a request never
+// changes another request's best-offer set, so nothing is dirtied.
+func (b *Book) removeRequestLocked(e *reqEntry) {
+	delete(b.reqByID, e.r.ID)
+	b.reqs[e.pos] = nil
+}
+
+// removeOfferLocked unlinks an offer entry and dirties every request of
+// every cluster that contained the offer at the last clear. That set
+// covers every request whose cached best set can contain the offer
+// (Builder.Update puts each best offer of r into r's exact best-set
+// cluster), and removing an offer outside a request's returned best
+// set never changes that set: the top-k scan's non-returned candidates
+// all score below the band cut, so the set is insensitive to them.
+func (b *Book) removeOfferLocked(e *offEntry) {
+	delete(b.offByID, e.o.ID)
+	b.offs[e.pos] = nil
+	for _, rs := range e.watch {
+		for _, r := range rs {
+			if re := b.reqByID[r.ID]; re != nil {
+				re.dirty = true
+			}
+		}
+	}
+}
+
+// compactLocked drops removal holes, preserving insertion order.
+func (b *Book) compactLocked() {
+	reqs := b.reqs[:0]
+	for _, e := range b.reqs {
+		if e != nil {
+			e.pos = len(reqs)
+			reqs = append(reqs, e)
+		}
+	}
+	b.reqs = reqs
+	offs := b.offs[:0]
+	for _, e := range b.offs {
+		if e != nil {
+			e.pos = len(offs)
+			offs = append(offs, e)
+		}
+	}
+	b.offs = offs
+}
+
+// LiveRequests returns the live requests in insertion order.
+func (b *Book) LiveRequests() []*bidding.Request {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.compactLocked()
+	out := make([]*bidding.Request, len(b.reqs))
+	for i, e := range b.reqs {
+		out[i] = e.r
+	}
+	return out
+}
+
+// LiveOffers returns the live offers in insertion order.
+func (b *Book) LiveOffers() []*bidding.Offer {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.compactLocked()
+	out := make([]*bidding.Offer, len(b.offs))
+	for i, e := range b.offs {
+		out[i] = e.o
+	}
+	return out
+}
+
+// Stats returns a snapshot of the book's conservation counters.
+func (b *Book) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.stats
+	st.LiveRequests, st.LiveOffers = 0, 0
+	for _, e := range b.reqs {
+		if e != nil {
+			st.LiveRequests++
+		}
+	}
+	for _, e := range b.offs {
+		if e != nil {
+			st.LiveOffers++
+		}
+	}
+	return st
+}
+
+// Blocks returns how many chain blocks have been applied (Apply calls);
+// chain-driven replicas use it as the next height to apply.
+func (b *Book) Blocks() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.blocks
+}
+
+// Clear runs one clearing round over the live book under the given
+// evidence and commits it: matched orders leave the book, every
+// unmatched survivor spends one unit of carry budget and leaves when
+// exhausted. The returned outcome is byte-identical to
+// auction.Run(LiveRequests(), LiveOffers(), cfg) with cfg.Evidence set
+// to evidence.
+func (b *Book) Clear(evidence []byte) *auction.Outcome {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.gen++
+	out := b.clearLocked(evidence)
+	b.commitLocked(out)
+	return out
+}
+
+// clearLocked executes the incremental clear: rescore dirty requests,
+// rebuild clusters from cached + fresh best sets in canonical order,
+// and run the post-clustering mechanism. It refreshes every cache and
+// resets all dirt; it does not commit (carry/removal) effects.
+func (b *Book) clearLocked(evidence []byte) *auction.Outcome {
+	b.compactLocked()
+	reqs := make([]*bidding.Request, len(b.reqs))
+	for i, e := range b.reqs {
+		reqs[i] = e.r
+	}
+	offs := make([]*bidding.Offer, len(b.offs))
+	for i, e := range b.offs {
+		offs[i] = e.o
+	}
+
+	scale := match.BlockScale(reqs, offs)
+	if !b.cleared || !scale.MaxVector().Equal(b.prevMax) {
+		b.allDirty = true
+		b.cache.Flush()
+	}
+
+	ix := match.NewIndex(reqs, offs, scale)
+	ordered := ix.Requests() // canonical (Submitted, ID) order
+	best := make([][]*bidding.Offer, len(ordered))
+	entries := make([]*reqEntry, len(ordered))
+	var dirtyIdx []int
+	for i, r := range ordered {
+		e := b.reqByID[r.ID]
+		entries[i] = e
+		if b.allDirty || e.dirty || e.best == nil {
+			dirtyIdx = append(dirtyIdx, i)
+		} else {
+			best[i] = e.best
+		}
+	}
+
+	workers := b.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if len(b.scratch) < workers {
+		b.scratch = make([]*match.Scratch, workers)
+		for i := range b.scratch {
+			b.scratch[i] = match.NewScratch()
+		}
+	}
+	cfg := b.cfg
+	cfg.Evidence = evidence
+	par.ForEachWorker(workers, len(dirtyIdx), func(w, j int) {
+		i := dirtyIdx[j]
+		best[i] = ix.BestOffers(i, cfg.Match, b.scratch[w])
+	})
+
+	// Cluster formation is order-dependent global state: it re-runs in
+	// full, in the same canonical order as cluster.BuildIndex, so the
+	// cluster list is exactly the from-scratch one.
+	builder := cluster.NewBuilder()
+	for i, r := range ordered {
+		builder.Update(r, best[i])
+	}
+	clusters := builder.Clusters()
+
+	out := auction.RunPrepared(reqs, offs, ix, clusters, cfg, b.cache)
+
+	// Refresh caches: best sets and dirt on requests, cluster watch
+	// lists on offers, and the scale fingerprint.
+	for i, e := range entries {
+		e.best = best[i]
+		e.dirty = false
+	}
+	for _, e := range b.offs {
+		e.watch = e.watch[:0]
+	}
+	for _, cl := range clusters {
+		for _, o := range cl.Offers {
+			if e := b.offByID[o.ID]; e != nil {
+				e.watch = append(e.watch, cl.Requests)
+			}
+		}
+	}
+	b.prevMax = scale.MaxVector()
+	b.cleared = true
+	b.allDirty = false
+	b.stats.Clears++
+	b.stats.Rescored += len(dirtyIdx)
+	if len(dirtyIdx) == len(ordered) {
+		b.stats.FullRescores++
+	}
+	return out
+}
+
+// commitLocked applies a clear's outcome to the book: matched orders
+// are consumed, every unmatched survivor spends one carry unit and is
+// carried out at zero.
+func (b *Book) commitLocked(out *auction.Outcome) {
+	matchedReq := make(map[bidding.OrderID]bool, len(out.Matches))
+	matchedOff := make(map[bidding.OrderID]bool, len(out.Matches))
+	for i := range out.Matches {
+		matchedReq[out.Matches[i].Request.ID] = true
+		matchedOff[out.Matches[i].Offer.ID] = true
+	}
+	for _, e := range b.reqs {
+		if e == nil {
+			continue
+		}
+		if matchedReq[e.r.ID] {
+			b.removeRequestLocked(e)
+			b.stats.MatchedRequests++
+			continue
+		}
+		e.left--
+		if e.left <= 0 {
+			b.removeRequestLocked(e)
+			b.stats.CarriedOutRequests++
+		}
+	}
+	for _, e := range b.offs {
+		if e == nil {
+			continue
+		}
+		if matchedOff[e.o.ID] {
+			b.removeOfferLocked(e)
+			b.stats.MatchedOffers++
+			continue
+		}
+		e.left--
+		if e.left <= 0 {
+			b.removeOfferLocked(e)
+			b.stats.CarriedOutOffers++
+		}
+	}
+	b.memo = nil
+}
+
+// previewKey identifies a block's worth of admitted orders under an
+// evidence value, for Preview→Apply memoization. Order contents (not
+// just IDs) are hashed, so an Apply whose orders differ from the
+// Preview's in any field re-clears instead of reusing the memo.
+func previewKey(evidence []byte, reqs []*bidding.Request, offs []*bidding.Offer) string {
+	h := fnv.New64a()
+	h.Write(evidence)
+	for _, r := range reqs {
+		fmt.Fprintf(h, "\x00%s/%x", r.ID, fingerprint(r))
+	}
+	for _, o := range offs {
+		fmt.Fprintf(h, "\x01%s/%x", o.ID, fingerprint(o))
+	}
+	return fmt.Sprintf("%x/%d/%d", h.Sum64(), len(reqs), len(offs))
+}
+
+// admit partitions a block's orders: news whose ID is already live are
+// dropped (both producer and verifier replicas drop them identically),
+// invalid orders are recorded as rejected, the rest are admitted.
+func (b *Book) admitBlock(newReqs []*bidding.Request, newOffs []*bidding.Offer, record bool) (addedR []*bidding.Request, addedO []*bidding.Offer, rejR, rejO []bidding.OrderID) {
+	for _, r := range newReqs {
+		if b.reqByID[r.ID] != nil {
+			continue // already live: the carried copy stays authoritative
+		}
+		if b.insertRequestLocked(r, record) {
+			addedR = append(addedR, r)
+		} else {
+			rejR = append(rejR, r.ID)
+		}
+	}
+	for _, o := range newOffs {
+		if b.offByID[o.ID] != nil {
+			continue
+		}
+		if b.insertOfferLocked(o, record) {
+			addedO = append(addedO, o)
+		} else {
+			rejO = append(rejO, o.ID)
+		}
+	}
+	return addedR, addedO, rejR, rejO
+}
+
+// Preview computes the outcome a block with the given orders would
+// commit, without mutating the book's live set: the orders are
+// admitted temporarily, a clear runs, and the admissions are rolled
+// back (rollback dirt makes the caches exact again). The returned
+// request/offer slices are the full order set the outcome was computed
+// over — carried live orders plus the block's admitted ones — which is
+// what a verifier must hand to the audit layer.
+//
+// The outcome is memoized: an Apply with the same orders and evidence,
+// with no intervening mutation, reuses it without a second clear.
+func (b *Book) Preview(newReqs []*bidding.Request, newOffs []*bidding.Offer, evidence []byte) (*auction.Outcome, []*bidding.Request, []*bidding.Offer) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	addedR, addedO, rejR, rejO := b.admitBlock(newReqs, newOffs, false)
+	out := b.clearLocked(evidence)
+	out.RejectedRequests = append(out.RejectedRequests, rejR...)
+	out.RejectedOffers = append(out.RejectedOffers, rejO...)
+
+	b.compactLocked()
+	allReqs := make([]*bidding.Request, len(b.reqs))
+	for i, e := range b.reqs {
+		allReqs[i] = e.r
+	}
+	allOffs := make([]*bidding.Offer, len(b.offs))
+	for i, e := range b.offs {
+		allOffs[i] = e.o
+	}
+
+	// Roll back the temporary admissions. Offer removal dirties the
+	// requests whose fresh best sets saw the block's offers, restoring
+	// the invariant that every clean request's cached best set is its
+	// best set over the live market.
+	for _, r := range addedR {
+		b.removeRequestLocked(b.reqByID[r.ID])
+	}
+	for _, o := range addedO {
+		b.removeOfferLocked(b.offByID[o.ID])
+	}
+	b.gen++
+	b.memo = &previewMemo{gen: b.gen, key: previewKey(evidence, addedR, addedO), out: out}
+	return out, allReqs, allOffs
+}
+
+// Apply commits a block to the book: its orders are admitted
+// permanently, the clear runs (or is reused from a matching Preview),
+// and the outcome's commit effects — matched-order consumption and
+// carry decay — are applied. This is the only operation that advances
+// Blocks().
+func (b *Book) Apply(newReqs []*bidding.Request, newOffs []*bidding.Offer, evidence []byte) *auction.Outcome {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	memo := b.memo
+	// The memo is valid only when nothing mutated the book since the
+	// Preview that wrote it (every mutation bumps gen without touching
+	// the memo).
+	reuse := memo != nil && memo.gen == b.gen
+	addedR, addedO, rejR, rejO := b.admitBlock(newReqs, newOffs, true)
+	var out *auction.Outcome
+	if reuse && memo.key == previewKey(evidence, addedR, addedO) {
+		out = memo.out
+	} else {
+		out = b.clearLocked(evidence)
+		out.RejectedRequests = append(out.RejectedRequests, rejR...)
+		out.RejectedOffers = append(out.RejectedOffers, rejO...)
+	}
+	b.commitLocked(out)
+	b.blocks++
+	b.gen++
+	return out
+}

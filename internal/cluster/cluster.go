@@ -12,6 +12,13 @@
 // non-trivial. Cluster identity in the builder's map is the trimmed
 // byte encoding of the mask, which is bijective with the offer set; the
 // public Key() (sorted IDs) is unchanged and computed once per cluster.
+//
+// Request membership uses the same trick over a request universe:
+// during Update a cluster's members are a bitmask, so inheriting a
+// superset's requests is a word-wise OR instead of a per-request map
+// probe — the dominant cost when the same market is re-clustered every
+// round by the incremental book. Clusters() materializes the Requests
+// slices (canonically sorted) once at the end.
 package cluster
 
 import (
@@ -32,12 +39,13 @@ type Cluster struct {
 	// (by submission time, then ID).
 	Offers []*bidding.Offer
 	// Requests are the member requests, deduplicated and ordered
-	// deterministically.
+	// deterministically. The builder fills this in Clusters(); during
+	// construction membership lives in rmask.
 	Requests []*bidding.Request
 
 	offerIDs map[bidding.OrderID]bool
-	reqIDs   map[bidding.OrderID]bool
-	mask     []uint64 // offer set over the builder's universe
+	mask     []uint64 // offer set over the builder's offer universe
+	rmask    []uint64 // member requests over the builder's request universe
 	key      string   // cached offerSetKey
 }
 
@@ -46,7 +54,6 @@ func newCluster(offers []*bidding.Offer, mask []uint64) *Cluster {
 	c := &Cluster{
 		Offers:   append([]*bidding.Offer(nil), offers...),
 		offerIDs: make(map[bidding.OrderID]bool, len(offers)),
-		reqIDs:   make(map[bidding.OrderID]bool),
 		mask:     mask,
 	}
 	sortOffers(c.Offers)
@@ -57,25 +64,18 @@ func newCluster(offers []*bidding.Offer, mask []uint64) *Cluster {
 	return c
 }
 
-func (c *Cluster) addRequest(r *bidding.Request) {
-	if c.reqIDs[r.ID] {
-		return
-	}
-	c.reqIDs[r.ID] = true
-	c.Requests = append(c.Requests, r)
-}
-
-func (c *Cluster) addRequests(rs []*bidding.Request) {
-	for _, r := range rs {
-		c.addRequest(r)
-	}
-}
-
 // HasOffer reports whether the offer belongs to the cluster's offer set.
 func (c *Cluster) HasOffer(id bidding.OrderID) bool { return c.offerIDs[id] }
 
 // HasRequest reports whether the request belongs to the cluster.
-func (c *Cluster) HasRequest(id bidding.OrderID) bool { return c.reqIDs[id] }
+func (c *Cluster) HasRequest(id bidding.OrderID) bool {
+	for _, r := range c.Requests {
+		if r.ID == id {
+			return true
+		}
+	}
+	return false
+}
 
 // Key returns the canonical identity of the cluster's offer set: the
 // sorted offer IDs joined with NUL. It labels the evidence-keyed
@@ -124,6 +124,9 @@ type Builder struct {
 	bitOf    map[*bidding.Offer]int // offer → universe bit
 	universe []*bidding.Offer       // bit → offer
 
+	reqBit      map[bidding.OrderID]int // request ID → request-universe bit
+	reqUniverse []*bidding.Request      // bit → request
+
 	bm []uint64 // scratch: the current request's best-offer mask
 	iw []uint64 // scratch: intersection words
 	kb []byte   // scratch: trimmed key bytes
@@ -134,7 +137,41 @@ func NewBuilder() *Builder {
 	return &Builder{
 		clusters: make(map[string]*Cluster),
 		bitOf:    make(map[*bidding.Offer]int),
+		reqBit:   make(map[bidding.OrderID]int),
 	}
+}
+
+// internReq assigns the request a bit in the request universe (first
+// occurrence of an ID wins, deduplicating exactly as per-cluster ID
+// maps used to).
+func (b *Builder) internReq(r *bidding.Request) int {
+	if bit, ok := b.reqBit[r.ID]; ok {
+		return bit
+	}
+	bit := len(b.reqUniverse)
+	b.reqBit[r.ID] = bit
+	b.reqUniverse = append(b.reqUniverse, r)
+	return bit
+}
+
+// setBit grows m as needed and sets the bit.
+func setBit(m []uint64, bit int) []uint64 {
+	for len(m) <= bit/64 {
+		m = append(m, 0)
+	}
+	m[bit/64] |= 1 << uint(bit%64)
+	return m
+}
+
+// orMask unions src into dst, growing dst as needed.
+func orMask(dst, src []uint64) []uint64 {
+	for len(dst) < len(src) {
+		dst = append(dst, 0)
+	}
+	for i, w := range src {
+		dst[i] |= w
+	}
+	return dst
 }
 
 // maskOf interns the offers into the universe and returns their mask in
@@ -209,6 +246,7 @@ func (b *Builder) Update(r *bidding.Request, bestR []*bidding.Offer) {
 	if len(bestR) == 0 {
 		return
 	}
+	ri := b.internReq(r)
 	bestMask := b.maskOf(bestR)
 	bestKey := string(b.keyBytes(bestMask))
 	if b.clusters[bestKey] == nil {
@@ -231,9 +269,9 @@ func (b *Builder) Update(r *bidding.Request, bestR []*bidding.Offer) {
 		}
 	}
 	for _, subset := range subsets {
-		subset.addRequest(r)
+		subset.rmask = setBit(subset.rmask, ri)
 		for _, superset := range supersets {
-			subset.addRequests(superset.Requests)
+			subset.rmask = orMask(subset.rmask, superset.rmask)
 		}
 	}
 
@@ -261,24 +299,37 @@ func (b *Builder) Update(r *bidding.Request, bestR []*bidding.Offer) {
 			continue
 		}
 		if x := b.clusters[string(b.keyBytes(inter))]; x != nil {
-			x.addRequest(r)
+			x.rmask = setBit(x.rmask, ri)
 		} else {
 			nc := newCluster(b.offersOf(inter), append([]uint64(nil), inter...))
-			nc.addRequest(r)
-			nc.addRequests(c.Requests)
+			nc.rmask = setBit(nc.rmask, ri)
+			nc.rmask = orMask(nc.rmask, c.rmask)
 			b.put(string(b.keyBytes(inter)), nc)
 		}
 	}
 }
 
 // Clusters returns the built clusters in deterministic creation order,
-// dropping clusters that never attracted any request.
+// dropping clusters that never attracted any request. It materializes
+// each cluster's Requests slice from its membership mask; the final
+// canonical (Submitted, ID) sort makes the result independent of bit
+// assignment order.
 func (b *Builder) Clusters() []*Cluster {
 	out := make([]*Cluster, 0, len(b.order))
 	for _, key := range b.order {
 		c := b.clusters[key]
-		if len(c.Requests) == 0 {
+		n := 0
+		for _, w := range c.rmask {
+			n += bits.OnesCount64(w)
+		}
+		if n == 0 {
 			continue
+		}
+		c.Requests = make([]*bidding.Request, 0, n)
+		for wi, w := range c.rmask {
+			for ; w != 0; w &= w - 1 {
+				c.Requests = append(c.Requests, b.reqUniverse[wi*64+bits.TrailingZeros64(w)])
+			}
 		}
 		sortRequests(c.Requests)
 		out = append(out, c)

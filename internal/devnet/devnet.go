@@ -59,6 +59,10 @@ type Topology struct {
 	// CrashRestart SIGKILLs one verifier miner mid-soak and respawns it
 	// (empty chain; it must catch up over the sync protocol).
 	CrashRestart bool
+	// Incremental switches every miner to the continuous order book:
+	// unmatched orders carry across blocks instead of expiring with
+	// their round. Conservation auditing accounts for carried matches.
+	Incremental bool
 	// ConvergeTimeout bounds the post-soak wait for identical chains
 	// (default 60s).
 	ConvergeTimeout time.Duration
@@ -255,6 +259,7 @@ func (c *Cluster) minerConfig(i int) MinerConfig {
 		// the 12 s round timeout, so a round with permanently lost
 		// reveals completes with exclusions instead of dying on ctx.
 		RevealRetries: 2,
+		Incremental:   c.top.Incremental,
 		ChainFile:     filepath.Join(c.top.Dir, name+".chain"),
 		ReadyFile:     filepath.Join(c.top.Dir, name+".ready"),
 		StatusFile:    filepath.Join(c.top.Dir, name+".status"),

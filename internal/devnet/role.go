@@ -80,6 +80,9 @@ type MinerConfig struct {
 	RevealWindowMS int `json:"reveal_window_ms"`
 	RevealRetries  int `json:"reveal_retries"`
 	MempoolLimit   int `json:"mempool_limit"`
+	// Incremental runs this miner over a continuous order book (carried
+	// orders compete in every block).
+	Incremental bool `json:"incremental"`
 	// RoundTimeoutMS bounds one whole round (default 12s). The block is
 	// appended and broadcast before vote collection, so a quorum that
 	// never arrives (verifier partitioned or crashed) costs at most this
@@ -226,7 +229,9 @@ func runMiner(configPath string) error {
 // runMinerWith is the miner role's body, factored from the signal shell
 // so tests can run a miner in-process under a cancellable context.
 func runMinerWith(ctx context.Context, cfg MinerConfig) error {
-	mn, err := p2p.NewMarketNode(cfg.Name, cfg.Listen, cfg.Difficulty, auction.DefaultConfig())
+	acfg := auction.DefaultConfig()
+	acfg.Incremental = cfg.Incremental
+	mn, err := p2p.NewMarketNode(cfg.Name, cfg.Listen, cfg.Difficulty, acfg)
 	if err != nil {
 		return err
 	}

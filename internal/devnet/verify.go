@@ -147,8 +147,15 @@ func readReports(reportFiles []string) (map[[32]byte]string, error) {
 //   - decoded + unrevealed + rejected == len(bids) for every block (the
 //     deterministic exclusion rule accounts for every committed bid);
 //   - every allocation record references request and offer IDs decoded in
-//     its own block, and matches each order at most once.
+//     its own block or an earlier one — incremental mode carries unmatched
+//     orders across blocks, so a record may settle an order revealed
+//     rounds ago — and matches each request at most once across the whole
+//     chain; a matched offer is consumed, so it cannot reappear in a
+//     later block's allocation.
 //
+// Matched counts decoded order occurrences whose ID some block's
+// allocation settled; Unmatched counts the rest (carried-but-never-
+// matched orders stay Unmatched, same as the from-scratch accounting).
 // The returned totals then satisfy the conservation equation by
 // construction; Check recomputes it anyway as a final guard.
 func CheckConservation(chainFile string, reportFiles []string) (*ConservationResult, error) {
@@ -163,6 +170,10 @@ func CheckConservation(chainFile string, reportFiles []string) (*ConservationRes
 
 	res := &ConservationResult{Submitted: len(submitted), Blocks: chain.Len()}
 	committed := make(map[[32]byte]bool)
+	decodedEver := make(map[string]bool) // order IDs revealed in any block so far
+	matchedReq := make(map[string]int)   // request ID → block that settled it
+	matchedOff := make(map[string]int)   // offer ID → block that consumed it
+	var decodedSeq []string              // every decoded occurrence, for the final tally
 	for i := 0; i < chain.Len(); i++ {
 		b := chain.BlockAt(i)
 		for _, bid := range b.Bids {
@@ -186,34 +197,47 @@ func CheckConservation(chainFile string, reportFiles []string) (*ConservationRes
 		res.Unrevealed += dec.Unrevealed
 		res.Rejected += dec.Rejected
 
-		decodedIDs := make(map[string]bool, decoded)
 		for _, r := range dec.Requests {
-			decodedIDs[string(r.ID)] = true
+			decodedEver[string(r.ID)] = true
+			decodedSeq = append(decodedSeq, string(r.ID))
 		}
 		for _, o := range dec.Offers {
-			decodedIDs[string(o.ID)] = true
+			decodedEver[string(o.ID)] = true
+			decodedSeq = append(decodedSeq, string(o.ID))
 		}
 		records, err := ledger.DecodeAllocation(b.Body.Allocation)
 		if err != nil {
 			return nil, fmt.Errorf("devnet: block %d: %w", i, err)
 		}
-		// One offer may serve several requests (its capacity splits), but
-		// a request is satisfied by at most one record.
-		matchedIDs := make(map[string]bool)
+		// One offer may serve several requests within a block (its
+		// capacity splits), but a request is satisfied by at most one
+		// record ever, and a consumed offer never returns.
 		for _, rec := range records {
 			for _, id := range []string{rec.RequestID, rec.OfferID} {
-				if !decodedIDs[id] {
-					return nil, fmt.Errorf("devnet: block %d: allocation names %q, not decoded in this block", i, id)
+				if !decodedEver[id] {
+					return nil, fmt.Errorf("devnet: block %d: allocation names %q, not decoded in this or any earlier block", i, id)
 				}
 			}
-			if matchedIDs[rec.RequestID] {
-				return nil, fmt.Errorf("devnet: block %d: request %q matched twice", i, rec.RequestID)
+			if at, dup := matchedReq[rec.RequestID]; dup {
+				return nil, fmt.Errorf("devnet: block %d: request %q matched twice (first in block %d)", i, rec.RequestID, at)
 			}
-			matchedIDs[rec.RequestID] = true
-			matchedIDs[rec.OfferID] = true
+			matchedReq[rec.RequestID] = i
+			if at, seen := matchedOff[rec.OfferID]; seen && at != i {
+				return nil, fmt.Errorf("devnet: block %d: offer %q consumed in block %d reappears", i, rec.OfferID, at)
+			}
+			matchedOff[rec.OfferID] = i
 		}
-		res.Matched += len(matchedIDs)
-		res.Unmatched += decoded - len(matchedIDs)
+	}
+	for _, id := range decodedSeq {
+		if _, ok := matchedReq[id]; ok {
+			res.Matched++
+			continue
+		}
+		if _, ok := matchedOff[id]; ok {
+			res.Matched++
+			continue
+		}
+		res.Unmatched++
 	}
 	res.Uncommitted = res.Submitted - res.Committed
 

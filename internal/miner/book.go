@@ -1,0 +1,99 @@
+package miner
+
+import (
+	"bytes"
+	"fmt"
+
+	"decloud/internal/auction"
+	"decloud/internal/audit"
+	"decloud/internal/ledger"
+	"decloud/internal/sealed"
+)
+
+// This file wires the continuous order book (internal/book) into the
+// miner's produce/verify duties. When Miner.Book is non-nil the miner
+// runs in incremental mode: instead of clearing each block's bids in
+// isolation, orders join a long-lived book, unmatched orders carry
+// across blocks, and each clear re-scores only the state the block's
+// mutations dirtied. The book's differential harness (book/booktest)
+// proves the incremental outcome byte-identical to the from-scratch
+// mechanism over the same live set, so incremental and rebuild miners
+// agree on every block body.
+//
+// Lock order: Miner.bookMu → ledger.Chain read locks → book.Book.mu.
+// SyncBook must therefore never run inside a chain.Append verify
+// callback (Append holds the chain lock for its whole duration and the
+// chain mutex is not reentrant) — callers sync BEFORE appending and,
+// on a verify-driven rejection, resync and retry.
+
+// computeBodyIncremental is ComputeBody's book path: the block's
+// decrypted orders are previewed against the live book — carried
+// orders compete with the new arrivals — and the speculative outcome
+// becomes the body. The book itself is not advanced; that happens when
+// the appended block is synced (SyncBook), which reuses the preview's
+// memoized outcome when nothing changed in between.
+func (m *Miner) computeBodyIncremental(b *ledger.Block, reveals []*sealed.KeyReveal) (*auction.Outcome, error) {
+	res := DecryptOrders(b.Bids, reveals)
+	out, _, _ := m.Book.Preview(res.Requests, res.Offers, b.Evidence())
+	alloc, err := ledger.EncodeAllocation(out)
+	if err != nil {
+		return nil, err
+	}
+	b.Body = ledger.NewBody(reveals, alloc)
+	return out, nil
+}
+
+// SyncBook replays every chain block the miner's book has not yet
+// absorbed, in height order. Each block's orders are decrypted with the
+// body's reveals and applied as one mutation batch under the block's
+// evidence; the resulting outcome must re-encode to the committed
+// allocation bytes, otherwise the local book has diverged from
+// consensus and the error says at which height.
+func (m *Miner) SyncBook(chain *ledger.Chain) error {
+	if m.Book == nil {
+		return nil
+	}
+	m.bookMu.Lock()
+	defer m.bookMu.Unlock()
+	for h := m.Book.Blocks(); h < chain.Len(); h++ {
+		blk := chain.BlockAt(h)
+		if blk == nil || blk.Body == nil {
+			return fmt.Errorf("miner %s: sync book: no body at height %d", m.Name, h)
+		}
+		res := DecryptOrders(blk.Bids, blk.Body.Reveals)
+		out := m.Book.Apply(res.Requests, res.Offers, blk.Evidence())
+		alloc, err := ledger.EncodeAllocation(out)
+		if err != nil {
+			return fmt.Errorf("miner %s: sync book at height %d: %w", m.Name, h, err)
+		}
+		if !bytes.Equal(alloc, blk.Body.Allocation) {
+			return fmt.Errorf("miner %s: book diverged from chain at height %d: %w", m.Name, h, ErrAllocationMismatch)
+		}
+	}
+	return nil
+}
+
+// verifyBlockIncremental re-executes a block against the verifier's own
+// book replica: preview the block's orders over the live set, compare
+// allocations byte for byte, and audit the recomputed outcome against
+// the market model over the UNION of carried and newly revealed orders
+// (a carried match references an order that is not among this block's
+// bids — the union is the market the clear actually ran over).
+func (m *Miner) verifyBlockIncremental(b *ledger.Block) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	res := DecryptOrders(b.Bids, b.Body.Reveals)
+	out, unionReqs, unionOffs := m.Book.Preview(res.Requests, res.Offers, b.Evidence())
+	alloc, err := ledger.EncodeAllocation(out)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(alloc, b.Body.Allocation) {
+		return fmt.Errorf("%w (miner %s, incremental)", ErrAllocationMismatch, m.Name)
+	}
+	if violations := audit.Outcome(unionReqs, unionOffs, out); len(violations) > 0 {
+		return fmt.Errorf("miner %s: allocation violates the market model: %v", m.Name, violations[0])
+	}
+	return nil
+}

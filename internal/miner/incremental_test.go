@@ -1,0 +1,143 @@
+package miner
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"decloud/internal/auction"
+	"decloud/internal/bidding"
+	"decloud/internal/ledger"
+)
+
+func incrementalConfig() auction.Config {
+	cfg := auction.DefaultConfig()
+	cfg.Incremental = true
+	return cfg
+}
+
+// TestIncrementalFirstBlockMatchesFromScratch: over an empty book the
+// incremental clear IS the from-scratch mechanism, so the first block
+// body must be byte-identical between an incremental network and a
+// plain one fed the same bids. Proof-of-stake keeps the block preamble
+// (and with it the PoW evidence) deterministic across both networks.
+func TestIncrementalFirstBlockMatchesFromScratch(t *testing.T) {
+	run := func(cfg auction.Config) []byte {
+		net := NewNetwork(3, 0, cfg)
+		net.Consensus = ProofOfStake
+		participants := marketRound(t, net)
+		if _, err := net.RunRound(context.Background(), participants); err != nil {
+			t.Fatalf("round failed: %v", err)
+		}
+		return net.Chain().Head().Body.Allocation
+	}
+	plain := run(auction.DefaultConfig())
+	incr := run(incrementalConfig())
+	if !bytes.Equal(plain, incr) {
+		t.Fatal("incremental first block diverges from the from-scratch body")
+	}
+}
+
+// TestIncrementalCarryAcrossBlocks: a request that finds no supply in
+// block 1 stays in every miner's book and matches in block 2 against an
+// offer revealed only then — the resubmission loop the simulator used
+// to run is now protocol state, and all verifiers accept the block even
+// though the matched request is not among its bids.
+func TestIncrementalCarryAcrossBlocks(t *testing.T) {
+	net := NewNetwork(3, 0, incrementalConfig())
+	net.Consensus = ProofOfStake
+
+	alice := testParticipant(t, "alice")
+	bob := testParticipant(t, "bob")
+	zed := testParticipant(t, "zed")
+	prov := testParticipant(t, "prov")
+
+	// Round 1: demand only — a full tradable demand side (zed is the
+	// marginal price setter trade reduction drops), but no supply.
+	for _, s := range []struct {
+		p   *Participant
+		req *bidding.Request
+	}{
+		{alice, request("r-alice", 2, 10)},
+		{bob, request("r-bob", 2, 8)},
+		{zed, request("r-zed", 2, 2)},
+	} {
+		bid, err := s.p.SubmitRequest(s.req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.SubmitBid(bid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res1, err := net.RunRound(context.Background(), []*Participant{alice, bob, zed})
+	if err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+	if len(res1.Outcome.Matches) != 0 {
+		t.Fatal("round 1 should not match: no offers")
+	}
+
+	// Round 2: supply only — the carried requests must clear even though
+	// none of their bids is in block 2.
+	bid, err := prov.SubmitOffer(offer("o-late", 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SubmitBid(bid); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := net.RunRound(context.Background(), []*Participant{prov})
+	if err != nil {
+		t.Fatalf("round 2: %v", err)
+	}
+	if len(res2.Outcome.Matches) == 0 {
+		t.Fatal("round 2: carried requests did not clear against the late offer")
+	}
+	for _, m := range res2.Outcome.Matches {
+		if m.Request.ID != "r-alice" && m.Request.ID != "r-bob" {
+			t.Fatalf("round 2 matched unexpected request %s", m.Request.ID)
+		}
+	}
+	if net.Chain().Len() != 2 {
+		t.Fatalf("chain length = %d", net.Chain().Len())
+	}
+}
+
+// TestIncrementalCheaterRejected: a tampered body in incremental mode
+// is caught by the verifiers' own book previews, the producer is
+// slashed, and the re-elected round converges — the trial previews must
+// roll back cleanly or the books would diverge and poison the round.
+func TestIncrementalCheaterRejected(t *testing.T) {
+	net := NewNetwork(3, testDifficulty, incrementalConfig())
+	participants := marketRound(t, net)
+
+	// Only the first producer cheats; the re-elected one is honest.
+	tampered := false
+	net.TamperBody = func(_ string, b *ledger.Body) {
+		if tampered {
+			return
+		}
+		tampered = true
+		records, err := ledger.DecodeAllocation(b.Allocation)
+		if err != nil || len(records) == 0 {
+			return
+		}
+		records[0].Payment *= 10
+		forged, _ := encodeRecords(records)
+		*b = *ledger.NewBody(b.Reveals, forged)
+	}
+	res, err := net.RunRound(context.Background(), participants)
+	if err != nil {
+		t.Fatalf("round should converge after re-election: %v", err)
+	}
+	if len(res.Offenders) != 1 {
+		t.Fatalf("offenders = %v, want exactly the cheater", res.Offenders)
+	}
+	if net.Chain().Len() != 1 {
+		t.Fatalf("chain length = %d", net.Chain().Len())
+	}
+	if len(res.Outcome.Matches) == 0 {
+		t.Fatal("honest re-election produced no trades")
+	}
+}

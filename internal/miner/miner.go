@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"decloud/internal/auction"
 	"decloud/internal/audit"
 	"decloud/internal/bidding"
+	"decloud/internal/book"
 	"decloud/internal/ledger"
 	"decloud/internal/sealed"
 )
@@ -31,6 +33,17 @@ type Miner struct {
 	// AuctionCfg configures the allocation mechanism. The Evidence field
 	// is overwritten per block with the preamble hash.
 	AuctionCfg auction.Config
+	// Book, when non-nil, switches the miner to incremental mode
+	// (AuctionCfg.Incremental): orders live in a continuous book,
+	// unmatched ones carry across blocks, and each block's body is the
+	// book's incremental clear rather than a from-scratch run over the
+	// block's bids alone. Keep it synced with SyncBook.
+	Book *book.Book
+
+	// bookMu serializes SyncBook's multi-block catch-up loop. It is
+	// never taken inside a chain.Append verify callback — see book.go
+	// for the lock order.
+	bookMu sync.Mutex
 }
 
 // AssembleBlock fixes the sealed-bid order (sorted by digest — a
@@ -150,6 +163,9 @@ func DecryptOrders(bids []*sealed.Bid, reveals []*sealed.KeyReveal) DecryptResul
 // seeded with the block's PoW evidence, and attaches the resulting body.
 // It returns the outcome so the caller can propose agreements.
 func (m *Miner) ComputeBody(b *ledger.Block, reveals []*sealed.KeyReveal) (*auction.Outcome, error) {
+	if m.Book != nil {
+		return m.computeBodyIncremental(b, reveals)
+	}
 	res := DecryptOrders(b.Bids, reveals)
 	cfg := m.AuctionCfg
 	cfg.Evidence = b.Evidence()
@@ -170,6 +186,9 @@ func (m *Miner) ComputeBody(b *ledger.Block, reveals []*sealed.KeyReveal) (*auct
 // the market-model constraints (defense in depth: a bug that corrupted
 // every replica identically would still be caught here).
 func (m *Miner) VerifyBlock(b *ledger.Block) error {
+	if m.Book != nil {
+		return m.verifyBlockIncremental(b)
+	}
 	if err := b.Validate(); err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"decloud/internal/auction"
+	"decloud/internal/book"
 	"decloud/internal/chaos"
 	"decloud/internal/contract"
 	"decloud/internal/ledger"
@@ -124,13 +125,35 @@ func NewNetwork(n int, difficulty int, cfg auction.Config) *Network {
 	}
 	cfg.Reputation = net.registry.Reputation()
 	for i := 0; i < n; i++ {
-		net.miners = append(net.miners, &Miner{
+		m := &Miner{
 			Name:       fmt.Sprintf("miner-%02d", i),
 			Difficulty: difficulty,
 			AuctionCfg: cfg,
-		})
+		}
+		if cfg.Incremental {
+			// Each miner keeps its own book replica — replicas are
+			// independent state machines driven by the same chain, which
+			// is exactly the property incremental verification tests.
+			m.Book = book.New(cfg)
+		}
+		net.miners = append(net.miners, m)
 	}
 	return net
+}
+
+// syncBooks catches every miner's book replica up to the canonical
+// chain. A no-op outside incremental mode. Books must be current before
+// a round's verify phase (verifiers preview blocks against their own
+// live set) and are advanced again once the block lands — the producer
+// and verifiers just previewed the same mutation batch, so the apply
+// reuses their memoized outcome.
+func (n *Network) syncBooks() error {
+	for _, m := range n.miners {
+		if err := m.SyncBook(n.chain); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Chain exposes the canonical chain.
@@ -261,6 +284,11 @@ func (n *Network) RunRound(ctx context.Context, participants []*Participant) (*R
 	if len(bids) == 0 {
 		return nil, ErrEmptyMempool
 	}
+	// Incremental mode: every replica's book must reflect the current
+	// chain before producers preview against it and verifiers re-execute.
+	if err := n.syncBooks(); err != nil {
+		return nil, fmt.Errorf("miner: pre-round book sync: %w", err)
+	}
 
 	tr := n.Tracer.StartRound(timestamp)
 	defer tr.End()
@@ -390,6 +418,12 @@ func (n *Network) RunRound(ctx context.Context, participants []*Participant) (*R
 			continue
 		}
 		tr.Event("verified", map[string]any{"producer": winner.Name, "verifiers": len(verifiers) - 1})
+
+		// The block is canonical: advance every book replica so callers
+		// observing the network between rounds see the post-block market.
+		if err := n.syncBooks(); err != nil {
+			return nil, fmt.Errorf("miner: post-append book sync: %w", err)
+		}
 
 		n.Balances[winner.Name] += n.BlockReward
 		if n.Obs != nil {

@@ -250,6 +250,12 @@ func (n *Network) revealStage(block *ledger.Block, participants []*Participant, 
 // round's fixed parent (the previous round has fully committed before a
 // commit starts, so re-elections here never chase a moving head).
 func (n *Network) commitStage(ctx context.Context, st *pipelineStage) (*RoundResult, error) {
+	// Commits run strictly one at a time (the pipeline joins the previous
+	// commit before launching the next), so the books advance in block
+	// order even though production overlaps.
+	if err := n.syncBooks(); err != nil {
+		return nil, fmt.Errorf("miner: pre-commit book sync: %w", err)
+	}
 	var offenders []string
 	var lastErr error
 	barred := make(map[int]bool)
@@ -323,6 +329,10 @@ func (n *Network) commitStage(ctx context.Context, st *pipelineStage) (*RoundRes
 			continue
 		}
 		st.tr.Event("verified", map[string]any{"producer": winner.Name, "verifiers": len(verifiers) - 1})
+
+		if err := n.syncBooks(); err != nil {
+			return nil, fmt.Errorf("miner: post-append book sync: %w", err)
+		}
 
 		n.Balances[winner.Name] += n.BlockReward
 		if n.Obs != nil {

@@ -123,8 +123,8 @@ func TestChaosSoakTCP(t *testing.T) {
 				Seed:  seed,
 				Probs: chaos.Probs{Delay: 0.2, Dup: 0.1, MaxDelaySteps: 2},
 				TypeProbs: map[string]chaos.Probs{
-					msgReveal: {Drop: 0.4, Delay: 0.3, Dup: 0.2, MaxDelaySteps: 3},
-					msgBid:    {Delay: 0.4, Dup: 0.3, MaxDelaySteps: 2},
+					msgReveals: {Drop: 0.4, Delay: 0.3, Dup: 0.2, MaxDelaySteps: 3},
+					msgBid:     {Delay: 0.4, Dup: 0.3, MaxDelaySteps: 2},
 				},
 				Step: 3 * time.Millisecond,
 			}
@@ -230,7 +230,7 @@ type dropFirstReveals struct {
 }
 
 func (d *dropFirstReveals) PlanDelivery(node, from, msgType string, key [32]byte) []time.Duration {
-	if msgType != msgReveal {
+	if msgType != msgReveals {
 		return nil
 	}
 	d.mu.Lock()

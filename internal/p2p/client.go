@@ -84,8 +84,10 @@ func (pc *ParticipantClient) onPreamble(msg Message) {
 	if ledger.HashBids(block.Bids) != block.Preamble.BidsHash {
 		return // preamble does not commit to these bids
 	}
-	for _, kr := range pc.part.RevealsFor(block.Bids) {
-		_ = pc.net.Broadcast(msgReveal, kr)
+	// One frame carries every reveal this participant owes for the
+	// preamble — reveal gossip stays O(participants), not O(orders).
+	if krs := pc.part.RevealsFor(block.Bids); len(krs) > 0 {
+		_ = pc.net.Broadcast(msgReveals, krs)
 	}
 }
 

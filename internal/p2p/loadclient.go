@@ -172,10 +172,15 @@ func (lc *LoadClient) onPreamble(msg Message) {
 	if ledger.HashBids(block.Bids) != block.Preamble.BidsHash {
 		return
 	}
+	// Batch all identities' reveals into a single frame per preamble —
+	// at load-test order rates the per-order reveal frames were the
+	// dominant transport cost of a round.
+	var krs []*sealed.KeyReveal
 	for _, part := range lc.parts {
-		for _, kr := range part.RevealsFor(block.Bids) {
-			_ = lc.net.Broadcast(msgReveal, kr)
-		}
+		krs = append(krs, part.RevealsFor(block.Bids)...)
+	}
+	if len(krs) > 0 {
+		_ = lc.net.Broadcast(msgReveals, krs)
 	}
 }
 

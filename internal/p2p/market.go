@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"decloud/internal/auction"
+	"decloud/internal/book"
 	"decloud/internal/ledger"
 	"decloud/internal/miner"
 	"decloud/internal/obs"
@@ -20,7 +21,8 @@ import (
 const (
 	msgBid      = "bid"      // sealed.Bid
 	msgPreamble = "preamble" // ledger.Block without body
-	msgReveal   = "reveal"   // sealed.KeyReveal
+	msgReveal   = "reveal"   // sealed.KeyReveal (legacy single-reveal frame)
+	msgReveals  = "reveals"  // []*sealed.KeyReveal — one frame per participant per round
 	msgBlock    = "block"    // full ledger.Block
 	msgVote     = "vote"     // vote
 	msgSyncReq  = "syncreq"  // syncRequest — a lagging replica asks for blocks
@@ -63,9 +65,13 @@ type chainTransfer struct {
 //     safe. Do not mutate miner fields after the node starts.
 //   - chain is internally RWMutex-guarded; appended blocks are treated
 //     as immutable (see ledger.Chain).
-//   - revealCh/voteCh decouple handlers from the producer loop; sends
-//     are non-blocking so a slow producer drops rather than wedges the
-//     gossip reader.
+//   - reveal intake is a mutex-guarded buffer gated by revealOpen:
+//     handlers append only while a produce stage is collecting, so one
+//     batched frame carrying a whole round's reveals (1e5+ at the load
+//     frontier) is absorbed losslessly, while between rounds — and on
+//     verify-only replicas that see reveal gossip but never produce —
+//     reveals are dropped rather than hoarded. voteCh stays a bounded
+//     channel with non-blocking sends.
 type MarketNode struct {
 	net   *Node
 	miner *miner.Miner
@@ -83,8 +89,18 @@ type MarketNode struct {
 	metrics atomic.Pointer[obs.MinerMetrics]
 	tracer  atomic.Pointer[obs.Tracer]
 
-	revealCh chan *sealed.KeyReveal
-	voteCh   chan vote
+	revealMu       sync.Mutex
+	pendingReveals []*sealed.KeyReveal
+	revealOpen     bool          // a produce stage is collecting; handlers may append
+	revealSig      chan struct{} // cap 1, pulsed after appends
+
+	voteCh chan vote
+
+	// revealFrames counts reveal transport frames received (msgReveal and
+	// msgReveals alike — a batch of n reveals is ONE frame). The batching
+	// regression test pins the frame count to O(participants), not
+	// O(orders), per round.
+	revealFrames atomic.Int64
 }
 
 // NewMarketNode starts a miner node listening on addr.
@@ -99,11 +115,18 @@ func NewMarketNode(name, addr string, difficulty int, cfg auction.Config) (*Mark
 		chain:     ledger.NewChain(),
 		havePool:  make(map[[32]byte]bool),
 		committed: make(map[[32]byte]bool),
-		revealCh:  make(chan *sealed.KeyReveal, 65536),
+		revealSig: make(chan struct{}, 1),
 		voteCh:    make(chan vote, 1024),
+	}
+	if cfg.Incremental {
+		// Incremental mode: this node clears a continuous order book kept
+		// in lockstep with its chain replica (synced before every verify
+		// and after every append). Unmatched orders carry across blocks.
+		mn.miner.Book = book.New(cfg)
 	}
 	n.Handle(msgBid, mn.onBid)
 	n.Handle(msgReveal, mn.onReveal)
+	n.Handle(msgReveals, mn.onReveals)
 	n.Handle(msgBlock, mn.onBlock)
 	n.Handle(msgVote, mn.onVote)
 	n.Handle(msgSyncReq, mn.onSyncReq)
@@ -247,11 +270,82 @@ func (mn *MarketNode) onReveal(msg Message) {
 	if err := json.Unmarshal(msg.Payload, &kr); err != nil {
 		return
 	}
+	mn.revealFrames.Add(1)
+	mn.enqueueReveals(&kr)
+}
+
+// onReveals ingests a batched reveal frame: every reveal a participant
+// owes for one preamble arrives in a single message instead of one
+// frame per order (ROADMAP item 2 — reveal gossip was the dominant
+// per-round message cost at high order rates).
+func (mn *MarketNode) onReveals(msg Message) {
+	var krs []*sealed.KeyReveal
+	if err := json.Unmarshal(msg.Payload, &krs); err != nil {
+		return
+	}
+	mn.revealFrames.Add(1)
+	live := krs[:0]
+	for _, kr := range krs {
+		if kr != nil {
+			live = append(live, kr)
+		}
+	}
+	mn.enqueueReveals(live...)
+}
+
+// enqueueReveals appends reveals to the pending intake buffer if a
+// produce stage is collecting, and pulses the signal channel. Outside a
+// round the reveals are dropped — same policy as the old bounded
+// channel, so replicas that never produce don't accumulate gossip —
+// but while a round IS open the buffer is unbounded: a single batched
+// frame can carry every reveal of a 1e5-order round, and dropping any
+// of them costs a full retry window.
+func (mn *MarketNode) enqueueReveals(krs ...*sealed.KeyReveal) {
+	mn.revealMu.Lock()
+	if !mn.revealOpen {
+		mn.revealMu.Unlock()
+		return
+	}
+	mn.pendingReveals = append(mn.pendingReveals, krs...)
+	mn.revealMu.Unlock()
 	select {
-	case mn.revealCh <- &kr:
-	default: // producer not draining; drop rather than block the reader
+	case mn.revealSig <- struct{}{}:
+	default:
 	}
 }
+
+// openRevealIntake clears any stale reveals and lets handlers append
+// until closeRevealIntake. Called at the top of a produce stage.
+func (mn *MarketNode) openRevealIntake() {
+	mn.revealMu.Lock()
+	mn.pendingReveals = nil
+	mn.revealOpen = true
+	mn.revealMu.Unlock()
+	select { // clear a stale pulse from a previous round
+	case <-mn.revealSig:
+	default:
+	}
+}
+
+func (mn *MarketNode) closeRevealIntake() {
+	mn.revealMu.Lock()
+	mn.pendingReveals = nil
+	mn.revealOpen = false
+	mn.revealMu.Unlock()
+}
+
+// takeReveals returns and clears the pending reveal buffer.
+func (mn *MarketNode) takeReveals() []*sealed.KeyReveal {
+	mn.revealMu.Lock()
+	krs := mn.pendingReveals
+	mn.pendingReveals = nil
+	mn.revealMu.Unlock()
+	return krs
+}
+
+// RevealFrames reports how many reveal transport frames this node has
+// received (batched or legacy single).
+func (mn *MarketNode) RevealFrames() int64 { return mn.revealFrames.Load() }
 
 // onBlock verifies a block produced elsewhere, appends it to the local
 // replica, and votes. A linkage failure on a block from the future means
@@ -265,7 +359,7 @@ func (mn *MarketNode) onBlock(msg Message) {
 	m := mn.metrics.Load()
 	verifyStart := obsNow(m)
 	v := vote{Voter: mn.Name(), Height: b.Preamble.Height, OK: true}
-	err := mn.chain.Append(&b, mn.miner.VerifyBlock)
+	err := mn.appendVerified(&b)
 	if err == nil {
 		mn.markCommitted(&b)
 	} else {
@@ -311,12 +405,43 @@ func (mn *MarketNode) onChain(msg Message) {
 		return
 	}
 	for _, b := range tr.Blocks {
-		if err := mn.chain.Append(b, mn.miner.VerifyBlock); err != nil {
+		if err := mn.appendVerified(b); err != nil {
 			continue // already have it, or it does not verify
 		}
 		mn.markCommitted(b)
 		_ = mn.net.Broadcast(msgVote, vote{Voter: mn.Name(), Height: b.Preamble.Height, OK: true})
 	}
+}
+
+// appendVerified appends a block produced elsewhere after full
+// verification, keeping the order book (incremental mode) in lockstep.
+// The book must mirror the chain BEFORE the verify callback runs — the
+// verifier previews the block against its live set — and syncing inside
+// the callback would deadlock on the chain lock, so the sync happens
+// first. If another handler appends between our sync and our Append,
+// the verify preview ran against a stale book and fails spuriously;
+// one resync-and-retry absorbs that race (a second failure is a real
+// rejection).
+func (mn *MarketNode) appendVerified(b *ledger.Block) error {
+	if mn.miner.Book == nil {
+		return mn.chain.Append(b, mn.miner.VerifyBlock)
+	}
+	if err := mn.miner.SyncBook(mn.chain); err != nil {
+		return err
+	}
+	err := mn.chain.Append(b, mn.miner.VerifyBlock)
+	if err != nil {
+		if serr := mn.miner.SyncBook(mn.chain); serr != nil {
+			return serr
+		}
+		err = mn.chain.Append(b, mn.miner.VerifyBlock)
+	}
+	if err != nil {
+		return err
+	}
+	// Absorb the block we just accepted; the verify's preview memo makes
+	// this a cheap replay, and divergence here is a consensus bug.
+	return mn.miner.SyncBook(mn.chain)
 }
 
 func (mn *MarketNode) onVote(msg Message) {
@@ -443,15 +568,11 @@ func (mn *MarketNode) produceStage(ctx context.Context, cfg RoundConfig, prevHas
 		"producer": mn.Name(), "height": block.Preamble.Height, "bids": len(block.Bids),
 	})
 
-	// Drain stale reveals from a previous round before asking for new ones.
-	for {
-		select {
-		case <-mn.revealCh:
-			continue
-		default:
-		}
-		break
-	}
+	// Open the reveal intake for this round, clearing anything stale.
+	// The intake closes again when the stage returns, so reveals
+	// gossiped between rounds are dropped, not hoarded.
+	mn.openRevealIntake()
+	defer mn.closeRevealIntake()
 
 	// Collect reveals for the committed bids, re-broadcasting the preamble
 	// with a growing window while any are missing and retries remain.
@@ -475,12 +596,17 @@ func (mn *MarketNode) produceStage(ctx context.Context, cfg RoundConfig, prevHas
 		timer := time.NewTimer(window)
 	collect:
 		for len(want) > 0 {
-			select {
-			case kr := <-mn.revealCh:
-				if want[kr.BidDigest] {
-					delete(want, kr.BidDigest)
-					reveals = append(reveals, kr)
+			if krs := mn.takeReveals(); len(krs) > 0 {
+				for _, kr := range krs {
+					if want[kr.BidDigest] {
+						delete(want, kr.BidDigest)
+						reveals = append(reveals, kr)
+					}
 				}
+				continue
+			}
+			select {
+			case <-mn.revealSig:
 			case <-timer.C:
 				break collect
 			case <-mn.net.stop:
@@ -520,6 +646,11 @@ func (mn *MarketNode) commitStage(ctx context.Context, cfg RoundConfig, pr *prod
 	m := mn.metrics.Load()
 	block := pr.block
 	computeStart := obsNow(m)
+	// Incremental mode: the producer previews the block against its book,
+	// so the book must be current first.
+	if err := mn.miner.SyncBook(mn.chain); err != nil {
+		return nil, fmt.Errorf("p2p: pre-commit book sync: %w", err)
+	}
 	outcome, err := mn.miner.ComputeBody(block, pr.reveals)
 	if err != nil {
 		return nil, err
@@ -532,6 +663,9 @@ func (mn *MarketNode) commitStage(ctx context.Context, cfg RoundConfig, pr *prod
 		return nil, fmt.Errorf("p2p: self-append: %w", err)
 	}
 	mn.markCommitted(block)
+	if err := mn.miner.SyncBook(mn.chain); err != nil {
+		return nil, fmt.Errorf("p2p: post-append book sync: %w", err)
+	}
 	if err := mn.net.Broadcast(msgBlock, block); err != nil {
 		return nil, fmt.Errorf("p2p: broadcast block: %w", err)
 	}

@@ -269,6 +269,8 @@ func TestNetworkedTamperedBlockVotedDown(t *testing.T) {
 	if err := cheater.miner.Mine(ctx, block, 0); err != nil {
 		t.Fatal(err)
 	}
+	cheater.openRevealIntake()
+	defer cheater.closeRevealIntake()
 	if err := mnNet.Broadcast(msgPreamble, block); err != nil {
 		t.Fatal(err)
 	}
@@ -277,8 +279,8 @@ func TestNetworkedTamperedBlockVotedDown(t *testing.T) {
 	timer := time.After(3 * time.Second)
 	for len(reveals) < 4 {
 		select {
-		case kr := <-cheater.revealCh:
-			reveals = append(reveals, kr)
+		case <-cheater.revealSig:
+			reveals = append(reveals, cheater.takeReveals()...)
 		case <-timer:
 			t.Fatalf("only %d reveals", len(reveals))
 		}

@@ -1,0 +1,106 @@
+package p2p
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"decloud/internal/auction"
+	"decloud/internal/bidding"
+	"decloud/internal/resource"
+)
+
+// TestBatchedRevealFramesAt10kOrders is the regression gate for reveal
+// batching (ROADMAP item 2): with 10k committed orders from one client
+// node, the producer must receive O(participant nodes) reveal frames —
+// one batched frame per preamble broadcast — not one frame per order.
+// The test is time-budget-aware: on a runner that cannot push 10k
+// sealed bids through the transport inside the budget it skips rather
+// than flakes.
+func TestBatchedRevealFramesAt10kOrders(t *testing.T) {
+	orders := 10000
+	if testing.Short() {
+		orders = 1000
+	}
+	budget := 90 * time.Second
+	start := time.Now()
+
+	mn, err := NewMarketNode("rb-m0", "127.0.0.1:0", 0, auction.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mn.Close() })
+	mn.SetLimits(Limits{MaxFrameBytes: 64 * 1024 * 1024})
+
+	lc, err := NewLoadClient("rb-gen", "127.0.0.1:0", make([]io.Reader, 8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lc.Close() })
+	lc.SetLimits(Limits{MaxFrameBytes: 64 * 1024 * 1024})
+	if err := lc.Connect(mn.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < orders; i++ {
+		if i%2 == 0 {
+			_, err = lc.SubmitRequest(i, &bidding.Request{
+				ID:        bidding.OrderID(fmt.Sprintf("rb-r-%05d", i)),
+				Resources: resource.Vector{resource.CPU: 1, resource.RAM: 2},
+				Start:     0, End: 100, Duration: 100,
+				Bid: 5 + float64(i%7),
+			})
+		} else {
+			_, err = lc.SubmitOffer(i, &bidding.Offer{
+				ID:        bidding.OrderID(fmt.Sprintf("rb-o-%05d", i)),
+				Resources: resource.Vector{resource.CPU: 4, resource.RAM: 8},
+				Start:     0, End: 100,
+				Bid: 0.5 + float64(i%3)/10,
+			})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%1000 == 0 && time.Since(start) > budget/2 {
+			t.Skipf("runner too slow for %d-order reveal batching check (submitted %d in %v)", orders, i, time.Since(start))
+		}
+	}
+
+	deadline := time.Now().Add(budget / 3)
+	for mn.MempoolSize() < orders {
+		if time.Now().After(deadline) {
+			t.Skipf("runner too slow: %d/%d bids pooled within budget", mn.MempoolSize(), orders)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	sum, err := mn.ProduceBlockOpts(ctx, RoundConfig{
+		Quorum:        0,
+		RevealWindow:  10 * time.Second,
+		RevealRetries: 2,
+	})
+	if err != nil {
+		t.Fatalf("round failed: %v", err)
+	}
+	if sum.Unrevealed != 0 {
+		t.Fatalf("%d orders unrevealed", sum.Unrevealed)
+	}
+	if got := len(sum.Block.Bids); got != orders {
+		t.Fatalf("committed %d bids, want %d", got, orders)
+	}
+
+	// One client node, so one batched frame per preamble attempt — allow
+	// the retry budget plus chaos-free duplicates, but nothing anywhere
+	// near per-order framing.
+	frames := mn.RevealFrames()
+	if frames < 1 {
+		t.Fatal("no reveal frames counted")
+	}
+	if frames > int64(8*sum.RevealAttempts) {
+		t.Fatalf("reveal frames = %d over %d attempt(s); batching regressed toward per-order frames", frames, sum.RevealAttempts)
+	}
+}

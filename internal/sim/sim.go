@@ -12,6 +12,7 @@ import (
 
 	"decloud/internal/auction"
 	"decloud/internal/bidding"
+	"decloud/internal/book"
 	"decloud/internal/miner"
 	"decloud/internal/obs"
 	"decloud/internal/reputation"
@@ -90,7 +91,9 @@ func (c Config) withDefaults() Config {
 		c.Difficulty = 8
 	}
 	if c.Auction.Match.QualityBand == 0 {
+		incremental := c.Auction.Incremental
 		c.Auction = auction.DefaultConfig()
+		c.Auction.Incremental = incremental
 	}
 	if c.Shards > 0 {
 		c.Auction.Shards = c.Shards
@@ -183,6 +186,12 @@ func Run(cfg Config) (*Result, error) {
 		net.Tracer = cfg.Tracer
 		roster = make(map[bidding.ParticipantID]*miner.Participant)
 	}
+	if cfg.Auction.Incremental && cfg.Resubmit {
+		// The order book subsumes the simulator's resubmission loop:
+		// carry is protocol state now, and running both would double-carry
+		// every unmatched request.
+		return nil, fmt.Errorf("sim: Resubmit is redundant in incremental mode — the order book carries unmatched orders")
+	}
 	if cfg.Pipeline {
 		if cfg.Mode != Ledger {
 			return nil, fmt.Errorf("sim: pipeline requires ledger mode")
@@ -191,6 +200,12 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("sim: pipeline is incompatible with resubmission and denial dynamics")
 		}
 		return runPipelinedLedger(cfg, net, roster, sm, res)
+	}
+	// Fast mode with an incremental config keeps ONE persistent book
+	// across rounds, mirroring what the ledger-mode miners do per block.
+	var bk *book.Book
+	if cfg.Mode == Fast && cfg.Auction.Incremental {
+		bk = book.New(cfg.Auction)
 	}
 	// carried holds unmatched requests awaiting resubmission, with their
 	// remaining attempt budget.
@@ -231,7 +246,11 @@ func Run(cfg Config) (*Result, error) {
 		var err error
 		switch cfg.Mode {
 		case Fast:
-			metrics = fastRound(market, cfg)
+			if bk != nil {
+				metrics = fastBookRound(bk, market, cfg, round)
+			} else {
+				metrics = fastRound(market, cfg)
+			}
 		case Ledger:
 			metrics, err = ledgerRound(net, roster, market, cfg, round)
 			if err != nil {
@@ -312,6 +331,35 @@ func fastRound(market *workload.Market, cfg Config) RoundMetrics {
 	out := auction.Run(market.Requests, market.Offers, acfg)
 	bench := auction.RunGreedy(market.Requests, market.Offers, cfg.Auction)
 	return metricsFrom(out, bench, len(market.Requests))
+}
+
+// fastBookRound clears one round of the persistent order book: the
+// round's market joins the carried live set and the book re-scores only
+// what the arrivals dirtied. The generator reuses order IDs across
+// rounds (same reason the resubmission loop renames them), so arrivals
+// are namespaced per round before insertion. The greedy benchmark runs
+// over the same union market the book cleared, keeping the welfare
+// ratio comparable to from-scratch rounds.
+func fastBookRound(bk *book.Book, market *workload.Market, cfg Config, round int) RoundMetrics {
+	reqs := make([]*bidding.Request, len(market.Requests))
+	for i, r := range market.Requests {
+		fresh := *r
+		fresh.Resources = r.Resources.Clone()
+		fresh.ID = bidding.OrderID(fmt.Sprintf("%s@r%d", r.ID, round))
+		reqs[i] = &fresh
+	}
+	offs := make([]*bidding.Offer, len(market.Offers))
+	for i, o := range market.Offers {
+		fresh := *o
+		fresh.Resources = o.Resources.Clone()
+		fresh.ID = bidding.OrderID(fmt.Sprintf("%s@r%d", o.ID, round))
+		offs[i] = &fresh
+	}
+	unionR := append(bk.LiveRequests(), reqs...)
+	unionO := append(bk.LiveOffers(), offs...)
+	out := bk.Apply(reqs, offs, []byte(fmt.Sprintf("sim-fast-%d-%d", cfg.Workload.Seed, round)))
+	bench := auction.RunGreedy(unionR, unionO, cfg.Auction)
+	return metricsFrom(out, bench, len(unionR))
 }
 
 func metricsFrom(out, bench *auction.Outcome, totalRequests int) RoundMetrics {

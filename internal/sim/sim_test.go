@@ -438,3 +438,45 @@ func TestStreamSourcedRounds(t *testing.T) {
 		t.Fatalf("ledger stream rounds: %+v", led.Rounds)
 	}
 }
+
+func TestFastIncrementalBookSimulation(t *testing.T) {
+	cfg := Config{
+		Mode:     Fast,
+		Rounds:   3,
+		Workload: workload.Config{Seed: 7, Requests: 60},
+	}
+	cfg.Auction.Incremental = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 3 {
+		t.Fatalf("rounds = %d", len(res.Rounds))
+	}
+	for i, m := range res.Rounds {
+		if m.Matches == 0 {
+			t.Fatalf("round %d produced no trades", i)
+		}
+		if m.Welfare <= 0 {
+			t.Fatalf("round %d welfare = %v", i, m.Welfare)
+		}
+	}
+	// Later rounds clear the union of carried and fresh orders, so the
+	// cleared market must be at least the fresh market size.
+	if res.Rounds[1].Requests < 60 {
+		t.Fatalf("round 1 cleared %d requests, want >= 60 (carried + fresh)", res.Rounds[1].Requests)
+	}
+}
+
+func TestIncrementalRejectsResubmit(t *testing.T) {
+	cfg := Config{
+		Mode:     Fast,
+		Rounds:   1,
+		Resubmit: true,
+		Workload: workload.Config{Seed: 1, Requests: 10},
+	}
+	cfg.Auction.Incremental = true
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Resubmit with an incremental book must be rejected")
+	}
+}

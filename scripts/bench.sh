@@ -5,22 +5,23 @@
 # exists — prints a benchstat-style before/after table.
 #
 # Usage:
-#   scripts/bench.sh                    # run, compare against BENCH_PR6.json if present, overwrite it
+#   scripts/bench.sh                    # run, compare against BENCH_PR7.json if present, overwrite it
 #   BENCH_OUT=out.json scripts/bench.sh # write elsewhere
 #   BENCH_BASELINE=old.json scripts/bench.sh
 #   BENCH_PATTERN='BenchmarkMechanism1000$' BENCH_TIME=5x scripts/bench.sh
 #   BENCH_FRONTIER_TIME=0 scripts/bench.sh   # skip the slow load frontier
 #
 # ns/op depends on the host; the JSON is a trajectory record. scripts/
-# ci.sh gates the fast mechanism subset of it at ±5% via benchjson -gate.
+# ci.sh hard-gates the fast mechanism subset of it via benchjson (allocs
+# ±5%, ns ±30%, book/mechanism same-run ratio ≤0.5).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_PATTERN:-BenchmarkMechanism(100|400|1000)\$|BenchmarkMechanismSharded1000K[14]\$|BenchmarkBestOffers|BenchmarkFig5a\$|BenchmarkFig5d\$}"
+PATTERN="${BENCH_PATTERN:-BenchmarkMechanism(100|400|1000)\$|BenchmarkBookIncremental1000\$|BenchmarkMechanismSharded1000K[14]\$|BenchmarkBestOffers|BenchmarkFig5a\$|BenchmarkFig5d\$}"
 # Time-based sampling: each sample spans many scheduler/steal periods,
 # which a bare 3-iteration run does not. Each benchmark then runs COUNT
 # times and benchjson records the fastest — the same min-of-N discipline
-# the ci.sh ±5% gate compares with, so baseline and gate measure the
+# the ci.sh gate compares with, so baseline and gate measure the
 # same statistic.
 TIME="${BENCH_TIME:-1s}"
 COUNT="${BENCH_COUNT:-3}"
@@ -28,7 +29,7 @@ COUNT="${BENCH_COUNT:-3}"
 # iteration per point is minutes of wall time, so it runs at 1x and can
 # be skipped entirely with BENCH_FRONTIER_TIME=0.
 FRONTIER_TIME="${BENCH_FRONTIER_TIME:-1x}"
-OUT="${BENCH_OUT:-BENCH_PR6.json}"
+OUT="${BENCH_OUT:-BENCH_PR7.json}"
 BASELINE="${BENCH_BASELINE:-}"
 RAW="$(mktemp)"
 trap 'rm -f "${RAW}"' EXIT

@@ -43,33 +43,42 @@ check_cov() { # pkg floor
 }
 for pkg in internal/miner internal/p2p; do check_cov "${pkg}" 75.0; done
 for pkg in internal/stats internal/audit internal/obs internal/shard \
-           internal/devnet internal/loadgen; do check_cov "${pkg}" 80.0; done
+           internal/devnet internal/loadgen internal/book; do check_cov "${pkg}" 80.0; done
 
-echo "==> bench gate (hard, ±5%)"
+echo "==> bench gate (hard: allocs ±5%, ns ±30%, book/mechanism ratio ≤0.5)"
 # The mechanism microbenchmarks are compared against the committed
-# BENCH_PR6.json baseline and FAIL the build when any overlapping
-# benchmark's ns/op regresses more than 5%. Two disciplines make a hard
-# gate viable on a shared runner whose load drifts ±10%:
-#   - time-based sampling (-benchtime 1s) so every sample spans many
-#     scheduler/steal periods instead of 3 bare iterations, and
-#   - min-of-N (-count=4; benchjson keeps the fastest run per name):
-#     external load only ever adds time, so the minimum is the
-#     reproducible measurement of the code itself.
-# The gated set is the benchmarks whose min-of-N spread measures ≤3.5%
-# on this class of runner: Mechanism400, Sharded1000 K∈{1,4}, and the
-# indexed order-book scan. The noisier micro points (Mechanism100,
-# BestOffersNaive/Indexed — GC-coupled, ≥9% drift) are still recorded in
-# BENCH_PR6.json by scripts/bench.sh but not hard-gated. The baseline is
-# recorded with the same -benchtime/min-of-N discipline; the slow
-# load-frontier points in it are absent from this run and therefore not
-# gated. Refresh the baseline with scripts/bench.sh after intentional
-# changes.
-if [ -f BENCH_PR6.json ]; then
-  go test -run '^$' -bench 'BenchmarkMechanism400$|BenchmarkMechanismSharded1000K[14]$|BenchmarkBestOffersIndexedScan$' \
+# BENCH_PR7.json baseline and FAIL the build on regression. Even with
+# time-based sampling (-benchtime 1s, so every sample spans many
+# scheduler/steal periods) and min-of-N (-count=4; benchjson keeps the
+# fastest run per name), min-of-N ns/op on this class of shared runner
+# drifts 10–20% ACROSS invocations — co-tenant load shifts between the
+# baseline recording and the CI run. So the gate splits by statistic:
+#   - allocs/op ±5% (the tight gate): allocations are a property of the
+#     code alone — bit-identical across runs here — and every real
+#     regression this repo has caught (map churn, prepass rebuilds,
+#     accidental full re-clears) showed up in allocs first.
+#   - ns/op ±30% (the backstop): catches order-of-magnitude blowups
+#     that somehow keep the allocation profile flat (e.g. quadratic
+#     scans over preallocated state).
+#   - -require-ratio BookIncremental1000/Mechanism1000 <= 0.5: the
+#     continuous-market acceptance (incremental clear ≥2× faster than
+#     the from-scratch oracle; measures ~3.5×) compared WITHIN one run,
+#     which cancels machine drift entirely and is therefore hard-gated
+#     at full strength.
+# Gated set: Mechanism400/1000, BookIncremental1000, Sharded1000
+# K∈{1,4}, and the indexed order-book scan. Noisier micro points
+# (Mechanism100, BestOffersNaive/Indexed) are recorded in BENCH_PR7.json
+# by scripts/bench.sh but not gated; ditto the slow load-frontier
+# points, absent from this run. Refresh the baseline with
+# scripts/bench.sh after intentional changes.
+if [ -f BENCH_PR7.json ]; then
+  go test -run '^$' -bench 'BenchmarkMechanism400$|BenchmarkMechanism1000$|BenchmarkBookIncremental1000$|BenchmarkMechanismSharded1000K[14]$|BenchmarkBestOffersIndexedScan$' \
       -benchtime 1s -count=4 -benchmem . ./internal/match 2>/dev/null \
-    | go run ./cmd/benchjson -baseline BENCH_PR6.json -gate 5 -out /tmp/bench_ci.json
+    | go run ./cmd/benchjson -baseline BENCH_PR7.json -gate 30 -gate-allocs 5 \
+        -require-ratio 'BenchmarkBookIncremental1000/BenchmarkMechanism1000<=0.5' \
+        -out /tmp/bench_ci.json
 else
-  echo "    no BENCH_PR6.json baseline; skipping"
+  echo "    no BENCH_PR7.json baseline; skipping"
 fi
 
 echo "==> devnet smoke (multi-process, time-boxed)"
@@ -77,9 +86,14 @@ echo "==> devnet smoke (multi-process, time-boxed)"
 # churn, a partition window, and a crash-restart — must converge to
 # byte-identical chains and pass the conservation audit. The full 3×8
 # soak (TestSoak3x8) already ran under -race in the test phase; this
-# drives the standalone orchestrator binary end to end.
+# drives the standalone orchestrator binary end to end. It runs in
+# incremental mode: the miners clear over the persistent order book and
+# carry unmatched orders across blocks through one full churn window,
+# so the continuous market survives real process faults, not just unit
+# tests.
 timeout 300 go run ./cmd/decloud-devnet \
   -miners 2 -participants 4 -seed 3 -rate 8 -soak 6s -converge 150s \
+  -incremental \
   -out /tmp/devnet_ci.json
 
 echo "==> observability smoke (sim + /metrics scrape)"
@@ -114,5 +128,8 @@ go test -run='^$' -fuzz=FuzzDecodeBid -fuzztime="${FUZZTIME}" ./internal/bidding
 go test -run='^$' -fuzz=FuzzSealedRoundTrip -fuzztime="${FUZZTIME}" ./internal/sealed
 # Anchored: the shard package has two Fuzz targets sharing this prefix.
 go test -run='^$' -fuzz='^FuzzShardPartition$' -fuzztime="${FUZZTIME}" ./internal/shard
+# Anchored: the book's mutation-trace fuzzer replays every input against
+# the rebuild-from-scratch oracle and fails on any byte divergence.
+go test -run='^$' -fuzz='^FuzzBookMutations$' -fuzztime="${FUZZTIME}" ./internal/book
 
 echo "==> ci.sh: all green"

@@ -43,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rate := fs.Float64("rate", 0, "target arrival rate in orders/second (0 = as fast as possible)")
 	arrival := fs.String("arrival", "uniform", "arrival process: uniform or poisson")
 	workers := fs.Int("workers", 4, "concurrent submit workers")
+	conns := fs.Int("conns", 1, "TCP connections to shard submissions over (workers pin conn w%conns)")
 	seed := fs.Int64("seed", 1, "deterministic schedule and order-stream seed")
 	clients := fs.Int("clients", 0, "virtual client identities (default = workers)")
 	epochOrders := fs.Int("epoch-orders", 0, "orders per workload epoch (default 512)")
@@ -63,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Rate:    *rate,
 		Arrival: loadgen.Arrival(*arrival),
 		Workers: *workers,
+		Conns:   *conns,
 		Seed:    *seed,
 		Stream: workload.StreamConfig{
 			Clients:       *clients,

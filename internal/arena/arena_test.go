@@ -1,0 +1,178 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMakeZeroedAndPinned(t *testing.T) {
+	var s Slab[int]
+	a := s.Make(8)
+	if len(a) != 8 || cap(a) != 8 {
+		t.Fatalf("Make(8): len=%d cap=%d, want 8/8", len(a), cap(a))
+	}
+	for i := range a {
+		if a[i] != 0 {
+			t.Fatalf("Make returned non-zero memory at %d: %d", i, a[i])
+		}
+		a[i] = i + 1
+	}
+	b := s.Make(8)
+	for i := range b {
+		if b[i] != 0 {
+			t.Fatalf("second Make sees dirty memory at %d: %d", i, b[i])
+		}
+	}
+	// Appending to a must not bleed into b (capacity pinned).
+	a = append(a, 99)
+	if b[0] != 0 {
+		t.Fatalf("append on earlier slice clobbered later allocation: b[0]=%d", b[0])
+	}
+}
+
+func TestResetRezeroesAndReuses(t *testing.T) {
+	var s Slab[float64]
+	a := s.Make(16)
+	for i := range a {
+		a[i] = 3.14
+	}
+	capBefore := s.Cap()
+	s.Reset()
+	if s.Cap() != capBefore {
+		t.Fatalf("Reset dropped chunks: cap %d -> %d", capBefore, s.Cap())
+	}
+	b := s.Make(16)
+	if &a[0] != &b[0] {
+		t.Fatalf("Reset+Make did not reuse the same memory")
+	}
+	for i := range b {
+		if b[i] != 0 {
+			t.Fatalf("Reset left dirty memory at %d: %g", i, b[i])
+		}
+	}
+}
+
+func TestOversizedAllocation(t *testing.T) {
+	var s Slab[uint64]
+	small := s.Make(4)
+	small[0] = 7
+	big := s.Make(chunkSize + 100)
+	if len(big) != chunkSize+100 {
+		t.Fatalf("oversized Make: len=%d", len(big))
+	}
+	for _, v := range big {
+		if v != 0 {
+			t.Fatalf("oversized Make returned dirty memory")
+		}
+	}
+	// The bump chunk must still be usable after an oversized insert.
+	next := s.Make(4)
+	if next[0] != 0 {
+		t.Fatalf("post-oversized Make dirty")
+	}
+	next[0] = 9
+	if small[0] != 7 {
+		t.Fatalf("oversized insert corrupted earlier allocation: %d", small[0])
+	}
+	s.Reset()
+	again := s.Make(4)
+	for _, v := range again {
+		if v != 0 {
+			t.Fatalf("Reset after oversized left dirty memory")
+		}
+	}
+}
+
+func TestChunkBoundarySpill(t *testing.T) {
+	var s Slab[int]
+	// Fill most of the first chunk, then request more than the remainder:
+	// the slab must spill to a fresh chunk, never split an allocation.
+	a := s.Make(chunkSize - 3)
+	b := s.Make(10)
+	if len(b) != 10 {
+		t.Fatalf("spill Make: len=%d", len(b))
+	}
+	a[len(a)-1] = 1
+	b[0] = 2
+	if s.Cap() < 2*chunkSize {
+		t.Fatalf("expected a second chunk, cap=%d", s.Cap())
+	}
+}
+
+// TestNoAliasingAcrossEpochs drives two epochs with different allocation
+// patterns and checks that epoch-2 slices never observe epoch-1 values,
+// even though they reuse the same chunks.
+func TestNoAliasingAcrossEpochs(t *testing.T) {
+	var a Arena
+	sizes := []int{1, 7, 64, 300, 4096, 5000}
+	for _, n := range sizes {
+		f := a.F64.Make(n)
+		for i := range f {
+			f[i] = 1e9
+		}
+		u := a.U64.Make(n)
+		for i := range u {
+			u[i] = ^uint64(0)
+		}
+	}
+	a.Reset()
+	// Different pattern on epoch 2.
+	for _, n := range []int{5000, 3, 4096, 11, 120} {
+		for i, v := range a.F64.Make(n) {
+			if v != 0 {
+				t.Fatalf("epoch-2 F64[%d] aliased epoch-1 data: %g", i, v)
+			}
+		}
+		for i, v := range a.U64.Make(n) {
+			if v != 0 {
+				t.Fatalf("epoch-2 U64[%d] aliased epoch-1 data: %d", i, v)
+			}
+		}
+	}
+}
+
+// TestPerShardIsolation exercises one Arena per goroutine concurrently
+// (the sharded-execution discipline) under -race: distinct arenas must
+// never share memory, and each shard's view must stay consistent.
+func TestPerShardIsolation(t *testing.T) {
+	const shards = 8
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			var a Arena
+			for epoch := 0; epoch < 50; epoch++ {
+				f := a.F64.Make(257)
+				for i := range f {
+					f[i] = float64(shard*1000 + epoch)
+				}
+				for i := range f {
+					if f[i] != float64(shard*1000+epoch) {
+						t.Errorf("shard %d epoch %d: corrupted value %g", shard, epoch, f[i])
+						return
+					}
+				}
+				a.Reset()
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+// TestSteadyStateAllocFree proves the point of the package: after warmup,
+// a Make/Reset cycle performs zero heap allocations.
+func TestSteadyStateAllocFree(t *testing.T) {
+	var a Arena
+	cycle := func() {
+		a.F64.Make(1000)
+		a.U64.Make(100)
+		a.Int.Make(500)
+		a.Reset()
+	}
+	cycle() // warmup grows the chunks
+	avg := testing.AllocsPerRun(100, cycle)
+	if avg != 0 {
+		t.Fatalf("steady-state cycle allocates %.1f objects/op, want 0", avg)
+	}
+}

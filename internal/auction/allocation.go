@@ -56,10 +56,20 @@ func (t *Tracker) TryGrant(r *bidding.Request, o *bidding.Offer) resource.Vector
 	if !bidding.TimeCompatible(r, o) || !r.WithinReach(o) {
 		return nil
 	}
-	rem := t.capacity(o)
+	return grantFrom(t.capacity(o), r, o)
+}
+
+// grantFrom is the resource math of TryGrant against an explicit
+// remaining-capacity vector, shared with the copy-on-write overlay. Two
+// passes: the first validates every kind against the flexibility
+// threshold without allocating — packing loops probe far more pairs than
+// they place, and a failed probe must cost nothing — and only a feasible
+// grant builds the result map. Per-kind arithmetic is identical in both
+// passes, so the second pass cannot disagree with the first.
+func grantFrom(rem resource.Vector, r *bidding.Request, o *bidding.Offer) resource.Vector {
 	flex := r.Flex()
-	granted := make(resource.Vector, len(r.Resources))
 	dur := float64(r.Duration)
+	positive := false
 	for k, need := range r.Resources {
 		if need <= 0 {
 			continue
@@ -74,18 +84,61 @@ func (t *Tracker) TryGrant(r *bidding.Request, o *bidding.Offer) resource.Vector
 		if g < need*flex-1e-9 {
 			return nil
 		}
-		granted[k] = g
+		if g > 0 {
+			positive = true
+		}
 	}
-	if granted.IsZero() {
+	if !positive {
 		return nil
+	}
+	granted := make(resource.Vector, len(r.Resources))
+	for k, need := range r.Resources {
+		if need <= 0 {
+			continue
+		}
+		g := need
+		if inst := o.Resources[k]; inst < g {
+			g = inst
+		}
+		if byTime := rem[k] / dur; byTime < g {
+			g = byTime
+		}
+		granted[k] = g
 	}
 	return granted
 }
 
-// Commit deducts a grant from the offer's remaining capacity.
+// Commit deducts a grant from the offer's remaining capacity, mutating
+// the stored vector in place (same multiply/subtract/clamp per component
+// as the former rem.Sub(granted.Scale(d)), without the two intermediate
+// vectors).
 func (t *Tracker) Commit(o *bidding.Offer, granted resource.Vector, duration int64) {
-	rem := t.capacity(o)
-	t.remaining[o.ID] = rem.Sub(granted.Scale(float64(duration)))
+	t.capacity(o).SubScaledInPlace(granted, float64(duration))
+}
+
+// overlayTracker is a copy-on-write view of a parent Tracker for trial
+// packing: reads fall through to the parent, commits clone only the
+// touched offer's vector into the overlay. A trial touches a handful of
+// offers; Clone copies every offer materialized block-wide.
+type overlayTracker struct {
+	parent *Tracker
+	delta  map[bidding.OrderID]resource.Vector
+}
+
+func (ot *overlayTracker) capacity(o *bidding.Offer) resource.Vector {
+	if rem, ok := ot.delta[o.ID]; ok {
+		return rem
+	}
+	return ot.parent.capacity(o)
+}
+
+func (ot *overlayTracker) commit(o *bidding.Offer, granted resource.Vector, duration int64) {
+	rem, ok := ot.delta[o.ID]
+	if !ok {
+		rem = ot.parent.capacity(o).Clone()
+		ot.delta[o.ID] = rem
+	}
+	rem.SubScaledInPlace(granted, float64(duration))
 }
 
 // Assignment is one request placed on one offer with a concrete grant.
@@ -128,28 +181,72 @@ func (ec *EconCluster) Pack(
 	reqOrder []int,
 	offOrder []int,
 ) []Assignment {
-	if reqOrder == nil {
-		reqOrder = make([]int, len(ec.Requests))
-		for i := range reqOrder {
-			reqOrder[i] = i
-		}
+	return ec.pack(tr, takenMap(taken), reqOK, offOK, pairOK, reqOrder, offOrder)
+}
+
+// takenSet abstracts the taken bookkeeping so a trial pack can layer an
+// overlay over the block's set without copying it.
+type takenSet interface {
+	has(bidding.OrderID) bool
+	mark(bidding.OrderID)
+}
+
+type takenMap map[bidding.OrderID]bool
+
+func (m takenMap) has(id bidding.OrderID) bool { return m[id] }
+func (m takenMap) mark(id bidding.OrderID)     { m[id] = true }
+
+// takenOverlay reads through to a base set and keeps writes local.
+type takenOverlay struct {
+	base  map[bidding.OrderID]bool
+	local map[bidding.OrderID]bool
+}
+
+func newTakenOverlay(base map[bidding.OrderID]bool) *takenOverlay {
+	return &takenOverlay{base: base, local: make(map[bidding.OrderID]bool)}
+}
+
+func (t *takenOverlay) has(id bidding.OrderID) bool { return t.local[id] || t.base[id] }
+func (t *takenOverlay) mark(id bidding.OrderID)     { t.local[id] = true }
+
+// pack is Pack over a takenSet. A nil reqOrder/offOrder means natural
+// order, iterated directly rather than via a materialized identity
+// permutation.
+func (ec *EconCluster) pack(
+	tr Capacity,
+	taken takenSet,
+	reqOK func(EconRequest) bool,
+	offOK func(EconOffer) bool,
+	pairOK func(EconRequest, EconOffer) bool,
+	reqOrder []int,
+	offOrder []int,
+) []Assignment {
+	nr := len(ec.Requests)
+	if reqOrder != nil {
+		nr = len(reqOrder)
 	}
-	if offOrder == nil {
-		offOrder = make([]int, len(ec.Offers))
-		for i := range offOrder {
-			offOrder[i] = i
-		}
+	no := len(ec.Offers)
+	if offOrder != nil {
+		no = len(offOrder)
 	}
 	var out []Assignment
-	for _, ri := range reqOrder {
+	for i := 0; i < nr; i++ {
+		ri := i
+		if reqOrder != nil {
+			ri = reqOrder[i]
+		}
 		er := ec.Requests[ri]
-		if taken[er.Request.ID] {
+		if taken.has(er.Request.ID) {
 			continue
 		}
 		if reqOK != nil && !reqOK(er) {
 			continue
 		}
-		for _, oi := range offOrder {
+		for j := 0; j < no; j++ {
+			oi := j
+			if offOrder != nil {
+				oi = offOrder[j]
+			}
 			eo := ec.Offers[oi]
 			if offOK != nil && !offOK(eo) {
 				continue
@@ -167,7 +264,7 @@ func (ec *EconCluster) Pack(
 				continue
 			}
 			tr.Commit(er.Request, eo.Offer, granted, start)
-			taken[er.Request.ID] = true
+			taken.mark(er.Request.ID)
 			out = append(out, Assignment{Req: er, Off: eo, Granted: granted, Start: start})
 			break
 		}
@@ -184,9 +281,10 @@ func Fraction(granted resource.Vector, r *bidding.Request, o *bidding.Offer) flo
 	}
 	// Sorted iteration: φ feeds payments, which verifying miners must
 	// reproduce bit-for-bit.
+	var buf [16]resource.Kind
 	var sum float64
 	var n int
-	for _, k := range granted.Kinds() {
+	for _, k := range granted.AppendKinds(buf[:0]) {
 		if cap := o.Resources[k]; cap > 0 {
 			sum += granted[k] / cap
 			n++

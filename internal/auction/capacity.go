@@ -1,7 +1,7 @@
 package auction
 
 import (
-	"sort"
+	"slices"
 
 	"decloud/internal/bidding"
 	"decloud/internal/resource"
@@ -55,6 +55,52 @@ func (tc trackerCapacity) Commit(r *bidding.Request, o *bidding.Offer, granted r
 }
 
 func (tc trackerCapacity) Clone() Capacity { return trackerCapacity{t: tc.t.Clone()} }
+
+// Overlay returns a copy-on-write trial view of the aggregate tracker:
+// reads see the parent's state, commits stay in the overlay.
+func (tc trackerCapacity) Overlay() Capacity {
+	return overlayCapacity{ot: &overlayTracker{
+		parent: tc.t,
+		delta:  make(map[bidding.OrderID]resource.Vector),
+	}}
+}
+
+// trialCapacity returns a capacity suitable for trial packing: a cheap
+// copy-on-write overlay when the model supports one, else a full Clone
+// (the exact-scheduling tracker keeps the Clone path). Either way the
+// trial observes exactly the parent's values and leaves it untouched.
+func trialCapacity(c Capacity) Capacity {
+	if o, ok := c.(interface{ Overlay() Capacity }); ok {
+		return o.Overlay()
+	}
+	return c.Clone()
+}
+
+// overlayCapacity adapts overlayTracker to the Capacity interface.
+type overlayCapacity struct{ ot *overlayTracker }
+
+func (oc overlayCapacity) TryGrant(r *bidding.Request, o *bidding.Offer) (resource.Vector, int64, bool) {
+	if !bidding.TimeCompatible(r, o) || !r.WithinReach(o) {
+		return nil, 0, false
+	}
+	g := grantFrom(oc.ot.capacity(o), r, o)
+	if g == nil {
+		return nil, 0, false
+	}
+	return g, r.Start, true
+}
+
+func (oc overlayCapacity) Commit(r *bidding.Request, o *bidding.Offer, granted resource.Vector, _ int64) {
+	oc.ot.commit(o, granted, r.Duration)
+}
+
+func (oc overlayCapacity) Clone() Capacity {
+	c := oc.ot.parent.Clone()
+	for id, v := range oc.ot.delta {
+		c.remaining[id] = v.Clone()
+	}
+	return trackerCapacity{t: c}
+}
 
 // placement is one scheduled grant on a machine.
 type placement struct {
@@ -111,7 +157,7 @@ func (it *IntervalTracker) TryGrant(r *bidding.Request, o *bidding.Offer) (resou
 			candidates = append(candidates, p.end)
 		}
 	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	slices.Sort(candidates)
 
 	flex := r.Flex()
 	for _, s := range candidates {
@@ -181,7 +227,15 @@ func (it *IntervalTracker) Commit(r *bidding.Request, o *bidding.Offer, granted 
 // (start, end) pairs, sorted by start — for inspection and tests.
 func (it *IntervalTracker) ScheduleOf(offerID bidding.OrderID) [][2]int64 {
 	ps := append([]placement(nil), it.placed[offerID]...)
-	sort.Slice(ps, func(i, j int) bool { return ps[i].start < ps[j].start })
+	slices.SortFunc(ps, func(a, b placement) int {
+		switch {
+		case a.start < b.start:
+			return -1
+		case a.start > b.start:
+			return 1
+		}
+		return 0
+	})
 	out := make([][2]int64, len(ps))
 	for i, p := range ps {
 		out[i] = [2]int64{p.start, p.end}

@@ -10,7 +10,7 @@ package auction
 import (
 	"math"
 	"math/bits"
-	"sort"
+	"slices"
 
 	"decloud/internal/bidding"
 	"decloud/internal/cluster"
@@ -136,25 +136,49 @@ func ComputeEconomics(cl *cluster.Cluster, critical map[resource.Kind]bool) *Eco
 // submission-time tie rule: requests by v̂ descending, offers by ĉ
 // ascending.
 func sortEcon(ec *EconCluster) {
-	sort.Slice(ec.Requests, func(i, j int) bool {
-		a, b := ec.Requests[i], ec.Requests[j]
-		if a.VHat != b.VHat {
-			return a.VHat > b.VHat
+	// Both comparators are total orders (IDs are unique), so the stable /
+	// unstable distinction cannot change the result.
+	slices.SortFunc(ec.Requests, func(a, b EconRequest) int {
+		switch {
+		case a.VHat > b.VHat:
+			return -1
+		case a.VHat < b.VHat:
+			return 1
 		}
-		if a.Request.Submitted != b.Request.Submitted {
-			return a.Request.Submitted < b.Request.Submitted
+		switch {
+		case a.Request.Submitted < b.Request.Submitted:
+			return -1
+		case a.Request.Submitted > b.Request.Submitted:
+			return 1
 		}
-		return a.Request.ID < b.Request.ID
+		switch {
+		case a.Request.ID < b.Request.ID:
+			return -1
+		case a.Request.ID > b.Request.ID:
+			return 1
+		}
+		return 0
 	})
-	sort.Slice(ec.Offers, func(i, j int) bool {
-		a, b := ec.Offers[i], ec.Offers[j]
-		if a.CHat != b.CHat {
-			return a.CHat < b.CHat
+	slices.SortFunc(ec.Offers, func(a, b EconOffer) int {
+		switch {
+		case a.CHat < b.CHat:
+			return -1
+		case a.CHat > b.CHat:
+			return 1
 		}
-		if a.Offer.Submitted != b.Offer.Submitted {
-			return a.Offer.Submitted < b.Offer.Submitted
+		switch {
+		case a.Offer.Submitted < b.Offer.Submitted:
+			return -1
+		case a.Offer.Submitted > b.Offer.Submitted:
+			return 1
 		}
-		return a.Offer.ID < b.Offer.ID
+		switch {
+		case a.Offer.ID < b.Offer.ID:
+			return -1
+		case a.Offer.ID > b.Offer.ID:
+			return 1
+		}
+		return 0
 	})
 }
 
@@ -163,58 +187,76 @@ func sortEcon(ec *EconCluster) {
 // intersections, and the ν sums run over dense rows in ascending kind
 // index — the same sorted-kind order resource.Vector.Kinds() yields — so
 // every float is bit-identical to the map-walking reference (the block
-// outcome is consensus-critical). Falls back to ComputeEconomics when
-// the index is nil, wide (> 64 kinds), or does not know the cluster's
-// orders.
+// outcome is consensus-critical). Masks are MaskWords() words wide —
+// wide blocks (> 64 distinct kinds) take the same path, iterating words
+// ascending and bits ascending, which is still globally ascending kind
+// order. Falls back to ComputeEconomics only when the index is nil or
+// does not know the cluster's orders.
 func ComputeEconomicsIndexed(cl *cluster.Cluster, critical map[resource.Kind]bool, ix *match.Index) *EconCluster {
-	if ix == nil || ix.Wide() {
+	if ix == nil {
 		return ComputeEconomics(cl, critical)
 	}
 	kinds := ix.Kinds()
-	reqMasks := make([]uint64, len(cl.Requests))
+	nw := ix.MaskWords()
+	reqMasks := make([][]uint64, len(cl.Requests))
 	reqRows := make([][]float64, len(cl.Requests))
-	var reqUnion uint64
+	reqUnion := make([]uint64, nw)
 	for i, r := range cl.Requests {
-		m, ok := ix.RequestMask(r)
+		m, ok := ix.RequestMaskRow(r)
 		row, ok2 := ix.RequestRow(r)
 		if !ok || !ok2 {
 			return ComputeEconomics(cl, critical)
 		}
 		reqMasks[i], reqRows[i] = m, row
-		reqUnion |= m
+		for w, mw := range m {
+			reqUnion[w] |= mw
+		}
 	}
-	offMasks := make([]uint64, len(cl.Offers))
+	offMasks := make([][]uint64, len(cl.Offers))
 	offRows := make([][]float64, len(cl.Offers))
-	var offUnion uint64
+	offUnion := make([]uint64, nw)
 	for i, o := range cl.Offers {
-		m, ok := ix.OfferMask(o)
+		m, ok := ix.OfferMaskRow(o)
 		row, ok2 := ix.OfferRow(o)
 		if !ok || !ok2 {
 			return ComputeEconomics(cl, critical)
 		}
 		offMasks[i], offRows[i] = m, row
-		offUnion |= m
+		for w, mw := range m {
+			offUnion[w] |= mw
+		}
 	}
 
 	// K_CL = (∪_r K_r) ∩ (∪_o K_o); M_CL = componentwise offer maximum
 	// restricted to it. Every common bit has a positive offer quantity,
 	// so M_CL is positive exactly on K_CL.
-	common := reqUnion & offUnion
+	common := make([]uint64, nw)
+	ncommon := 0
+	for w := range common {
+		common[w] = reqUnion[w] & offUnion[w]
+		ncommon += bits.OnesCount64(common[w])
+	}
 	maxRow := make([]float64, len(kinds))
 	for i := range offRows {
-		for m := offMasks[i] & common; m != 0; m &= m - 1 {
-			k := bits.TrailingZeros64(m)
-			if q := offRows[i][k]; q > maxRow[k] {
-				maxRow[k] = q
+		for w := 0; w < nw; w++ {
+			base := w * 64
+			for m := offMasks[i][w] & common[w]; m != 0; m &= m - 1 {
+				k := base + bits.TrailingZeros64(m)
+				if q := offRows[i][k]; q > maxRow[k] {
+					maxRow[k] = q
+				}
 			}
 		}
 	}
-	maxVec := make(resource.Vector, bits.OnesCount64(common))
+	maxVec := make(resource.Vector, ncommon)
 	var dsum float64
-	for m := common; m != 0; m &= m - 1 {
-		k := bits.TrailingZeros64(m)
-		maxVec[kinds[k]] = maxRow[k]
-		dsum += maxRow[k] * maxRow[k]
+	for w := 0; w < nw; w++ {
+		base := w * 64
+		for m := common[w]; m != 0; m &= m - 1 {
+			k := base + bits.TrailingZeros64(m)
+			maxVec[kinds[k]] = maxRow[k]
+			dsum += maxRow[k] * maxRow[k]
+		}
 	}
 	denom := math.Sqrt(dsum) // ‖M_CL‖₂, summed in sorted kind order
 
@@ -228,32 +270,40 @@ func ComputeEconomicsIndexed(cl *cluster.Cluster, critical map[resource.Kind]boo
 		crit[k] = true
 	}
 	if len(reqMasks) > 0 {
-		inAll := reqMasks[0]
+		inAll := append([]uint64(nil), reqMasks[0]...)
 		for _, m := range reqMasks[1:] {
-			inAll &= m
+			for w, mw := range m {
+				inAll[w] &= mw
+			}
 		}
-		for m := inAll; m != 0; m &= m - 1 {
-			crit[kinds[bits.TrailingZeros64(m)]] = true
+		for w := 0; w < nw; w++ {
+			base := w * 64
+			for m := inAll[w]; m != 0; m &= m - 1 {
+				crit[kinds[base+bits.TrailingZeros64(m)]] = true
+			}
 		}
 	}
-	var critMask uint64
+	critMask := make([]uint64, nw)
 	for i, k := range kinds {
 		if crit[k] {
-			critMask |= 1 << uint(i)
+			critMask[i/64] |= 1 << uint(i%64)
 		}
 	}
 
 	ec := &EconCluster{Cluster: cl, Scale: resource.NewScale(maxVec), Critical: crit}
 	// fraction is Scale.Fraction over a dense row: Σ q² over the vector's
 	// kinds known to M_CL, ascending bit = sorted kind order.
-	fraction := func(vmask uint64, row []float64) float64 {
+	fraction := func(vmask []uint64, row []float64) float64 {
 		if denom <= 0 {
 			return 0
 		}
 		var sum float64
-		for m := vmask & common; m != 0; m &= m - 1 {
-			q := row[bits.TrailingZeros64(m)]
-			sum += q * q
+		for w := 0; w < nw; w++ {
+			base := w * 64
+			for m := vmask[w] & common[w]; m != 0; m &= m - 1 {
+				q := row[base+bits.TrailingZeros64(m)]
+				sum += q * q
+			}
 		}
 		f := math.Sqrt(sum) / denom
 		if f > 1 {
@@ -276,10 +326,13 @@ func ComputeEconomicsIndexed(cl *cluster.Cluster, critical map[resource.Kind]boo
 		// CriticalFraction: max share of any critical kind M_CL knows —
 		// a max, so iteration order is immaterial.
 		var cf float64
-		for m := critMask & common; m != 0; m &= m - 1 {
-			k := bits.TrailingZeros64(m)
-			if f := reqRows[i][k] / maxRow[k]; f > cf {
-				cf = f
+		for w := 0; w < nw; w++ {
+			base := w * 64
+			for m := critMask[w] & common[w]; m != 0; m &= m - 1 {
+				k := base + bits.TrailingZeros64(m)
+				if f := reqRows[i][k] / maxRow[k]; f > cf {
+					cf = f
+				}
 			}
 		}
 		if cf > 1 {

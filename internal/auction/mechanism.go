@@ -3,7 +3,8 @@ package auction
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"strings"
 	"time"
 
 	"decloud/internal/bidding"
@@ -454,20 +455,30 @@ func runMiniAuction(ai int, auc miniauction.Auction, all []clusterStats, cfg Con
 		label := fmt.Sprintf("auction:%d/cluster:%s", ai, ec.Cluster.Key())
 		offOrder := sizeOrder(evidence, label+"/offers", ec.Offers)
 
-		// Trial pack on cloned state: if every eligible request fits,
-		// the deterministic v̂-descending request order is fine.
+		// Trial pack on copy-on-write state: if every eligible request
+		// fits, the deterministic v̂-descending request order is fine.
 		// Otherwise Algorithm 4 applies: "randomize the allocation of
 		// cluster" — BOTH which requests trade and where they land
 		// are drawn from the evidence-keyed lottery, so no marginal
 		// participant can bid its way into the capacity-constrained
 		// allocation. This randomization is the welfare price of
 		// truthfulness the paper measures in Figures 5a–5b.
-		trialTaken := copyIDs(st.taken)
-		full := ec.Pack(st.tracker.Clone(), trialTaken, reqOK, offOK, pairOK, nil, offOrder)
+		//
+		// The overlay observes exactly the values a full Clone would, so
+		// the trial's assignments equal what a re-pack against the real
+		// state would produce; in the full case they are committed
+		// directly — same grants, same order, same float mutations as
+		// the re-pack the sequential mechanism used to run.
+		trialTaken := newTakenOverlay(st.taken)
+		full := ec.pack(trialCapacity(st.tracker), trialTaken, reqOK, offOK, pairOK, nil, offOrder)
 
 		var asg []Assignment
 		if len(full) == eligible {
-			asg = ec.Pack(st.tracker, st.taken, reqOK, offOK, pairOK, nil, offOrder)
+			asg = full
+			for _, a := range full {
+				st.tracker.Commit(a.Req.Request, a.Off.Offer, a.Granted, a.Start)
+				st.taken[a.Req.Request.ID] = true
+			}
 		} else {
 			reqIDs := make([]string, len(ec.Requests))
 			for i, er := range ec.Requests {
@@ -547,11 +558,16 @@ func RunGreedy(requests []*bidding.Request, offers []*bidding.Offer, cfg Config)
 			rankedClusters = append(rankedClusters, rc)
 		}
 	}
-	sort.Slice(rankedClusters, func(i, j int) bool {
-		if rankedClusters[i].welfare != rankedClusters[j].welfare {
-			return rankedClusters[i].welfare > rankedClusters[j].welfare
+	slices.SortFunc(rankedClusters, func(a, b ranked) int {
+		switch {
+		case a.welfare > b.welfare:
+			return -1
+		case a.welfare < b.welfare:
+			return 1
 		}
-		return rankedClusters[i].ec.Cluster.Key() < rankedClusters[j].ec.Cluster.Key()
+		// Cluster keys are unique, so ties resolve identically under
+		// any sort algorithm.
+		return strings.Compare(a.ec.Cluster.Key(), b.ec.Cluster.Key())
 	})
 
 	tracker := newCapacity(cfg)
@@ -561,6 +577,7 @@ func RunGreedy(requests []*bidding.Request, offers []*bidding.Offer, cfg Config)
 			recordMatch(out, rc.ec, a, 0)
 		}
 	}
+	settle(out)
 	return out
 }
 
@@ -586,11 +603,15 @@ func screen(requests []*bidding.Request, offers []*bidding.Offer, out *Outcome) 
 	return reqs, offs
 }
 
+// recordMatch appends one trade to the outcome. Payments and Revenues
+// are NOT written here: they are struct-of-arrays state derived from
+// Matches, built once at settle time with exact capacity instead of
+// growing two maps trade by trade.
 func recordMatch(out *Outcome, ec *EconCluster, a Assignment, price float64) {
 	r, o := a.Req.Request, a.Off.Offer
 	nu := ec.NuOf(a.Granted)
 	pay := nu * price * float64(r.Duration)
-	m := Match{
+	out.Matches = append(out.Matches, Match{
 		Request:   r,
 		Offer:     o,
 		Granted:   a.Granted,
@@ -599,10 +620,21 @@ func recordMatch(out *Outcome, ec *EconCluster, a Assignment, price float64) {
 		UnitPrice: price,
 		Payment:   pay,
 		Start:     a.Start,
+	})
+}
+
+// settle materializes the Payments/Revenues maps from the recorded
+// matches. Iteration follows Matches emission order — the order the
+// per-trade map writes used to happen in — so the Revenues float
+// accumulation is bit-identical to the incremental construction.
+func settle(out *Outcome) {
+	out.Payments = make(map[bidding.OrderID]float64, len(out.Matches))
+	out.Revenues = make(map[bidding.OrderID]float64, len(out.Matches))
+	for i := range out.Matches {
+		m := &out.Matches[i]
+		out.Payments[m.Request.ID] = m.Payment
+		out.Revenues[m.Offer.ID] += m.Payment
 	}
-	out.Matches = append(out.Matches, m)
-	out.Payments[r.ID] = pay
-	out.Revenues[o.ID] += pay
 }
 
 // sizeOrder returns offer indexes sorted by resource magnitude ascending,
@@ -627,34 +659,33 @@ func sizeOrder(evidence []byte, label string, offers []EconOffer) []int {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		na, nb := norm[order[a]], norm[order[b]]
-		if na != nb {
-			return na < nb
+	slices.SortFunc(order, func(a, b int) int {
+		na, nb := norm[a], norm[b]
+		switch {
+		case na < nb:
+			return -1
+		case na > nb:
+			return 1
 		}
-		return hashRank[order[a]] < hashRank[order[b]]
+		// hashRank is a permutation, so this comparator is a total
+		// order: the sorted result is unique no matter the algorithm.
+		return hashRank[a] - hashRank[b]
 	})
 	return order
 }
 
-func copyIDs(m map[bidding.OrderID]bool) map[bidding.OrderID]bool {
-	c := make(map[bidding.OrderID]bool, len(m))
-	for k, v := range m {
-		c[k] = v
-	}
-	return c
-}
-
 // finalize drops reduction/lottery records for orders that did trade in
-// a later mini-auction, then emits them deterministically sorted.
+// a later mini-auction, emits them deterministically sorted, and settles
+// the payment/revenue maps from the recorded matches.
 func finalize(out *Outcome, taken map[bidding.OrderID]bool, reducedReq, reducedOff, lottery map[bidding.OrderID]bool) {
-	usedOffers := make(map[bidding.OrderID]bool)
-	for _, m := range out.Matches {
-		usedOffers[m.Offer.ID] = true
+	usedOffers := make(map[bidding.OrderID]bool, len(out.Matches))
+	for i := range out.Matches {
+		usedOffers[out.Matches[i].Offer.ID] = true
 	}
 	out.ReducedRequests = sortedIDs(reducedReq, taken)
 	out.ReducedOffers = sortedIDs(reducedOff, usedOffers)
 	out.LotteryDropped = sortedIDs(lottery, taken)
+	settle(out)
 }
 
 func sortedIDs(set map[bidding.OrderID]bool, traded map[bidding.OrderID]bool) []bidding.OrderID {
@@ -664,6 +695,6 @@ func sortedIDs(set map[bidding.OrderID]bool, traded map[bidding.OrderID]bool) []
 			ids = append(ids, id)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }

@@ -204,8 +204,12 @@ func RatioViolation(results []Result, num, den string, maxRatio float64) string 
 	return ""
 }
 
-// WriteComparison prints a benchstat-style before/after table for the
-// benchmarks present in both runs. Negative deltas are improvements.
+// WriteComparison prints benchstat-style before/after tables for the
+// benchmarks present in both runs: first speed (ns/op), then the memory
+// profile (allocs/op and B/op) for every benchmark that reported it.
+// Negative deltas are improvements. The memory table is the one worth
+// reading on a shared runner — allocs/op is bit-reproducible, so its
+// delta column is signal even when ns/op drowns in co-tenant noise.
 func WriteComparison(w io.Writer, old, new []Result) {
 	oldBy := byName(old)
 	names := make([]string, 0, len(new))
@@ -220,12 +224,26 @@ func WriteComparison(w io.Writer, old, new []Result) {
 		return
 	}
 	newBy := byName(new)
-	fmt.Fprintf(w, "%-40s %15s %15s %9s %14s %14s %9s\n",
-		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs/op", "new allocs/op", "delta")
+	fmt.Fprintf(w, "%-40s %15s %15s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta")
 	for _, name := range names {
 		o, n := oldBy[name], newBy[name]
-		fmt.Fprintf(w, "%-40s %15.0f %15.0f %8.1f%% %14.0f %14.0f %8.1f%%\n",
-			name, o.NsPerOp, n.NsPerOp, Delta(o.NsPerOp, n.NsPerOp),
-			o.AllocsOp, n.AllocsOp, Delta(o.AllocsOp, n.AllocsOp))
+		fmt.Fprintf(w, "%-40s %15.0f %15.0f %8.1f%%\n",
+			name, o.NsPerOp, n.NsPerOp, Delta(o.NsPerOp, n.NsPerOp))
+	}
+	header := false
+	for _, name := range names {
+		o, n := oldBy[name], newBy[name]
+		if o.AllocsOp <= 0 && n.AllocsOp <= 0 {
+			continue // no -benchmem data on either side
+		}
+		if !header {
+			header = true
+			fmt.Fprintf(w, "\n%-40s %14s %14s %9s %14s %14s %9s\n",
+				"benchmark", "old allocs/op", "new allocs/op", "delta", "old B/op", "new B/op", "delta")
+		}
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %8.1f%% %14.0f %14.0f %8.1f%%\n",
+			name, o.AllocsOp, n.AllocsOp, Delta(o.AllocsOp, n.AllocsOp),
+			o.BPerOp, n.BPerOp, Delta(o.BPerOp, n.BPerOp))
 	}
 }

@@ -63,6 +63,19 @@ func TestWriteComparison(t *testing.T) {
 	if !strings.Contains(got, "-50.0%") || !strings.Contains(got, "-60.0%") {
 		t.Fatalf("expected -50.0%% ns/op and -60.0%% allocs/op deltas:\n%s", got)
 	}
+	if !strings.Contains(got, "old allocs/op") || !strings.Contains(got, "old B/op") {
+		t.Fatalf("expected a dedicated memory-profile table:\n%s", got)
+	}
+}
+
+func TestWriteComparisonSkipsMemoryTableWithoutBenchmem(t *testing.T) {
+	old := []Result{{Name: "BenchmarkX", NsPerOp: 200}}
+	new := []Result{{Name: "BenchmarkX", NsPerOp: 100}}
+	var sb strings.Builder
+	WriteComparison(&sb, old, new)
+	if strings.Contains(sb.String(), "allocs/op") {
+		t.Fatalf("memory table printed for a run without -benchmem:\n%s", sb.String())
+	}
 }
 
 func TestDelta(t *testing.T) {

@@ -136,6 +136,15 @@ type Book struct {
 	cache   *auction.PrepassCache
 	scratch []*match.Scratch
 
+	// ixScratch and builder are the epoch-scoped arenas of the clearing
+	// hot path: the block index's dense rows/masks and the cluster
+	// builder's maps and mask slab are reused across clears instead of
+	// reallocated. Both are reset at the START of the next clear, so
+	// everything built from them stays valid through commit and outcome
+	// marshalling. Guarded by mu like the rest of the book.
+	ixScratch *match.IndexScratch
+	builder   *cluster.Builder
+
 	// memo carries the outcome of the latest Preview to a matching
 	// Apply so the block's clear runs once, not twice. Any mutation in
 	// between invalidates it (gen).
@@ -281,6 +290,28 @@ func (b *Book) CancelOffer(id bidding.OrderID) bool {
 	b.removeOfferLocked(e)
 	b.stats.CancelledOffers++
 	return true
+}
+
+// ArrivalWatermark derives a market clock from a batch of arriving
+// orders: the earliest window start among them. Orders whose windows end
+// before that point predate everything the market will see from now on;
+// the round loops (miner.SyncBook, sim's incremental rounds) feed it to
+// ExpireBefore after each applied block. The watermark is a pure
+// function of the block's bid time fields, so every consensus replica
+// expires identically. ok is false for an empty batch (no clock
+// advance).
+func ArrivalWatermark(reqs []*bidding.Request, offs []*bidding.Offer) (now int64, ok bool) {
+	for _, r := range reqs {
+		if !ok || r.Start < now {
+			now, ok = r.Start, true
+		}
+	}
+	for _, o := range offs {
+		if !ok || o.Start < now {
+			now, ok = o.Start, true
+		}
+	}
+	return now, ok
 }
 
 // ExpireBefore removes every order whose time window ends before now —
@@ -441,7 +472,11 @@ func (b *Book) clearLocked(evidence []byte) *auction.Outcome {
 		b.cache.Flush()
 	}
 
-	ix := match.NewIndex(reqs, offs, scale)
+	if b.ixScratch == nil {
+		b.ixScratch = match.NewIndexScratch()
+	}
+	b.ixScratch.Reset()
+	ix := match.NewIndexWith(reqs, offs, scale, b.ixScratch)
 	ordered := ix.Requests() // canonical (Submitted, ID) order
 	best := make([][]*bidding.Offer, len(ordered))
 	entries := make([]*reqEntry, len(ordered))
@@ -475,8 +510,16 @@ func (b *Book) clearLocked(evidence []byte) *auction.Outcome {
 
 	// Cluster formation is order-dependent global state: it re-runs in
 	// full, in the same canonical order as cluster.BuildIndex, so the
-	// cluster list is exactly the from-scratch one.
-	builder := cluster.NewBuilder()
+	// cluster list is exactly the from-scratch one. The builder is
+	// persistent: Reset/Reserve recycle its maps and mask slab, and
+	// Clusters() severs the returned clusters from that memory (the
+	// prepass cache retains them across clears).
+	if b.builder == nil {
+		b.builder = cluster.NewBuilder()
+	}
+	builder := b.builder
+	builder.Reset()
+	builder.Reserve(len(ordered))
 	for i, r := range ordered {
 		builder.Update(r, best[i])
 	}

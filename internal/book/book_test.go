@@ -11,6 +11,7 @@ import (
 	"decloud/internal/bidding"
 	"decloud/internal/book"
 	"decloud/internal/book/booktest"
+	"decloud/internal/resource"
 	"decloud/internal/workload"
 )
 
@@ -269,6 +270,143 @@ func checkEpochDSIC(t *testing.T, epoch int, reqs []*bidding.Request, offs []*bi
 			if u := util(out, reqs[i].Client); u > truthful+0.05*(1+truthful) {
 				t.Fatalf("epoch %d: carried client %s gains by deviating ×%v: %v > %v",
 					epoch, reqs[i].Client, dev, u, truthful)
+			}
+		}
+	}
+}
+
+// TestExpireByWatermarkConservation drives the round-loop expiry rule
+// end to end: orders from an old epoch are applied, then a new epoch's
+// arrivals advance the market clock (book.ArrivalWatermark) and
+// ExpireBefore removes the stale survivors. The Stats conservation
+// invariant — inserted = matched + cancelled + expired + carried-out +
+// live, per side — must hold at every step, and the expired orders must
+// be accounted as expired, not carried out.
+func TestExpireByWatermarkConservation(t *testing.T) {
+	cfg := auction.DefaultConfig()
+	bk := book.New(cfg)
+	bk.MaxCarry = 100 // carry must not race expiry in this test
+
+	conserve := func(step string) {
+		st := bk.Stats()
+		if got := st.MatchedRequests + st.CancelledRequests + st.ExpiredRequests +
+			st.CarriedOutRequests + st.LiveRequests; got != st.InsertedRequests {
+			t.Fatalf("%s: request conservation broken: %+v", step, st)
+		}
+		if got := st.MatchedOffers + st.CancelledOffers + st.ExpiredOffers +
+			st.CarriedOutOffers + st.LiveOffers; got != st.InsertedOffers {
+			t.Fatalf("%s: offer conservation broken: %+v", step, st)
+		}
+	}
+
+	mkReq := func(id string, start, end int64) *bidding.Request {
+		return &bidding.Request{
+			ID: bidding.OrderID(id), Client: "c",
+			Resources: map[resource.Kind]float64{resource.CPU: 4},
+			Start:     start, End: end, Duration: (end - start) / 2, Bid: 50,
+		}
+	}
+	mkOff := func(id string, start, end int64) *bidding.Offer {
+		return &bidding.Offer{
+			ID: bidding.OrderID(id), Provider: "p",
+			Resources: map[resource.Kind]float64{resource.CPU: 2},
+			Start:     start, End: end, Bid: 1,
+		}
+	}
+
+	// Epoch 0: an unmatchable request (no supply covers it) plus a lone
+	// offer; both survive the clear as carried orders.
+	epoch0 := bk.Apply([]*bidding.Request{mkReq("r-old", 0, 100)},
+		[]*bidding.Offer{mkOff("o-old", 0, 90)}, []byte("e0"))
+	if len(epoch0.Matches) != 0 {
+		t.Fatalf("epoch 0: unexpected match")
+	}
+	conserve("epoch 0")
+	if got := len(bk.LiveRequests()) + len(bk.LiveOffers()); got != 2 {
+		t.Fatalf("epoch 0: want 2 carried orders, got %d", got)
+	}
+
+	// Epoch 1: arrivals start at t=200 — the watermark rule must expire
+	// both stale survivors (End < 200), exactly as the round loops do.
+	reqs := []*bidding.Request{mkReq("r-new", 200, 300)}
+	offs := []*bidding.Offer{mkOff("o-new", 200, 310)}
+	bk.Apply(reqs, offs, []byte("e1"))
+	now, ok := book.ArrivalWatermark(reqs, offs)
+	if !ok || now != 200 {
+		t.Fatalf("watermark = %d, %v; want 200, true", now, ok)
+	}
+	if n := bk.ExpireBefore(now); n != 2 {
+		t.Fatalf("expired %d orders, want 2", n)
+	}
+	conserve("epoch 1 expiry")
+	st := bk.Stats()
+	if st.ExpiredRequests != 1 || st.ExpiredOffers != 1 {
+		t.Fatalf("expiry not attributed: %+v", st)
+	}
+	if st.CarriedOutRequests != 0 || st.CarriedOutOffers != 0 {
+		t.Fatalf("expired orders leaked into carry-out: %+v", st)
+	}
+
+	// The next clear runs over the pruned live set and stays conserved.
+	bk.Clear([]byte("e2"))
+	conserve("epoch 2")
+}
+
+// TestArrivalWatermark pins the clock rule: minimum Start across both
+// sides, false on an empty batch.
+func TestArrivalWatermark(t *testing.T) {
+	if _, ok := book.ArrivalWatermark(nil, nil); ok {
+		t.Fatal("empty batch should not advance the clock")
+	}
+	r := &bidding.Request{Start: 50}
+	o := &bidding.Offer{Start: 20}
+	if now, ok := book.ArrivalWatermark([]*bidding.Request{r}, []*bidding.Offer{o}); !ok || now != 20 {
+		t.Fatalf("watermark = %d, %v; want 20, true", now, ok)
+	}
+	if now, _ := book.ArrivalWatermark([]*bidding.Request{r}, nil); now != 50 {
+		t.Fatalf("request-only watermark = %d; want 50", now)
+	}
+}
+
+// TestArenaReuseVsFreshByteIdentical is the named determinism guard for
+// the arena scratch layer (DESIGN.md §14): a long-lived book whose
+// IndexScratch and cluster.Builder slabs are reused across epochs
+// (arena ON) must produce outcomes byte-identical to auction.Run over
+// the same union live set (arena OFF — a fresh index and builder with
+// plain heap allocation every round), across workers {1,4} × shards
+// {0,4}. Any stale bit leaking through a slab reset, any aliasing
+// between epochs, and the bytes diverge.
+func TestArenaReuseVsFreshByteIdentical(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		for _, workers := range []int{1, 4} {
+			cfg := auction.DefaultConfig()
+			cfg.Workers = workers
+			cfg.Shards = shards
+			bk := book.New(cfg)
+			bk.MaxCarry = 2
+			for epoch := 0; epoch < 4; epoch++ {
+				m := workload.Generate(workload.Config{Seed: int64(100 + epoch), Requests: 40})
+				ev := []byte(fmt.Sprintf("arena-guard-%d", epoch))
+
+				prev, unionR, unionO := bk.Preview(m.Requests, m.Offers, ev)
+				got := bk.Apply(m.Requests, m.Offers, ev)
+
+				oracleCfg := cfg
+				oracleCfg.Evidence = ev
+				want := auction.Run(unionR, unionO, oracleCfg)
+
+				pj, _ := paralleltest.MarshalOutcome(prev)
+				gj, _ := paralleltest.MarshalOutcome(got)
+				wj, _ := paralleltest.MarshalOutcome(want)
+				if !bytes.Equal(pj, gj) {
+					t.Fatalf("K=%d W=%d epoch %d: Preview and Apply disagree", shards, workers, epoch)
+				}
+				if !bytes.Equal(gj, wj) {
+					t.Fatalf("K=%d W=%d epoch %d: arena-backed clear diverges from fresh auction.Run", shards, workers, epoch)
+				}
+				if len(got.Matches) == 0 {
+					t.Fatalf("K=%d W=%d epoch %d: degenerate epoch, nothing matched", shards, workers, epoch)
+				}
 			}
 		}
 	}

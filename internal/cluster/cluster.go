@@ -24,9 +24,10 @@ package cluster
 import (
 	"encoding/binary"
 	"math/bits"
-	"sort"
+	"slices"
 	"strings"
 
+	"decloud/internal/arena"
 	"decloud/internal/bidding"
 	"decloud/internal/match"
 	"decloud/internal/resource"
@@ -50,6 +51,10 @@ type Cluster struct {
 }
 
 // newCluster builds a cluster from an offer set and its builder mask.
+// The Cluster struct, its Offers copy, the ID set, and the key are
+// ordinary heap allocations on purpose: clusters outlive the build — the
+// auction's prepass cache retains them across many later clears — while
+// mask/rmask are builder-epoch scratch that Clusters() severs.
 func newCluster(offers []*bidding.Offer, mask []uint64) *Cluster {
 	c := &Cluster{
 		Offers:   append([]*bidding.Offer(nil), offers...),
@@ -88,16 +93,26 @@ func offerSetKey(offers []*bidding.Offer) string {
 	for i, o := range offers {
 		ids[i] = string(o.ID)
 	}
-	sort.Strings(ids)
+	slices.Sort(ids)
 	return strings.Join(ids, "\x00")
 }
 
 func sortOffers(offers []*bidding.Offer) {
-	sort.Slice(offers, func(i, j int) bool {
-		if offers[i].Submitted != offers[j].Submitted {
-			return offers[i].Submitted < offers[j].Submitted
+	// (Submitted, ID) is a total order — IDs are unique per block.
+	slices.SortFunc(offers, func(a, b *bidding.Offer) int {
+		switch {
+		case a.Submitted < b.Submitted:
+			return -1
+		case a.Submitted > b.Submitted:
+			return 1
 		}
-		return offers[i].ID < offers[j].ID
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
 	})
 }
 
@@ -117,6 +132,13 @@ func maskSubset(a, b []uint64) bool {
 }
 
 // Builder incrementally applies Algorithm 2's UPDATECLUSTERS procedure.
+//
+// A Builder is single-use by default (NewBuilder + Updates + Clusters),
+// but a long-lived clearing loop can hold one across epochs: call Reset
+// at each round boundary — and optionally Reserve with the round's order
+// counts — and the maps, scratch slices, and the mask slab are reused
+// instead of reallocated. Builders are not safe for concurrent use;
+// per-shard loops own per-shard builders.
 type Builder struct {
 	clusters map[string]*Cluster // keyed by trimmed mask bytes
 	order    []string            // insertion order of mask keys, for determinism
@@ -127,9 +149,22 @@ type Builder struct {
 	reqBit      map[bidding.OrderID]int // request ID → request-universe bit
 	reqUniverse []*bidding.Request      // bit → request
 
-	bm []uint64 // scratch: the current request's best-offer mask
-	iw []uint64 // scratch: intersection words
-	kb []byte   // scratch: trimmed key bytes
+	// masks backs every cluster's offer mask and request-membership mask
+	// for the current epoch; Reset rewinds it. Clusters() severs the
+	// returned clusters from this memory (mask/rmask are nilled), so
+	// retaining a Cluster past Reset — the prepass cache does — is safe.
+	masks arena.Slab[uint64]
+	// rw is the reserved rmask width in words (0: grow on demand).
+	// Fixed-width rmasks never reallocate on setBit/orMask, so the whole
+	// membership bookkeeping of an epoch lives in the slab.
+	rw int
+
+	bm   []uint64   // scratch: the current request's best-offer mask
+	iw   []uint64   // scratch: intersection words
+	kb   []byte     // scratch: trimmed key bytes
+	subs []*Cluster // scratch: subset clusters of the current update
+	sups []*Cluster // scratch: superset clusters of the current update
+	ob   []*bidding.Offer // scratch: offersOf output
 }
 
 // NewBuilder returns an empty cluster builder.
@@ -139,6 +174,50 @@ func NewBuilder() *Builder {
 		bitOf:    make(map[*bidding.Offer]int),
 		reqBit:   make(map[bidding.OrderID]int),
 	}
+}
+
+// Reset rewinds the builder for a new epoch, retaining map buckets,
+// scratch slices, and mask-slab capacity. Clusters previously returned
+// by Clusters() remain valid (they own their data); everything else the
+// builder handed out becomes invalid.
+func (b *Builder) Reset() {
+	clear(b.clusters)
+	b.order = b.order[:0]
+	clear(b.bitOf)
+	b.universe = b.universe[:0]
+	clear(b.reqBit)
+	b.reqUniverse = b.reqUniverse[:0]
+	b.masks.Reset()
+	b.rw = 0
+}
+
+// Reserve sizes the request-membership masks for a round expected to
+// intern at most nreq requests. Call it after Reset, before any Update;
+// interning more than nreq requests stays correct (masks fall back to
+// heap growth) but loses the fixed-width fast path.
+func (b *Builder) Reserve(nreq int) {
+	b.rw = (nreq + 63) / 64
+}
+
+// cloneMask copies a mask into the epoch slab.
+func (b *Builder) cloneMask(m []uint64) []uint64 {
+	c := b.masks.Make(len(m))
+	copy(c, m)
+	return c
+}
+
+// setRBit sets a request bit in a membership mask, materializing the
+// mask on first use — at the reserved fixed width from the slab when
+// Reserve was called, else growing a heap slice on demand.
+func (b *Builder) setRBit(m []uint64, bit int) []uint64 {
+	if m == nil && b.rw > bit/64 {
+		m = b.masks.Make(b.rw)
+	}
+	for len(m) <= bit/64 {
+		m = append(m, 0)
+	}
+	m[bit/64] |= 1 << uint(bit%64)
+	return m
 }
 
 // internReq assigns the request a bit in the request universe (first
@@ -152,15 +231,6 @@ func (b *Builder) internReq(r *bidding.Request) int {
 	b.reqBit[r.ID] = bit
 	b.reqUniverse = append(b.reqUniverse, r)
 	return bit
-}
-
-// setBit grows m as needed and sets the bit.
-func setBit(m []uint64, bit int) []uint64 {
-	for len(m) <= bit/64 {
-		m = append(m, 0)
-	}
-	m[bit/64] |= 1 << uint(bit%64)
-	return m
 }
 
 // orMask unions src into dst, growing dst as needed.
@@ -214,15 +284,17 @@ func (b *Builder) keyBytes(m []uint64) []byte {
 	return kb[:n]
 }
 
-// offersOf materializes the offers of a mask, in universe-bit order
-// (newCluster re-sorts canonically anyway).
+// offersOf materializes the offers of a mask into the builder's scratch
+// buffer, in universe-bit order (newCluster copies and re-sorts
+// canonically anyway). Valid until the next offersOf call.
 func (b *Builder) offersOf(m []uint64) []*bidding.Offer {
-	var out []*bidding.Offer
+	out := b.ob[:0]
 	for wi, w := range m {
 		for ; w != 0; w &= w - 1 {
 			out = append(out, b.universe[wi*64+bits.TrailingZeros64(w)])
 		}
 	}
+	b.ob = out
 	return out
 }
 
@@ -250,7 +322,7 @@ func (b *Builder) Update(r *bidding.Request, bestR []*bidding.Offer) {
 	bestMask := b.maskOf(bestR)
 	bestKey := string(b.keyBytes(bestMask))
 	if b.clusters[bestKey] == nil {
-		b.put(bestKey, newCluster(bestR, append([]uint64(nil), bestMask...)))
+		b.put(bestKey, newCluster(bestR, b.cloneMask(bestMask)))
 	}
 
 	// Fix the horizon now: intersection clusters created below must not
@@ -258,7 +330,7 @@ func (b *Builder) Update(r *bidding.Request, bestR []*bidding.Offer) {
 	// b.order stay valid when it grows.
 	keys := b.order[:len(b.order):len(b.order)]
 
-	var subsets, supersets []*Cluster
+	subsets, supersets := b.subs[:0], b.sups[:0]
 	for _, key := range keys {
 		c := b.clusters[key]
 		if maskSubset(c.mask, bestMask) {
@@ -268,8 +340,9 @@ func (b *Builder) Update(r *bidding.Request, bestR []*bidding.Offer) {
 			supersets = append(supersets, c)
 		}
 	}
+	b.subs, b.sups = subsets, supersets
 	for _, subset := range subsets {
-		subset.rmask = setBit(subset.rmask, ri)
+		subset.rmask = b.setRBit(subset.rmask, ri)
 		for _, superset := range supersets {
 			subset.rmask = orMask(subset.rmask, superset.rmask)
 		}
@@ -299,10 +372,10 @@ func (b *Builder) Update(r *bidding.Request, bestR []*bidding.Offer) {
 			continue
 		}
 		if x := b.clusters[string(b.keyBytes(inter))]; x != nil {
-			x.rmask = setBit(x.rmask, ri)
+			x.rmask = b.setRBit(x.rmask, ri)
 		} else {
-			nc := newCluster(b.offersOf(inter), append([]uint64(nil), inter...))
-			nc.rmask = setBit(nc.rmask, ri)
+			nc := newCluster(b.offersOf(inter), b.cloneMask(inter))
+			nc.rmask = b.setRBit(nc.rmask, ri)
 			nc.rmask = orMask(nc.rmask, c.rmask)
 			b.put(string(b.keyBytes(inter)), nc)
 		}
@@ -314,8 +387,15 @@ func (b *Builder) Update(r *bidding.Request, bestR []*bidding.Offer) {
 // each cluster's Requests slice from its membership mask; the final
 // canonical (Submitted, ID) sort makes the result independent of bit
 // assignment order.
+//
+// Clusters is terminal for the epoch: every returned cluster's mask and
+// rmask are severed (the builder's Reset may recycle their memory), and
+// the Requests slices are capacity-pinned views of one shared backing
+// array. Clusters therefore stay valid — and never mutate each other —
+// arbitrarily far past the builder's next Reset.
 func (b *Builder) Clusters() []*Cluster {
 	out := make([]*Cluster, 0, len(b.order))
+	total := 0
 	for _, key := range b.order {
 		c := b.clusters[key]
 		n := 0
@@ -323,26 +403,43 @@ func (b *Builder) Clusters() []*Cluster {
 			n += bits.OnesCount64(w)
 		}
 		if n == 0 {
+			c.mask, c.rmask = nil, nil
 			continue
 		}
-		c.Requests = make([]*bidding.Request, 0, n)
+		total += n
+		out = append(out, c)
+	}
+	all := make([]*bidding.Request, 0, total)
+	for _, c := range out {
+		start := len(all)
 		for wi, w := range c.rmask {
 			for ; w != 0; w &= w - 1 {
-				c.Requests = append(c.Requests, b.reqUniverse[wi*64+bits.TrailingZeros64(w)])
+				all = append(all, b.reqUniverse[wi*64+bits.TrailingZeros64(w)])
 			}
 		}
+		c.Requests = all[start:len(all):len(all)]
 		sortRequests(c.Requests)
-		out = append(out, c)
+		c.mask, c.rmask = nil, nil
 	}
 	return out
 }
 
 func sortRequests(rs []*bidding.Request) {
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Submitted != rs[j].Submitted {
-			return rs[i].Submitted < rs[j].Submitted
+	// (Submitted, ID) is a total order — IDs are unique per block.
+	slices.SortFunc(rs, func(a, b *bidding.Request) int {
+		switch {
+		case a.Submitted < b.Submitted:
+			return -1
+		case a.Submitted > b.Submitted:
+			return 1
 		}
-		return rs[i].ID < rs[j].ID
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
 	})
 }
 

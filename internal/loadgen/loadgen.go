@@ -57,6 +57,10 @@ type Config struct {
 	// Virtual clients are sharded across workers, so one worker owns
 	// each identity's entropy stream.
 	Workers int
+	// Conns is the number of TCP connections submissions shard over
+	// (default 1). Each worker pins connection w%Conns, so at
+	// Conns >= Workers no two workers share a socket's write path.
+	Conns int
 	// Seed makes the schedule and the order stream deterministic.
 	Seed int64
 	// Stream shapes the emitted orders; its Seed defaults to Seed and
@@ -77,6 +81,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 4
+	}
+	if c.Conns <= 0 {
+		c.Conns = 1
 	}
 	if c.Arrival == "" {
 		c.Arrival = ArrivalUniform
@@ -162,7 +169,7 @@ func (e *Engine) Run(ctx context.Context) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	lc, err := p2p.NewLoadClient("loadgen", "127.0.0.1:0", make([]io.Reader, cfg.Stream.Clients), lat)
+	lc, err := p2p.NewLoadClientConns("loadgen", "127.0.0.1:0", make([]io.Reader, cfg.Stream.Clients), lat, cfg.Conns)
 	if err != nil {
 		return nil, err
 	}
@@ -187,12 +194,13 @@ func (e *Engine) Run(ctx context.Context) (*Report, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			conn := w % cfg.Conns // per-worker connection affinity
 			for so := range jobs[w] {
 				var err error
 				if so.Request != nil {
-					_, err = lc.SubmitRequest(so.Client, so.Request)
+					_, err = lc.SubmitRequestOn(conn, so.Client, so.Request)
 				} else {
-					_, err = lc.SubmitOffer(so.Client, so.Offer)
+					_, err = lc.SubmitOfferOn(conn, so.Client, so.Offer)
 				}
 				if err != nil {
 					errMu.Lock()

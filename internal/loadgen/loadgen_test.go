@@ -145,6 +145,7 @@ func TestEngineEndToEnd(t *testing.T) {
 		Orders:  300,
 		Rate:    0, // as fast as possible
 		Workers: 3,
+		Conns:   2, // exercise sharded submission: workers pin conn w%2
 		Seed:    11,
 	})
 	rep, err := eng.Run(ctx)

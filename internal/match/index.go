@@ -3,9 +3,11 @@ package match
 import (
 	"math"
 	"math/bits"
+	"slices"
 	"sort"
 	"sync/atomic"
 
+	"decloud/internal/arena"
 	"decloud/internal/bidding"
 	"decloud/internal/resource"
 )
@@ -22,8 +24,12 @@ import (
 //     quantity anywhere in the block, sorted) assigning each kind a
 //     small integer, so sparse resource.Vector maps become dense rows;
 //   - a per-order kind bitmask: bit k set iff the order has a positive
-//     quantity of kind k. K_r ∩ K_o = AND of two words, replacing the
-//     two map-allocating CommonKinds calls per pair;
+//     quantity of kind k. K_r ∩ K_o = AND of mask words, replacing the
+//     two map-allocating CommonKinds calls per pair. Masks are nw =
+//     ⌈nk/64⌉ words wide, chosen once per block: blocks within 64 kinds
+//     (nw == 1, the common case) run single-word scan loops, wider
+//     blocks run the multi-word specialization — there is no per-probe
+//     width dispatch and no reference fallback;
 //   - normalized quantities ρ' = ρ/max_k (offers) and the clamped
 //     request-side ρ', significance weights σ, and the exact
 //     CoversFraction thresholds, all as dense rows;
@@ -36,20 +42,17 @@ import (
 // Exactness: every arithmetic expression reproduces the reference path
 // (Feasible + Quality in match.go) operation for operation — same
 // divisions, same clamping, same accumulation order (ascending kind
-// index = the sorted order CommonKinds yields) — so scores and
-// feasibility verdicts are bit-identical, not merely close. The
-// paralleltest harness enforces byte-equality of whole-block Outcomes
-// between this engine and the brute-force reference.
-//
-// Blocks with more than 64 distinct resource kinds exceed one mask word;
-// the index then falls back to the reference per-pair functions (wide
-// mode) — still deterministic and identical, just not pruned.
+// index = the sorted order CommonKinds yields; multi-word masks iterate
+// words ascending, bits ascending, which is the same global kind order)
+// — so scores and feasibility verdicts are bit-identical, not merely
+// close. The paralleltest harness enforces byte-equality of whole-block
+// Outcomes between this engine and the brute-force reference.
 type Index struct {
 	scale  *resource.Scale
 	kinds  []resource.Kind
 	kindOf map[resource.Kind]int
 	nk     int
-	wide   bool
+	nw     int // mask words per order: ⌈nk/64⌉ (1 when nk == 0)
 
 	// scans counts offers considered by the top-k loop across the whole
 	// block — the observability layer's "work done" signal for the
@@ -59,19 +62,20 @@ type Index struct {
 
 	// scoreMask has bit k set iff the block scale's maximum for kind k
 	// is positive — Quality skips kinds that cannot discriminate.
-	scoreMask uint64
+	// nw words.
+	scoreMask []uint64
 
 	requests []*bidding.Request // canonical (Submitted, ID) order
 	offers   []*bidding.Offer   // block (input) order
 
-	// Dense request rows, nk-strided.
+	// Dense request rows: masks nw-strided, quantities nk-strided.
 	reqMask []uint64
 	reqRaw  []float64 // ρ_{r,k}
 	reqNorm []float64 // clamped ρ'_{r,k}
 	reqThr  []float64 // resource.CoverThreshold(ρ_{r,k}, f_r)
 	reqW    []float64 // σ_{r,k}
 
-	// Dense offer rows, nk-strided, plus scalar columns.
+	// Dense offer rows, plus scalar columns.
 	offMask  []uint64
 	offRaw   []float64 // ρ_{o,k}
 	offNorm  []float64 // ρ'_{o,k}
@@ -90,29 +94,97 @@ type Index struct {
 	offPos map[*bidding.Offer]int
 }
 
-// NewIndex compiles a block into an Index. The scale must be the
-// block-wide normalization scale (match.BlockScale). Requests are
-// re-ordered canonically by (Submitted, ID) — the order Algorithm 2
-// consumes them in; Offers keep their input order.
-func NewIndex(requests []*bidding.Request, offers []*bidding.Offer, scale *resource.Scale) *Index {
-	ix := &Index{
-		scale:    scale,
-		kindOf:   make(map[resource.Kind]int),
-		requests: append([]*bidding.Request(nil), requests...),
-		offers:   offers,
-		reqPos:   make(map[*bidding.Request]int, len(requests)),
-		offPos:   make(map[*bidding.Offer]int, len(offers)),
+// IndexScratch is the reusable backing store for index construction: the
+// dense rows, masks, and position maps of one epoch's Index. A long-lived
+// clearing loop (the incremental order book) owns one scratch, calls
+// Reset at each round boundary, and passes it to NewIndexWith — steady
+// state compiles the block with near-zero heap allocation.
+//
+// The Index returned by NewIndexWith aliases the scratch's memory: it is
+// valid until the next Reset, and must not be used after. A scratch must
+// never be shared by concurrent builders (per-shard loops own per-shard
+// scratches).
+type IndexScratch struct {
+	a     arena.Arena
+	reqs  arena.Slab[*bidding.Request]
+	kinds arena.Slab[resource.Kind]
+
+	seen   map[resource.Kind]bool
+	kindOf map[resource.Kind]int
+	reqPos map[*bidding.Request]int
+	offPos map[*bidding.Offer]int
+}
+
+// NewIndexScratch returns an empty scratch.
+func NewIndexScratch() *IndexScratch {
+	return &IndexScratch{
+		seen:   make(map[resource.Kind]bool),
+		kindOf: make(map[resource.Kind]int),
+		reqPos: make(map[*bidding.Request]int),
+		offPos: make(map[*bidding.Offer]int),
 	}
-	sort.Slice(ix.requests, func(i, j int) bool {
-		if ix.requests[i].Submitted != ix.requests[j].Submitted {
-			return ix.requests[i].Submitted < ix.requests[j].Submitted
+}
+
+// Reset rewinds the scratch for the next epoch. Every Index built from
+// it becomes invalid; the retained chunks and map buckets are reused.
+func (s *IndexScratch) Reset() {
+	s.a.Reset()
+	s.reqs.Reset()
+	s.kinds.Reset()
+	clear(s.seen)
+	clear(s.kindOf)
+	clear(s.reqPos)
+	clear(s.offPos)
+}
+
+// NewIndex compiles a block into an Index with fresh allocations. The
+// scale must be the block-wide normalization scale (match.BlockScale).
+// Requests are re-ordered canonically by (Submitted, ID) — the order
+// Algorithm 2 consumes them in; Offers keep their input order.
+func NewIndex(requests []*bidding.Request, offers []*bidding.Offer, scale *resource.Scale) *Index {
+	return NewIndexWith(requests, offers, scale, nil)
+}
+
+// NewIndexWith is NewIndex drawing every dense row, mask, and position
+// map from the given scratch (nil behaves like NewIndex). See
+// IndexScratch for the aliasing contract.
+func NewIndexWith(requests []*bidding.Request, offers []*bidding.Offer, scale *resource.Scale, s *IndexScratch) *Index {
+	ix := &Index{scale: scale, offers: offers}
+	var seen map[resource.Kind]bool
+	if s != nil {
+		ix.requests = s.reqs.Make(len(requests))
+		copy(ix.requests, requests)
+		ix.kindOf = s.kindOf
+		ix.reqPos = s.reqPos
+		ix.offPos = s.offPos
+		seen = s.seen
+	} else {
+		ix.requests = append([]*bidding.Request(nil), requests...)
+		ix.kindOf = make(map[resource.Kind]int)
+		ix.reqPos = make(map[*bidding.Request]int, len(requests))
+		ix.offPos = make(map[*bidding.Offer]int, len(offers))
+		seen = make(map[resource.Kind]bool)
+	}
+	slices.SortFunc(ix.requests, func(a, b *bidding.Request) int {
+		switch {
+		case a.Submitted < b.Submitted:
+			return -1
+		case a.Submitted > b.Submitted:
+			return 1
 		}
-		return ix.requests[i].ID < ix.requests[j].ID
+		// IDs are unique per block, so the order is total and
+		// algorithm-independent.
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
 	})
 
 	// Kind table: every kind positive anywhere in the block, sorted so
 	// ascending kind index reproduces CommonKinds' sorted iteration.
-	seen := make(map[resource.Kind]bool)
 	for _, r := range ix.requests {
 		for k, q := range r.Resources {
 			if q > 0 {
@@ -127,47 +199,67 @@ func NewIndex(requests []*bidding.Request, offers []*bidding.Offer, scale *resou
 			}
 		}
 	}
-	ix.kinds = make([]resource.Kind, 0, len(seen))
+	if s != nil {
+		ix.kinds = s.kinds.Make(len(seen))[:0]
+	} else {
+		ix.kinds = make([]resource.Kind, 0, len(seen))
+	}
 	for k := range seen {
 		ix.kinds = append(ix.kinds, k)
 	}
-	sort.Slice(ix.kinds, func(i, j int) bool { return ix.kinds[i] < ix.kinds[j] })
+	slices.Sort(ix.kinds)
 	ix.nk = len(ix.kinds)
+	ix.nw = (ix.nk + 63) / 64
+	if ix.nw == 0 {
+		ix.nw = 1
+	}
 	for i, k := range ix.kinds {
 		ix.kindOf[k] = i
 	}
-	if ix.nk > 64 {
-		ix.wide = true
-		for i, r := range ix.requests {
-			ix.reqPos[r] = i
+
+	nr, no, nk, nw := len(ix.requests), len(offers), ix.nk, ix.nw
+	mk64 := func(n int) []uint64 {
+		if s != nil {
+			return s.a.U64.Make(n)
 		}
-		for i, o := range offers {
-			ix.offPos[o] = i
-		}
-		return ix
+		return make([]uint64, n)
 	}
+	mkF := func(n int) []float64 {
+		if s != nil {
+			return s.a.F64.Make(n)
+		}
+		return make([]float64, n)
+	}
+	mkI64 := func(n int) []int64 {
+		if s != nil {
+			return s.a.I64.Make(n)
+		}
+		return make([]int64, n)
+	}
+
+	ix.scoreMask = mk64(nw)
 	for i, k := range ix.kinds {
 		if scale.Max(k) > 0 {
-			ix.scoreMask |= 1 << uint(i)
+			ix.scoreMask[i/64] |= 1 << uint(i%64)
 		}
 	}
 
-	nr, no, nk := len(ix.requests), len(offers), ix.nk
-	ix.reqMask = make([]uint64, nr)
-	ix.reqRaw = make([]float64, nr*nk)
-	ix.reqNorm = make([]float64, nr*nk)
-	ix.reqThr = make([]float64, nr*nk)
-	ix.reqW = make([]float64, nr*nk)
+	ix.reqMask = mk64(nr * nw)
+	ix.reqRaw = mkF(nr * nk)
+	ix.reqNorm = mkF(nr * nk)
+	ix.reqThr = mkF(nr * nk)
+	ix.reqW = mkF(nr * nk)
 	for i, r := range ix.requests {
 		ix.reqPos[r] = i
 		row := i * nk
+		mrow := i * nw
 		flex := r.Flex()
 		for k, q := range r.Resources {
 			if q <= 0 {
 				continue
 			}
 			ki := ix.kindOf[k]
-			ix.reqMask[i] |= 1 << uint(ki)
+			ix.reqMask[mrow+ki/64] |= 1 << uint(ki%64)
 			ix.reqRaw[row+ki] = q
 			ix.reqThr[row+ki] = resource.CoverThreshold(q, flex)
 			ix.reqW[row+ki] = r.Weight(k)
@@ -181,22 +273,23 @@ func NewIndex(requests []*bidding.Request, offers []*bidding.Offer, scale *resou
 		}
 	}
 
-	ix.offMask = make([]uint64, no)
-	ix.offRaw = make([]float64, no*nk)
-	ix.offNorm = make([]float64, no*nk)
-	ix.offStart = make([]int64, no)
-	ix.offEnd = make([]int64, no)
-	ix.offX = make([]float64, no)
-	ix.offY = make([]float64, no)
+	ix.offMask = mk64(no * nw)
+	ix.offRaw = mkF(no * nk)
+	ix.offNorm = mkF(no * nk)
+	ix.offStart = mkI64(no)
+	ix.offEnd = mkI64(no)
+	ix.offX = mkF(no)
+	ix.offY = mkF(no)
 	for i, o := range offers {
 		ix.offPos[o] = i
 		row := i * nk
+		mrow := i * nw
 		for k, q := range o.Resources {
 			if q <= 0 {
 				continue
 			}
 			ki := ix.kindOf[k]
-			ix.offMask[i] |= 1 << uint(ki)
+			ix.offMask[mrow+ki/64] |= 1 << uint(ki%64)
 			ix.offRaw[row+ki] = q
 			if om := scale.Max(k); om > 0 {
 				ix.offNorm[row+ki] = q / om
@@ -208,18 +301,25 @@ func NewIndex(requests []*bidding.Request, offers []*bidding.Offer, scale *resou
 		ix.offY[i] = o.Location.Y
 	}
 
-	ix.byStart = make([]int32, no)
+	if s != nil {
+		ix.byStart = s.a.I32.Make(no)
+	} else {
+		ix.byStart = make([]int32, no)
+	}
 	for i := range ix.byStart {
 		ix.byStart[i] = int32(i)
 	}
-	sort.Slice(ix.byStart, func(a, b int) bool {
-		ia, ib := ix.byStart[a], ix.byStart[b]
-		if ix.offStart[ia] != ix.offStart[ib] {
-			return ix.offStart[ia] < ix.offStart[ib]
+	slices.SortFunc(ix.byStart, func(a, b int32) int {
+		sa, sb := ix.offStart[a], ix.offStart[b]
+		switch {
+		case sa < sb:
+			return -1
+		case sa > sb:
+			return 1
 		}
-		return ia < ib
+		return int(a) - int(b)
 	})
-	ix.starts = make([]int64, no)
+	ix.starts = mkI64(no)
 	for i, oi := range ix.byStart {
 		ix.starts[i] = ix.offStart[oi]
 	}
@@ -238,52 +338,46 @@ func (ix *Index) Offers() []*bidding.Offer { return ix.offers }
 func (ix *Index) Scale() *resource.Scale { return ix.scale }
 
 // Kinds returns the block's kind table: every kind with a positive
-// quantity anywhere, sorted. Kind i of the table corresponds to bit i of
-// the masks returned by RequestMask / OfferMask.
+// quantity anywhere, sorted. Kind i of the table corresponds to bit
+// i%64 of word i/64 of the masks returned by RequestMaskRow /
+// OfferMaskRow.
 func (ix *Index) Kinds() []resource.Kind { return ix.kinds }
 
-// Wide reports whether the block exceeded 64 distinct resource kinds,
-// disabling the bitmask fast paths.
-func (ix *Index) Wide() bool { return ix.wide }
+// MaskWords returns the number of 64-bit words per kind mask: 1 for
+// blocks within 64 distinct kinds, ⌈nk/64⌉ beyond.
+func (ix *Index) MaskWords() int { return ix.nw }
 
 // Scans reports how many offer candidates the top-k best-offer loop has
 // considered so far (after time-bucket pruning, before feasibility).
 // Purely observational.
 func (ix *Index) Scans() int64 { return ix.scans.Load() }
 
-// RequestMask returns the request's kind bitmask (bit i ⇔ positive
-// quantity of Kinds()[i]). ok is false when the request is not part of
-// the block or the index is wide.
-func (ix *Index) RequestMask(r *bidding.Request) (mask uint64, ok bool) {
-	if ix.wide {
-		return 0, false
-	}
+// RequestMaskRow returns the request's kind bitmask words (MaskWords()
+// long; bit i%64 of word i/64 ⇔ positive quantity of Kinds()[i]). The
+// slice aliases the index — callers must not mutate it. ok is false
+// when the request is not part of the block.
+func (ix *Index) RequestMaskRow(r *bidding.Request) (mask []uint64, ok bool) {
 	i, ok := ix.reqPos[r]
 	if !ok {
-		return 0, false
+		return nil, false
 	}
-	return ix.reqMask[i], true
+	return ix.reqMask[i*ix.nw : (i+1)*ix.nw], true
 }
 
-// OfferMask returns the offer's kind bitmask; see RequestMask.
-func (ix *Index) OfferMask(o *bidding.Offer) (mask uint64, ok bool) {
-	if ix.wide {
-		return 0, false
-	}
+// OfferMaskRow returns the offer's kind bitmask words; see
+// RequestMaskRow.
+func (ix *Index) OfferMaskRow(o *bidding.Offer) (mask []uint64, ok bool) {
 	i, ok := ix.offPos[o]
 	if !ok {
-		return 0, false
+		return nil, false
 	}
-	return ix.offMask[i], true
+	return ix.offMask[i*ix.nw : (i+1)*ix.nw], true
 }
 
 // OfferRow returns the offer's dense quantity row, aligned with Kinds().
 // The slice aliases the index — callers must not mutate it. ok is false
-// when the offer is unknown or the index is wide.
+// when the offer is unknown.
 func (ix *Index) OfferRow(o *bidding.Offer) (row []float64, ok bool) {
-	if ix.wide {
-		return nil, false
-	}
 	i, ok := ix.offPos[o]
 	if !ok {
 		return nil, false
@@ -294,9 +388,6 @@ func (ix *Index) OfferRow(o *bidding.Offer) (row []float64, ok bool) {
 // RequestRow returns the request's dense quantity row ρ_{r,k}, aligned
 // with Kinds(); see OfferRow.
 func (ix *Index) RequestRow(r *bidding.Request) (row []float64, ok bool) {
-	if ix.wide {
-		return nil, false
-	}
 	i, ok := ix.reqPos[r]
 	if !ok {
 		return nil, false
@@ -340,11 +431,11 @@ func (ix *Index) better(a, b scored) bool {
 	return a.oi < b.oi
 }
 
-// feasible reports whether offer oi can structurally host request ri,
-// reproducing Feasible's verdicts exactly. The time test (Const. 10:
-// t_o⁻ ≤ t_r⁻) is already guaranteed by the byStart prefix the caller
-// scans, so only the remaining constraints are checked here.
-func (ix *Index) feasible(ri, oi int, r *bidding.Request) bool {
+// feasible1 is the single-word feasibility test (nw == 1), reproducing
+// Feasible's verdicts exactly. The time test (Const. 10: t_o⁻ ≤ t_r⁻) is
+// already guaranteed by the byStart prefix the caller scans, so only the
+// remaining constraints are checked here.
+func (ix *Index) feasible1(ri, oi int, r *bidding.Request) bool {
 	if ix.offEnd[oi] < r.End { // Const. 11: t_o⁺ ≥ t_r⁺
 		return false
 	}
@@ -371,13 +462,14 @@ func (ix *Index) feasible(ri, oi int, r *bidding.Request) bool {
 	return true
 }
 
-// quality computes q_{(r,o)} per Eq. 18 from the dense rows, summing in
-// ascending kind index order — the same sorted order the reference
-// Quality iterates CommonKinds in, so the float result is bit-identical.
-func (ix *Index) quality(ri, oi int) float64 {
+// quality1 computes q_{(r,o)} per Eq. 18 from the dense rows (nw == 1),
+// summing in ascending kind index order — the same sorted order the
+// reference Quality iterates CommonKinds in, so the float result is
+// bit-identical.
+func (ix *Index) quality1(ri, oi int) float64 {
 	var q float64
 	rrow, orow := ri*ix.nk, oi*ix.nk
-	for m := ix.reqMask[ri] & ix.offMask[oi] & ix.scoreMask; m != 0; m &= m - 1 {
+	for m := ix.reqMask[ri] & ix.offMask[oi] & ix.scoreMask[0]; m != 0; m &= m - 1 {
 		k := bits.TrailingZeros64(m)
 		no := ix.offNorm[orow+k]
 		d := no - ix.reqNorm[rrow+k]
@@ -386,11 +478,70 @@ func (ix *Index) quality(ri, oi int) float64 {
 	return q
 }
 
+// feasibleW is feasible1 generalized to multi-word masks (wide blocks:
+// more than 64 distinct kinds).
+func (ix *Index) feasibleW(ri, oi int, r *bidding.Request) bool {
+	if ix.offEnd[oi] < r.End {
+		return false
+	}
+	if r.MaxDistance > 0 {
+		dx, dy := r.Location.X-ix.offX[oi], r.Location.Y-ix.offY[oi]
+		if math.Sqrt(dx*dx+dy*dy) > r.MaxDistance {
+			return false
+		}
+	}
+	nw := ix.nw
+	rm := ix.reqMask[ri*nw : ri*nw+nw]
+	om := ix.offMask[oi*nw : oi*nw+nw]
+	overlap := false
+	for w := range rm {
+		if rm[w]&om[w] != 0 {
+			overlap = true
+			break
+		}
+	}
+	if !overlap {
+		return false
+	}
+	row := oi * ix.nk
+	thr := ix.reqThr[ri*ix.nk:]
+	for w, m := range rm {
+		base := w * 64
+		for ; m != 0; m &= m - 1 {
+			k := base + bits.TrailingZeros64(m)
+			if ix.offRaw[row+k] < thr[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// qualityW is quality1 generalized to multi-word masks. Words iterate
+// ascending and bits ascending within each word — globally ascending
+// kind index, the reference's sorted accumulation order.
+func (ix *Index) qualityW(ri, oi int) float64 {
+	var q float64
+	rrow, orow := ri*ix.nk, oi*ix.nk
+	nw := ix.nw
+	for w := 0; w < nw; w++ {
+		base := w * 64
+		for m := ix.reqMask[ri*nw+w] & ix.offMask[oi*nw+w] & ix.scoreMask[w]; m != 0; m &= m - 1 {
+			k := base + bits.TrailingZeros64(m)
+			no := ix.offNorm[orow+k]
+			d := no - ix.reqNorm[rrow+k]
+			q += ix.reqW[rrow+k] * no / (d*d + 1)
+		}
+	}
+	return q
+}
+
 // BestOffers computes the best-offer set of request ri (an index into
 // Requests()) — the same set BestOffers(r, offers, scale, cfg) returns,
 // via feasibility pruning and bounded top-k selection instead of a full
 // scan-sort. Only the result slice is allocated; all intermediate state
-// lives in s.
+// lives in s. The mask width specializes the scan once per call, not
+// per probe.
 func (ix *Index) BestOffers(ri int, cfg Config, s *Scratch) []*bidding.Offer {
 	r := ix.requests[ri]
 	band := cfg.QualityBand
@@ -402,11 +553,6 @@ func (ix *Index) BestOffers(ri int, cfg Config, s *Scratch) []*bidding.Offer {
 		limit = DefaultConfig().MaxBestOffers
 	}
 
-	if ix.wide {
-		ix.scans.Add(int64(len(ix.offers)))
-		return bestFromRanked(RankOffers(r, ix.offers, ix.scale), band, limit)
-	}
-
 	if cap(s.top) < limit {
 		s.top = make([]scored, 0, limit)
 	}
@@ -416,25 +562,22 @@ func (ix *Index) BestOffers(ri int, cfg Config, s *Scratch) []*bidding.Offer {
 	// byStart puts exactly those in a prefix.
 	prefix := sort.Search(len(ix.starts), func(i int) bool { return ix.starts[i] > r.Start })
 	ix.scans.Add(int64(prefix))
-	for _, oi32 := range ix.byStart[:prefix] {
-		oi := int(oi32)
-		if !ix.feasible(ri, oi, r) {
-			continue
-		}
-		c := scored{oi: oi32, q: ix.quality(ri, oi)}
-		if len(top) == limit {
-			if !ix.better(c, top[limit-1]) {
+	if ix.nw == 1 {
+		for _, oi32 := range ix.byStart[:prefix] {
+			oi := int(oi32)
+			if !ix.feasible1(ri, oi, r) {
 				continue
 			}
-		} else {
-			top = append(top, scored{})
+			top = ix.insertTop(top, scored{oi: oi32, q: ix.quality1(ri, oi)}, limit)
 		}
-		i := len(top) - 1
-		for i > 0 && ix.better(c, top[i-1]) {
-			top[i] = top[i-1]
-			i--
+	} else {
+		for _, oi32 := range ix.byStart[:prefix] {
+			oi := int(oi32)
+			if !ix.feasibleW(ri, oi, r) {
+				continue
+			}
+			top = ix.insertTop(top, scored{oi: oi32, q: ix.qualityW(ri, oi)}, limit)
 		}
-		top[i] = c
 	}
 	s.top = top
 	if len(top) == 0 {
@@ -455,23 +598,21 @@ func (ix *Index) BestOffers(ri int, cfg Config, s *Scratch) []*bidding.Offer {
 	return best
 }
 
-// bestFromRanked applies the quality-band cut and cap to a full ranking
-// — the reference selection BestOffers uses, shared by the wide-mode
-// fallback.
-func bestFromRanked(ranked []Ranked, band float64, limit int) []*bidding.Offer {
-	if len(ranked) == 0 {
-		return nil
-	}
-	cut := ranked[0].Quality * band
-	best := make([]*bidding.Offer, 0, limit)
-	for _, rk := range ranked {
-		if rk.Quality < cut && len(best) > 0 {
-			break
+// insertTop inserts candidate c into the bounded, better-first top
+// buffer.
+func (ix *Index) insertTop(top []scored, c scored, limit int) []scored {
+	if len(top) == limit {
+		if !ix.better(c, top[limit-1]) {
+			return top
 		}
-		best = append(best, rk.Offer)
-		if len(best) == limit {
-			break
-		}
+	} else {
+		top = append(top, scored{})
 	}
-	return best
+	i := len(top) - 1
+	for i > 0 && ix.better(c, top[i-1]) {
+		top[i] = top[i-1]
+		i--
+	}
+	top[i] = c
+	return top
 }

@@ -166,31 +166,122 @@ func TestTopKBoundedSelection(t *testing.T) {
 	}
 }
 
-// TestIndexWideFallback drives a block past 64 distinct resource kinds:
-// the index must flag itself wide and still produce the reference sets
-// through the fallback path.
-func TestIndexWideFallback(t *testing.T) {
-	var reqs []*bidding.Request
-	var offs []*bidding.Offer
-	for i := 0; i < 70; i++ {
-		k := resource.Kind(fmt.Sprintf("kind-%02d", i))
-		r := req(fmt.Sprintf("r%02d", i), resource.Vector{k: 2})
-		o := off(fmt.Sprintf("o%02d", i), resource.Vector{k: 4})
-		reqs = append(reqs, r)
-		offs = append(offs, o)
+// wideBlock builds a deterministic market with more than 64 distinct
+// resource kinds and multi-kind orders that straddle the 64-bit word
+// boundary, so the multi-word mask specialization (nw ≥ 2) is exercised
+// with cross-word intersections, not just one bit per order.
+func wideBlock(seed int64, nr, no, nk int) ([]*bidding.Request, []*bidding.Offer) {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := make([]resource.Kind, nk)
+	for i := range kinds {
+		kinds[i] = resource.Kind(fmt.Sprintf("kind-%03d", i))
 	}
-	scale := BlockScale(reqs, offs)
-	ix := NewIndex(reqs, offs, scale)
-	if !ix.Wide() {
-		t.Fatalf("70-kind block should be wide, kinds=%d", len(ix.Kinds()))
+	vec := func(scale float64) resource.Vector {
+		v := make(resource.Vector)
+		n := 2 + rng.Intn(6)
+		for _, i := range rng.Perm(len(kinds))[:n] {
+			v[kinds[i]] = scale * (0.5 + rng.Float64()*4)
+		}
+		// Guarantee word-straddling masks now and then.
+		if rng.Intn(2) == 0 {
+			v[kinds[rng.Intn(64)]] = scale
+			v[kinds[64+rng.Intn(nk-64)]] = scale
+		}
+		return v
 	}
+	reqs := make([]*bidding.Request, nr)
+	for i := range reqs {
+		start := int64(rng.Intn(50))
+		end := start + 20 + int64(rng.Intn(80))
+		r := &bidding.Request{
+			ID:        bidding.OrderID(fmt.Sprintf("r%03d", i)),
+			Client:    bidding.ParticipantID(fmt.Sprintf("c%03d", i)),
+			Resources: vec(1),
+			Start:     start, End: end,
+			Duration:  (end - start) / 2,
+			Bid:       1 + rng.Float64()*10,
+			Submitted: int64(rng.Intn(8)),
+			Location:  bidding.Location{X: rng.Float64(), Y: rng.Float64()},
+		}
+		if rng.Intn(3) == 0 {
+			r.Flexibility = 0.6 + rng.Float64()*0.4
+		}
+		reqs[i] = r
+	}
+	offs := make([]*bidding.Offer, no)
+	for i := range offs {
+		start := int64(rng.Intn(60))
+		offs[i] = &bidding.Offer{
+			ID:        bidding.OrderID(fmt.Sprintf("o%03d", i)),
+			Provider:  bidding.ParticipantID(fmt.Sprintf("p%03d", i)),
+			Resources: vec(2),
+			Start:     start, End: start + 40 + int64(rng.Intn(120)),
+			Bid:       rng.Float64() * 5,
+			Submitted: int64(rng.Intn(8)),
+			Location:  bidding.Location{X: rng.Float64(), Y: rng.Float64()},
+		}
+	}
+	return reqs, offs
+}
+
+// TestIndexWideBlock drives blocks past 64 distinct resource kinds: the
+// multi-word mask specialization must produce exactly the reference
+// best-offer sets — same membership, same order — with no fallback.
+func TestIndexWideBlock(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		reqs, offs := wideBlock(seed, 40, 60, 100)
+		scale := BlockScale(reqs, offs)
+		ix := NewIndex(reqs, offs, scale)
+		if len(ix.Kinds()) <= 64 {
+			t.Fatalf("seed %d: block should exceed 64 kinds, got %d", seed, len(ix.Kinds()))
+		}
+		if ix.MaskWords() < 2 {
+			t.Fatalf("seed %d: wide block should use multi-word masks, nw=%d", seed, ix.MaskWords())
+		}
+		cfg := DefaultConfig()
+		if seed%2 == 1 {
+			cfg.MaxBestOffers = 3
+		}
+		var s Scratch
+		for ri, r := range ix.Requests() {
+			want := offerIDs(BestOffers(r, offs, scale, cfg))
+			got := offerIDs(ix.BestOffers(ri, cfg, &s))
+			if fmt.Sprint(want) != fmt.Sprint(got) {
+				t.Fatalf("seed %d: wide path diverges for %s: %v != %v", seed, r.ID, got, want)
+			}
+		}
+	}
+}
+
+// TestIndexScratchReuse builds different blocks through one reused
+// IndexScratch and cross-checks each against a freshly allocated index:
+// arena-backed construction must be invisible to the results, across
+// epochs, for both narrow and wide blocks.
+func TestIndexScratchReuse(t *testing.T) {
+	scratch := NewIndexScratch()
 	cfg := DefaultConfig()
-	var s Scratch
-	for ri, r := range ix.Requests() {
-		want := offerIDs(BestOffers(r, offs, scale, cfg))
-		got := offerIDs(ix.BestOffers(ri, cfg, &s))
-		if fmt.Sprint(want) != fmt.Sprint(got) {
-			t.Fatalf("wide fallback diverges for %s: %v != %v", r.ID, got, want)
+	for epoch := int64(0); epoch < 6; epoch++ {
+		var reqs []*bidding.Request
+		var offs []*bidding.Offer
+		if epoch%2 == 0 {
+			reqs, offs = randomBlock(epoch, 30, 45)
+		} else {
+			reqs, offs = wideBlock(epoch, 25, 35, 80)
+		}
+		scale := BlockScale(reqs, offs)
+		scratch.Reset()
+		ix := NewIndexWith(reqs, offs, scale, scratch)
+		ref := NewIndex(reqs, offs, scale)
+		if fmt.Sprint(ix.Kinds()) != fmt.Sprint(ref.Kinds()) {
+			t.Fatalf("epoch %d: kind tables differ", epoch)
+		}
+		var s Scratch
+		for ri := range ix.Requests() {
+			want := offerIDs(ref.BestOffers(ri, cfg, NewScratch()))
+			got := offerIDs(ix.BestOffers(ri, cfg, &s))
+			if fmt.Sprint(want) != fmt.Sprint(got) {
+				t.Fatalf("epoch %d request %d: scratch-built %v != fresh %v", epoch, ri, got, want)
+			}
 		}
 	}
 }

@@ -5,7 +5,7 @@
 package match
 
 import (
-	"sort"
+	"slices"
 
 	"decloud/internal/bidding"
 	"decloud/internal/resource"
@@ -123,15 +123,27 @@ func RankOffers(r *bidding.Request, offers []*bidding.Offer, scale *resource.Sca
 		}
 		ranked = append(ranked, Ranked{Offer: o, Quality: qualityKinds(r, o, scale, common)})
 	}
-	sort.Slice(ranked, func(i, j int) bool {
-		a, b := ranked[i], ranked[j]
-		if a.Quality != b.Quality {
-			return a.Quality > b.Quality
+	// Total order (IDs are unique), so unstable sorting cannot differ.
+	slices.SortFunc(ranked, func(a, b Ranked) int {
+		switch {
+		case a.Quality > b.Quality:
+			return -1
+		case a.Quality < b.Quality:
+			return 1
 		}
-		if a.Offer.Submitted != b.Offer.Submitted {
-			return a.Offer.Submitted < b.Offer.Submitted
+		switch {
+		case a.Offer.Submitted < b.Offer.Submitted:
+			return -1
+		case a.Offer.Submitted > b.Offer.Submitted:
+			return 1
 		}
-		return a.Offer.ID < b.Offer.ID
+		switch {
+		case a.Offer.ID < b.Offer.ID:
+			return -1
+		case a.Offer.ID > b.Offer.ID:
+			return 1
+		}
+		return 0
 	})
 	return ranked
 }
@@ -156,6 +168,26 @@ func BestOffers(r *bidding.Request, offers []*bidding.Offer, scale *resource.Sca
 		limit = DefaultConfig().MaxBestOffers
 	}
 	return bestFromRanked(RankOffers(r, offers, scale), band, limit)
+}
+
+// bestFromRanked applies the quality-band cut and cap to a full ranking
+// — the reference selection BestOffers uses.
+func bestFromRanked(ranked []Ranked, band float64, limit int) []*bidding.Offer {
+	if len(ranked) == 0 {
+		return nil
+	}
+	cut := ranked[0].Quality * band
+	best := make([]*bidding.Offer, 0, limit)
+	for _, rk := range ranked {
+		if rk.Quality < cut && len(best) > 0 {
+			break
+		}
+		best = append(best, rk.Offer)
+		if len(best) == limit {
+			break
+		}
+	}
+	return best
 }
 
 // BlockScale builds the per-block normalization scale from every request

@@ -6,6 +6,7 @@ import (
 
 	"decloud/internal/auction"
 	"decloud/internal/audit"
+	"decloud/internal/book"
 	"decloud/internal/ledger"
 	"decloud/internal/sealed"
 )
@@ -68,6 +69,16 @@ func (m *Miner) SyncBook(chain *ledger.Chain) error {
 		}
 		if !bytes.Equal(alloc, blk.Body.Allocation) {
 			return fmt.Errorf("miner %s: book diverged from chain at height %d: %w", m.Name, h, ErrAllocationMismatch)
+		}
+		// Advance the market clock: orders whose windows ended before
+		// this block's earliest arrival can never be scheduled again
+		// (Const. 10–11) and would otherwise haunt the live set until
+		// their carry budget ran out. The watermark is derived from the
+		// block's bid time fields, so every replica expires the same
+		// set at the same height — expiry runs AFTER the apply, never
+		// between a preview and its apply.
+		if now, ok := book.ArrivalWatermark(res.Requests, res.Offers); ok {
+			m.Book.ExpireBefore(now)
 		}
 	}
 	return nil

@@ -16,7 +16,7 @@
 //  3. yields each root-to-leaf path as one mini-auction.
 package miniauction
 
-import "sort"
+import "slices"
 
 // Interval is a cluster's price range and welfare weight.
 type Interval struct {
@@ -82,11 +82,15 @@ func Form(intervals []Interval) []Auction {
 			rest = append(rest, iv)
 		}
 	}
-	sort.Slice(rest, func(i, j int) bool {
-		if rest[i].Weight != rest[j].Weight {
-			return rest[i].Weight > rest[j].Weight
+	// (Weight desc, ID) is a total order — cluster IDs are unique.
+	slices.SortFunc(rest, func(a, b Interval) int {
+		switch {
+		case a.Weight > b.Weight:
+			return -1
+		case a.Weight < b.Weight:
+			return 1
 		}
-		return rest[i].ID < rest[j].ID
+		return a.ID - b.ID
 	})
 	for _, iv := range rest {
 		attached := false
@@ -116,22 +120,18 @@ func Form(intervals []Interval) []Auction {
 			auctions = append(auctions, Auction{Clusters: path, Weight: w})
 		}
 	}
-	sort.Slice(auctions, func(i, j int) bool {
-		if auctions[i].Weight != auctions[j].Weight {
-			return auctions[i].Weight > auctions[j].Weight
+	// Root-to-leaf paths are distinct ID sequences, so (Weight desc,
+	// lexicographic path) is a total order.
+	slices.SortFunc(auctions, func(a, b Auction) int {
+		switch {
+		case a.Weight > b.Weight:
+			return -1
+		case a.Weight < b.Weight:
+			return 1
 		}
-		return lessIDs(auctions[i].Clusters, auctions[j].Clusters)
+		return slices.Compare(a.Clusters, b.Clusters)
 	})
 	return auctions
-}
-
-func lessIDs(a, b []int) bool {
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return len(a) < len(b)
 }
 
 // overlaps reports whether iv shares a non-empty open range with [lo, hi].
@@ -196,14 +196,21 @@ func rootToLeafPaths(n *node, prefix []int) [][]int {
 // intervals, in O(n log n) via dynamic programming.
 func selectRoots(intervals []Interval) []Interval {
 	ivs := append([]Interval(nil), intervals...)
-	sort.Slice(ivs, func(i, j int) bool {
-		if ivs[i].Hi != ivs[j].Hi {
-			return ivs[i].Hi < ivs[j].Hi
+	// (Hi, Lo, ID) is a total order — cluster IDs are unique.
+	slices.SortFunc(ivs, func(a, b Interval) int {
+		switch {
+		case a.Hi < b.Hi:
+			return -1
+		case a.Hi > b.Hi:
+			return 1
 		}
-		if ivs[i].Lo != ivs[j].Lo {
-			return ivs[i].Lo < ivs[j].Lo
+		switch {
+		case a.Lo < b.Lo:
+			return -1
+		case a.Lo > b.Lo:
+			return 1
 		}
-		return ivs[i].ID < ivs[j].ID
+		return a.ID - b.ID
 	})
 	n := len(ivs)
 	// p[i] is the rightmost interval j < i whose Hi ≤ Lo_i. Touching

@@ -2,6 +2,7 @@ package p2p
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -14,20 +15,27 @@ import (
 	"decloud/internal/sealed"
 )
 
-// LoadClient multiplexes many virtual participant identities over ONE
-// gossip endpoint — the load generator's workhorse. A ParticipantClient
-// opens a TCP node per identity, which caps a single-box load test at a
-// few hundred participants; a LoadClient carries thousands of sealed-bid
-// identities over one connection while still speaking the exact two-phase
-// protocol: it answers preambles with per-identity signed key reveals and
-// stamps submit→commit latency when the full block lands.
+// LoadClient multiplexes many virtual participant identities over a
+// small set of gossip endpoints — the load generator's workhorse. A
+// ParticipantClient opens a TCP node per identity, which caps a
+// single-box load test at a few hundred participants; a LoadClient
+// carries thousands of sealed-bid identities over one connection (or a
+// few, see NewLoadClientConns) while still speaking the exact two-phase
+// protocol: it answers preambles with per-identity signed key reveals
+// and stamps submit→commit latency when the full block lands.
 //
 // Submission is safe for concurrent use as long as two goroutines never
 // submit for the SAME virtual client index at once (each identity's
 // entropy reader is not locked) — the loadgen engine shards clients over
-// its workers to guarantee that.
+// its workers to guarantee that. Distinct submit connections (PublishOn)
+// are independently locked and safe to drive concurrently.
 type LoadClient struct {
-	net   *Node
+	// nets[0] is the control connection: it carries the receive side of
+	// the protocol (preambles in, reveals out, blocks in) exactly once,
+	// no matter how many submit connections exist. Every net carries
+	// outgoing bids; PublishOn shards submissions across them so a
+	// frontier-scale run is not bound by one socket's write path.
+	nets  []*Node
 	parts []*miner.Participant
 	lat   *obs.Histogram // nil-safe; submit→commit seconds
 
@@ -47,8 +55,20 @@ type LoadClient struct {
 // crypto/rand. lat (optional) receives one submit→commit latency
 // observation per committed bid, in seconds.
 func NewLoadClient(name, addr string, entropy []io.Reader, lat *obs.Histogram) (*LoadClient, error) {
+	return NewLoadClientConns(name, addr, entropy, lat, 1)
+}
+
+// NewLoadClientConns is NewLoadClient with the submit side sharded over
+// conns independent TCP connections. Only the first connection receives
+// gossip (preambles, blocks) and answers with reveals — the protocol's
+// receive side stays exactly-once — while bid submission fans out across
+// all of them via PublishOn. conns < 1 behaves as 1.
+func NewLoadClientConns(name, addr string, entropy []io.Reader, lat *obs.Histogram, conns int) (*LoadClient, error) {
 	if len(entropy) == 0 {
 		entropy = make([]io.Reader, 1)
+	}
+	if conns < 1 {
+		conns = 1
 	}
 	parts := make([]*miner.Participant, len(entropy))
 	for i, e := range entropy {
@@ -58,12 +78,23 @@ func NewLoadClient(name, addr string, entropy []io.Reader, lat *obs.Histogram) (
 		}
 		parts[i] = p
 	}
-	n, err := Listen(name, addr)
-	if err != nil {
-		return nil, err
+	nets := make([]*Node, conns)
+	for c := range nets {
+		nm := name
+		if c > 0 {
+			nm = fmt.Sprintf("%s#%d", name, c)
+		}
+		n, err := Listen(nm, addr)
+		if err != nil {
+			for _, m := range nets[:c] {
+				_ = m.Close()
+			}
+			return nil, err
+		}
+		nets[c] = n
 	}
 	lc := &LoadClient{
-		net:      n,
+		nets:     nets,
 		parts:    parts,
 		lat:      lat,
 		submitAt: make(map[[32]byte]time.Time),
@@ -71,52 +102,91 @@ func NewLoadClient(name, addr string, entropy []io.Reader, lat *obs.Histogram) (
 		mine:     make(map[string]bool),
 		blocks:   make(map[[32]byte]bool),
 	}
-	n.Handle(msgPreamble, lc.onPreamble)
-	n.Handle(msgBlock, lc.onBlock)
+	nets[0].Handle(msgPreamble, lc.onPreamble)
+	nets[0].Handle(msgBlock, lc.onBlock)
 	return lc, nil
 }
 
-// Connect joins a peer's gossip.
-func (lc *LoadClient) Connect(addr string) error { return lc.net.Connect(addr) }
+// Connect joins a peer's gossip on every connection.
+func (lc *LoadClient) Connect(addr string) error {
+	for _, n := range lc.nets {
+		if err := n.Connect(addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
-// SetLimits installs transport limits on the underlying node (raise the
-// frame cap to receive large blocks).
-func (lc *LoadClient) SetLimits(l Limits) { lc.net.SetLimits(l) }
+// SetLimits installs transport limits on every underlying node (raise
+// the frame cap to receive large blocks).
+func (lc *LoadClient) SetLimits(l Limits) {
+	for _, n := range lc.nets {
+		n.SetLimits(l)
+	}
+}
 
-// SetFaults installs a transport fault plan on the underlying node, so a
-// devnet partition also severs participant endpoints.
-func (lc *LoadClient) SetFaults(f FaultPlan) { lc.net.SetFaults(f) }
+// SetFaults installs a transport fault plan on every underlying node, so
+// a devnet partition also severs participant endpoints.
+func (lc *LoadClient) SetFaults(f FaultPlan) {
+	for _, n := range lc.nets {
+		n.SetFaults(f)
+	}
+}
 
 // Clients returns the number of virtual identities.
 func (lc *LoadClient) Clients() int { return len(lc.parts) }
+
+// Conns returns the number of TCP connections submissions shard over.
+func (lc *LoadClient) Conns() int { return len(lc.nets) }
 
 // ClientID returns virtual client i's on-ledger fingerprint.
 func (lc *LoadClient) ClientID(i int) bidding.ParticipantID {
 	return lc.parts[i%len(lc.parts)].ID()
 }
 
-// Close shuts the endpoint down.
-func (lc *LoadClient) Close() error { return lc.net.Close() }
+// Close shuts every connection down, returning the first error.
+func (lc *LoadClient) Close() error {
+	var first error
+	for _, n := range lc.nets {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // SubmitRequest seals r under virtual client i's identity and broadcasts
 // it, stamping the submit time for latency accounting. The returned
 // digest identifies the sealed bid on-chain (the devnet's conservation
 // audit keys its submitted-set on it).
 func (lc *LoadClient) SubmitRequest(i int, r *bidding.Request) ([32]byte, error) {
+	return lc.SubmitRequestOn(0, i, r)
+}
+
+// SubmitRequestOn is SubmitRequest publishing over connection conn (mod
+// Conns) — load-generator workers pin a connection each, so no socket's
+// write path is shared by more workers than necessary.
+func (lc *LoadClient) SubmitRequestOn(conn, i int, r *bidding.Request) ([32]byte, error) {
 	bid, err := lc.SealRequest(i, r)
 	if err != nil {
 		return [32]byte{}, err
 	}
-	return bid.Digest(), lc.Publish(string(r.ID), bid)
+	return bid.Digest(), lc.PublishOn(conn, string(r.ID), bid)
 }
 
 // SubmitOffer seals o under virtual client i's identity and broadcasts it.
 func (lc *LoadClient) SubmitOffer(i int, o *bidding.Offer) ([32]byte, error) {
+	return lc.SubmitOfferOn(0, i, o)
+}
+
+// SubmitOfferOn is SubmitOffer publishing over connection conn (mod
+// Conns).
+func (lc *LoadClient) SubmitOfferOn(conn, i int, o *bidding.Offer) ([32]byte, error) {
 	bid, err := lc.SealOffer(i, o)
 	if err != nil {
 		return [32]byte{}, err
 	}
-	return bid.Digest(), lc.Publish(string(o.ID), bid)
+	return bid.Digest(), lc.PublishOn(conn, string(o.ID), bid)
 }
 
 // SealRequest seals r under virtual client i's identity WITHOUT
@@ -134,10 +204,16 @@ func (lc *LoadClient) SealOffer(i int, o *bidding.Offer) (*sealed.Bid, error) {
 	return lc.parts[i%len(lc.parts)].SubmitOffer(o)
 }
 
-// Publish broadcasts a previously sealed bid and starts its latency
-// clock. orderID is the plaintext order's ID (match accounting).
+// Publish broadcasts a previously sealed bid on the control connection
+// and starts its latency clock. orderID is the plaintext order's ID
+// (match accounting).
 func (lc *LoadClient) Publish(orderID string, bid *sealed.Bid) error {
-	if err := lc.net.Broadcast(msgBid, bid); err != nil {
+	return lc.PublishOn(0, orderID, bid)
+}
+
+// PublishOn is Publish over connection conn (mod Conns).
+func (lc *LoadClient) PublishOn(conn int, orderID string, bid *sealed.Bid) error {
+	if err := lc.nets[conn%len(lc.nets)].Broadcast(msgBid, bid); err != nil {
 		return err
 	}
 	now := time.Now()
@@ -180,7 +256,7 @@ func (lc *LoadClient) onPreamble(msg Message) {
 		krs = append(krs, part.RevealsFor(block.Bids)...)
 	}
 	if len(krs) > 0 {
-		_ = lc.net.Broadcast(msgReveals, krs)
+		_ = lc.nets[0].Broadcast(msgReveals, krs)
 	}
 }
 

@@ -3,6 +3,7 @@ package p2p
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"testing"
 	"time"
@@ -148,5 +149,69 @@ func TestLoadClientDuplicateBlockCountedOnce(t *testing.T) {
 	lc.onBlock(Message{Type: msgBlock, Payload: payload})
 	if _, committed, _ := lc.Counts(); committed != 1 {
 		t.Fatalf("duplicate block double-counted: committed = %d", committed)
+	}
+}
+
+// TestLoadClientShardedConns: a LoadClient sharded over three TCP
+// connections still speaks the protocol exactly once — bids submitted
+// on every connection all pool, preambles are answered with one reveal
+// batch (control connection only), and commit accounting matches a
+// single-connection client's.
+func TestLoadClientShardedConns(t *testing.T) {
+	mn, err := NewMarketNode("sc-m0", "127.0.0.1:0", 8, auction.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mn.Close() })
+
+	lc, err := NewLoadClientConns("sc-gen", "127.0.0.1:0", make([]io.Reader, 3), nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lc.Close() })
+	if lc.Conns() != 3 {
+		t.Fatalf("conns = %d, want 3", lc.Conns())
+	}
+	if err := lc.Connect(mn.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	// One order per connection, including a conn index past the end to
+	// prove the modulo wrap.
+	for i, conn := range []int{0, 1, 5} {
+		if _, err := lc.SubmitRequestOn(conn, i, &bidding.Request{
+			ID:        bidding.OrderID(fmt.Sprintf("sc-r%d", i)),
+			Resources: resource.Vector{resource.CPU: 2, resource.RAM: 4},
+			Start:     0, End: 100, Duration: 100,
+			Bid: 10 - float64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := lc.SubmitOfferOn(2, 0, &bidding.Offer{
+		ID:        "sc-o0",
+		Resources: resource.Vector{resource.CPU: 16, resource.RAM: 64},
+		Start:     0, End: 100,
+		Bid: 0.5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "bids pooled", func() bool { return mn.MempoolSize() == 4 })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if _, err := mn.ProduceBlock(ctx, 0, 3*time.Second); err != nil {
+		t.Fatalf("round failed: %v", err)
+	}
+	waitFor(t, "commits observed", func() bool {
+		_, committed, _ := lc.Counts()
+		return committed == 4
+	})
+	submitted, committed, matched := lc.Counts()
+	if submitted != 4 || committed != 4 {
+		t.Fatalf("counts: submitted %d committed %d, want 4/4", submitted, committed)
+	}
+	if matched == 0 {
+		t.Fatal("no request of ours appears in the committed allocation")
 	}
 }

@@ -12,7 +12,7 @@ package resource
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -60,14 +60,22 @@ func (v Vector) Clone() Vector {
 // Kinds returns the kinds present in v with a strictly positive quantity,
 // sorted lexicographically for deterministic iteration.
 func (v Vector) Kinds() []Kind {
-	kinds := make([]Kind, 0, len(v))
+	return v.AppendKinds(make([]Kind, 0, len(v)))
+}
+
+// AppendKinds appends the kinds present in v with a strictly positive
+// quantity to buf, sorted lexicographically, and returns the extended
+// slice. Hot callers pass a stack buffer (`var b [8]Kind; v.AppendKinds(b[:0])`)
+// to iterate deterministically without heap allocation.
+func (v Vector) AppendKinds(buf []Kind) []Kind {
+	base := len(buf)
 	for k, q := range v {
 		if q > 0 {
-			kinds = append(kinds, k)
+			buf = append(buf, k)
 		}
 	}
-	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
-	return kinds
+	slices.Sort(buf[base:])
+	return buf
 }
 
 // Get returns the quantity of kind k (0 when absent).
@@ -88,8 +96,9 @@ func (v Vector) IsZero() bool {
 // associative, and consensus-critical callers need bit-identical results
 // on every node regardless of map iteration order.
 func (v Vector) Norm2() float64 {
+	var buf [kindBufCap]Kind
 	var sum float64
-	for _, k := range v.Kinds() {
+	for _, k := range v.AppendKinds(buf[:0]) {
 		q := v[k]
 		sum += q * q
 	}
@@ -133,6 +142,20 @@ func (v Vector) Scale(s float64) Vector {
 	return out
 }
 
+// SubScaledInPlace mutates v to v − s·w componentwise, clamping each
+// touched component at zero. It computes exactly v.Sub(w.Scale(s)) for
+// the touched kinds — same multiply, same subtract, same clamp — without
+// allocating either intermediate vector. v must be non-nil.
+func (v Vector) SubScaledInPlace(w Vector, s float64) {
+	for k, q := range w {
+		r := v[k] - q*s
+		if r < 0 {
+			r = 0
+		}
+		v[k] = r
+	}
+}
+
 // Covers reports whether v has at least the quantity of every kind
 // present in need (Const. 8 of the paper: ρ_{r,k} ≤ ρ_{o,k} ∀k).
 func (v Vector) Covers(need Vector) bool {
@@ -171,7 +194,7 @@ func (v Vector) CommonKinds(w Vector) []Kind {
 			kinds = append(kinds, k)
 		}
 	}
-	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	slices.Sort(kinds)
 	return kinds
 }
 
@@ -213,7 +236,7 @@ func (v Vector) String() string {
 	for k := range v {
 		kinds = append(kinds, k)
 	}
-	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	slices.Sort(kinds)
 	var b strings.Builder
 	for i, k := range kinds {
 		if i > 0 {
@@ -225,3 +248,8 @@ func (v Vector) String() string {
 }
 
 const epsilon = 1e-9
+
+// kindBufCap sizes stack buffers for AppendKinds in hot paths: real
+// vectors carry at most the 8 well-known kinds plus a couple of custom
+// ones; AppendKinds spills to the heap transparently past this.
+const kindBufCap = 16

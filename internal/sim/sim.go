@@ -358,6 +358,14 @@ func fastBookRound(bk *book.Book, market *workload.Market, cfg Config, round int
 	unionR := append(bk.LiveRequests(), reqs...)
 	unionO := append(bk.LiveOffers(), offs...)
 	out := bk.Apply(reqs, offs, []byte(fmt.Sprintf("sim-fast-%d-%d", cfg.Workload.Seed, round)))
+	// Advance the market clock from the round's own bid time fields:
+	// survivors whose windows closed before this round's earliest
+	// arrival can never match again (Const. 10–11) — drop them now
+	// instead of carrying them to budget exhaustion. Mirrors
+	// miner.SyncBook's post-apply expiry in ledger mode.
+	if now, ok := book.ArrivalWatermark(reqs, offs); ok {
+		bk.ExpireBefore(now)
+	}
 	bench := auction.RunGreedy(unionR, unionO, cfg.Auction)
 	return metricsFrom(out, bench, len(unionR))
 }

@@ -5,7 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // The mechanism's randomized exclusion (Algorithm 4) must be verifiable:
@@ -60,8 +60,14 @@ func KeyedOrder(evidence []byte, label string, ids []string) []int {
 		copy(ks[i].key[:], h.Sum(nil))
 		ks[i].idx = i
 	}
-	sort.Slice(ks, func(a, b int) bool {
-		return bytes.Compare(ks[a].key[:], ks[b].key[:]) < 0
+	// Keys are unique whenever ids are (they are order IDs / cluster
+	// keys, unique per block); the idx tiebreak only fires on duplicate
+	// ids and keeps even that case deterministic.
+	slices.SortFunc(ks, func(a, b keyed) int {
+		if c := bytes.Compare(a.key[:], b.key[:]); c != 0 {
+			return c
+		}
+		return a.idx - b.idx
 	})
 	out := make([]int, len(ks))
 	for i, k := range ks {

@@ -47,7 +47,7 @@ for pkg in internal/stats internal/audit internal/obs internal/shard \
 
 echo "==> bench gate (hard: allocs ±5%, ns ±30%, book/mechanism ratio ≤0.5)"
 # The mechanism microbenchmarks are compared against the committed
-# BENCH_PR7.json baseline and FAIL the build on regression. Even with
+# BENCH_PR8.json baseline and FAIL the build on regression. Even with
 # time-based sampling (-benchtime 1s, so every sample spans many
 # scheduler/steal periods) and min-of-N (-count=4; benchjson keeps the
 # fastest run per name), min-of-N ns/op on this class of shared runner
@@ -66,19 +66,22 @@ echo "==> bench gate (hard: allocs ±5%, ns ±30%, book/mechanism ratio ≤0.5)"
 #     which cancels machine drift entirely and is therefore hard-gated
 #     at full strength.
 # Gated set: Mechanism400/1000, BookIncremental1000, Sharded1000
-# K∈{1,4}, and the indexed order-book scan. Noisier micro points
-# (Mechanism100, BestOffersNaive/Indexed) are recorded in BENCH_PR7.json
-# by scripts/bench.sh but not gated; ditto the slow load-frontier
-# points, absent from this run. Refresh the baseline with
-# scripts/bench.sh after intentional changes.
-if [ -f BENCH_PR7.json ]; then
-  go test -run '^$' -bench 'BenchmarkMechanism400$|BenchmarkMechanism1000$|BenchmarkBookIncremental1000$|BenchmarkMechanismSharded1000K[14]$|BenchmarkBestOffersIndexedScan$' \
-      -benchtime 1s -count=4 -benchmem . ./internal/match 2>/dev/null \
-    | go run ./cmd/benchjson -baseline BENCH_PR7.json -gate 30 -gate-allocs 5 \
+# K∈{1,4} (K4 under -cpu 4, matching how scripts/bench.sh records it),
+# and the indexed order-book scan. Noisier micro points (Mechanism100,
+# BestOffersNaive/Indexed) are recorded in BENCH_PR8.json by
+# scripts/bench.sh but not gated; ditto the slow load-frontier points,
+# absent from this run. Refresh the baseline with scripts/bench.sh
+# after intentional changes.
+if [ -f BENCH_PR8.json ]; then
+  { go test -run '^$' -bench 'BenchmarkMechanism400$|BenchmarkMechanism1000$|BenchmarkBookIncremental1000$|BenchmarkMechanismSharded1000K1$|BenchmarkBestOffersIndexedScan$' \
+      -benchtime 1s -count=4 -benchmem . ./internal/match 2>/dev/null; \
+    go test -run '^$' -bench 'BenchmarkMechanismSharded1000K4$' -cpu 4 \
+      -benchtime 1s -count=4 -benchmem . 2>/dev/null; } \
+    | go run ./cmd/benchjson -baseline BENCH_PR8.json -gate 30 -gate-allocs 5 \
         -require-ratio 'BenchmarkBookIncremental1000/BenchmarkMechanism1000<=0.5' \
         -out /tmp/bench_ci.json
 else
-  echo "    no BENCH_PR7.json baseline; skipping"
+  echo "    no BENCH_PR8.json baseline; skipping"
 fi
 
 echo "==> devnet smoke (multi-process, time-boxed)"

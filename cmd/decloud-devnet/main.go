@@ -28,8 +28,10 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("decloud-devnet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	miners := fs.Int("miners", 3, "miner processes (first one produces)")
-	parts := fs.Int("participants", 8, "participant processes")
+	miners := fs.Int("miners", 3, "miner processes (first one produces; per-metro count with -metros)")
+	parts := fs.Int("participants", 8, "participant processes (round-robin over metros with -metros)")
+	metros := fs.Int("metros", 0, "federate over this many metro exchanges (needs -incremental)")
+	maxHops := fs.Int("max-hops", 0, "spill hop budget per request beyond its home metro (default 2)")
 	dir := fs.String("dir", "", "artifact directory (default: a temp dir)")
 	seed := fs.Int64("seed", 1, "fault-plan and workload seed")
 	rate := fs.Float64("rate", 10, "orders/second per participant")
@@ -62,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	top := devnet.Topology{
 		Miners:          *miners,
 		Participants:    *parts,
+		Metros:          *metros,
+		MaxHops:         *maxHops,
 		Dir:             *dir,
 		Seed:            *seed,
 		Rate:            *rate,
@@ -79,11 +83,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "devnet: FAIL: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "devnet: converged at height %d across %d replicas (chain %s)\n",
-		sum.Convergence.Height, sum.Convergence.Replicas, sum.Convergence.HeadHash[:12])
-	c := sum.Conservation
-	fmt.Fprintf(stdout, "devnet: conservation: %d submitted = %d matched + %d unmatched + %d unrevealed + %d rejected + %d uncommitted (%d blocks)\n",
-		c.Submitted, c.Matched, c.Unmatched, c.Unrevealed, c.Rejected, c.Uncommitted, c.Blocks)
+	if len(sum.MetroConvergence) > 0 {
+		for m, conv := range sum.MetroConvergence {
+			c := sum.MetroConservation[m]
+			fmt.Fprintf(stdout, "devnet: metro %d: height %d across %d replicas; %d submitted, %d matched, %d uncommitted (%d blocks)\n",
+				m, conv.Height, conv.Replicas, c.Submitted, c.Matched, c.Uncommitted, c.Blocks)
+		}
+		fmt.Fprintf(stdout, "devnet: cross-metro: %d roots settled, %d via spill, 0 double-settles\n",
+			sum.CrossMetro.SettledRoots, sum.CrossMetro.SpillSettled)
+	} else {
+		fmt.Fprintf(stdout, "devnet: converged at height %d across %d replicas (chain %s)\n",
+			sum.Convergence.Height, sum.Convergence.Replicas, sum.Convergence.HeadHash[:12])
+		c := sum.Conservation
+		fmt.Fprintf(stdout, "devnet: conservation: %d submitted = %d matched + %d unmatched + %d unrevealed + %d rejected + %d uncommitted (%d blocks)\n",
+			c.Submitted, c.Matched, c.Unmatched, c.Unrevealed, c.Rejected, c.Uncommitted, c.Blocks)
+	}
 	if *out != "" {
 		data, _ := json.MarshalIndent(sum, "", "  ")
 		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {

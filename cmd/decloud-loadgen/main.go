@@ -24,6 +24,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +50,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	clients := fs.Int("clients", 0, "virtual client identities (default = workers)")
 	epochOrders := fs.Int("epoch-orders", 0, "orders per workload epoch (default 512)")
 	offerFraction := fs.Float64("offer-fraction", 0, "fraction of each epoch that is supply (default 0.25)")
+	geo := fs.Float64("geo", 0, "scatter virtual clients over the unit square; requests match within this radius")
+	metros := fs.Int("metros", 0, "steer client homes toward this many metro exchanges (needs -geo)")
+	metroMix := fs.String("metro-mix", "", "comma-separated per-metro arrival weights, e.g. 6,2,1,1 (default uniform)")
 	drain := fs.Duration("drain", 90*time.Second, "stall timeout while waiting for outstanding commits")
 	out := fs.String("out", "", "write the JSON report to this file")
 	if err := fs.Parse(args); err != nil {
@@ -56,6 +61,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *addr == "" {
 		fmt.Fprintln(stderr, "decloud-loadgen: -addr is required")
 		return 2
+	}
+	var mix []float64
+	if *metroMix != "" {
+		for _, part := range strings.Split(*metroMix, ",") {
+			w, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				fmt.Fprintf(stderr, "decloud-loadgen: bad -metro-mix entry %q: %v\n", part, err)
+				return 2
+			}
+			mix = append(mix, w)
+		}
 	}
 
 	eng := loadgen.New(loadgen.Config{
@@ -70,6 +86,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Clients:       *clients,
 			EpochOrders:   *epochOrders,
 			OfferFraction: *offerFraction,
+			GeoRadius:     *geo,
+			GeoMetros:     *metros,
+			GeoMix:        mix,
 		},
 		DrainTimeout: *drain,
 	})

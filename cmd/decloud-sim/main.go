@@ -7,7 +7,14 @@
 //	decloud-sim [-mode fast|ledger] [-rounds N] [-requests N]
 //	            [-providers N] [-miners N] [-difficulty BITS]
 //	            [-deny P] [-flex F] [-seed N] [-shards K] [-pipeline]
+//	            [-metros M] [-latency-matrix FILE] [-geo R]
 //	            [-obs-addr HOST:PORT] [-obs-linger D] [-trace-out FILE]
+//
+// With -metros ≥ 2 the market federates over M geography-homed metro
+// exchanges (internal/metro): orders route to the exchange owning their
+// location's grid cell and unfillable requests spill to neighbors over
+// the latency matrix (-latency-matrix overrides the default ring).
+// Pair with -geo to give generated orders locations worth homing by.
 //
 // With -obs-addr the simulation serves live metrics (Prometheus text at
 // /metrics, JSON at /vars, pprof under /debug/pprof/) while it runs;
@@ -24,6 +31,7 @@ import (
 	"time"
 
 	"decloud/internal/auction"
+	"decloud/internal/metro"
 	"decloud/internal/obs"
 	"decloud/internal/sim"
 	"decloud/internal/workload"
@@ -51,6 +59,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	incremental := fs.Bool("incremental", false, "clear over a persistent order book that carries unmatched orders itself")
 	exact := fs.Bool("exact", false, "exact interval scheduling instead of aggregate resource-time")
 	maxResubmits := fs.Int("max-resubmits", 3, "attempts before an unmatched request expires")
+	metros := fs.Int("metros", 0, "federate the market over this many metro exchanges (0/1 = monolithic)")
+	latencyMatrix := fs.String("latency-matrix", "", "JSON file with the inter-metro latency matrix {\"latency_ms\": [[...]]}")
+	distancePerMS := fs.Float64("distance-per-ms", 0, "Eq. 18 coupling: tighten a spilled request's MaxDistance by this much per ms of path latency")
+	maxHops := fs.Int("max-hops", 0, "spill hop budget per request beyond its home metro (default 2)")
+	geoRadius := fs.Float64("geo", 0, "scatter participants over the unit square; requests match within this radius")
 	obsAddr := fs.String("obs-addr", "", "serve metrics/pprof on this address (empty = off)")
 	obsLinger := fs.Duration("obs-linger", 0, "keep the obs endpoint up this long after the simulation")
 	traceOut := fs.String("trace-out", "", "append per-round JSONL traces to this file")
@@ -65,20 +78,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Requests:    *requests,
 			Providers:   *providers,
 			Flexibility: *flex,
+			GeoRadius:   *geoRadius,
 		},
-		Miners:       *miners,
-		Difficulty:   *difficulty,
-		DenyProb:     *deny,
-		Resubmit:     *resubmit,
-		MaxResubmits: *maxResubmits,
-		Shards:       *shards,
-		Pipeline:     *pipeline,
+		Metros:        *metros,
+		MaxHops:       *maxHops,
+		DistancePerMS: *distancePerMS,
+		Miners:        *miners,
+		Difficulty:    *difficulty,
+		DenyProb:      *deny,
+		Resubmit:      *resubmit,
+		MaxResubmits:  *maxResubmits,
+		Shards:        *shards,
+		Pipeline:      *pipeline,
 	}
 	if *exact {
 		cfg.Auction = auction.DefaultConfig()
 		cfg.Auction.ExactScheduling = true
 	}
 	cfg.Auction.Incremental = *incremental
+	if *latencyMatrix != "" {
+		lm, err := metro.LoadMatrix(*latencyMatrix)
+		if err != nil {
+			fmt.Fprintf(stderr, "decloud-sim: %v\n", err)
+			return 1
+		}
+		cfg.LatencyMatrix = lm
+	}
 	switch *mode {
 	case "fast":
 		cfg.Mode = sim.Fast

@@ -92,6 +92,16 @@ type Config struct {
 	// (Run/RunPrepared) ignores the flag; it is read by the round loops
 	// in miner, p2p, sim, and devnet.
 	Incremental bool
+	// Metros, when ≥ 2, federates the market geographically: orders are
+	// homed to one of Metros metro exchanges by their Location cell
+	// (internal/metro), each exchange clears its own order book, and
+	// unfillable requests spill to latency-nearest neighbor metros.
+	// Like Incremental, the flag is consensus-critical and is ignored
+	// by Run/RunPrepared itself — the federation round loops in metro,
+	// miner, sim, and devnet read it. 0 or 1 keeps the monolithic
+	// market (a single-metro federation is byte-identical to it; see
+	// metro/metrotest).
+	Metros int
 }
 
 // ReputationSource exposes participant reputations to the mechanism

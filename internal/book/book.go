@@ -50,6 +50,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 
 	"decloud/internal/auction"
@@ -84,6 +85,21 @@ type Stats struct {
 	// best-offer rescans across them (the work the dirty-tracking
 	// saves); FullRescores counts clears that ran all-dirty.
 	Clears, Rescored, FullRescores int
+
+	// ComponentsReused counts connected components of the
+	// shares-a-best-offer graph whose cluster lists were taken from the
+	// previous clear without re-running the builder; ComponentsRebuilt
+	// counts components that went through it.
+	ComponentsReused, ComponentsRebuilt int
+}
+
+// compClusters is one cached component: its member entries in canonical
+// order, their best-offer slices (validated by pointer identity), and
+// the cluster list their Updates produced.
+type compClusters struct {
+	entries  []*reqEntry
+	best     [][]*bidding.Offer
+	clusters []*cluster.Cluster
 }
 
 type reqEntry struct {
@@ -145,6 +161,16 @@ type Book struct {
 	ixScratch *match.IndexScratch
 	builder   *cluster.Builder
 
+	// compCache holds the per-component cluster lists of the last
+	// clear, keyed by the component's first canonical request entry.
+	// Cluster formation factorizes over connected components of the
+	// shares-a-best-offer graph, so a component whose members and best
+	// sets are unchanged (validated by pointer identity — BestOffers
+	// allocates fresh slices, so a rescored request can never alias its
+	// cached set) reuses its cluster list without re-running the
+	// builder. Rebuilt fresh-keyed every clear; see clearLocked.
+	compCache map[*reqEntry]*compClusters
+
 	// memo carries the outcome of the latest Preview to a matching
 	// Apply so the block's clear runs once, not twice. Any mutation in
 	// between invalidates it (gen).
@@ -153,6 +179,55 @@ type Book struct {
 
 	blocks int // chain blocks applied (Apply calls); see Blocks
 	stats  Stats
+
+	// removals, when tracking is on (SetTrackRemovals), accumulates the
+	// orders that left the book involuntarily — carry budget exhausted
+	// or time-window expiry — since the last TakeRemovals call. The
+	// metro federation reads it to decide which requests spill to a
+	// neighbor exchange; everything else leaves it off, so the hot path
+	// pays one boolean test.
+	trackRemovals bool
+	removals      Removals
+}
+
+// Removals lists the orders that left the book involuntarily since the
+// last TakeRemovals: carried-out orders exhausted their carry budget at
+// a commit; expired orders fell behind the market clock (ExpireBefore).
+// Matched and cancelled orders are not removals — their fates are
+// already visible to the caller. Slices follow the book's deterministic
+// commit/expiry iteration order.
+type Removals struct {
+	CarriedRequests []*bidding.Request
+	CarriedOffers   []*bidding.Offer
+	ExpiredRequests []bidding.OrderID
+	ExpiredOffers   []bidding.OrderID
+}
+
+// Empty reports whether the removal log holds nothing.
+func (r Removals) Empty() bool {
+	return len(r.CarriedRequests) == 0 && len(r.CarriedOffers) == 0 &&
+		len(r.ExpiredRequests) == 0 && len(r.ExpiredOffers) == 0
+}
+
+// SetTrackRemovals switches involuntary-removal tracking on or off.
+// Turning it off drops anything accumulated.
+func (b *Book) SetTrackRemovals(on bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trackRemovals = on
+	if !on {
+		b.removals = Removals{}
+	}
+}
+
+// TakeRemovals returns the involuntary removals accumulated since the
+// last call and resets the log.
+func (b *Book) TakeRemovals() Removals {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := b.removals
+	b.removals = Removals{}
+	return out
 }
 
 type previewMemo struct {
@@ -262,6 +337,7 @@ func (b *Book) insertOfferLocked(o *bidding.Offer, record bool) bool {
 func (b *Book) flushCachesLocked() {
 	b.allDirty = true
 	b.cache.Flush()
+	b.compCache = nil
 }
 
 // CancelRequest removes a live request. Reports whether it was live.
@@ -326,6 +402,9 @@ func (b *Book) ExpireBefore(now int64) int {
 		if e != nil && e.r.End < now {
 			b.removeRequestLocked(e)
 			b.stats.ExpiredRequests++
+			if b.trackRemovals {
+				b.removals.ExpiredRequests = append(b.removals.ExpiredRequests, e.r.ID)
+			}
 			n++
 		}
 	}
@@ -333,6 +412,9 @@ func (b *Book) ExpireBefore(now int64) int {
 		if e != nil && e.o.End < now {
 			b.removeOfferLocked(e)
 			b.stats.ExpiredOffers++
+			if b.trackRemovals {
+				b.removals.ExpiredOffers = append(b.removals.ExpiredOffers, e.o.ID)
+			}
 			n++
 		}
 	}
@@ -508,22 +590,7 @@ func (b *Book) clearLocked(evidence []byte) *auction.Outcome {
 		best[i] = ix.BestOffers(i, cfg.Match, b.scratch[w])
 	})
 
-	// Cluster formation is order-dependent global state: it re-runs in
-	// full, in the same canonical order as cluster.BuildIndex, so the
-	// cluster list is exactly the from-scratch one. The builder is
-	// persistent: Reset/Reserve recycle its maps and mask slab, and
-	// Clusters() severs the returned clusters from that memory (the
-	// prepass cache retains them across clears).
-	if b.builder == nil {
-		b.builder = cluster.NewBuilder()
-	}
-	builder := b.builder
-	builder.Reset()
-	builder.Reserve(len(ordered))
-	for i, r := range ordered {
-		builder.Update(r, best[i])
-	}
-	clusters := builder.Clusters()
+	clusters := b.buildClustersLocked(ordered, entries, best)
 
 	out := auction.RunPrepared(reqs, offs, ix, clusters, cfg, b.cache)
 
@@ -554,6 +621,150 @@ func (b *Book) clearLocked(evidence []byte) *auction.Outcome {
 	return out
 }
 
+// buildClustersLocked produces the clear's cluster list, exactly equal
+// to a from-scratch cluster.BuildIndex run over (ordered, best) —
+// cluster formation is order-dependent global state, but it factorizes
+// over connected components of the shares-a-best-offer graph: two
+// requests interact in Algorithm 2 only through subset/superset/
+// intersection tests on their best-offer masks, all of which are vacuous
+// for disjoint offer sets. So components whose members and best sets
+// are unchanged since the previous clear (pointer-identical entries and
+// best slices — rescoring always allocates fresh slices) reuse their
+// cached cluster lists, only dirty components re-run the builder, and
+// the merged list is restored to monolithic creation order by the
+// clusters' creation tags (cluster.SortByCreation).
+func (b *Book) buildClustersLocked(ordered []*bidding.Request, entries []*reqEntry, best [][]*bidding.Offer) []*cluster.Cluster {
+	// Union-find over request indices: requests sharing any best-set
+	// offer join one component. Union by smaller root keeps each root
+	// the component's first canonical member.
+	parent := make([]int, len(ordered))
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	owner := make(map[*bidding.Offer]int, len(b.offs))
+	for i := range ordered {
+		for _, o := range best[i] {
+			j, ok := owner[o]
+			if !ok {
+				owner[o] = i
+				continue
+			}
+			ri, rj := find(i), find(j)
+			if ri != rj {
+				if rj < ri {
+					ri, rj = rj, ri
+				}
+				parent[rj] = ri
+			}
+		}
+	}
+
+	// Group members per root in canonical order. Requests with empty
+	// best sets create no clusters and belong to no component.
+	members := make(map[int][]int)
+	var roots []int
+	for i := range ordered {
+		if len(best[i]) == 0 {
+			continue
+		}
+		r := find(i)
+		if members[r] == nil {
+			roots = append(roots, r)
+		}
+		members[r] = append(members[r], i)
+	}
+
+	nextCache := make(map[*reqEntry]*compClusters, len(roots))
+	var clusters []*cluster.Cluster
+	var dirtyIdx []int   // indices needing a builder run, canonical order
+	var dirtyRoots []int // their components
+	for _, root := range roots {
+		mem := members[root]
+		cached := b.compCache[entries[mem[0]]]
+		valid := cached != nil && len(cached.entries) == len(mem)
+		if valid {
+			for k, i := range mem {
+				if cached.entries[k] != entries[i] || !sameSlice(cached.best[k], best[i]) {
+					valid = false
+					break
+				}
+			}
+		}
+		if valid {
+			nextCache[entries[mem[0]]] = cached
+			clusters = append(clusters, cached.clusters...)
+			b.stats.ComponentsReused++
+			continue
+		}
+		dirtyIdx = append(dirtyIdx, mem...)
+		dirtyRoots = append(dirtyRoots, root)
+		b.stats.ComponentsRebuilt++
+	}
+
+	if len(dirtyIdx) > 0 {
+		sort.Ints(dirtyIdx)
+		// One builder pass over all dirty components at once, in
+		// canonical order: cross-component Updates cannot interact, so
+		// this equals per-component runs while sharing one slab. The
+		// builder is persistent: Reset/Reserve recycle its maps and
+		// mask slab, and Clusters() severs the returned clusters from
+		// that memory (the prepass cache retains them across clears).
+		if b.builder == nil {
+			b.builder = cluster.NewBuilder()
+		}
+		builder := b.builder
+		builder.Reset()
+		builder.Reserve(len(ordered))
+		for _, i := range dirtyIdx {
+			builder.Update(ordered[i], best[i])
+		}
+		rebuilt := builder.Clusters()
+
+		// Split the rebuilt clusters back into their creators'
+		// components and cache each component's list.
+		rootOf := make(map[bidding.OrderID]int, len(dirtyIdx))
+		for _, i := range dirtyIdx {
+			rootOf[ordered[i].ID] = find(i)
+		}
+		byRoot := make(map[int][]*cluster.Cluster, len(dirtyRoots))
+		for _, cl := range rebuilt {
+			r := rootOf[cl.Creator()]
+			byRoot[r] = append(byRoot[r], cl)
+		}
+		for _, root := range dirtyRoots {
+			mem := members[root]
+			cc := &compClusters{
+				entries:  make([]*reqEntry, len(mem)),
+				best:     make([][]*bidding.Offer, len(mem)),
+				clusters: byRoot[root],
+			}
+			for k, i := range mem {
+				cc.entries[k] = entries[i]
+				cc.best[k] = best[i]
+			}
+			nextCache[entries[mem[0]]] = cc
+		}
+		clusters = append(clusters, rebuilt...)
+	}
+
+	b.compCache = nextCache
+	cluster.SortByCreation(clusters)
+	return clusters
+}
+
+// sameSlice reports whether two slices are the identical view of the
+// same backing array.
+func sameSlice(a, b []*bidding.Offer) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
 // commitLocked applies a clear's outcome to the book: matched orders
 // are consumed, every unmatched survivor spends one carry unit and is
 // carried out at zero.
@@ -577,6 +788,9 @@ func (b *Book) commitLocked(out *auction.Outcome) {
 		if e.left <= 0 {
 			b.removeRequestLocked(e)
 			b.stats.CarriedOutRequests++
+			if b.trackRemovals {
+				b.removals.CarriedRequests = append(b.removals.CarriedRequests, e.r)
+			}
 		}
 	}
 	for _, e := range b.offs {
@@ -592,6 +806,9 @@ func (b *Book) commitLocked(out *auction.Outcome) {
 		if e.left <= 0 {
 			b.removeOfferLocked(e)
 			b.stats.CarriedOutOffers++
+			if b.trackRemovals {
+				b.removals.CarriedOffers = append(b.removals.CarriedOffers, e.o)
+			}
 		}
 	}
 	b.memo = nil

@@ -50,6 +50,123 @@ func TestBookDifferentialTraces(t *testing.T) {
 	}
 }
 
+// TestComponentReuseDifferentialTraces is the differential guard of
+// component-granular cluster reuse: randomized mutation traces over a
+// geo-fragmented market (several independent shares-a-best-offer
+// components) replay byte-identically against the from-scratch oracle,
+// while across the whole set the reuse path demonstrably fires.
+func TestComponentReuseDifferentialTraces(t *testing.T) {
+	traces := 24
+	if testing.Short() {
+		traces = 8
+	}
+	pool := booktest.NewGeoPool(43, 80, 0.25)
+	rng := rand.New(rand.NewSource(2903))
+	for i := 0; i < traces; i++ {
+		raw := make([]byte, 60+rng.Intn(240))
+		rng.Read(raw)
+		cfg := auction.DefaultConfig()
+		cfg.Workers = 1 + i%4
+		if err := booktest.Replay(pool, booktest.Decode(raw), cfg, 1+rng.Intn(3)); err != nil {
+			t.Fatalf("geo trace %d: %v", i, err)
+		}
+	}
+}
+
+// TestComponentReuseFires pins the reuse mechanics down concretely: a
+// market with an isolated no-trade neighborhood (locality-constrained
+// orders whose prices never cross) and a normal trading one. After the
+// warm-up clear, the isolated component is never touched again, so
+// every further clear must reuse it — and outcomes must stay identical
+// to the from-scratch mechanism throughout.
+func TestComponentReuseFires(t *testing.T) {
+	cfg := auction.DefaultConfig()
+	cfg.Workers = 1
+	bk := book.New(cfg)
+	bk.MaxCarry = 50 // no carry-outs during the test window
+
+	m := workload.Generate(workload.Config{Seed: 11, Requests: 24})
+
+	// The isolated neighborhood: far outside the unit square, reachable
+	// only by its own offers, request bids far below offer costs so no
+	// mini-auction ever crosses.
+	var isoReqs []bidding.OrderID
+	for i := 0; i < 3; i++ {
+		r := *m.Requests[i]
+		r.ID = bidding.OrderID(fmt.Sprintf("iso-req-%d", i))
+		r.Location = bidding.Location{X: 100, Y: 100}
+		r.MaxDistance = 1
+		r.Bid = 0.0001
+		r.TrueValue = r.Bid
+		isoReqs = append(isoReqs, r.ID)
+		if !bk.InsertRequest(&r) {
+			t.Fatalf("isolated request %d rejected", i)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		o := *m.Offers[i]
+		o.ID = bidding.OrderID(fmt.Sprintf("iso-off-%d", i))
+		o.Location = bidding.Location{X: 100, Y: 100}
+		o.Bid *= 1000
+		o.TrueCost = o.Bid
+		if !bk.InsertOffer(&o) {
+			t.Fatalf("isolated offer %d rejected", i)
+		}
+	}
+	// The trading neighborhood: the stock workload market.
+	for _, r := range m.Requests {
+		bk.InsertRequest(r)
+	}
+	for _, o := range m.Offers {
+		bk.InsertOffer(o)
+	}
+
+	clearAndCheck := func(tag string) {
+		liveR, liveO := bk.LiveRequests(), bk.LiveOffers()
+		ocfg := cfg
+		ocfg.Evidence = []byte(tag)
+		want, err := paralleltest.MarshalOutcome(auction.Run(liveR, liveO, ocfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := paralleltest.MarshalOutcome(bk.Clear([]byte(tag)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%s: reuse-path outcome diverges from from-scratch mechanism:\nwant %s\ngot  %s", tag, want, got)
+		}
+	}
+
+	clearAndCheck("warm")
+	warm := bk.Stats()
+	if warm.ComponentsRebuilt == 0 {
+		t.Fatal("warm clear built no components")
+	}
+	if warm.ComponentsReused != 0 {
+		t.Fatal("warm clear cannot reuse")
+	}
+	for round := 0; round < 3; round++ {
+		clearAndCheck(fmt.Sprintf("steady-%d", round))
+	}
+	st := bk.Stats()
+	if st.ComponentsReused == 0 {
+		t.Fatalf("isolated component never reused: %+v", st)
+	}
+	// The isolated neighborhood must still be live (nothing crossed).
+	for _, id := range isoReqs {
+		found := false
+		for _, r := range bk.LiveRequests() {
+			if r.ID == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("isolated request %s left the book", id)
+		}
+	}
+}
+
 // TestBookCarryAcrossEpochs pins the carry semantics down concretely:
 // an unmatched order stays live for exactly MaxCarry+1 clears, then
 // leaves as carried-out.
@@ -133,6 +250,8 @@ func TestBookPreviewIsSideEffectFree(t *testing.T) {
 	pre.Clears, got.Clears = 0, 0
 	pre.Rescored, got.Rescored = 0, 0
 	pre.FullRescores, got.FullRescores = 0, 0
+	pre.ComponentsReused, got.ComponentsReused = 0, 0
+	pre.ComponentsRebuilt, got.ComponentsRebuilt = 0, 0
 	if got != pre {
 		t.Fatalf("Preview mutated ledger stats: %+v -> %+v", pre, got)
 	}

@@ -63,6 +63,17 @@ func NewPool(seed int64, n int) *Pool {
 	return p
 }
 
+// NewGeoPool builds a pool over a geo-fragmented market: participants
+// scatter across the unit square and every request carries a
+// MaxDistance = radius locality constraint, so the shares-a-best-offer
+// graph splits into several connected components. Traces over this pool
+// are the differential guard of the book's component-granular cluster
+// reuse — reuse must fire without moving a single outcome byte.
+func NewGeoPool(seed int64, n int, radius float64) *Pool {
+	m := workload.Generate(workload.Config{Seed: seed, Requests: n, GeoRadius: radius})
+	return &Pool{Reqs: m.Requests, Offs: m.Offers}
+}
+
 // Op is one decoded trace operation.
 type Op struct {
 	Kind byte // one of the Op* constants

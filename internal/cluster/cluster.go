@@ -48,6 +48,18 @@ type Cluster struct {
 	mask     []uint64 // offer set over the builder's offer universe
 	rmask    []uint64 // member requests over the builder's request universe
 	key      string   // cached offerSetKey
+
+	// Creation tag: the (Submitted, ID) canonical sort key of the
+	// Update call that created this cluster, plus the creation sequence
+	// within that call. Because Algorithm 2 runs Updates in canonical
+	// request order and cluster formation factorizes over connected
+	// components of the shares-a-best-offer graph, sorting any merge of
+	// per-component cluster lists by this tag reconstructs exactly the
+	// monolithic builder's creation order — the property the book's
+	// component-granular reuse (book.clearLocked) depends on.
+	cSub int64
+	cID  bidding.OrderID
+	cSeq int
 }
 
 // newCluster builds a cluster from an offer set and its builder mask.
@@ -87,6 +99,34 @@ func (c *Cluster) HasRequest(id bidding.OrderID) bool {
 // lotteries of the mechanism, so its format is consensus-critical and
 // independent of the builder's internal mask representation.
 func (c *Cluster) Key() string { return c.key }
+
+// Creator returns the ID of the request whose Update call created this
+// cluster. The book's component reuse uses it to assign a rebuilt
+// cluster to its creator's component.
+func (c *Cluster) Creator() bidding.OrderID { return c.cID }
+
+// SortByCreation orders clusters by their creation tag — the order the
+// monolithic builder would have created them in. Merging reused and
+// rebuilt per-component cluster lists and sorting with this restores
+// the exact from-scratch cluster order (tags are unique: at most one
+// Update call per request ID, and cSeq numbers creations within it).
+func SortByCreation(cs []*Cluster) {
+	slices.SortFunc(cs, func(a, b *Cluster) int {
+		switch {
+		case a.cSub < b.cSub:
+			return -1
+		case a.cSub > b.cSub:
+			return 1
+		}
+		switch {
+		case a.cID < b.cID:
+			return -1
+		case a.cID > b.cID:
+			return 1
+		}
+		return a.cSeq - b.cSeq
+	})
+}
 
 func offerSetKey(offers []*bidding.Offer) string {
 	ids := make([]string, len(offers))
@@ -159,12 +199,17 @@ type Builder struct {
 	// membership bookkeeping of an epoch lives in the slab.
 	rw int
 
-	bm   []uint64   // scratch: the current request's best-offer mask
-	iw   []uint64   // scratch: intersection words
-	kb   []byte     // scratch: trimmed key bytes
-	subs []*Cluster // scratch: subset clusters of the current update
-	sups []*Cluster // scratch: superset clusters of the current update
+	bm   []uint64         // scratch: the current request's best-offer mask
+	iw   []uint64         // scratch: intersection words
+	kb   []byte           // scratch: trimmed key bytes
+	subs []*Cluster       // scratch: subset clusters of the current update
+	sups []*Cluster       // scratch: superset clusters of the current update
 	ob   []*bidding.Offer // scratch: offersOf output
+
+	// Current Update's creation tag, stamped onto clusters by put.
+	updSub int64
+	updID  bidding.OrderID
+	updSeq int
 }
 
 // NewBuilder returns an empty cluster builder.
@@ -298,7 +343,11 @@ func (b *Builder) offersOf(m []uint64) []*bidding.Offer {
 	return out
 }
 
+// put registers a newly created cluster (both call sites construct c
+// fresh), stamping it with the current Update's creation tag.
 func (b *Builder) put(key string, c *Cluster) {
+	c.cSub, c.cID, c.cSeq = b.updSub, b.updID, b.updSeq
+	b.updSeq++
 	if _, exists := b.clusters[key]; !exists {
 		b.order = append(b.order, key)
 	}
@@ -318,6 +367,7 @@ func (b *Builder) Update(r *bidding.Request, bestR []*bidding.Offer) {
 	if len(bestR) == 0 {
 		return
 	}
+	b.updSub, b.updID, b.updSeq = r.Submitted, r.ID, 0
 	ri := b.internReq(r)
 	bestMask := b.maskOf(bestR)
 	bestKey := string(b.keyBytes(bestMask))

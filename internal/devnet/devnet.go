@@ -22,14 +22,27 @@ import (
 	"time"
 
 	"decloud/internal/chaos"
+	"decloud/internal/metro"
 	"decloud/internal/workload"
 )
 
 // Topology configures a devnet run.
 type Topology struct {
 	// Miners (first one produces) and Participants are process counts.
+	// With Metros ≥ 2, Miners is the PER-METRO miner count: each metro
+	// exchange runs its own gossip mesh of Miners processes (the first
+	// produces), participants round-robin over metros and submit only to
+	// their home exchange, and producers forward carry-out requests to
+	// neighbor metros' producers over dedicated relay links.
 	Miners       int
 	Participants int
+	// Metros federates the devnet over this many independent exchanges
+	// (0/1 = the classic single market). Requires Incremental — spill
+	// detection reads book carry-outs.
+	Metros int
+	// MaxHops bounds a spilled request's exchange visits beyond its home
+	// (default 2). Hop k of request "r" travels as "r~x<k>".
+	MaxHops int
 	// Dir receives configs, logs, ready files, chain replicas, and
 	// participant reports.
 	Dir string
@@ -74,6 +87,17 @@ func (t Topology) withDefaults() (Topology, error) {
 	if t.Miners < 1 || t.Participants < 1 {
 		return t, fmt.Errorf("devnet: need at least 1 miner and 1 participant")
 	}
+	if t.Metros > 1 {
+		if !t.Incremental {
+			return t, fmt.Errorf("devnet: federation (Metros=%d) requires Incremental — spill reads book carry-outs", t.Metros)
+		}
+		if t.Participants < t.Metros {
+			return t, fmt.Errorf("devnet: need at least one participant per metro (%d < %d)", t.Participants, t.Metros)
+		}
+		if t.MaxHops <= 0 {
+			t.MaxHops = 2
+		}
+	}
 	if t.Dir == "" {
 		return t, fmt.Errorf("devnet: Dir is required")
 	}
@@ -109,6 +133,26 @@ func (t Topology) withDefaults() (Topology, error) {
 		t.TickMS = 100
 	}
 	return t, nil
+}
+
+// federated reports whether this topology runs multiple metro exchanges.
+func (t Topology) federated() bool { return t.Metros > 1 }
+
+// totalMiners is the overall miner process count: Miners is per-metro
+// once the topology federates.
+func (t Topology) totalMiners() int {
+	if t.federated() {
+		return t.Miners * t.Metros
+	}
+	return t.Miners
+}
+
+// metroOfParticipant maps a participant slot onto its home exchange.
+func (t Topology) metroOfParticipant(slot int) int {
+	if !t.federated() {
+		return 0
+	}
+	return slot % t.Metros
 }
 
 // proc is one child process and its artifact paths.
@@ -176,15 +220,49 @@ func buildPlan(top Topology, minerNames, partNames []string) *chaos.Plan {
 		tickLen := time.Duration(top.TickMS) * time.Millisecond
 		from := int64(top.Soak / 3 / tickLen)
 		until := int64(top.Soak * 2 / 3 / tickLen)
-		// Producer side keeps a quorum of verifiers; the far side keeps
-		// at least one miner so its participants' gossip has somewhere
-		// to go.
-		cutM := len(minerNames) - 1
-		cutP := len(partNames) / 2
+		var groupA, groupB []string
+		if top.federated() {
+			// Federated cut: isolate the LAST metro wholesale — its own
+			// mesh stays internally intact (per-metro convergence is not
+			// the thing under test here), but every inter-metro spill link
+			// into or out of it severs. Spills forwarded during the window
+			// drop on the wire and stay audited as uncommitted. Each
+			// producer's relay clients ("<producer>x<k>") side with their
+			// producer so the cut catches the spill traffic itself.
+			K, M := top.Miners, top.Metros
+			cut := (M - 1) * K
+			groupA = append(groupA, minerNames[:cut]...)
+			groupB = append(groupB, minerNames[cut:]...)
+			for m := 0; m < M; m++ {
+				for k := 0; k < M-1; k++ {
+					rel := fmt.Sprintf("%sx%d", minerNames[m*K], k)
+					if m == M-1 {
+						groupB = append(groupB, rel)
+					} else {
+						groupA = append(groupA, rel)
+					}
+				}
+			}
+			for i, pn := range partNames {
+				if top.metroOfParticipant(i) == M-1 {
+					groupB = append(groupB, pn)
+				} else {
+					groupA = append(groupA, pn)
+				}
+			}
+		} else {
+			// Producer side keeps a quorum of verifiers; the far side keeps
+			// at least one miner so its participants' gossip has somewhere
+			// to go.
+			cutM := len(minerNames) - 1
+			cutP := len(partNames) / 2
+			groupA = append(append([]string{}, minerNames[:cutM]...), partNames[:cutP]...)
+			groupB = append(append([]string{}, minerNames[cutM:]...), partNames[cutP:]...)
+		}
 		plan.Partitions = []chaos.Partition{{
 			Window: chaos.Window{From: from, Until: until},
-			GroupA: append(append([]string{}, minerNames[:cutM]...), partNames[:cutP]...),
-			GroupB: append(append([]string{}, minerNames[cutM:]...), partNames[cutP:]...),
+			GroupA: groupA,
+			GroupB: groupB,
 		}}
 	}
 	return plan
@@ -202,7 +280,7 @@ func Launch(ctx context.Context, top Topology) (*Cluster, error) {
 	}
 	c := &Cluster{top: top, start: time.Now()}
 
-	minerNames := make([]string, top.Miners)
+	minerNames := make([]string, top.totalMiners())
 	for i := range minerNames {
 		minerNames[i] = fmt.Sprintf("m%d", i)
 	}
@@ -212,7 +290,7 @@ func Launch(ctx context.Context, top Topology) (*Cluster, error) {
 	}
 	c.plan = buildPlan(top, minerNames, partNames)
 
-	for i := 0; i < top.Miners; i++ {
+	for i := 0; i < top.totalMiners(); i++ {
 		p, err := c.spawnMiner(ctx, i)
 		if err != nil {
 			c.Kill()
@@ -228,7 +306,7 @@ func Launch(ctx context.Context, top Topology) (*Cluster, error) {
 		Logf("devnet: miner %s up at %s", p.name, addr)
 	}
 	for i := 0; i < top.Participants; i++ {
-		p, err := c.spawnParticipant(ctx, fmt.Sprintf("p%d", i), int64(i))
+		p, err := c.spawnParticipant(ctx, fmt.Sprintf("p%d", i), int64(i), top.metroOfParticipant(i))
 		if err != nil {
 			c.Kill()
 			return nil, err
@@ -245,12 +323,30 @@ func Launch(ctx context.Context, top Topology) (*Cluster, error) {
 
 func (c *Cluster) minerConfig(i int) MinerConfig {
 	name := fmt.Sprintf("m%d", i)
-	return MinerConfig{
+	// Flat topology: one mesh, miner i peers with every earlier miner and
+	// only m0 produces. Federated: each metro is its own mesh — miner i
+	// lives in metro i/Miners, peers only with earlier SAME-metro miners,
+	// and the first miner of each metro produces. Producers additionally
+	// get the spill-forwarding config: their neighbors' ready files in
+	// latency-preference order, a crash-safe relay report, and the hop
+	// budget.
+	peerLo := 0
+	produce := i == 0
+	if c.top.federated() {
+		peerLo = (i / c.top.Miners) * c.top.Miners
+		produce = i%c.top.Miners == 0
+	}
+	peerHi := min(i, len(c.minerAddrs))
+	var peers []string
+	if peerLo < peerHi {
+		peers = append(peers, c.minerAddrs[peerLo:peerHi]...)
+	}
+	cfg := MinerConfig{
 		Name:           name,
 		Listen:         "127.0.0.1:0",
-		Peers:          append([]string{}, c.minerAddrs[:min(i, len(c.minerAddrs))]...),
+		Peers:          peers,
 		Difficulty:     c.top.Difficulty,
-		Produce:        i == 0,
+		Produce:        produce,
 		Quorum:         c.top.Quorum,
 		MinPool:        c.top.MinPool,
 		MaxPoolWaitMS:  1500,
@@ -267,6 +363,19 @@ func (c *Cluster) minerConfig(i int) MinerConfig {
 		StartTick:     c.elapsedTick(),
 		TickMS:        c.top.TickMS,
 	}
+	if c.top.federated() {
+		m := i / c.top.Miners
+		cfg.Metro = m
+		if produce {
+			cfg.MaxHops = c.top.MaxHops
+			cfg.SpillReport = filepath.Join(c.top.Dir, name+".spill")
+			for _, n := range metro.DefaultMatrix(c.top.Metros).Neighbors(m) {
+				peer := fmt.Sprintf("m%d", n*c.top.Miners)
+				cfg.SpillPeerReady = append(cfg.SpillPeerReady, filepath.Join(c.top.Dir, peer+".ready"))
+			}
+		}
+	}
+	return cfg
 }
 
 func (c *Cluster) spawnMiner(ctx context.Context, i int) (*proc, error) {
@@ -274,17 +383,32 @@ func (c *Cluster) spawnMiner(ctx context.Context, i int) (*proc, error) {
 	return c.spawn(ctx, "miner", cfg.Name, cfg.ReadyFile, cfg)
 }
 
-func (c *Cluster) participantConfig(name string, streamSeed int64) ParticipantConfig {
+func (c *Cluster) participantConfig(name string, streamSeed int64, m int) ParticipantConfig {
+	peers := append([]string{}, c.minerAddrs...)
+	stream := workload.StreamConfig{
+		Seed:        c.top.Seed ^ (streamSeed+1)*0x9e3779b9,
+		Clients:     1,
+		EpochOrders: c.top.EpochOrders,
+		EpochSec:    600,
+		IDPrefix:    name,
+	}
+	if c.top.federated() {
+		// Home exchange only: the participant gossips with its own
+		// metro's mesh, and its one virtual client's home location is
+		// steered (one-hot mix) into that metro's cell so homing is
+		// consistent with where the orders actually land.
+		K := c.top.Miners
+		peers = append([]string{}, c.minerAddrs[m*K:(m+1)*K]...)
+		stream.GeoRadius = 0.5
+		stream.GeoMetros = c.top.Metros
+		mix := make([]float64, c.top.Metros)
+		mix[m] = 1
+		stream.GeoMix = mix
+	}
 	return ParticipantConfig{
-		Name:  name,
-		Peers: append([]string{}, c.minerAddrs...),
-		Stream: workload.StreamConfig{
-			Seed:        c.top.Seed ^ (streamSeed+1)*0x9e3779b9,
-			Clients:     1,
-			EpochOrders: c.top.EpochOrders,
-			EpochSec:    600,
-			IDPrefix:    name,
-		},
+		Name:       name,
+		Peers:      peers,
+		Stream:     stream,
 		Rate:       c.top.Rate,
 		ReportFile: filepath.Join(c.top.Dir, name+".report"),
 		ReadyFile:  filepath.Join(c.top.Dir, name+".ready"),
@@ -294,8 +418,8 @@ func (c *Cluster) participantConfig(name string, streamSeed int64) ParticipantCo
 	}
 }
 
-func (c *Cluster) spawnParticipant(ctx context.Context, name string, streamSeed int64) (*proc, error) {
-	cfg := c.participantConfig(name, streamSeed)
+func (c *Cluster) spawnParticipant(ctx context.Context, name string, streamSeed int64, m int) (*proc, error) {
+	cfg := c.participantConfig(name, streamSeed, m)
 	c.reports = append(c.reports, cfg.ReportFile)
 	return c.spawn(ctx, "participant", cfg.Name, cfg.ReadyFile, cfg)
 }
@@ -361,7 +485,8 @@ func (c *Cluster) ChurnParticipant(ctx context.Context, i int) error {
 
 	c.churnSeq++
 	name := fmt.Sprintf("pc%d", c.churnSeq)
-	p, err := c.spawnParticipant(ctx, name, int64(100+c.churnSeq))
+	// The replacement serves the dead participant's metro (flat: 0).
+	p, err := c.spawnParticipant(ctx, name, int64(100+c.churnSeq), c.top.metroOfParticipant(i))
 	if err != nil {
 		return err
 	}
@@ -373,11 +498,11 @@ func (c *Cluster) ChurnParticipant(ctx context.Context, i int) error {
 	return nil
 }
 
-// CrashRestartMiner SIGKILLs miner index i (never 0, the producer) and
+// CrashRestartMiner SIGKILLs miner index i (never a producer) and
 // respawns it with the same name and an empty chain — it must resync
 // from its peers through the sync protocol.
 func (c *Cluster) CrashRestartMiner(ctx context.Context, i int, downFor time.Duration) error {
-	if i <= 0 || i >= len(c.miners) {
+	if i <= 0 || i >= len(c.miners) || i%c.top.Miners == 0 {
 		return fmt.Errorf("devnet: cannot crash-restart miner %d", i)
 	}
 	old := c.miners[i]
@@ -421,19 +546,59 @@ func (c *Cluster) ReportFiles() []string {
 	return append([]string{}, c.reports...)
 }
 
+// SpillReportFiles returns each producer's relay report path — the
+// crash-safe record of every cross-metro forwarding. Empty when flat.
+func (c *Cluster) SpillReportFiles() []string {
+	if !c.top.federated() {
+		return nil
+	}
+	out := make([]string, 0, c.top.Metros)
+	for m := 0; m < c.top.Metros; m++ {
+		out = append(out, filepath.Join(c.top.Dir, fmt.Sprintf("m%d.spill", m*c.top.Miners)))
+	}
+	return out
+}
+
+// chainGroups partitions the chain replica paths by consensus domain:
+// one group for a flat devnet, one group per metro when federated —
+// replicas converge within a group, never across groups (each metro is
+// its own chain).
+func (c *Cluster) chainGroups() [][]string {
+	if !c.top.federated() {
+		return [][]string{c.ChainFiles()}
+	}
+	K := c.top.Miners
+	out := make([][]string, c.top.Metros)
+	for m := range out {
+		for i := m * K; i < (m+1)*K; i++ {
+			out[m] = append(out[m], filepath.Join(c.top.Dir, c.miners[i].name+".chain"))
+		}
+	}
+	return out
+}
+
 // AwaitConvergence polls the miners' chain files until every replica is
-// byte-identical at height ≥ minHeight, or the topology's converge
-// timeout lapses.
+// byte-identical at height ≥ minHeight — within each metro, when
+// federated — or the topology's converge timeout lapses.
 func (c *Cluster) AwaitConvergence(ctx context.Context, minHeight int) error {
 	deadline := time.Now().Add(c.top.ConvergeTimeout)
 	var lastErr error
 	for time.Now().Before(deadline) && ctx.Err() == nil {
-		res, err := CheckConvergence(c.ChainFiles(), minHeight)
-		if err == nil {
-			Logf("devnet: converged at height %d (%s)", res.Height, res.HeadHash[:12])
+		ok := true
+		for m, group := range c.chainGroups() {
+			res, err := CheckConvergence(group, minHeight)
+			if err != nil {
+				lastErr = fmt.Errorf("chain group %d: %w", m, err)
+				ok = false
+				break
+			}
+			if ok && m == len(c.chainGroups())-1 {
+				Logf("devnet: converged at height %d (%s)", res.Height, res.HeadHash[:12])
+			}
+		}
+		if ok {
 			return nil
 		}
-		lastErr = err
 		time.Sleep(250 * time.Millisecond)
 	}
 	if ctx.Err() != nil {
@@ -488,10 +653,19 @@ func (c *Cluster) Kill() {
 	}
 }
 
-// Summary is the outcome of a full scenario run.
+// Summary is the outcome of a full scenario run. Flat runs fill the
+// first two fields; federated runs additionally carry per-metro results
+// (Convergence/Conservation then alias metro 0 for compatibility) and
+// the cross-metro settlement audit.
 type Summary struct {
 	Convergence  *ConvergenceResult
 	Conservation *ConservationResult
+	// MetroConvergence and MetroConservation are indexed by metro.
+	MetroConvergence  []*ConvergenceResult
+	MetroConservation []*ConservationResult
+	// CrossMetro is the federated settlement audit: every spilled
+	// request's root settles on at most one metro chain, once.
+	CrossMetro *FederatedSettlementResult
 }
 
 // Run executes the whole scenario: launch, soak with faults, heal,
@@ -519,6 +693,8 @@ func Run(ctx context.Context, top Topology) (*Summary, error) {
 		}
 	}
 	if top.CrashRestart && top.Miners > 1 {
+		// Miners-1 is the last verifier of metro 0 (flat: the last miner)
+		// — never a producer, in either topology.
 		select {
 		case <-time.After(top.Soak / 4):
 			if err := c.CrashRestartMiner(ctx, top.Miners-1, top.Soak/8); err != nil {
@@ -553,6 +729,9 @@ func Run(ctx context.Context, top Topology) (*Summary, error) {
 	c.StopParticipants()
 	c.StopMiners()
 
+	if top.federated() {
+		return c.auditFederated()
+	}
 	conv, err := CheckConvergence(c.ChainFiles(), 1)
 	if err != nil {
 		return nil, fmt.Errorf("devnet: post-stop convergence: %w", err)
@@ -564,6 +743,39 @@ func Run(ctx context.Context, top Topology) (*Summary, error) {
 	return &Summary{Convergence: conv, Conservation: cons}, nil
 }
 
+// auditFederated runs the post-stop audits of a federated devnet:
+// per-metro convergence, per-metro conservation against the union of
+// every participant report AND every producer's spill report (relayed
+// bids are submissions on the target chain; the conservation equation
+// holds for any superset submitted-set, so the union serves every
+// metro), and the cross-metro settlement audit over all metro chains.
+func (c *Cluster) auditFederated() (*Summary, error) {
+	sum := &Summary{}
+	reports := append(c.ReportFiles(), c.SpillReportFiles()...)
+	heads := make([]string, 0, c.top.Metros)
+	for m, group := range c.chainGroups() {
+		conv, err := CheckConvergence(group, 1)
+		if err != nil {
+			return nil, fmt.Errorf("devnet: metro %d post-stop convergence: %w", m, err)
+		}
+		cons, err := CheckConservation(group[0], reports)
+		if err != nil {
+			return nil, fmt.Errorf("devnet: metro %d: %w", m, err)
+		}
+		sum.MetroConvergence = append(sum.MetroConvergence, conv)
+		sum.MetroConservation = append(sum.MetroConservation, cons)
+		heads = append(heads, group[0])
+	}
+	fed, err := CheckFederatedSettlement(heads)
+	if err != nil {
+		return nil, err
+	}
+	sum.CrossMetro = fed
+	sum.Convergence = sum.MetroConvergence[0]
+	sum.Conservation = sum.MetroConservation[0]
+	return sum, nil
+}
+
 // AwaitStableConvergence waits until the replicas are identical, the
 // producer's mempool is empty (nothing left to drain — read from its
 // status file), AND the head held still across two consecutive
@@ -572,24 +784,45 @@ func Run(ctx context.Context, top Topology) (*Summary, error) {
 // stable head with an empty pool really is the final state.
 func (c *Cluster) AwaitStableConvergence(ctx context.Context) error {
 	deadline := time.Now().Add(c.top.ConvergeTimeout)
-	statusFile := filepath.Join(c.top.Dir, c.miners[0].name+".status")
-	var prevHead string
+	groups := c.chainGroups()
+	prev := make([]string, len(groups))
 	for time.Now().Before(deadline) && ctx.Err() == nil {
-		res, err := CheckConvergence(c.ChainFiles(), 1)
-		if err == nil && res.HeadHash == prevHead && producerDrained(statusFile) {
+		stable := true
+		heads := make([]string, len(groups))
+		for m, group := range groups {
+			res, err := CheckConvergence(group, 1)
+			if err != nil {
+				stable = false
+				continue
+			}
+			heads[m] = res.HeadHash
+			if res.HeadHash != prev[m] {
+				stable = false
+			}
+		}
+		if stable && c.producersDrained() {
 			return nil
 		}
-		if err == nil {
-			prevHead = res.HeadHash
-		} else {
-			prevHead = ""
-		}
+		prev = heads
 		time.Sleep(2 * time.Second)
 	}
 	if ctx.Err() != nil {
 		return ctx.Err()
 	}
 	return fmt.Errorf("devnet: chains never stabilized within %s", c.top.ConvergeTimeout)
+}
+
+// producersDrained reports whether every producer's status file shows an
+// empty mempool with no round in flight. Federated runs must drain ALL
+// producers: a spill forwarded just before quiesce may still sit in a
+// neighbor's pool.
+func (c *Cluster) producersDrained() bool {
+	for i := 0; i < len(c.miners); i += c.top.Miners {
+		if !producerDrained(filepath.Join(c.top.Dir, c.miners[i].name+".status")) {
+			return false
+		}
+	}
+	return true
 }
 
 func producerDrained(statusFile string) bool {

@@ -8,11 +8,14 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"decloud/internal/auction"
+	"decloud/internal/bidding"
 	"decloud/internal/chaos"
 	"decloud/internal/p2p"
 	"decloud/internal/sealed"
@@ -98,6 +101,20 @@ type MinerConfig struct {
 	ReadyFile  string `json:"ready_file"`
 	StatusFile string `json:"status_file"`
 
+	// Metro federation (producer + Incremental only). Metro is this
+	// exchange's index; SpillPeerReady lists the neighbor metros'
+	// producer ready files in ascending-latency order — resolved lazily,
+	// since the neighbor may start after this process. A request that
+	// exhausts its carry budget here is re-sealed by a relay identity,
+	// logged to SpillReport (crash-safe, BEFORE the broadcast — the
+	// target chain's committed ⊆ submitted audit includes this file), and
+	// published to one neighbor producer. Hop k of a request renames its
+	// ID root~x<k>; forwarding stops at MaxHops (default 2).
+	Metro          int      `json:"metro,omitempty"`
+	SpillPeerReady []string `json:"spill_peer_ready,omitempty"`
+	SpillReport    string   `json:"spill_report,omitempty"`
+	MaxHops        int      `json:"max_hops,omitempty"`
+
 	// Plan (optional) injects transport faults; its logical clock starts
 	// at StartTick and advances once per TickMS of wall time, so every
 	// process — whenever it (re)started — agrees on when fault windows
@@ -145,6 +162,137 @@ type ReportLine struct {
 	Order  string `json:"order"`
 	Digest string `json:"digest"` // hex of the sealed bid digest
 	Kind   string `json:"kind"`   // "request" | "offer"
+}
+
+// Spill hop suffix: the k-th forwarding of request "r" renames it
+// "r~x<k>". The root survives every hop, so the cross-metro audit can
+// assert each ROOT settles at most once federation-wide even though the
+// per-hop bids are distinct on-chain orders.
+
+// SpillRoot strips the ~x<k> hop suffix from a forwarded request ID.
+func SpillRoot(id string) string {
+	if i := strings.LastIndex(id, "~x"); i >= 0 {
+		if _, err := strconv.Atoi(id[i+2:]); err == nil && i+2 < len(id) {
+			return id[:i]
+		}
+	}
+	return id
+}
+
+// spillHops reads the hop count off a forwarded request ID (0 = never
+// forwarded).
+func spillHops(id string) int {
+	if i := strings.LastIndex(id, "~x"); i >= 0 {
+		if n, err := strconv.Atoi(id[i+2:]); err == nil {
+			return n
+		}
+	}
+	return 0
+}
+
+// spillForwarder is the producer-side federation relay: it re-seals
+// carry-out requests under its own identities and publishes them to
+// neighbor metro producers, one relay client (and one report line) per
+// forwarded bid. Peer addresses resolve lazily from ready files — the
+// neighbor may start later, crash, or sit behind a partition; an
+// unreachable neighbor just drops the spill (the order stays accounted
+// as uncommitted in the audit).
+type spillForwarder struct {
+	cfg    MinerConfig
+	report *os.File
+	relays []*p2p.LoadClient // lazily dialed, parallel to SpillPeerReady
+}
+
+func newSpillForwarder(cfg MinerConfig) (*spillForwarder, error) {
+	report, err := os.OpenFile(cfg.SpillReport, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &spillForwarder{
+		cfg:    cfg,
+		report: report,
+		relays: make([]*p2p.LoadClient, len(cfg.SpillPeerReady)),
+	}, nil
+}
+
+func (f *spillForwarder) Close() {
+	for _, lc := range f.relays {
+		if lc != nil {
+			lc.Close()
+		}
+	}
+	f.report.Close()
+}
+
+// relay returns the lazily-connected client for neighbor k, or nil when
+// the neighbor's producer has no ready file yet (still starting, or
+// gone).
+func (f *spillForwarder) relay(k int) *p2p.LoadClient {
+	if f.relays[k] != nil {
+		return f.relays[k]
+	}
+	data, err := os.ReadFile(f.cfg.SpillPeerReady[k])
+	if err != nil || len(data) == 0 {
+		return nil
+	}
+	addr := strings.TrimSpace(string(data))
+	lc, err := p2p.NewLoadClient(fmt.Sprintf("%sx%d", f.cfg.Name, k), "127.0.0.1:0", make([]io.Reader, 1), nil)
+	if err != nil {
+		return nil
+	}
+	if f.cfg.Plan != nil {
+		lc.SetFaults(f.cfg.Plan)
+	}
+	if err := lc.Connect(addr); err != nil {
+		lc.Close()
+		return nil
+	}
+	f.relays[k] = lc
+	return lc
+}
+
+// Forward routes every carry-out request within the hop budget to a
+// neighbor metro. Hop k goes to neighbor k mod len(peers), so a request
+// bounced back from one exchange tries a different one next. The report
+// line lands on disk BEFORE the broadcast — committed ⊆ submitted holds
+// on the target chain through any kill.
+func (f *spillForwarder) Forward(carried []*bidding.Request) {
+	maxHops := f.cfg.MaxHops
+	if maxHops <= 0 {
+		maxHops = 2
+	}
+	for _, r := range carried {
+		hops := spillHops(string(r.ID))
+		if hops >= maxHops || len(f.relays) == 0 {
+			continue // budget exhausted: the request expires here
+		}
+		lc := f.relay(hops % len(f.relays))
+		if lc == nil {
+			continue // neighbor unreachable: spill dropped, stays audited
+		}
+		rr := *r
+		rr.Resources = r.Resources.Clone()
+		rr.ID = bidding.OrderID(fmt.Sprintf("%s~x%d", SpillRoot(string(r.ID)), hops+1))
+		bid, err := lc.SealRequest(0, &rr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "devnet miner %s: seal spill %s: %v\n", f.cfg.Name, rr.ID, err)
+			continue
+		}
+		digest := bid.Digest()
+		line, _ := json.Marshal(ReportLine{
+			Order:  string(rr.ID),
+			Digest: hex.EncodeToString(digest[:]),
+			Kind:   "request",
+		})
+		line = append(line, '\n')
+		if _, err := f.report.Write(line); err != nil {
+			fmt.Fprintf(os.Stderr, "devnet miner %s: spill report: %v\n", f.cfg.Name, err)
+			continue
+		}
+		if err := lc.Publish(string(rr.ID), bid); err != nil {
+			fmt.Fprintf(os.Stderr, "devnet miner %s: publish spill %s: %v\n", f.cfg.Name, rr.ID, err)
+		}
+	}
 }
 
 func readConfig(path string, into any) error {
@@ -244,6 +392,15 @@ func runMinerWith(ctx context.Context, cfg MinerConfig) error {
 	if err := connectAll(mn.Connect, cfg.Peers); err != nil {
 		return err
 	}
+	var spill *spillForwarder
+	if cfg.Produce && cfg.Incremental && len(cfg.SpillPeerReady) > 0 {
+		mn.Book().SetTrackRemovals(true)
+		spill, err = newSpillForwarder(cfg)
+		if err != nil {
+			return err
+		}
+		defer spill.Close()
+	}
 	if err := writeReady(cfg.ReadyFile, mn.Addr()); err != nil {
 		return err
 	}
@@ -335,6 +492,9 @@ func runMinerWith(ctx context.Context, cfg MinerConfig) error {
 		poolSince = time.Time{}
 		if err != nil && ctx.Err() == nil {
 			fmt.Fprintf(os.Stderr, "devnet miner %s: round: %v\n", cfg.Name, err)
+		}
+		if spill != nil {
+			spill.Forward(mn.Book().TakeRemovals().CarriedRequests)
 		}
 	}
 }

@@ -248,6 +248,55 @@ func CheckConservation(chainFile string, reportFiles []string) (*ConservationRes
 	return res, nil
 }
 
+// FederatedSettlementResult summarizes the cross-metro audit.
+type FederatedSettlementResult struct {
+	// SettledRoots is how many distinct request roots settled anywhere in
+	// the federation.
+	SettledRoots int `json:"settled_roots"`
+	// SpillSettled counts settlements that landed off-home — allocation
+	// records whose request ID carries a hop suffix ("r~x2" means the
+	// request's second hop matched).
+	SpillSettled int `json:"spill_settled"`
+	// Metros is how many chains the audit covered.
+	Metros int `json:"metros"`
+}
+
+// CheckFederatedSettlement audits the federation-wide uniqueness
+// invariant: a request that spills travels under hop-suffixed aliases
+// ("r", "r~x1", "r~x2", …) but all aliases share one root, and that
+// root may settle on AT MOST one metro chain, exactly once. Per-metro
+// conservation already guarantees each full ID settles once within its
+// chain; this check catches the cross-chain double-settle a buggy
+// forwarder (or a partition replaying a spill) would cause.
+func CheckFederatedSettlement(metroChainFiles []string) (*FederatedSettlementResult, error) {
+	res := &FederatedSettlementResult{Metros: len(metroChainFiles)}
+	settledAt := make(map[string]int) // request root → metro that settled it
+	for m, path := range metroChainFiles {
+		chain, err := ledger.LoadFile(path, nil)
+		if err != nil {
+			return nil, fmt.Errorf("devnet: metro %d chain %s: %w", m, path, err)
+		}
+		for i := 0; i < chain.Len(); i++ {
+			records, err := ledger.DecodeAllocation(chain.BlockAt(i).Body.Allocation)
+			if err != nil {
+				return nil, fmt.Errorf("devnet: metro %d block %d: %w", m, i, err)
+			}
+			for _, rec := range records {
+				root := SpillRoot(rec.RequestID)
+				if prev, dup := settledAt[root]; dup {
+					return nil, fmt.Errorf("devnet: request root %q settled in metro %d AND metro %d", root, prev, m)
+				}
+				settledAt[root] = m
+				res.SettledRoots++
+				if root != rec.RequestID {
+					res.SpillSettled++
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
 func jsonMarshalIndent(v any) ([]byte, error) {
 	return json.MarshalIndent(v, "", "  ")
 }

@@ -1,0 +1,51 @@
+package metro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"decloud/internal/auction"
+	"decloud/internal/metro"
+	"decloud/internal/workload"
+)
+
+// BenchmarkMetroFederated1000M4 clears a 1000-order geo workload through
+// a 4-metro federation, 100 orders per cross-settlement round — the
+// full federated hot path: homing, per-metro incremental clearing,
+// carry-out harvest, and spill routing. Recorded by scripts/bench.sh as
+// a trajectory point (warn-only; not in the ci.sh hard gate — the
+// federated round fans out over books whose cost the book and mechanism
+// gates already bound).
+func BenchmarkMetroFederated1000M4(b *testing.B) {
+	m := workload.Generate(workload.Config{Seed: 1, Requests: 1000, GeoRadius: 0.5})
+	const rounds = 10
+	rPer := (len(m.Requests) + rounds - 1) / rounds
+	oPer := (len(m.Offers) + rounds - 1) / rounds
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fed, err := metro.New(metro.Config{
+			Metros:  4,
+			Auction: auction.DefaultConfig(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for r := 0; r < rounds; r++ {
+			reqs := m.Requests[min(r*rPer, len(m.Requests)):min((r+1)*rPer, len(m.Requests))]
+			offs := m.Offers[min(r*oPer, len(m.Offers)):min((r+1)*oPer, len(m.Offers))]
+			if _, err := fed.Round(reqs, offs, []byte(fmt.Sprintf("bench-%d", r))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+package metro
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"decloud/internal/bidding"
+)
+
+func TestCellQuantization(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		loc    bidding.Location
+		cx, cy int64
+	}{
+		{bidding.Location{X: 0, Y: 0}, 0, 0},
+		{bidding.Location{X: 0.24, Y: 0.24}, 0, 0},
+		{bidding.Location{X: 0.25, Y: 0}, 1, 0},
+		{bidding.Location{X: -0.01, Y: 0.9}, -1, 3},
+		{bidding.Location{X: math.NaN(), Y: math.Inf(1)}, 0, 0},
+	}
+	for _, c := range cases {
+		cx, cy := Cell(c.loc, DefaultCellSize)
+		if cx != c.cx || cy != c.cy {
+			t.Errorf("Cell(%v) = (%d,%d), want (%d,%d)", c.loc, cx, cy, c.cx, c.cy)
+		}
+	}
+	// Huge coordinates clamp instead of overflowing.
+	cx, _ := Cell(bidding.Location{X: 1e300}, DefaultCellSize)
+	if cx != 1<<40 {
+		t.Errorf("huge X: cell %d, want clamp %d", cx, int64(1)<<40)
+	}
+	// Invalid cell sizes fall back to the default.
+	cx, _ = Cell(bidding.Location{X: 0.3}, 0)
+	if cx != 1 {
+		t.Errorf("cellSize 0 should fall back to default: got %d", cx)
+	}
+}
+
+func TestHomeTotalAndStable(t *testing.T) {
+	t.Parallel()
+	for m := 1; m <= 8; m++ {
+		for x := -2.0; x < 2.0; x += 0.13 {
+			loc := bidding.Location{X: x, Y: -x}
+			h := Home(loc, DefaultCellSize, m)
+			if h < 0 || h >= m {
+				t.Fatalf("Home(%v, m=%d) = %d out of range", loc, m, h)
+			}
+			if h2 := Home(loc, DefaultCellSize, m); h2 != h {
+				t.Fatalf("Home not deterministic: %d vs %d", h, h2)
+			}
+		}
+	}
+	if Home(bidding.Location{X: 5, Y: 5}, DefaultCellSize, 0) != 0 {
+		t.Error("metros<1 must home to 0")
+	}
+}
+
+func TestHomeSpreadsCells(t *testing.T) {
+	t.Parallel()
+	// Over a 16-cell unit-square grid and 4 metros, homing must not
+	// collapse to fewer than 3 distinct metros (a linear fold would,
+	// when the grid width shares a factor with the metro count).
+	used := map[int]bool{}
+	for x := 0.125; x < 1; x += 0.25 {
+		for y := 0.125; y < 1; y += 0.25 {
+			used[Home(bidding.Location{X: x, Y: y}, DefaultCellSize, 4)] = true
+		}
+	}
+	if len(used) < 3 {
+		t.Errorf("16 cells landed on only %d of 4 metros", len(used))
+	}
+}
+
+func TestMetroEvidence(t *testing.T) {
+	t.Parallel()
+	ev := []byte("round-7-evidence")
+	if got := MetroEvidence(ev, 0, 1); string(got) != string(ev) {
+		t.Error("single-metro evidence must pass through unchanged")
+	}
+	a, b := MetroEvidence(ev, 0, 4), MetroEvidence(ev, 1, 4)
+	if string(a) == string(b) {
+		t.Error("sibling metros must not share an evidence stream")
+	}
+	if string(a) == string(ev) {
+		t.Error("federated evidence must be domain-separated from the raw evidence")
+	}
+}
+
+func TestLatencyMatrixValidate(t *testing.T) {
+	t.Parallel()
+	if err := (&LatencyMatrix{}).Validate(); err == nil {
+		t.Error("empty matrix must not validate")
+	}
+	if err := (&LatencyMatrix{MS: [][]float64{{0, 1}, {1}}}).Validate(); err == nil {
+		t.Error("ragged matrix must not validate")
+	}
+	if err := (&LatencyMatrix{MS: [][]float64{{1}}}).Validate(); err == nil {
+		t.Error("non-zero diagonal must not validate")
+	}
+	if err := (&LatencyMatrix{MS: [][]float64{{0, -1}, {1, 0}}}).Validate(); err == nil {
+		t.Error("negative latency must not validate")
+	}
+	if err := (&LatencyMatrix{MS: [][]float64{{0, math.NaN()}, {1, 0}}}).Validate(); err == nil {
+		t.Error("NaN latency must not validate")
+	}
+	if err := DefaultMatrix(5).Validate(); err != nil {
+		t.Errorf("DefaultMatrix(5): %v", err)
+	}
+	if err := UniformMatrix(3, 12).Validate(); err != nil {
+		t.Errorf("UniformMatrix(3,12): %v", err)
+	}
+}
+
+func TestLatencyMatrixNeighbors(t *testing.T) {
+	t.Parallel()
+	m := &LatencyMatrix{MS: [][]float64{
+		{0, 30, 10, 30},
+		{30, 0, 20, 5},
+		{10, 20, 0, 40},
+		{30, 5, 40, 0},
+	}}
+	got := m.Neighbors(0)
+	want := []int{2, 1, 3} // 10ms, then the 30ms tie broken by index
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors(0) = %v, want %v", got, want)
+		}
+	}
+	if m.Neighbors(-1) != nil || m.Neighbors(4) != nil {
+		t.Error("out-of-range Neighbors must be nil")
+	}
+	if !math.IsInf(m.Latency(0, 9), 1) {
+		t.Error("out-of-range Latency must be +Inf")
+	}
+}
+
+func TestLoadMatrixJSON(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "latency.json")
+	doc := map[string]any{"latency_ms": [][]float64{{0, 15}, {12, 0}}}
+	data, _ := json.Marshal(doc)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadMatrix(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Metros() != 2 || m.Latency(0, 1) != 15 || m.Latency(1, 0) != 12 {
+		t.Errorf("loaded matrix wrong: %+v", m.MS)
+	}
+	if _, err := LoadMatrix(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file must error")
+	}
+	if _, err := ParseMatrix([]byte(`{"latency_ms": [[0,1]]}`)); err == nil {
+		t.Error("ragged JSON matrix must error")
+	}
+	if f1, f2 := m.Fingerprint(), UniformMatrix(2, 15).Fingerprint(); f1 == f2 {
+		t.Error("different matrices must not share a fingerprint")
+	}
+}
+
+func TestNewFederationValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := New(Config{Metros: 65}); err == nil {
+		t.Error("65 metros must exceed the visited-mask limit")
+	}
+	if _, err := New(Config{Metros: 4, Latency: UniformMatrix(3, 5)}); err == nil {
+		t.Error("matrix dimension mismatch must error")
+	}
+	if _, err := New(Config{Metros: 2, Latency: &LatencyMatrix{MS: [][]float64{{0, -1}, {1, 0}}}}); err == nil {
+		t.Error("invalid matrix must error")
+	}
+	f, err := New(Config{})
+	if err != nil || f.Metros() != 1 {
+		t.Fatalf("zero config must build a single-metro federation: %v", err)
+	}
+	// Heads are seeded distinctly per metro and federation shape.
+	f2, _ := New(Config{Metros: 2})
+	if f2.Heads()[0] == f2.Heads()[1] {
+		t.Error("sibling exchanges must not share a genesis head")
+	}
+	if f.Heads()[0] == f2.Heads()[0] {
+		t.Error("different federation shapes must not share a genesis head")
+	}
+}

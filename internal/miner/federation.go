@@ -1,0 +1,249 @@
+package miner
+
+import (
+	"context"
+	"fmt"
+
+	"decloud/internal/auction"
+	"decloud/internal/bidding"
+	"decloud/internal/ledger"
+	"decloud/internal/metro"
+)
+
+// FederatedNetwork is the ledger-mode federation: M independent miner
+// networks — one per metro exchange, each with its own chain, miner
+// cluster, and incremental book replicas — joined by cross-metro spill.
+// After every federated round, requests that exhausted their carry
+// budget on their home exchange are re-submitted (sealed and signed by
+// the exchange's relay participant, the hub-and-spoke broker of the DZX
+// model) to the lowest-latency unvisited neighbor metro, up to MaxHops
+// hops, with the latency matrix tightening their MaxDistance via
+// DistancePerMS exactly as in metro.Federation.
+//
+// The fast-mode counterpart (metro.Federation) proves the routing's
+// determinism byte-for-byte; this type carries the same semantics into
+// the full sealed-bid / reveal / verify protocol.
+type FederatedNetwork struct {
+	nets     []*Network
+	lat      *metro.LatencyMatrix
+	cellSize float64
+	maxHops  int
+	distMS   float64
+	spillers []*Participant
+
+	inbox [][]*bidding.Request
+	state map[bidding.OrderID]*fedSpillState
+
+	stats FederationStats
+}
+
+type fedSpillState struct {
+	hops    int
+	visited uint64
+	pathMS  float64
+}
+
+// FederationStats counts cross-metro routing events.
+type FederationStats struct {
+	Rounds       int
+	Spills       int
+	SpillExpired int
+}
+
+// NewFederatedNetwork builds M metro networks of minersPerMetro miners
+// each. cfg.Incremental must be set — spill detection reads carry-out
+// removals from the networks' book replicas. lat nil defaults to
+// metro.DefaultMatrix(metros).
+func NewFederatedNetwork(metros, minersPerMetro, difficulty int, cfg auction.Config, lat *metro.LatencyMatrix) (*FederatedNetwork, error) {
+	if metros < 1 || metros > 64 {
+		return nil, fmt.Errorf("miner: federation needs 1..64 metros, got %d", metros)
+	}
+	if !cfg.Incremental {
+		return nil, fmt.Errorf("miner: federation requires incremental mode (spill reads book carry-outs)")
+	}
+	if lat == nil {
+		lat = metro.DefaultMatrix(metros)
+	}
+	if err := lat.Validate(); err != nil {
+		return nil, err
+	}
+	if lat.Metros() != metros {
+		return nil, fmt.Errorf("miner: latency matrix is %d×%d, want %d", lat.Metros(), lat.Metros(), metros)
+	}
+	cfg.Metros = metros
+	f := &FederatedNetwork{
+		lat:      lat,
+		cellSize: metro.DefaultCellSize,
+		maxHops:  metro.DefaultMaxHops,
+		inbox:    make([][]*bidding.Request, metros),
+		state:    make(map[bidding.OrderID]*fedSpillState),
+	}
+	for m := 0; m < metros; m++ {
+		net := NewNetwork(minersPerMetro, difficulty, cfg)
+		if bk := net.Book(); bk != nil {
+			bk.SetTrackRemovals(true)
+		}
+		sp, err := NewParticipant(nil)
+		if err != nil {
+			return nil, err
+		}
+		f.nets = append(f.nets, net)
+		f.spillers = append(f.spillers, sp)
+	}
+	return f, nil
+}
+
+// SetMaxHops overrides the spill budget (default metro.DefaultMaxHops).
+func (f *FederatedNetwork) SetMaxHops(h int) {
+	if h > 0 {
+		f.maxHops = h
+	}
+}
+
+// SetDistancePerMS sets the Eq. 18 locality coupling for spilled
+// requests (0 disables it).
+func (f *FederatedNetwork) SetDistancePerMS(d float64) { f.distMS = d }
+
+// Metros returns the exchange count.
+func (f *FederatedNetwork) Metros() int { return len(f.nets) }
+
+// Net returns metro m's network.
+func (f *FederatedNetwork) Net(m int) *Network { return f.nets[m] }
+
+// Stats returns the routing counters.
+func (f *FederatedNetwork) Stats() FederationStats { return f.stats }
+
+// Home maps a location to its metro exchange.
+func (f *FederatedNetwork) Home(loc bidding.Location) int {
+	return metro.Home(loc, f.cellSize, len(f.nets))
+}
+
+// Close shuts every metro network down.
+func (f *FederatedNetwork) Close() {
+	for _, n := range f.nets {
+		n.Close()
+	}
+}
+
+// RunFederatedRound executes one cross-settlement round: pending spills
+// are sealed by each metro's relay participant and injected into its
+// mempool alongside the round's own submissions, every metro runs a
+// full protocol round, and carry-out removals are harvested into the
+// next round's spill inboxes. participants[m] must hold the
+// participants that submitted bids to metro m this round. Metros with
+// an empty mempool and no pending spills are skipped (nil result slot).
+func (f *FederatedNetwork) RunFederatedRound(ctx context.Context, participants [][]*Participant) ([]*RoundResult, error) {
+	if len(participants) != len(f.nets) {
+		return nil, fmt.Errorf("miner: federation has %d metros, got %d participant groups", len(f.nets), len(participants))
+	}
+	f.stats.Rounds++
+	results := make([]*RoundResult, len(f.nets))
+	for m, net := range f.nets {
+		parts := participants[m]
+		if len(f.inbox[m]) > 0 {
+			for _, r := range f.inbox[m] {
+				bid, err := f.spillers[m].SubmitRequest(r)
+				if err != nil {
+					return nil, fmt.Errorf("miner: metro %d: seal spilled request %s: %w", m, r.ID, err)
+				}
+				if err := net.SubmitBid(bid); err != nil {
+					return nil, fmt.Errorf("miner: metro %d: submit spilled request %s: %w", m, r.ID, err)
+				}
+			}
+			parts = append(append([]*Participant{}, parts...), f.spillers[m])
+			f.inbox[m] = nil
+		}
+		if net.MempoolSize() == 0 {
+			continue
+		}
+		res, err := net.RunRound(ctx, parts)
+		if err != nil {
+			return nil, fmt.Errorf("miner: metro %d round: %w", m, err)
+		}
+		results[m] = res
+	}
+
+	// Harvest carry-outs in metro order — the same serial discipline as
+	// metro.Federation.Round, so routing is deterministic given the
+	// per-metro chains.
+	for m, net := range f.nets {
+		bk := net.Book()
+		if bk == nil {
+			continue
+		}
+		rem := bk.TakeRemovals()
+		for _, r := range rem.CarriedRequests {
+			f.spillOrDrop(r, m)
+		}
+	}
+	return results, nil
+}
+
+// spillOrDrop routes one carried-out request to the lowest-latency
+// unvisited neighbor within the hop budget, mirroring
+// metro.Federation's spill rule.
+func (f *FederatedNetwork) spillOrDrop(r *bidding.Request, from int) {
+	st := f.state[r.ID]
+	if st == nil {
+		st = &fedSpillState{visited: 1 << uint(from)}
+		f.state[r.ID] = st
+	}
+	st.visited |= 1 << uint(from)
+	if st.hops >= f.maxHops {
+		f.stats.SpillExpired++
+		return
+	}
+	for _, to := range f.lat.Neighbors(from) {
+		if st.visited&(1<<uint(to)) != 0 {
+			continue
+		}
+		pathMS := st.pathMS + f.lat.Latency(from, to)
+		rr := *r
+		rr.Resources = r.Resources.Clone()
+		if f.distMS > 0 && rr.MaxDistance > 0 {
+			rr.MaxDistance -= f.distMS * pathMS
+			if rr.MaxDistance <= 0 {
+				break // monotone in latency: farther candidates only tighten more
+			}
+		}
+		st.hops++
+		st.pathMS = pathMS
+		st.visited |= 1 << uint(to)
+		f.inbox[to] = append(f.inbox[to], &rr)
+		f.stats.Spills++
+		return
+	}
+	f.stats.SpillExpired++
+}
+
+// CheckNoDoubleSettle audits the federation-wide uniqueness invariant
+// across all metro chains: no request ID (after stripping nothing — IDs
+// are preserved across spills) appears in the allocations of two
+// different metros, and none is allocated twice within one.
+func (f *FederatedNetwork) CheckNoDoubleSettle() error {
+	settled := make(map[bidding.OrderID]int)
+	for m, net := range f.nets {
+		chain := net.Chain()
+		for h := 0; h < chain.Len(); h++ {
+			blk := chain.BlockAt(h)
+			if blk == nil || blk.Body == nil {
+				continue
+			}
+			records, err := ledger.DecodeAllocation(blk.Body.Allocation)
+			if err != nil {
+				return fmt.Errorf("miner: metro %d height %d: %w", m, h, err)
+			}
+			for _, rec := range records {
+				id := bidding.OrderID(rec.RequestID)
+				if prev, dup := settled[id]; dup {
+					if prev != m {
+						return fmt.Errorf("miner: request %s settled in metro %d and metro %d", id, prev, m)
+					}
+					return fmt.Errorf("miner: request %s settled twice in metro %d", id, m)
+				}
+				settled[id] = m
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package miner
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"decloud/internal/auction"
+	"decloud/internal/bidding"
+	"decloud/internal/ledger"
+	"decloud/internal/metro"
+)
+
+// fedNetwork builds a proof-of-stake federation for tests.
+func fedNetwork(t *testing.T, metros int, lat *metro.LatencyMatrix) *FederatedNetwork {
+	t.Helper()
+	fed, err := NewFederatedNetwork(metros, 2, 0, incrementalConfig(), lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < fed.Metros(); m++ {
+		fed.Net(m).Consensus = ProofOfStake
+	}
+	t.Cleanup(fed.Close)
+	return fed
+}
+
+// TestFederatedNetworkValidation: the constructor rejects configurations
+// the spill machinery cannot serve.
+func TestFederatedNetworkValidation(t *testing.T) {
+	if _, err := NewFederatedNetwork(0, 1, 0, incrementalConfig(), nil); err == nil {
+		t.Fatal("want error for 0 metros")
+	}
+	if _, err := NewFederatedNetwork(2, 1, 0, auction.DefaultConfig(), nil); err == nil {
+		t.Fatal("want error for non-incremental config (spill reads carry-outs)")
+	}
+	if _, err := NewFederatedNetwork(3, 1, 0, incrementalConfig(), metro.DefaultMatrix(2)); err == nil {
+		t.Fatal("want error for 2×2 matrix with 3 metros")
+	}
+}
+
+// TestFederatedSpillSettlesOnNeighborChain drives the full ledger-mode
+// spill path: a request with no supply on its home exchange exhausts its
+// carry budget there, the relay participant re-seals it on the neighbor
+// metro, and it settles on the neighbor's chain — exactly once
+// federation-wide.
+func TestFederatedSpillSettlesOnNeighborChain(t *testing.T) {
+	fed := fedNetwork(t, 2, nil)
+	ctx := context.Background()
+
+	alice := testParticipant(t, "alice")
+	prov := testParticipant(t, "prov")
+
+	submit := func(m int, p *Participant, r *bidding.Request, o *bidding.Offer) {
+		t.Helper()
+		if r != nil {
+			bid, err := p.SubmitRequest(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fed.Net(m).SubmitBid(bid); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if o != nil {
+			bid, err := p.SubmitOffer(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fed.Net(m).SubmitBid(bid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Round 1: the doomed request enters metro 0, which never has supply.
+	submit(0, alice, request("r-spill", 2, 10), nil)
+	if _, err := fed.RunFederatedRound(ctx, [][]*Participant{{alice}, nil}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rounds 2..MaxCarry+1: filler bids keep metro 0 clearing so the
+	// carry budget of r-spill drains; each filler is priced to never
+	// match anything.
+	for i := 0; i < 3; i++ {
+		filler := request(fmt.Sprintf("r-fill-%d", i), 1, 0.001)
+		submit(0, alice, filler, nil)
+		if _, err := fed.RunFederatedRound(ctx, [][]*Participant{{alice}, nil}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fed.Stats().Spills; got < 1 {
+		t.Fatalf("after carry-budget exhaustion want >=1 spill, got %d", got)
+	}
+
+	// Next round: metro 1 finally has supply, plus a lower-bid local
+	// request to absorb the trade reduction so the spilled request's
+	// trade survives.
+	setter := testParticipant(t, "setter")
+	submit(1, prov, nil, offer("o-b", 8, 1))
+	submit(1, setter, request("r-setter", 2, 5), nil)
+	results, err := fed.RunFederatedRound(ctx, [][]*Participant{nil, {prov, setter}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[1] == nil || results[1].Outcome == nil {
+		t.Fatal("metro 1 round did not run")
+	}
+	matched := false
+	for _, mt := range results[1].Outcome.Matches {
+		if mt.Request.ID == "r-spill" {
+			matched = true
+		}
+	}
+	if !matched {
+		t.Fatalf("spilled request did not match on neighbor metro; outcome %+v", results[1].Outcome)
+	}
+
+	// The settlement must appear on metro 1's chain — and nowhere else.
+	if err := fed.CheckNoDoubleSettle(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	chain := fed.Net(1).Chain()
+	for h := 0; h < chain.Len(); h++ {
+		blk := chain.BlockAt(h)
+		if blk == nil || blk.Body == nil {
+			continue
+		}
+		records, err := ledger.DecodeAllocation(blk.Body.Allocation)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range records {
+			if rec.RequestID == "r-spill" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("spilled request settled nowhere on metro 1's chain")
+	}
+}
+
+// TestFederatedSpillExpiresAtHopBudget: with a single hop allowed and no
+// supply anywhere, a carried-out request dies after visiting its one
+// neighbor rather than ping-ponging.
+func TestFederatedSpillExpiresAtHopBudget(t *testing.T) {
+	fed := fedNetwork(t, 2, nil)
+	fed.SetMaxHops(1)
+	ctx := context.Background()
+	alice := testParticipant(t, "alice")
+
+	sub := func(m int, r *bidding.Request) {
+		t.Helper()
+		bid, err := alice.SubmitRequest(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fed.Net(m).SubmitBid(bid); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sub(0, request("r-doomed", 2, 10))
+	parts := [][]*Participant{{alice}, nil}
+	if _, err := fed.RunFederatedRound(ctx, parts); err != nil {
+		t.Fatal(err)
+	}
+	// Drain carry budget on metro 0, then on metro 1 after the spill.
+	// 3 fillers exhaust metro 0; the spill lands on metro 1, where 4
+	// more fillers exhaust it again with no unvisited neighbor left.
+	for i := 0; i < 3; i++ {
+		sub(0, request(fmt.Sprintf("r-f0-%d", i), 1, 0.001))
+		if _, err := fed.RunFederatedRound(ctx, parts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fed.Stats().Spills != 1 {
+		t.Fatalf("want exactly 1 spill, got %d", fed.Stats().Spills)
+	}
+	// Metro-1 fillers are offers — too small for r-doomed and absurdly
+	// priced — because offers never spill and so cannot pollute the
+	// spill counter the way filler requests would.
+	for i := 0; i < 4; i++ {
+		bid, err := alice.SubmitOffer(offer(fmt.Sprintf("o-f1-%d", i), 1, 999))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fed.Net(1).SubmitBid(bid); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fed.RunFederatedRound(ctx, [][]*Participant{nil, {alice}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := fed.Stats()
+	if st.Spills != 1 {
+		t.Fatalf("hop budget exceeded: want 1 spill total, got %d", st.Spills)
+	}
+	if st.SpillExpired < 1 {
+		t.Fatalf("want the request to expire after its single hop, got SpillExpired=%d", st.SpillExpired)
+	}
+	if err := fed.CheckNoDoubleSettle(); err != nil {
+		t.Fatal(err)
+	}
+}

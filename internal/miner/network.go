@@ -159,6 +159,18 @@ func (n *Network) syncBooks() error {
 // Chain exposes the canonical chain.
 func (n *Network) Chain() *ledger.Chain { return n.chain }
 
+// Book returns the first miner's order-book replica, or nil outside
+// incremental mode. All replicas are driven by the same chain and are
+// byte-identical after every round, so one replica is a faithful view
+// of the network's carried market — the federation layer reads it to
+// harvest carry-out removals for cross-metro spill.
+func (n *Network) Book() *book.Book {
+	if len(n.miners) == 0 {
+		return nil
+	}
+	return n.miners[0].Book
+}
+
 // Contracts exposes the agreement registry.
 func (n *Network) Contracts() *contract.Registry { return n.registry }
 

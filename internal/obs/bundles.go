@@ -1,5 +1,7 @@
 package obs
 
+import "fmt"
+
 // Typed metric bundles: one struct of pre-resolved metrics per
 // instrumented subsystem, so hot paths never do a registry lookup. Every
 // constructor returns nil on a nil registry — instrumentation sites
@@ -208,4 +210,47 @@ func NewSimMetrics(r *Registry) *SimMetrics {
 		Expired:    r.Counter("decloud_sim_expired_total", "requests expired after max resubmits"),
 		WelfareSum: r.Gauge("decloud_sim_welfare_sum", "cumulative realized welfare"),
 	}
+}
+
+// MetroMetrics instruments the geo-federated metro layer
+// (internal/metro): cross-metro spill traffic, settlement outcomes, and
+// per-metro welfare/latency gauges. Like every bundle it is purely
+// observational — federation outcomes are byte-identical with the
+// bundle nil or set.
+type MetroMetrics struct {
+	Rounds       *Counter // decloud_metro_rounds_total
+	Spills       *Counter // decloud_metro_spill_total — spill transfers between exchanges
+	SpillExpired *Counter // decloud_metro_spill_expired_total — orders that died with no eligible neighbor
+	MatchedLocal *Counter // decloud_metro_matched_local_total — requests settled in their home metro
+	MatchedSpill *Counter // decloud_metro_matched_spill_total — requests settled after spilling
+	// Per-metro gauges, indexed by metro (decloud_metro_*_m<i>):
+	// welfare cleared by the latest round, mean spill-path latency of the
+	// requests the metro settled, and live orders in the metro's book.
+	Welfare    []*Gauge
+	SpillMS    []*Gauge
+	LiveOrders []*Gauge
+}
+
+// NewMetroMetrics resolves the metro bundle for a federation of the
+// given size (nil registry → nil).
+func NewMetroMetrics(r *Registry, metros int) *MetroMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &MetroMetrics{
+		Rounds:       r.Counter("decloud_metro_rounds_total", "federation cross-settlement rounds completed"),
+		Spills:       r.Counter("decloud_metro_spill_total", "requests spilled to a neighbor metro"),
+		SpillExpired: r.Counter("decloud_metro_spill_expired_total", "requests expired with no eligible spill target"),
+		MatchedLocal: r.Counter("decloud_metro_matched_local_total", "requests settled in their home metro"),
+		MatchedSpill: r.Counter("decloud_metro_matched_spill_total", "requests settled after spilling"),
+	}
+	for i := 0; i < metros; i++ {
+		m.Welfare = append(m.Welfare, r.Gauge(
+			fmt.Sprintf("decloud_metro_welfare_m%d", i), fmt.Sprintf("bid welfare cleared by metro %d in the latest round", i)))
+		m.SpillMS = append(m.SpillMS, r.Gauge(
+			fmt.Sprintf("decloud_metro_spill_ms_m%d", i), fmt.Sprintf("mean spill-path latency (ms) of requests metro %d settled in the latest round", i)))
+		m.LiveOrders = append(m.LiveOrders, r.Gauge(
+			fmt.Sprintf("decloud_metro_live_orders_m%d", i), fmt.Sprintf("live orders in metro %d's book", i)))
+	}
+	return m
 }

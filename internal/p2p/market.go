@@ -143,6 +143,12 @@ func (mn *MarketNode) Name() string { return mn.net.Name() }
 // Chain returns the node's chain replica.
 func (mn *MarketNode) Chain() *ledger.Chain { return mn.chain }
 
+// Book returns the node's continuous order book — nil outside
+// incremental mode. Metro federation reads carry-out removals from it
+// (book.SetTrackRemovals) to forward unfillable requests to neighbor
+// exchanges.
+func (mn *MarketNode) Book() *book.Book { return mn.miner.Book }
+
 // Connect joins a peer's gossip.
 func (mn *MarketNode) Connect(addr string) error { return mn.net.Connect(addr) }
 

@@ -13,6 +13,7 @@ import (
 	"decloud/internal/auction"
 	"decloud/internal/bidding"
 	"decloud/internal/book"
+	"decloud/internal/metro"
 	"decloud/internal/miner"
 	"decloud/internal/obs"
 	"decloud/internal/reputation"
@@ -65,6 +66,23 @@ type Config struct {
 	// deterministic shard partitioner (auction.Config.Shards). Applied
 	// after the auction defaults, so it composes with a zero Auction.
 	Shards int
+	// Metros, when ≥ 2, federates the market across that many metro
+	// exchanges (internal/metro): every order homes to the exchange owning
+	// its location's grid cell, each exchange clears its own book, and
+	// requests that exhaust their carry budget spill to the
+	// lowest-latency unvisited neighbor. Fast mode runs the deterministic
+	// metro.Federation; ledger mode runs one miner network per metro
+	// (miner.FederatedNetwork — requires Auction.Incremental).
+	Metros int
+	// LatencyMatrix is the inter-metro latency model (nil →
+	// metro.DefaultMatrix(Metros)). Only read when Metros ≥ 2.
+	LatencyMatrix *metro.LatencyMatrix
+	// MaxHops bounds a spilled request's metro visits beyond its home
+	// (0 → metro.DefaultMaxHops).
+	MaxHops int
+	// DistancePerMS tightens spilled requests' MaxDistance by this much
+	// per millisecond of spill-path latency (Eq. 18 coupling; 0 off).
+	DistancePerMS float64
 	// Pipeline overlaps round n+1's reveal collection with round n's
 	// clearing and verification in ledger mode (miner.Network.RunPipelined).
 	// Incompatible with Resubmit and DenyProb > 0: both feed the next
@@ -97,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards > 0 {
 		c.Auction.Shards = c.Shards
+	}
+	if c.Metros > 1 {
+		c.Auction.Metros = c.Metros
 	}
 	return c
 }
@@ -179,11 +200,33 @@ func Run(cfg Config) (*Result, error) {
 	// the chain grows block by block and reputation persists, as it would
 	// in a deployment.
 	var net *miner.Network
+	var fednet *miner.FederatedNetwork
 	var roster map[bidding.ParticipantID]*miner.Participant
+	if cfg.Metros > 1 {
+		if cfg.Pipeline {
+			return nil, fmt.Errorf("sim: pipeline is incompatible with metro federation")
+		}
+		if cfg.Resubmit {
+			return nil, fmt.Errorf("sim: Resubmit is redundant under metro federation — the exchange books carry unmatched orders")
+		}
+	}
 	if cfg.Mode == Ledger {
-		net = NewLedgerNetwork(cfg)
-		net.Obs = obs.NewMinerMetrics(cfg.Obs)
-		net.Tracer = cfg.Tracer
+		if cfg.Metros > 1 {
+			var err error
+			fednet, err = NewLedgerFederation(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
+			mm := obs.NewMinerMetrics(cfg.Obs)
+			for m := 0; m < fednet.Metros(); m++ {
+				fednet.Net(m).Obs = mm
+			}
+			fednet.Net(0).Tracer = cfg.Tracer
+		} else {
+			net = NewLedgerNetwork(cfg)
+			net.Obs = obs.NewMinerMetrics(cfg.Obs)
+			net.Tracer = cfg.Tracer
+		}
 		roster = make(map[bidding.ParticipantID]*miner.Participant)
 	}
 	if cfg.Auction.Incremental && cfg.Resubmit {
@@ -203,8 +246,26 @@ func Run(cfg Config) (*Result, error) {
 	}
 	// Fast mode with an incremental config keeps ONE persistent book
 	// across rounds, mirroring what the ledger-mode miners do per block.
+	// Under federation the book is replaced by one persistent federation
+	// of M exchange books.
 	var bk *book.Book
-	if cfg.Mode == Fast && cfg.Auction.Incremental {
+	var fed *metro.Federation
+	if cfg.Mode == Fast && cfg.Metros > 1 {
+		var err error
+		fed, err = metro.New(metro.Config{
+			Metros:        cfg.Metros,
+			Latency:       cfg.LatencyMatrix,
+			MaxHops:       cfg.MaxHops,
+			DistancePerMS: cfg.DistancePerMS,
+			Auction:       cfg.Auction,
+			Obs:           obs.NewMetroMetrics(cfg.Obs, cfg.Metros),
+			// The greedy benchmark needs the exact per-metro union markets.
+			CaptureUnions: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	} else if cfg.Mode == Fast && cfg.Auction.Incremental {
 		bk = book.New(cfg.Auction)
 	}
 	// carried holds unmatched requests awaiting resubmission, with their
@@ -246,13 +307,23 @@ func Run(cfg Config) (*Result, error) {
 		var err error
 		switch cfg.Mode {
 		case Fast:
-			if bk != nil {
+			switch {
+			case fed != nil:
+				metrics, err = fastMetroRound(fed, market, cfg, round)
+				if err != nil {
+					return nil, fmt.Errorf("sim: round %d: %w", round, err)
+				}
+			case bk != nil:
 				metrics = fastBookRound(bk, market, cfg, round)
-			} else {
+			default:
 				metrics = fastRound(market, cfg)
 			}
 		case Ledger:
-			metrics, err = ledgerRound(net, roster, market, cfg, round)
+			if fednet != nil {
+				metrics, err = ledgerFederatedRound(fednet, roster, market, cfg, round)
+			} else {
+				metrics, err = ledgerRound(net, roster, market, cfg, round)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("sim: round %d: %w", round, err)
 			}
@@ -322,6 +393,14 @@ func Run(cfg Config) (*Result, error) {
 	if net != nil {
 		res.Reputation = net.Contracts().Reputation().Snapshot()
 	}
+	if fednet != nil {
+		for m := 0; m < fednet.Metros(); m++ {
+			res.Reputation = append(res.Reputation, fednet.Net(m).Contracts().Reputation().Snapshot()...)
+		}
+		if err := fednet.CheckNoDoubleSettle(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
 	return res, nil
 }
 
@@ -368,6 +447,61 @@ func fastBookRound(bk *book.Book, market *workload.Market, cfg Config, round int
 	}
 	bench := auction.RunGreedy(unionR, unionO, cfg.Auction)
 	return metricsFrom(out, bench, len(unionR))
+}
+
+// fastMetroRound drives one cross-settlement round of the persistent
+// metro federation. Order IDs are namespaced per round for the same
+// reason fastBookRound namespaces them (the generator reuses IDs). The
+// greedy benchmark runs over the union of every exchange's cleared
+// market — a single global (un-federated) market — so the welfare ratio
+// measures what federation costs against an omniscient central matcher.
+func fastMetroRound(fed *metro.Federation, market *workload.Market, cfg Config, round int) (RoundMetrics, error) {
+	reqs := make([]*bidding.Request, len(market.Requests))
+	for i, r := range market.Requests {
+		fresh := *r
+		fresh.Resources = r.Resources.Clone()
+		fresh.ID = bidding.OrderID(fmt.Sprintf("%s@r%d", r.ID, round))
+		reqs[i] = &fresh
+	}
+	offs := make([]*bidding.Offer, len(market.Offers))
+	for i, o := range market.Offers {
+		fresh := *o
+		fresh.Resources = o.Resources.Clone()
+		fresh.ID = bidding.OrderID(fmt.Sprintf("%s@r%d", o.ID, round))
+		offs[i] = &fresh
+	}
+	res, err := fed.Round(reqs, offs, []byte(fmt.Sprintf("sim-fast-%d-%d", cfg.Workload.Seed, round)))
+	if err != nil {
+		return RoundMetrics{}, err
+	}
+	var m RoundMetrics
+	var unionR []*bidding.Request
+	var unionO []*bidding.Offer
+	for i, out := range res.Outcomes {
+		if out == nil {
+			continue
+		}
+		m.Matches += len(out.Matches)
+		m.Welfare += out.Welfare()
+		m.Payments += out.TotalPayments()
+		for _, match := range out.Matches {
+			m.matchedIDs = append(m.matchedIDs, match.Request.ID)
+		}
+		unionR = append(unionR, res.UnionRequests[i]...)
+		unionO = append(unionO, res.UnionOffers[i]...)
+	}
+	bench := auction.RunGreedy(unionR, unionO, cfg.Auction)
+	m.BenchWelfare = bench.Welfare()
+	if m.BenchWelfare > 0 {
+		m.WelfareRatio = m.Welfare / m.BenchWelfare
+	}
+	if nb := len(bench.Matches); nb > m.Matches {
+		m.ReducedRate = float64(nb-m.Matches) / float64(nb)
+	}
+	if len(unionR) > 0 {
+		m.Satisfaction = float64(m.Matches) / float64(len(unionR))
+	}
+	return m, nil
 }
 
 func metricsFrom(out, bench *auction.Outcome, totalRequests int) RoundMetrics {
@@ -444,6 +578,112 @@ func ledgerRound(net *miner.Network, roster map[bidding.ParticipantID]*miner.Par
 			}
 		}
 		metrics.matchedIDs = kept
+	}
+	return metrics, nil
+}
+
+// ledgerFederatedRound splits the round's market across the metro
+// networks by order location, seals and submits each slice through the
+// persistent roster, and runs one federated protocol round. Metrics
+// aggregate over every metro that produced a block; the greedy
+// benchmark stays global, as in fastMetroRound.
+func ledgerFederatedRound(fednet *miner.FederatedNetwork, roster map[bidding.ParticipantID]*miner.Participant, market *workload.Market, cfg Config, round int) (RoundMetrics, error) {
+	// The generator reuses order IDs across rounds; the federation's
+	// cross-chain audit (and the incremental books that carry orders
+	// between rounds) need globally unique IDs, so arrivals are
+	// namespaced per round exactly as in fastBookRound.
+	renamed := &workload.Market{
+		Requests: make([]*bidding.Request, len(market.Requests)),
+		Offers:   make([]*bidding.Offer, len(market.Offers)),
+	}
+	for i, r := range market.Requests {
+		fresh := *r
+		fresh.Resources = r.Resources.Clone()
+		fresh.ID = bidding.OrderID(fmt.Sprintf("%s@r%d", r.ID, round))
+		renamed.Requests[i] = &fresh
+	}
+	for i, o := range market.Offers {
+		fresh := *o
+		fresh.Resources = o.Resources.Clone()
+		fresh.ID = bidding.OrderID(fmt.Sprintf("%s@r%d", o.ID, round))
+		renamed.Offers[i] = &fresh
+	}
+	market = renamed
+
+	M := fednet.Metros()
+	subs := make([]*workload.Market, M)
+	for m := range subs {
+		subs[m] = &workload.Market{}
+	}
+	for _, r := range market.Requests {
+		m := fednet.Home(r.Location)
+		subs[m].Requests = append(subs[m].Requests, r)
+	}
+	for _, o := range market.Offers {
+		m := fednet.Home(o.Location)
+		subs[m].Offers = append(subs[m].Offers, o)
+	}
+	participants := make([][]*miner.Participant, M)
+	for m := 0; m < M; m++ {
+		parts, err := SubmitMarket(fednet.Net(m), roster, subs[m])
+		if err != nil {
+			return RoundMetrics{}, err
+		}
+		participants[m] = parts
+	}
+	results, err := fednet.RunFederatedRound(context.Background(), participants)
+	if err != nil {
+		return RoundMetrics{}, err
+	}
+
+	var metrics RoundMetrics
+	rnd := rand.New(rand.NewSource(cfg.Workload.Seed + int64(round)))
+	for m, res := range results {
+		if res == nil {
+			continue
+		}
+		restoreGroundTruth(res.Outcome, market)
+		metrics.Matches += len(res.Outcome.Matches)
+		metrics.Welfare += res.Outcome.Welfare()
+		metrics.Payments += res.Outcome.TotalPayments()
+		for _, match := range res.Outcome.Matches {
+			metrics.matchedIDs = append(metrics.matchedIDs, match.Request.ID)
+		}
+		if h := res.Block.Preamble.Height; h > metrics.BlockHeight {
+			metrics.BlockHeight = h
+		}
+		if metrics.Winner == "" {
+			metrics.Winner = res.Winner
+		}
+		reg := fednet.Net(m).Contracts()
+		for _, id := range res.Agreements {
+			a, err := reg.Get(id)
+			if err != nil {
+				return metrics, err
+			}
+			if rnd.Float64() < cfg.DenyProb {
+				if _, err := reg.Deny(id, a.Client()); err != nil {
+					return metrics, err
+				}
+				metrics.Denied++
+			} else {
+				if err := reg.Accept(id, a.Client()); err != nil {
+					return metrics, err
+				}
+				metrics.Agreed++
+			}
+		}
+	}
+	bench := auction.RunGreedy(market.Requests, market.Offers, cfg.Auction)
+	metrics.BenchWelfare = bench.Welfare()
+	if metrics.BenchWelfare > 0 {
+		metrics.WelfareRatio = metrics.Welfare / metrics.BenchWelfare
+	}
+	if nb := len(bench.Matches); nb > metrics.Matches {
+		metrics.ReducedRate = float64(nb-metrics.Matches) / float64(nb)
+	}
+	if len(market.Requests) > 0 {
+		metrics.Satisfaction = float64(metrics.Matches) / float64(len(market.Requests))
 	}
 	return metrics, nil
 }
@@ -559,6 +799,21 @@ func restoreGroundTruth(out *auction.Outcome, market *workload.Market) {
 func NewLedgerNetwork(cfg Config) *miner.Network {
 	cfg = cfg.withDefaults()
 	return miner.NewNetwork(cfg.Miners, cfg.Difficulty, cfg.Auction)
+}
+
+// NewLedgerFederation builds the per-metro miner networks for federated
+// ledger-mode rounds.
+func NewLedgerFederation(cfg Config) (*miner.FederatedNetwork, error) {
+	cfg = cfg.withDefaults()
+	fed, err := miner.NewFederatedNetwork(cfg.Metros, cfg.Miners, cfg.Difficulty, cfg.Auction, cfg.LatencyMatrix)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxHops > 0 {
+		fed.SetMaxHops(cfg.MaxHops)
+	}
+	fed.SetDistancePerMS(cfg.DistancePerMS)
+	return fed, nil
 }
 
 // SubmitMarket seals every order through the roster's participants

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"decloud/internal/bidding"
+	"decloud/internal/geo"
 	"decloud/internal/resource"
 	"decloud/internal/stats"
 	"decloud/internal/trace"
@@ -49,6 +50,22 @@ type StreamConfig struct {
 	// IDPrefix namespaces order IDs (default "s"): many independent
 	// streams can feed one market without ID collisions.
 	IDPrefix string
+	// GeoRadius, when positive, scatters the virtual clients over the
+	// unit square — each client draws one fixed home location from its
+	// sub-stream — and stamps every emitted order with its client's
+	// location; requests additionally get MaxDistance = GeoRadius. This
+	// is the location the metro federation homes orders by, so a geo
+	// stream feeds a federated market the way Generate's GeoRadius feeds
+	// a batch one.
+	GeoRadius float64
+	// GeoMetros, when ≥ 2 (and GeoRadius > 0), steers the client homes
+	// toward metro exchanges: each client draws a target metro and its
+	// home location is resampled until metro.Home agrees, so the stream's
+	// arrival mix across exchanges is controlled rather than incidental.
+	GeoMetros int
+	// GeoMix weights the per-metro client assignment (len GeoMetros;
+	// nil/short = uniform). Weights need not sum to 1.
+	GeoMix []float64
 }
 
 func (c StreamConfig) withDefaults() StreamConfig {
@@ -96,8 +113,9 @@ type Stream struct {
 	cfg   StreamConfig
 	gens  []*trace.Generator
 	rnds  []*rand.Rand
-	local []int // per-client emission count
-	seq   int   // global round-robin position
+	locs  []bidding.Location // per-client home (GeoRadius > 0 only)
+	local []int              // per-client emission count
+	seq   int                // global round-robin position
 }
 
 // NewStream builds a stream from the config.
@@ -111,10 +129,29 @@ func NewStream(cfg StreamConfig) *Stream {
 	}
 	var seedBytes [8]byte
 	binary.BigEndian.PutUint64(seedBytes[:], uint64(cfg.Seed))
+	if cfg.GeoRadius > 0 {
+		s.locs = make([]bidding.Location, cfg.Clients)
+	}
 	for c := 0; c < cfg.Clients; c++ {
 		sub := stats.SubRand(seedBytes[:], fmt.Sprintf("workload/stream/client/%d", c))
 		s.gens[c] = trace.NewGenerator(sub.Int63())
 		s.rnds[c] = sub
+		if s.locs != nil {
+			s.locs[c] = bidding.Location{X: sub.Float64(), Y: sub.Float64()}
+			if cfg.GeoMetros > 1 {
+				target := pickMetro(cfg, sub.Float64())
+				// Rejection-sample the unit square until the home metro
+				// matches. Expected tries ≈ GeoMetros; a fixed cap keeps a
+				// pathological cell layout from spinning (the last draw
+				// then stands, slightly diluting the mix, never blocking).
+				for try := 0; try < 64*cfg.GeoMetros; try++ {
+					if geo.Home(s.locs[c], geo.DefaultCellSize, cfg.GeoMetros) == target {
+						break
+					}
+					s.locs[c] = bidding.Location{X: sub.Float64(), Y: sub.Float64()}
+				}
+			}
+		}
 	}
 	return s
 }
@@ -170,7 +207,7 @@ func (s *Stream) emit(c int) StreamOrder {
 		// ±30% around the EC2 list price as in Generate.
 		it := catalog[rnd.Intn(len(catalog))]
 		cost := it.CostFor(epochHours) * (0.7 + 0.6*rnd.Float64())
-		return StreamOrder{Client: c, Offer: &bidding.Offer{
+		o := &bidding.Offer{
 			ID:        bidding.OrderID(fmt.Sprintf("%s-c%02d-o%07d", cfg.IDPrefix, c, j)),
 			Provider:  bidding.ParticipantID(fmt.Sprintf("%s-c%02d", cfg.IDPrefix, c)),
 			Submitted: submitted,
@@ -179,7 +216,11 @@ func (s *Stream) emit(c int) StreamOrder {
 			End:       epochEnd,
 			Bid:       cost,
 			TrueCost:  cost,
-		}}
+		}
+		if s.locs != nil {
+			o.Location = s.locs[c]
+		}
+		return StreamOrder{Client: c, Offer: o}
 	}
 
 	// Requests: Google-trace task shapes scaled onto the M5 reference
@@ -214,6 +255,10 @@ func (s *Stream) emit(c int) StreamOrder {
 		Duration:    dur,
 		Flexibility: cfg.Flexibility,
 	}
+	if s.locs != nil {
+		r.Location = s.locs[c]
+		r.MaxDistance = cfg.GeoRadius
+	}
 	// Valuation: cost of the smallest catalog machine that covers the
 	// request, times the paper's uniform coefficient. Anchoring on the
 	// catalog instead of ranking live offers keeps emission O(1) per
@@ -229,6 +274,34 @@ func (s *Stream) emit(c int) StreamOrder {
 	r.Bid = base * coeff
 	r.TrueValue = r.Bid
 	return StreamOrder{Client: c, Request: r}
+}
+
+// pickMetro maps one uniform draw onto the GeoMix weight vector
+// (missing/non-positive entries fall back to uniform weighting).
+func pickMetro(cfg StreamConfig, u float64) int {
+	weights := make([]float64, cfg.GeoMetros)
+	var total float64
+	for m := range weights {
+		w := 1.0
+		if m < len(cfg.GeoMix) && cfg.GeoMix[m] > 0 {
+			w = cfg.GeoMix[m]
+		} else if len(cfg.GeoMix) > m {
+			w = 0
+		}
+		weights[m] = w
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	acc := 0.0
+	for m, w := range weights {
+		acc += w / total
+		if u < acc {
+			return m
+		}
+	}
+	return cfg.GeoMetros - 1
 }
 
 // CollectMarket drains n orders from the stream into a batch Market —

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"decloud/internal/auction"
+	"decloud/internal/bidding"
+	"decloud/internal/metro"
 )
 
 // TestStreamDeterminism: the same seed yields the same emission sequence,
@@ -143,5 +145,85 @@ func TestStreamMarketClears(t *testing.T) {
 	out := auction.Run(m.Requests, m.Offers, cfg)
 	if got := len(out.Matches); got < len(m.Requests)/4 {
 		t.Fatalf("only %d matches for %d requests; stream market does not clear", got, len(m.Requests))
+	}
+}
+
+// TestStreamGeoLocations: with GeoRadius set, every order carries its
+// client's fixed home location, requests get the radius as their
+// locality constraint, and the clients spread over the unit square.
+func TestStreamGeoLocations(t *testing.T) {
+	cfg := StreamConfig{Seed: 9, Clients: 6, EpochOrders: 48, GeoRadius: 0.4}
+	s := NewStream(cfg)
+	homes := make(map[int]struct{ x, y float64 })
+	for _, so := range s.Emit(400) {
+		var x, y float64
+		switch {
+		case so.Request != nil:
+			x, y = so.Request.Location.X, so.Request.Location.Y
+			if so.Request.MaxDistance != 0.4 {
+				t.Fatalf("request MaxDistance = %v, want 0.4", so.Request.MaxDistance)
+			}
+		case so.Offer != nil:
+			x, y = so.Offer.Location.X, so.Offer.Location.Y
+		}
+		if x < 0 || x > 1 || y < 0 || y > 1 {
+			t.Fatalf("location (%v, %v) outside unit square", x, y)
+		}
+		if h, ok := homes[so.Client]; ok {
+			if h.x != x || h.y != y {
+				t.Fatalf("client %d moved: (%v,%v) vs (%v,%v)", so.Client, h.x, h.y, x, y)
+			}
+		} else {
+			homes[so.Client] = struct{ x, y float64 }{x, y}
+		}
+	}
+	distinct := make(map[[2]float64]bool)
+	for _, h := range homes {
+		distinct[[2]float64{h.x, h.y}] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("all clients share one home location")
+	}
+	// Geo emission must not disturb the non-geo sequence semantics:
+	// the same config replays identically.
+	a := NewStream(cfg).Emit(100)
+	b := NewStream(cfg).Emit(100)
+	for i := range a {
+		if a[i].ID() != b[i].ID() {
+			t.Fatalf("geo stream not deterministic at %d", i)
+		}
+	}
+}
+
+// TestStreamMetroMix: with GeoMetros and a skewed mix, client homes land
+// on their target metros and the arrival mass follows the weights.
+func TestStreamMetroMix(t *testing.T) {
+	cfg := StreamConfig{
+		Seed: 5, Clients: 32, EpochOrders: 64,
+		GeoRadius: 0.5, GeoMetros: 4, GeoMix: []float64{6, 2, 1, 1},
+	}
+	s := NewStream(cfg)
+	perMetro := make([]int, 4)
+	for _, so := range s.Emit(640) {
+		var loc bidding.Location
+		if so.Request != nil {
+			loc = so.Request.Location
+		} else {
+			loc = so.Offer.Location
+		}
+		perMetro[metro.Home(loc, metro.DefaultCellSize, 4)]++
+	}
+	total := 0
+	for _, n := range perMetro {
+		total += n
+	}
+	if total != 640 {
+		t.Fatalf("order mass lost: %d", total)
+	}
+	// Metro 0 carries weight 6 of 10: it must dominate every other metro.
+	for m := 1; m < 4; m++ {
+		if perMetro[0] <= perMetro[m] {
+			t.Fatalf("mix not skewed: perMetro = %v", perMetro)
+		}
 	}
 }

@@ -44,10 +44,26 @@ check_cov() { # pkg floor
 for pkg in internal/miner internal/p2p; do check_cov "${pkg}" 75.0; done
 for pkg in internal/stats internal/audit internal/obs internal/shard \
            internal/devnet internal/loadgen internal/book; do check_cov "${pkg}" 80.0; done
+# internal/metro's differential harness lives in the metrotest
+# subpackage, so the package's real coverage is the UNION of both test
+# binaries — measured through one merged coverprofile instead of the
+# single-binary -cover number. internal/geo (the homing primitives
+# metro re-exports) is gated in the same profile.
+METRO_PROF=$(mktemp)
+go test -coverpkg=./internal/geo,./internal/metro -coverprofile="${METRO_PROF}" \
+  ./internal/metro/... ./internal/workload >/dev/null
+metro_pct=$(go tool cover -func="${METRO_PROF}" | awk '/^total:/ {gsub(/%/,"",$3); print $3}')
+rm -f "${METRO_PROF}"
+metro_ok=$(awk -v p="${metro_pct:-0}" 'BEGIN { print (p >= 80.0) ? 1 : 0 }')
+if [ "${metro_ok}" != "1" ]; then
+  echo "coverage gate FAILED: internal/geo+metro (union) at ${metro_pct:-?}% (< 80.0%)" >&2
+  exit 1
+fi
+echo "    internal/geo+metro (union incl. metrotest): ${metro_pct}% (gate 80.0%)"
 
 echo "==> bench gate (hard: allocs ±5%, ns ±30%, book/mechanism ratio ≤0.5)"
 # The mechanism microbenchmarks are compared against the committed
-# BENCH_PR8.json baseline and FAIL the build on regression. Even with
+# BENCH_PR9.json baseline and FAIL the build on regression. Even with
 # time-based sampling (-benchtime 1s, so every sample spans many
 # scheduler/steal periods) and min-of-N (-count=4; benchjson keeps the
 # fastest run per name), min-of-N ns/op on this class of shared runner
@@ -68,20 +84,20 @@ echo "==> bench gate (hard: allocs ±5%, ns ±30%, book/mechanism ratio ≤0.5)"
 # Gated set: Mechanism400/1000, BookIncremental1000, Sharded1000
 # K∈{1,4} (K4 under -cpu 4, matching how scripts/bench.sh records it),
 # and the indexed order-book scan. Noisier micro points (Mechanism100,
-# BestOffersNaive/Indexed) are recorded in BENCH_PR8.json by
+# BestOffersNaive/Indexed) are recorded in BENCH_PR9.json by
 # scripts/bench.sh but not gated; ditto the slow load-frontier points,
 # absent from this run. Refresh the baseline with scripts/bench.sh
 # after intentional changes.
-if [ -f BENCH_PR8.json ]; then
+if [ -f BENCH_PR9.json ]; then
   { go test -run '^$' -bench 'BenchmarkMechanism400$|BenchmarkMechanism1000$|BenchmarkBookIncremental1000$|BenchmarkMechanismSharded1000K1$|BenchmarkBestOffersIndexedScan$' \
       -benchtime 1s -count=4 -benchmem . ./internal/match 2>/dev/null; \
     go test -run '^$' -bench 'BenchmarkMechanismSharded1000K4$' -cpu 4 \
       -benchtime 1s -count=4 -benchmem . 2>/dev/null; } \
-    | go run ./cmd/benchjson -baseline BENCH_PR8.json -gate 30 -gate-allocs 5 \
+    | go run ./cmd/benchjson -baseline BENCH_PR9.json -gate 30 -gate-allocs 5 \
         -require-ratio 'BenchmarkBookIncremental1000/BenchmarkMechanism1000<=0.5' \
         -out /tmp/bench_ci.json
 else
-  echo "    no BENCH_PR8.json baseline; skipping"
+  echo "    no BENCH_PR9.json baseline; skipping"
 fi
 
 echo "==> devnet smoke (multi-process, time-boxed)"
@@ -134,5 +150,8 @@ go test -run='^$' -fuzz='^FuzzShardPartition$' -fuzztime="${FUZZTIME}" ./interna
 # Anchored: the book's mutation-trace fuzzer replays every input against
 # the rebuild-from-scratch oracle and fails on any byte divergence.
 go test -run='^$' -fuzz='^FuzzBookMutations$' -fuzztime="${FUZZTIME}" ./internal/book
+# Anchored: the metro homing fuzzer checks total coverage, determinism,
+# and cell-boundary stability of the geography→exchange map.
+go test -run='^$' -fuzz='^FuzzMetroHoming$' -fuzztime="${FUZZTIME}" ./internal/metro
 
 echo "==> ci.sh: all green"

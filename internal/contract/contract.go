@@ -68,6 +68,7 @@ func (a *Agreement) Provider() bidding.ParticipantID {
 var (
 	ErrNotFound       = errors.New("contract: agreement not found")
 	ErrNotClient      = errors.New("contract: caller is not the client of this agreement")
+	ErrNotProvider    = errors.New("contract: caller is not the provider of this agreement")
 	ErrAlreadyDecided = errors.New("contract: agreement already decided")
 )
 
@@ -132,7 +133,7 @@ func (r *Registry) Get(id AgreementID) (Agreement, error) {
 // Accept is the contract's accept method: the named client binds the
 // agreement. The caller must be the client recorded in the allocation.
 func (r *Registry) Accept(id AgreementID, caller bidding.ParticipantID) error {
-	if err := r.decide(id, caller, Agreed); err != nil {
+	if err := r.decide(id, caller, clientParty, Agreed); err != nil {
 		return err
 	}
 	r.reputation.RecordAccept(caller)
@@ -143,23 +144,64 @@ func (r *Registry) Accept(id AgreementID, caller bidding.ParticipantID) error {
 // It returns the provider that must be notified to resubmit its offer
 // (Section III-B) and applies the reputational penalty.
 func (r *Registry) Deny(id AgreementID, caller bidding.ParticipantID) (bidding.ParticipantID, error) {
-	if err := r.decide(id, caller, Denied); err != nil {
+	return r.DenyInto(id, caller, r.reputation)
+}
+
+// DenyInto is Deny with the reputational penalty recorded in an
+// explicit store (nil falls back to the registry's own). A federation
+// routes the penalty of a denied SPILLED match here: the agreement
+// settles on the metro that cleared it, but the client's standing must
+// decay on its ORIGIN metro — the exchange its future requests home to.
+func (r *Registry) DenyInto(id AgreementID, caller bidding.ParticipantID, rep *reputation.Store) (bidding.ParticipantID, error) {
+	if err := r.decide(id, caller, clientParty, Denied); err != nil {
 		return "", err
 	}
-	r.reputation.RecordDeny(caller)
+	if rep == nil {
+		rep = r.reputation
+	}
+	rep.RecordDeny(caller)
 	a, _ := r.Get(id)
 	return a.Provider(), nil
 }
 
-func (r *Registry) decide(id AgreementID, caller bidding.ParticipantID, status Status) error {
+// DenyByProvider is the provider-side break: the provider named in the
+// allocation repudiates it (futures: reserved capacity that never
+// materialized, or an overbooked reservation bumped at delivery). The
+// penalty lands on the PROVIDER's reputation; the returned client is
+// the party to notify (its request re-enters the spot market).
+func (r *Registry) DenyByProvider(id AgreementID, caller bidding.ParticipantID) (bidding.ParticipantID, error) {
+	if err := r.decide(id, caller, providerParty, Denied); err != nil {
+		return "", err
+	}
+	r.reputation.RecordDeny(caller)
+	a, _ := r.Get(id)
+	return a.Client(), nil
+}
+
+// party selects which side of an agreement a decide call authenticates.
+type party int
+
+const (
+	clientParty party = iota
+	providerParty
+)
+
+func (r *Registry) decide(id AgreementID, caller bidding.ParticipantID, p party, status Status) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	a, ok := r.agreements[id]
 	if !ok {
 		return ErrNotFound
 	}
-	if a.Client() != caller {
-		return ErrNotClient
+	switch p {
+	case clientParty:
+		if a.Client() != caller {
+			return ErrNotClient
+		}
+	case providerParty:
+		if a.Provider() != caller {
+			return ErrNotProvider
+		}
 	}
 	if a.Status != Proposed {
 		return ErrAlreadyDecided

@@ -6,6 +6,7 @@ import (
 
 	"decloud/internal/auction"
 	"decloud/internal/bidding"
+	"decloud/internal/contract"
 	"decloud/internal/ledger"
 	"decloud/internal/metro"
 )
@@ -41,6 +42,11 @@ type fedSpillState struct {
 	hops    int
 	visited uint64
 	pathMS  float64
+	// origin is the metro the request FIRST carried out of — its home
+	// exchange. A deny on a spilled match routes its reputational
+	// penalty back here: the exchange the client's future requests home
+	// to is the one that must remember the break.
+	origin int
 }
 
 // FederationStats counts cross-metro routing events.
@@ -185,7 +191,7 @@ func (f *FederatedNetwork) RunFederatedRound(ctx context.Context, participants [
 func (f *FederatedNetwork) spillOrDrop(r *bidding.Request, from int) {
 	st := f.state[r.ID]
 	if st == nil {
-		st = &fedSpillState{visited: 1 << uint(from)}
+		st = &fedSpillState{visited: 1 << uint(from), origin: from}
 		f.state[r.ID] = st
 	}
 	st.visited |= 1 << uint(from)
@@ -214,6 +220,39 @@ func (f *FederatedNetwork) spillOrDrop(r *bidding.Request, from int) {
 		return
 	}
 	f.stats.SpillExpired++
+}
+
+// SpillOrigin reports the home metro a spilled request originally
+// carried out of; ok is false for requests that never spilled.
+func (f *FederatedNetwork) SpillOrigin(id bidding.OrderID) (origin int, ok bool) {
+	st := f.state[id]
+	if st == nil {
+		return 0, false
+	}
+	return st.origin, true
+}
+
+// Deny refuses an agreement settled on metro m, with federation-aware
+// penalty routing: when the underlying request spilled in from another
+// exchange, the agreement still settles (Denied) on metro m's registry
+// — the chain that cleared it — but the reputational penalty is
+// recorded in the ORIGIN metro's store via contract.DenyInto, so the
+// client's standing decays where its future requests will be scored.
+// Local (never-spilled) requests behave exactly as Registry.Deny.
+func (f *FederatedNetwork) Deny(m int, id contract.AgreementID, caller bidding.ParticipantID) (bidding.ParticipantID, error) {
+	if m < 0 || m >= len(f.nets) {
+		return "", fmt.Errorf("miner: deny on metro %d of %d", m, len(f.nets))
+	}
+	reg := f.nets[m].Contracts()
+	a, err := reg.Get(id)
+	if err != nil {
+		return "", err
+	}
+	rep := reg.Reputation()
+	if origin, ok := f.SpillOrigin(bidding.OrderID(a.Record.RequestID)); ok && origin != m {
+		rep = f.nets[origin].Contracts().Reputation()
+	}
+	return reg.DenyInto(id, caller, rep)
 }
 
 // CheckNoDoubleSettle audits the federation-wide uniqueness invariant

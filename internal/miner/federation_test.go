@@ -7,8 +7,10 @@ import (
 
 	"decloud/internal/auction"
 	"decloud/internal/bidding"
+	"decloud/internal/contract"
 	"decloud/internal/ledger"
 	"decloud/internal/metro"
+	"decloud/internal/reputation"
 )
 
 // fedNetwork builds a proof-of-stake federation for tests.
@@ -200,6 +202,113 @@ func TestFederatedSpillExpiresAtHopBudget(t *testing.T) {
 	}
 	if st.SpillExpired < 1 {
 		t.Fatalf("want the request to expire after its single hop, got SpillExpired=%d", st.SpillExpired)
+	}
+	if err := fed.CheckNoDoubleSettle(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFederatedDenyRoutesPenaltyToOriginMetro closes the spill loop: a
+// request that spilled from metro 0 and matched on metro 1 is denied by
+// its client. The agreement must settle (Denied) on metro 1 — the chain
+// that cleared it — but the reputational penalty must land on metro 0,
+// the client's home exchange, leaving metro 1's store untouched.
+func TestFederatedDenyRoutesPenaltyToOriginMetro(t *testing.T) {
+	fed := fedNetwork(t, 2, nil)
+	ctx := context.Background()
+
+	alice := testParticipant(t, "alice")
+	prov := testParticipant(t, "prov")
+
+	submit := func(m int, p *Participant, r *bidding.Request, o *bidding.Offer) {
+		t.Helper()
+		if r != nil {
+			bid, err := p.SubmitRequest(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fed.Net(m).SubmitBid(bid); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if o != nil {
+			bid, err := p.SubmitOffer(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fed.Net(m).SubmitBid(bid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Same drive as TestFederatedSpillSettlesOnNeighborChain: starve
+	// r-spill on metro 0 until it spills, then give metro 1 supply.
+	submit(0, alice, request("r-spill", 2, 10), nil)
+	if _, err := fed.RunFederatedRound(ctx, [][]*Participant{{alice}, nil}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		submit(0, alice, request(fmt.Sprintf("r-fill-%d", i), 1, 0.001), nil)
+		if _, err := fed.RunFederatedRound(ctx, [][]*Participant{{alice}, nil}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	setter := testParticipant(t, "setter")
+	submit(1, prov, nil, offer("o-b", 8, 1))
+	submit(1, setter, request("r-setter", 2, 5), nil)
+	results, err := fed.RunFederatedRound(ctx, [][]*Participant{nil, {prov, setter}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[1] == nil {
+		t.Fatal("metro 1 round did not run")
+	}
+
+	// Locate r-spill's agreement on metro 1.
+	reg := fed.Net(1).Contracts()
+	var spillAgr *contract.Agreement
+	for _, id := range results[1].Agreements {
+		a, err := reg.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Record.RequestID == "r-spill" {
+			spillAgr = &a
+		}
+	}
+	if spillAgr == nil {
+		t.Fatalf("spilled request produced no agreement on metro 1: %v", results[1].Agreements)
+	}
+	if origin, ok := fed.SpillOrigin("r-spill"); !ok || origin != 0 {
+		t.Fatalf("SpillOrigin(r-spill) = %d,%v, want 0,true", origin, ok)
+	}
+
+	client := spillAgr.Client()
+	if _, err := fed.Deny(1, spillAgr.ID, client); err != nil {
+		t.Fatal(err)
+	}
+
+	// The agreement settles Denied on the clearing metro...
+	a, err := reg.Get(spillAgr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Status != contract.Denied {
+		t.Fatalf("agreement status = %v, want denied on the clearing metro", a.Status)
+	}
+	// ...but the penalty decays the client's standing on its ORIGIN
+	// metro only.
+	if got := fed.Net(0).Contracts().Reputation().Score(client); got >= reputation.Initial {
+		t.Fatalf("origin metro score = %g, want decayed below %g", got, reputation.Initial)
+	}
+	if got := fed.Net(1).Contracts().Reputation().Score(client); got != reputation.Initial {
+		t.Fatalf("clearing metro score = %g, want untouched %g", got, reputation.Initial)
+	}
+	// A second deny on the same agreement must fail, and the federation
+	// still settles every order exactly once.
+	if _, err := fed.Deny(1, spillAgr.ID, client); err == nil {
+		t.Fatal("double deny succeeded")
 	}
 	if err := fed.CheckNoDoubleSettle(); err != nil {
 		t.Fatal(err)

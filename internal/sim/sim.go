@@ -13,6 +13,7 @@ import (
 	"decloud/internal/auction"
 	"decloud/internal/bidding"
 	"decloud/internal/book"
+	"decloud/internal/futures"
 	"decloud/internal/metro"
 	"decloud/internal/miner"
 	"decloud/internal/obs"
@@ -83,6 +84,19 @@ type Config struct {
 	// DistancePerMS tightens spilled requests' MaxDistance by this much
 	// per millisecond of spill-path latency (Eq. 18 coupling; 0 off).
 	DistancePerMS float64
+	// FuturesSplit, when positive, routes that fraction of each round's
+	// orders into the FORWARD stage of the two-stage futures market
+	// (internal/futures), with DemandShock/SupplyShock as the divergence
+	// probabilities between reservation and delivery. Two arms share the
+	// knob: with Auction.Futures enabled the forward orders clear through
+	// the reservation stage (treatment); with it disabled the surviving
+	// forward orders are merged into the spot market and the failing ones
+	// withheld — the SPOT-ONLY CONTROL arm of the overbooking study, same
+	// demand/supply realization, no reservation stage. Incompatible with
+	// Metros, Pipeline, Resubmit, and Auction.Incremental.
+	FuturesSplit float64
+	DemandShock  float64
+	SupplyShock  float64
 	// Pipeline overlaps round n+1's reveal collection with round n's
 	// clearing and verification in ledger mode (miner.Network.RunPipelined).
 	// Incompatible with Resubmit and DenyProb > 0: both feed the next
@@ -110,8 +124,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Auction.Match.QualityBand == 0 {
 		incremental := c.Auction.Incremental
+		fut := c.Auction.Futures
 		c.Auction = auction.DefaultConfig()
 		c.Auction.Incremental = incremental
+		c.Auction.Futures = fut
 	}
 	if c.Shards > 0 {
 		c.Auction.Shards = c.Shards
@@ -146,6 +162,18 @@ type RoundMetrics struct {
 	Winner      string
 	Agreed      int
 	Denied      int
+	// Two-stage futures extras (FuturesSplit > 0 only). Utilization is
+	// realized utilization — matched resource·time over the capacity that
+	// actually materialized this round — and is filled in BOTH arms, so
+	// the control arm is comparable point for point.
+	Reserved       int
+	DeliveredFut   int
+	FutNoShows     int
+	SellerDefaults int
+	Bumped         int
+	SpotRetries    int
+	Utilization    float64
+	PenaltyFlow    float64
 
 	// matchedIDs feeds the resubmission bookkeeping.
 	matchedIDs []bidding.OrderID
@@ -229,6 +257,26 @@ func Run(cfg Config) (*Result, error) {
 		}
 		roster = make(map[bidding.ParticipantID]*miner.Participant)
 	}
+	var futex *futures.Exchange
+	var fm *obs.FuturesMetrics
+	var nextTwoStage func(round int) *workload.TwoStageMarket
+	if cfg.FuturesSplit > 0 || cfg.Auction.Futures.Enabled() {
+		switch {
+		case cfg.Metros > 1:
+			return nil, fmt.Errorf("sim: futures market is incompatible with metro federation")
+		case cfg.Pipeline:
+			return nil, fmt.Errorf("sim: futures market is incompatible with the pipelined ledger")
+		case cfg.Resubmit:
+			return nil, fmt.Errorf("sim: Resubmit is redundant under the futures market — broken reservations retry through the exchange")
+		case cfg.Auction.Incremental:
+			return nil, fmt.Errorf("sim: futures market requires from-scratch spot rounds (Auction.Incremental off)")
+		}
+		if cfg.Auction.Futures.Enabled() {
+			futex = futures.New(cfg.Auction)
+			fm = obs.NewFuturesMetrics(cfg.Obs)
+		}
+		nextTwoStage = twoStageSource(cfg)
+	}
 	if cfg.Auction.Incremental && cfg.Resubmit {
 		// The order book subsumes the simulator's resubmission loop:
 		// carry is protocol state now, and running both would double-carry
@@ -281,7 +329,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 	nextMarket := marketSource(cfg)
 	for round := 0; round < cfg.Rounds; round++ {
-		market := nextMarket(round)
+		var market *workload.Market
+		var tm *workload.TwoStageMarket
+		if nextTwoStage != nil {
+			tm = nextTwoStage(round)
+			// market carries the round's full submission set for the
+			// shared metrics columns; the dispatch below reads tm.
+			market = &workload.Market{
+				Requests: append(append([]*bidding.Request{}, tm.Fwd.Requests...), tm.Spot.Requests...),
+				Offers:   append(append([]*bidding.Offer{}, tm.Fwd.Offers...), tm.Spot.Offers...),
+			}
+		} else {
+			market = nextMarket(round)
+		}
 
 		carriedIn := 0
 		if cfg.Resubmit && round > 0 {
@@ -308,6 +368,10 @@ func Run(cfg Config) (*Result, error) {
 		switch cfg.Mode {
 		case Fast:
 			switch {
+			case futex != nil:
+				metrics = fastFuturesRound(futex, fm, tm, cfg, round)
+			case tm != nil:
+				metrics = fastControlRound(tm, cfg, round)
 			case fed != nil:
 				metrics, err = fastMetroRound(fed, market, cfg, round)
 				if err != nil {
@@ -319,9 +383,14 @@ func Run(cfg Config) (*Result, error) {
 				metrics = fastRound(market, cfg)
 			}
 		case Ledger:
-			if fednet != nil {
+			switch {
+			case futex != nil:
+				metrics, err = ledgerFuturesRound(futex, fm, net, roster, tm, cfg, round)
+			case tm != nil:
+				metrics, err = ledgerControlRound(net, roster, tm, cfg, round)
+			case fednet != nil:
 				metrics, err = ledgerFederatedRound(fednet, roster, market, cfg, round)
-			} else {
+			default:
 				metrics, err = ledgerRound(net, roster, market, cfg, round)
 			}
 			if err != nil {
@@ -389,6 +458,14 @@ func Run(cfg Config) (*Result, error) {
 			tr.End()
 		}
 		res.Rounds = append(res.Rounds, metrics)
+	}
+	if futex != nil {
+		// The exchange's conservation identity must hold at every exit:
+		// an order that fell through the two-stage lifecycle is a bug,
+		// not a metric.
+		if err := futex.CheckConservation(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
 	}
 	if net != nil {
 		res.Reputation = net.Contracts().Reputation().Snapshot()
@@ -542,6 +619,7 @@ func ledgerRound(net *miner.Network, roster map[bidding.ParticipantID]*miner.Par
 	restoreGroundTruth(res.Outcome, market)
 	bench := auction.RunGreedy(market.Requests, market.Offers, cfg.Auction)
 	metrics := metricsFrom(res.Outcome, bench, len(market.Requests))
+	metrics.Utilization = spotUtilization(res.Outcome, market.Offers)
 	metrics.BlockHeight = res.Block.Preamble.Height
 	metrics.Winner = res.Winner
 
@@ -662,7 +740,9 @@ func ledgerFederatedRound(fednet *miner.FederatedNetwork, roster map[bidding.Par
 				return metrics, err
 			}
 			if rnd.Float64() < cfg.DenyProb {
-				if _, err := reg.Deny(id, a.Client()); err != nil {
+				// Federation-aware deny: a spilled match settles here but
+				// its reputational penalty routes to the origin metro.
+				if _, err := fednet.Deny(m, id, a.Client()); err != nil {
 					return metrics, err
 				}
 				metrics.Denied++

@@ -5,7 +5,7 @@
 # exists — prints a benchstat-style before/after table.
 #
 # Usage:
-#   scripts/bench.sh                    # run, compare against BENCH_PR9.json if present, overwrite it
+#   scripts/bench.sh                    # run, compare against BENCH_PR10.json if present, overwrite it
 #   BENCH_OUT=out.json scripts/bench.sh # write elsewhere
 #   BENCH_BASELINE=old.json scripts/bench.sh
 #   BENCH_PATTERN='BenchmarkMechanism1000$' BENCH_TIME=5x scripts/bench.sh
@@ -29,7 +29,7 @@ COUNT="${BENCH_COUNT:-3}"
 # iteration per point is minutes of wall time, so it runs at 1x and can
 # be skipped entirely with BENCH_FRONTIER_TIME=0.
 FRONTIER_TIME="${BENCH_FRONTIER_TIME:-1x}"
-OUT="${BENCH_OUT:-BENCH_PR9.json}"
+OUT="${BENCH_OUT:-BENCH_PR10.json}"
 BASELINE="${BENCH_BASELINE:-}"
 RAW="$(mktemp)"
 trap 'rm -f "${RAW}"' EXIT
@@ -58,6 +58,12 @@ go test -run '^$' -bench 'BenchmarkMechanismSharded1000K4$' -cpu 4 -benchtime "$
 # in the ci.sh hard gate (the books it fans out over are already gated).
 echo "==> go test -bench BenchmarkMetroFederated1000M4 (4-metro federated clearing)" >&2
 go test -run '^$' -bench 'BenchmarkMetroFederated1000M4$' -benchtime "${TIME}" -count="${COUNT}" -benchmem ./internal/metro | tee -a "${RAW}" >&2
+
+# The two-stage futures round: 1000 orders at a 50% forward split,
+# reservation stage plus delta-settlement spot. Trajectory point only —
+# warn-only, never hard-gated (the spot mechanism under it is gated).
+echo "==> go test -bench BenchmarkTwoStage1000 (futures reservation + spot round)" >&2
+go test -run '^$' -bench 'BenchmarkTwoStage1000$' -benchtime "${TIME}" -count="${COUNT}" -benchmem ./internal/futures | tee -a "${RAW}" >&2
 
 if [ "${FRONTIER_TIME}" != "0" ]; then
   echo "==> go test -bench BenchmarkLoadRound -benchtime ${FRONTIER_TIME} (load frontier: orders/round × rounds/sec × latency percentiles)" >&2

@@ -60,10 +60,24 @@ if [ "${metro_ok}" != "1" ]; then
   exit 1
 fi
 echo "    internal/geo+metro (union incl. metrotest): ${metro_pct}% (gate 80.0%)"
+# internal/futures mirrors the same layout: the exchange's differential
+# harness lives in futures/futurestest, so the gate measures the UNION
+# of both test binaries over the futures package.
+FUT_PROF=$(mktemp)
+go test -coverpkg=./internal/futures -coverprofile="${FUT_PROF}" \
+  ./internal/futures/... >/dev/null
+fut_pct=$(go tool cover -func="${FUT_PROF}" | awk '/^total:/ {gsub(/%/,"",$3); print $3}')
+rm -f "${FUT_PROF}"
+fut_ok=$(awk -v p="${fut_pct:-0}" 'BEGIN { print (p >= 80.0) ? 1 : 0 }')
+if [ "${fut_ok}" != "1" ]; then
+  echo "coverage gate FAILED: internal/futures (union) at ${fut_pct:-?}% (< 80.0%)" >&2
+  exit 1
+fi
+echo "    internal/futures (union incl. futurestest): ${fut_pct}% (gate 80.0%)"
 
 echo "==> bench gate (hard: allocs ±5%, ns ±30%, book/mechanism ratio ≤0.5)"
 # The mechanism microbenchmarks are compared against the committed
-# BENCH_PR9.json baseline and FAIL the build on regression. Even with
+# BENCH_PR10.json baseline and FAIL the build on regression. Even with
 # time-based sampling (-benchtime 1s, so every sample spans many
 # scheduler/steal periods) and min-of-N (-count=4; benchjson keeps the
 # fastest run per name), min-of-N ns/op on this class of shared runner
@@ -84,20 +98,20 @@ echo "==> bench gate (hard: allocs ±5%, ns ±30%, book/mechanism ratio ≤0.5)"
 # Gated set: Mechanism400/1000, BookIncremental1000, Sharded1000
 # K∈{1,4} (K4 under -cpu 4, matching how scripts/bench.sh records it),
 # and the indexed order-book scan. Noisier micro points (Mechanism100,
-# BestOffersNaive/Indexed) are recorded in BENCH_PR9.json by
+# BestOffersNaive/Indexed) are recorded in BENCH_PR10.json by
 # scripts/bench.sh but not gated; ditto the slow load-frontier points,
 # absent from this run. Refresh the baseline with scripts/bench.sh
 # after intentional changes.
-if [ -f BENCH_PR9.json ]; then
+if [ -f BENCH_PR10.json ]; then
   { go test -run '^$' -bench 'BenchmarkMechanism400$|BenchmarkMechanism1000$|BenchmarkBookIncremental1000$|BenchmarkMechanismSharded1000K1$|BenchmarkBestOffersIndexedScan$' \
       -benchtime 1s -count=4 -benchmem . ./internal/match 2>/dev/null; \
     go test -run '^$' -bench 'BenchmarkMechanismSharded1000K4$' -cpu 4 \
       -benchtime 1s -count=4 -benchmem . 2>/dev/null; } \
-    | go run ./cmd/benchjson -baseline BENCH_PR9.json -gate 30 -gate-allocs 5 \
+    | go run ./cmd/benchjson -baseline BENCH_PR10.json -gate 30 -gate-allocs 5 \
         -require-ratio 'BenchmarkBookIncremental1000/BenchmarkMechanism1000<=0.5' \
         -out /tmp/bench_ci.json
 else
-  echo "    no BENCH_PR9.json baseline; skipping"
+  echo "    no BENCH_PR10.json baseline; skipping"
 fi
 
 echo "==> devnet smoke (multi-process, time-boxed)"
@@ -153,5 +167,9 @@ go test -run='^$' -fuzz='^FuzzBookMutations$' -fuzztime="${FUZZTIME}" ./internal
 # Anchored: the metro homing fuzzer checks total coverage, determinism,
 # and cell-boundary stability of the geography→exchange map.
 go test -run='^$' -fuzz='^FuzzMetroHoming$' -fuzztime="${FUZZTIME}" ./internal/metro
+# Anchored: the futures lifecycle fuzzer drives arbitrary reserve/
+# deliver/default/cancel sequences, audits conservation after every op,
+# and replays the log against a rebuild-from-scratch oracle.
+go test -run='^$' -fuzz='^FuzzReservationLifecycle$' -fuzztime="${FUZZTIME}" ./internal/futures
 
 echo "==> ci.sh: all green"
